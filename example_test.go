@@ -1,0 +1,117 @@
+package mobilesec_test
+
+// Runnable godoc examples for the public API. Each has a deterministic
+// Output block (seeded DRBGs), so they double as integration tests.
+
+import (
+	"fmt"
+	"io"
+
+	mobilesec "repro"
+)
+
+// ExampleComputeBatteryFigure regenerates the paper's Figure 4 numbers.
+func ExampleComputeBatteryFigure() {
+	fig, err := mobilesec.ComputeBatteryFigure()
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range fig.Modes {
+		fmt.Printf("%s: %d transactions (%.2fx)\n", m.Name, m.Transactions, m.RelativeToPlain)
+	}
+	// Output:
+	// unencrypted: 726256 transactions (1.00x)
+	// secure (RSA): 334190 transactions (0.46x)
+}
+
+// ExampleComputeGapSurface evaluates the Figure 3 anchor point.
+func ExampleComputeGapSurface() {
+	s, err := mobilesec.ComputeGapSurface([]float64{0.5}, []float64{10}, 300)
+	if err != nil {
+		panic(err)
+	}
+	p := s.Points[0][0]
+	fmt.Printf("demand at 0.5s latency, 10 Mbps: %.1f MIPS (above the %.0f-MIPS plane: %v)\n",
+		p.DemandMIPS, s.PlaneMIPS, p.DemandMIPS > s.PlaneMIPS)
+	// Output:
+	// demand at 0.5s latency, 10 Mbps: 745.3 MIPS (above the 300-MIPS plane: true)
+}
+
+// ExampleProcessorByName prices a workload on the paper's PDA processor.
+func ExampleProcessorByName() {
+	cpu, err := mobilesec.ProcessorByName("StrongARM-SA1100")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("an RSA-1024 handshake (47M instructions) takes %.2f s on the %s\n",
+		cpu.TimeForInstr(47e6), cpu.Name)
+	// Output:
+	// an RSA-1024 handshake (47M instructions) takes 0.20 s on the StrongARM-SA1100
+}
+
+// ExampleWTLSClient runs a complete secure session over an in-memory
+// transport.
+func ExampleWTLSClient() {
+	ca, err := mobilesec.NewCA("Root", mobilesec.NewDRBG([]byte("ex-ca")), 512)
+	if err != nil {
+		panic(err)
+	}
+	key, err := mobilesec.GenerateRSAKey(mobilesec.NewDRBG([]byte("ex-srv")), 512)
+	if err != nil {
+		panic(err)
+	}
+	cert, err := ca.Issue("gw", 1, &key.PublicKey)
+	if err != nil {
+		panic(err)
+	}
+	a, b := mobilesec.NewDuplexPipe()
+	client := mobilesec.WTLSClient(a, &mobilesec.Config{
+		Rand: mobilesec.NewDRBG([]byte("c")), RootCA: &ca.Key.PublicKey, ServerName: "gw",
+	})
+	server := mobilesec.WTLSServer(b, &mobilesec.Config{
+		Rand: mobilesec.NewDRBG([]byte("s")), Certificate: cert, PrivateKey: key,
+	})
+	go func() {
+		buf := make([]byte, 32)
+		n, err := server.Read(buf)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := server.Write(buf[:n]); err != nil {
+			panic(err)
+		}
+	}()
+	if _, err := client.Write([]byte("hello, gateway")); err != nil {
+		panic(err)
+	}
+	reply := make([]byte, 14)
+	if _, err := io.ReadFull(client, reply); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s via %s\n", reply, client.State().Suite.Name)
+	// Output:
+	// hello, gateway via RSA_WITH_AES_128_CBC_SHA
+}
+
+// ExampleBuildBootChain verifies a secure boot chain and rejects a
+// tampered image.
+func ExampleBuildBootChain() {
+	images := []*mobilesec.BootImage{
+		{Name: "loader", Code: []byte("stage 1")},
+		{Name: "os", Code: []byte("stage 2")},
+	}
+	rom, err := mobilesec.BuildBootChain(images)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := mobilesec.VerifyBootChain(rom, images); err != nil {
+		panic(err)
+	}
+	fmt.Println("boot ok")
+	images[1].Code[0] ^= 1
+	_, err = mobilesec.VerifyBootChain(rom, images)
+	fmt.Println(err)
+	// Output:
+	// boot ok
+	// see: boot verification failed at stage 1 (os)
+}

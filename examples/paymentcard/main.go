@@ -1,0 +1,69 @@
+// Paymentcard: the smart card of the paper's Section 3.4 attack
+// discussion, driven through its APDU front door — PIN-gated signing,
+// the try counter, and the glitch attack against an unhardened card vs
+// the hardened one.
+//
+//	go run ./examples/paymentcard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mobilesec "repro"
+	"repro/internal/attack/fault"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+func main() {
+	key, err := mobilesec.GenerateRSAKey(mobilesec.NewDRBG([]byte("card")), 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkCard := func(opts *rsa.Options) *mobilesec.SmartCard {
+		c, err := mobilesec.NewSmartCard(mobilesec.SmartCardConfig{
+			PIN: "4929", Key: key, RSAOpts: opts, Seed: []byte("demo"),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// Normal operation: verify PIN, sign a transaction.
+	card := mkCard(nil)
+	if r := card.Process(mobilesec.APDUCommand{INS: 0x20, Data: []byte("4929")}); r.SW != 0x9000 {
+		log.Fatalf("verify: %04x", r.SW)
+	}
+	tx := []byte("transfer 250 EUR to IBAN ...42")
+	r := card.Process(mobilesec.APDUCommand{INS: 0x2A, Data: tx})
+	digest := sha1.Sum(tx)
+	err = rsa.VerifyPKCS1(&key.PublicKey, "sha1", digest[:], r.Data)
+	fmt.Printf("signed transaction verifies: %v (SW=%04x)\n", err == nil, r.SW)
+
+	// Wrong PINs exhaust the try counter.
+	card2 := mkCard(nil)
+	for _, guess := range []string{"0000", "1111", "2222"} {
+		r := card2.Process(mobilesec.APDUCommand{INS: 0x20, Data: []byte(guess)})
+		fmt.Printf("PIN guess %s -> SW %04x (tries left %d)\n", guess, r.SW, card2.TriesRemaining())
+	}
+	r = card2.Process(mobilesec.APDUCommand{INS: 0x20, Data: []byte("4929")})
+	fmt.Printf("correct PIN on blocked card -> SW %04x\n", r.SW)
+
+	// The glitch attack, through the APDU interface.
+	glitched := mkCard(&rsa.Options{Fault: &rsa.Fault{FlipBit: 23}})
+	glitched.Process(mobilesec.APDUCommand{INS: 0x20, Data: []byte("4929")})
+	r = glitched.Process(mobilesec.APDUCommand{INS: 0x2A, Data: tx})
+	if factor, err := fault.FactorFromFaultySignature(&key.PublicKey, "sha1", digest[:], r.Data); err == nil {
+		fmt.Printf("glitched card: faulty signature factored the modulus (factor matches: %v)\n",
+			factor.Cmp(key.P) == 0 || factor.Cmp(key.Q) == 0)
+	}
+
+	// The hardened card refuses to emit the faulty signature.
+	hardened := mkCard(&rsa.Options{Fault: &rsa.Fault{FlipBit: 23}, VerifyAfterSign: true})
+	hardened.Process(mobilesec.APDUCommand{INS: 0x20, Data: []byte("4929")})
+	r = hardened.Process(mobilesec.APDUCommand{INS: 0x2A, Data: tx})
+	fmt.Printf("hardened card under the same glitch -> SW %04x, %d data bytes (attack defeated)\n",
+		r.SW, len(r.Data))
+}

@@ -1,0 +1,114 @@
+// Securewallet: the secure-execution-environment story of Sections 3.4
+// and 4.1 — a phone's trusted wallet application behind secure boot, a
+// sealed key store with anti-rollback, a trusted-world gate over secure
+// RAM, and DRM-protected content.
+//
+//	go run ./examples/securewallet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mobilesec "repro"
+	"repro/internal/see"
+)
+
+func main() {
+	// --- secure boot -------------------------------------------------
+	images := []*mobilesec.BootImage{
+		{Name: "rom-loader", Code: []byte("mask ROM loader")},
+		{Name: "os", Code: []byte("phone OS image")},
+		{Name: "wallet", Code: []byte("trusted wallet applet")},
+	}
+	rom, err := mobilesec.BuildBootChain(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := see.Boot(rom, images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("secure boot: verified %v\n", rep.Stages)
+
+	// A trojaned OS image is refused at the right stage.
+	evil := []*mobilesec.BootImage{images[0], {Name: "os", Code: []byte("trojaned OS image"), NextHash: images[1].NextHash}, images[2]}
+	if _, err := see.Boot(rom, evil); err != nil {
+		fmt.Printf("trojaned image rejected: %v\n", err)
+	}
+
+	// --- sealed key storage -------------------------------------------
+	hwKey := []byte("fused-device-secret-0x42")
+	ks, err := mobilesec.NewKeyStore(hwKey, mobilesec.NewDRBG([]byte("ks")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks.Put("bank-pin", []byte("4929"))
+	ks.Put("client-cert-key", []byte("...private key bytes..."))
+	blob, err := ks.Seal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key store sealed to flash: %d bytes, version %d\n", len(blob), ks.Version())
+
+	// A stolen flash image is useless on another device.
+	thief, err := mobilesec.NewKeyStore([]byte("attacker-device-secret!!"), mobilesec.NewDRBG(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := thief.Unseal(blob); err != nil {
+		fmt.Printf("stolen flash image on another device: %v\n", err)
+	}
+
+	// Rolling back to an older (pre PIN-change) image is caught.
+	ks.Put("bank-pin", []byte("7777"))
+	if _, err := ks.Seal(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ks.Unseal(blob); err != nil {
+		fmt.Printf("rollback to old PIN blocked: %v\n", err)
+	}
+
+	// --- trusted world over secure RAM ---------------------------------
+	mem, err := mobilesec.StandardMemoryLayout()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate := see.NewGate()
+	gate.RegisterEntry(0x100, "wallet-sign")
+	if err := func() error {
+		if _, err := gate.EnterTrusted(0x100); err != nil {
+			return err
+		}
+		defer gate.ExitTrusted()
+		return mem.WriteAt(see.Trusted, 0x1000_0000, []byte("session key"))
+	}(); err != nil {
+		log.Fatal(err)
+	}
+	// Malware in the normal world tries to read it.
+	if _, err := mem.ReadAt(see.Untrusted, 0x1000_0000, 11); err != nil {
+		fmt.Printf("malware read of secure RAM denied: %v\n", err)
+	}
+	fmt.Printf("recorded %d access violation(s) for the tamper-response policy\n", len(mem.Violations()))
+
+	// --- DRM ------------------------------------------------------------
+	agent, err := mobilesec.NewDRMAgent(append(hwKey, hwKey...)[:16], mobilesec.NewDRBG([]byte("drm")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := agent.Package("ringtone-7", []byte("PCM bytes of a 2003 polyphonic hit"),
+		mobilesec.Rights{PlayCount: 2, AllowCopy: false}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := agent.Play("ringtone-7"); err != nil {
+			fmt.Printf("play %d: %v\n", i, err)
+		} else {
+			left, _ := agent.RemainingPlays("ringtone-7")
+			fmt.Printf("play %d: ok (%d plays left)\n", i, left)
+		}
+	}
+	if _, _, err := agent.ExportLicense("ringtone-7"); err != nil {
+		fmt.Printf("copy to another device: %v\n", err)
+	}
+}

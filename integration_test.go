@@ -1,0 +1,232 @@
+package mobilesec
+
+// End-to-end integration: the complete m-commerce scenario the paper's
+// introduction motivates, wiring every subsystem together — secure boot,
+// bearer auth, the layered WEP+ESP+WTLS stack, a smart card authorizing
+// the payment, DRM delivery of the purchased content, and the platform
+// energy bill.
+
+import (
+	"bytes"
+	"hash"
+	"io"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/crypto/des"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+	"repro/internal/esp"
+	"repro/internal/see"
+	"repro/internal/stack"
+	"repro/internal/wep"
+)
+
+func buildLayeredStack(t *testing.T, transport io.ReadWriter, tx, rx string) *Stack {
+	t.Helper()
+	s := NewStack(transport)
+	wepEP, err := wep.NewEndpoint([]byte{1, 2, 3, 4, 5}, wep.IVSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push("wep", wepEP, cost.InstrPerByte(cost.RC4)+4); err != nil {
+		t.Fatal(err)
+	}
+	mkSA := func(seed string) *esp.SA {
+		block, err := des.NewTripleCipher(bytes.Repeat([]byte{7}, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := esp.NewSA(0xBEEF, block, func() hash.Hash { return sha1.New() },
+			[]byte("integration-mac-key"), prng.NewDRBG([]byte(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sa
+	}
+	if err := s.Push("esp", &stack.ESPPair{Out: mkSA(tx), In: mkSA(rx)},
+		cost.BulkInstrPerByte(cost.DES3, cost.SHA1)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEndToEndMCommerce(t *testing.T) {
+	// --- 1. Platform boots securely. ---------------------------------
+	cpu, err := ProcessorByName("StrongARM-SA1100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio, err := NewWLANRadio(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := NewPlatform(PlatformConfig{
+		Name: "pda", Arch: WithCryptoAccelerator(cpu), BatteryJ: 5000,
+		Radio: radio, Seed: []byte("e2e"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := []*BootImage{
+		{Name: "loader", Code: []byte("l")},
+		{Name: "os", Code: []byte("o")},
+		{Name: "wallet", Code: []byte("w")},
+	}
+	rom, err := BuildBootChain(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootRep, err := platform.SecureBoot(rom, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime attestation holds.
+	att, err := see.NewAttestor(bootRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Check(images); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 2. Bearer-layer network access. ------------------------------
+	ki := bytes.Repeat([]byte{0x77}, 16)
+	sim, err := NewSIM("imsi-1", ki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := NewAuthCenter(NewDRBG([]byte("auc")))
+	if err := auc.Provision("imsi-1", ki); err != nil {
+		t.Fatal(err)
+	}
+	challenge, err := auc.Challenge("imsi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, kc := sim.Respond(challenge)
+	kcNet, err := auc.Verify("imsi-1", challenge, sres)
+	if err != nil || kc != kcNet {
+		t.Fatalf("bearer auth failed: %v", err)
+	}
+
+	// --- 3. Layered secure channel to the gateway. ---------------------
+	pdaLink, gwLink := NewDuplexPipe()
+	pdaStack := buildLayeredStack(t, pdaLink, "p2g", "g2p")
+	gwStack := buildLayeredStack(t, gwLink, "g2p", "p2g")
+
+	ca, err := NewCA("Operator", NewDRBG([]byte("e2e-ca")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwKey, err := GenerateRSAKey(NewDRBG([]byte("e2e-gw")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwCert, err := ca.Issue("shop.gateway", 7, &gwKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := WTLSClient(pdaStack.Top(), &Config{
+		Rand: NewDRBG([]byte("e2e-c")), RootCA: &ca.Key.PublicKey, ServerName: "shop.gateway",
+	})
+	server := WTLSServer(gwStack.Top(), &Config{
+		Rand: NewDRBG([]byte("e2e-s")), Certificate: gwCert, PrivateKey: gwKey,
+	})
+
+	// --- 4. The smart card authorizes the purchase. --------------------
+	cardKey, err := GenerateRSAKey(NewDRBG([]byte("e2e-card")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, err := NewSmartCard(SmartCardConfig{PIN: "4929", Key: cardKey, Seed: []byte("e2e")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := card.Process(APDUCommand{INS: 0x20, Data: []byte("4929")}); r.SW != 0x9000 {
+		t.Fatalf("card verify: %04x", r.SW)
+	}
+	order := []byte("BUY ringtone-7 price 1.99")
+	sigResp := card.Process(APDUCommand{INS: 0x2A, Data: order})
+	if sigResp.SW != 0x9000 {
+		t.Fatalf("card sign: %04x", sigResp.SW)
+	}
+
+	// --- 5. Purchase over the secure channel; gateway verifies. --------
+	srvDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 2048)
+		n, err := server.Read(buf)
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		// Message: orderLen(2) order sig
+		msg := buf[:n]
+		if len(msg) < 2 {
+			srvDone <- io.ErrUnexpectedEOF
+			return
+		}
+		olen := int(msg[0])<<8 | int(msg[1])
+		gotOrder := msg[2 : 2+olen]
+		sig := msg[2+olen:]
+		digest := sha1.Sum(gotOrder)
+		if err := rsa.VerifyPKCS1(&cardKey.PublicKey, "sha1", digest[:], sig); err != nil {
+			srvDone <- err
+			return
+		}
+		_, err = server.Write([]byte("ORDER-OK"))
+		srvDone <- err
+	}()
+
+	msg := append([]byte{byte(len(order) >> 8), byte(len(order))}, order...)
+	msg = append(msg, sigResp.Data...)
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	ack := make([]byte, 8)
+	if _, err := io.ReadFull(client, ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	if !bytes.Equal(ack, []byte("ORDER-OK")) {
+		t.Fatalf("ack = %q", ack)
+	}
+
+	// --- 6. DRM delivery of the purchased content. ----------------------
+	agent, err := NewDRMAgent(bytes.Repeat([]byte{0x21}, 16), NewDRBG([]byte("e2e-drm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Package("ringtone-7", []byte("melody bytes"), Rights{PlayCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Play("ringtone-7"); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- 7. The platform bills the session. -----------------------------
+	m := client.Metrics()
+	m.BulkInstr += pdaStack.TotalInstr()
+	rep, err := platform.AccountSession(m, pdaStack.WireBytesOut(), gwStack.WireBytesOut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalEnergyJ <= 0 || rep.TotalTimeSec <= 0 {
+		t.Fatal("platform bill degenerate")
+	}
+	if platform.Battery.RemainingJ() >= platform.Battery.CapacityJ() {
+		t.Fatal("battery not drained")
+	}
+	if n := platform.SessionsUntilFlat(rep); n <= 0 {
+		t.Fatal("sessions-per-charge degenerate")
+	}
+	// The accelerator platform does the whole thing in well under a second
+	// of CPU time (the Section 4.2 payoff).
+	if rep.CPUTimeSec > 1 {
+		t.Fatalf("CPU time %.3f s too high for an accelerated platform", rep.CPUTimeSec)
+	}
+}

@@ -1,0 +1,133 @@
+// Package dfa implements the Biham-Shamir differential fault analysis of
+// DES ("Differential fault analysis of secret key cryptosystems" [43],
+// cited in the paper's Section 3.4 fault-induction discussion).
+//
+// The fault model: a glitch flips one random bit of R15 just before the
+// final round. From a correct/faulty ciphertext pair the attacker learns
+// R15, R15' and f(R15,K16)⊕f(R15',K16); for every S-box whose input
+// changed, only a few 6-bit subkey candidates explain the observed output
+// difference. Intersecting candidates over a handful of faulty
+// encryptions pins the full 48-bit last-round subkey.
+//
+// The countermeasure is redundant execution: compute twice, compare,
+// and refuse to emit a faulty ciphertext (the same fail-closed discipline
+// as RSA's verify-before-release).
+package dfa
+
+import (
+	"errors"
+
+	"repro/internal/crypto/bitutil"
+	"repro/internal/crypto/des"
+)
+
+// Pair is one correct/faulty ciphertext pair for the same plaintext.
+type Pair struct {
+	Correct [8]byte
+	Faulty  [8]byte
+}
+
+// CollectPairs runs the victim cipher n times with a glitch in R15,
+// using the provided bit positions (cycled) to diversify the faults.
+func CollectPairs(c *des.Cipher, plaintexts [][]byte, bits []uint) ([]Pair, error) {
+	if len(plaintexts) == 0 || len(bits) == 0 {
+		return nil, errors.New("dfa: need plaintexts and fault positions")
+	}
+	pairs := make([]Pair, 0, len(plaintexts))
+	for i, pt := range plaintexts {
+		if len(pt) != 8 {
+			return nil, errors.New("dfa: plaintexts must be 8 bytes")
+		}
+		var p Pair
+		c.Encrypt(p.Correct[:], pt)
+		c.EncryptWithFault(p.Faulty[:], pt, 15, bits[i%len(bits)])
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+// RecoverLastSubkey intersects per-S-box candidate sets across the pairs
+// and returns the 48-bit final-round subkey K16. It fails if any S-box
+// remains ambiguous (provide more pairs with different fault bits).
+func RecoverLastSubkey(pairs []Pair) (uint64, error) {
+	if len(pairs) == 0 {
+		return 0, errors.New("dfa: no pairs")
+	}
+	// Candidate sets per S-box, initialized to "all 64".
+	var candidates [8][64]bool
+	for box := range candidates {
+		for k := range candidates[box] {
+			candidates[box][k] = true
+		}
+	}
+
+	for _, p := range pairs {
+		// Undo the final permutation: IP(ct) = R16 || L16, and L16 = R15.
+		stC := des.InitialPermute(bitutil.Load64(p.Correct[:]))
+		stF := des.InitialPermute(bitutil.Load64(p.Faulty[:]))
+		r16c, r15c := uint32(stC>>32), uint32(stC)
+		r16f, r15f := uint32(stF>>32), uint32(stF)
+		if r15c == r15f {
+			continue // fault did not land in R15; pair carries no signal
+		}
+		// f(R15,K16) ⊕ f(R15',K16) = R16 ⊕ R16' (L15 cancels); map back
+		// through P to S-box output differences.
+		outDiff := des.PInverse(r16c ^ r16f)
+		ec := des.ExpandHalf(r15c)
+		ef := des.ExpandHalf(r15f)
+		for box := 0; box < 8; box++ {
+			shift := uint(7-box) * 6
+			inC := uint8(ec >> shift & 0x3f)
+			inF := uint8(ef >> shift & 0x3f)
+			wantDiff := uint8(outDiff >> (uint(7-box) * 4) & 0xf)
+			if inC == inF {
+				if wantDiff != 0 {
+					return 0, errors.New("dfa: inconsistent pair (output changed without input change)")
+				}
+				continue // no information for this box
+			}
+			for k := 0; k < 64; k++ {
+				if !candidates[box][k] {
+					continue
+				}
+				d := des.SBox(box, inC^uint8(k)) ^ des.SBox(box, inF^uint8(k))
+				if d != wantDiff {
+					candidates[box][k] = false
+				}
+			}
+		}
+	}
+
+	var subkey uint64
+	for box := 0; box < 8; box++ {
+		found := -1
+		for k := 0; k < 64; k++ {
+			if candidates[box][k] {
+				if found >= 0 {
+					return 0, errors.New("dfa: subkey still ambiguous; need more faulty pairs")
+				}
+				found = k
+			}
+		}
+		if found < 0 {
+			return 0, errors.New("dfa: no candidate survived; fault model mismatch")
+		}
+		subkey |= uint64(found) << (uint(7-box) * 6)
+	}
+	return subkey, nil
+}
+
+// RedundantEncrypt is the countermeasure: execute twice (one run
+// glitched, in the attack scenario) and emit nothing on divergence.
+func RedundantEncrypt(c *des.Cipher, pt []byte, glitchBit uint) ([]byte, error) {
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	c.EncryptWithFault(a, pt, 15, glitchBit)
+	c.Encrypt(b, pt)
+	for i := range a {
+		if a[i] != b[i] {
+			return nil, errors.New("dfa: fault detected by redundant execution; output suppressed")
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,279 @@
+package dpa
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/crypto/des"
+	"repro/internal/crypto/prng"
+)
+
+var aesKey = []byte("sixteen byte key")
+var desKey = []byte{0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1}
+
+// TestAESRecoveryNoiseless: 200 clean traces fully recover the AES key
+// (experiment A2's positive arm).
+func TestAESRecoveryNoiseless(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-aes"))
+	ts, err := CollectAES(aesKey, 200, 0, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, corrs, err := AttackAES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, aesKey) {
+		t.Fatalf("recovered %x, want %x", got, aesKey)
+	}
+	for j, c := range corrs {
+		if c < 0.95 {
+			t.Errorf("byte %d: winning correlation %.3f should be ≈1 without noise", j, c)
+		}
+	}
+}
+
+// TestAESRecoveryWithNoise: realistic trace noise, more traces.
+func TestAESRecoveryWithNoise(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-aes-noise"))
+	ts, err := CollectAES(aesKey, 1500, 1.0, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := AttackAES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, aesKey) {
+		t.Fatalf("noisy recovery failed: %x, want %x", got, aesKey)
+	}
+}
+
+// TestMaskingDefeatsAES: with per-trace Boolean masking the attack must
+// fail and correlations collapse (A2's countermeasure arm).
+func TestMaskingDefeatsAES(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-aes-masked"))
+	ts, err := CollectAES(aesKey, 1000, 0, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, corrs, err := AttackAES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, aesKey) {
+		t.Fatal("attack recovered the key from a masked implementation")
+	}
+	mean := 0.0
+	for _, c := range corrs {
+		mean += c
+	}
+	mean /= float64(len(corrs))
+	if mean > 0.3 {
+		t.Fatalf("masked correlations average %.3f; should look like noise", mean)
+	}
+}
+
+// TestDESRecovery: first-round subkey recovery against DES (the cipher the
+// paper's smart-card attack references used).
+func TestDESRecovery(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-des"))
+	ts, err := CollectDES(desKey, 400, 0, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, corrs, err := AttackDES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := des.NewCipher(desKey)
+	want := c.Subkey(0)
+	if got != want {
+		t.Fatalf("recovered subkey %012x, want %012x", got, want)
+	}
+	for box, cc := range corrs {
+		if cc < 0.9 {
+			t.Errorf("S-box %d correlation %.3f too low", box, cc)
+		}
+	}
+}
+
+func TestDESRecoveryWithNoise(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-des-noise"))
+	ts, err := CollectDES(desKey, 3000, 0.8, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := AttackDES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := des.NewCipher(desKey)
+	if want := c.Subkey(0); got != want {
+		t.Fatalf("noisy DES recovery failed: %012x, want %012x", got, want)
+	}
+}
+
+// TestMaskingDefeatsDES mirrors the AES countermeasure arm.
+func TestMaskingDefeatsDES(t *testing.T) {
+	rng := prng.NewDRBG([]byte("dpa-des-masked"))
+	ts, err := CollectDES(desKey, 1000, 0, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := AttackDES(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := des.NewCipher(desKey)
+	if want := c.Subkey(0); got == want {
+		t.Fatal("attack recovered the subkey from a masked implementation")
+	}
+}
+
+// TestTraceCountMatters: too few noisy traces fail, enough succeed — the
+// quantitative story defenders use to size countermeasures.
+func TestTraceCountMatters(t *testing.T) {
+	rngBig := prng.NewDRBG([]byte("dpa-count"))
+	big, err := CollectAES(aesKey, 2000, 2.0, rngBig, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &TraceSet{Plaintexts: big.Plaintexts[:20], Traces: big.Traces[:20]}
+	gotSmall, _, _ := AttackAES(small)
+	gotBig, _, _ := AttackAES(big)
+	if !bytes.Equal(gotBig, aesKey) {
+		t.Fatalf("2000 traces at σ=2 should suffice, got %x", gotBig)
+	}
+	if bytes.Equal(gotSmall, aesKey) {
+		t.Log("20 traces at σ=2 unexpectedly recovered the key (possible but unlikely)")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := prng.NewDRBG(nil)
+	if _, err := CollectAES(make([]byte, 8), 10, 0, rng, false); err == nil {
+		t.Error("accepted short AES key")
+	}
+	if _, err := CollectAES(aesKey, 0, 0, rng, false); err == nil {
+		t.Error("accepted zero traces")
+	}
+	if _, err := CollectDES(make([]byte, 5), 10, 0, rng, false); err == nil {
+		t.Error("accepted short DES key")
+	}
+	if _, err := CollectDES(desKey, 0, 0, rng, false); err == nil {
+		t.Error("accepted zero traces")
+	}
+	if _, _, err := AttackAES(&TraceSet{}); err == nil {
+		t.Error("attacked empty trace set")
+	}
+	if _, _, err := AttackDES(&TraceSet{}); err == nil {
+		t.Error("attacked empty trace set")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation = %v", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := pearson(x, flat); got != 0 {
+		t.Fatalf("constant series correlation = %v, want 0", got)
+	}
+	if got := pearson(nil, nil); got != 0 {
+		t.Fatalf("empty correlation = %v", got)
+	}
+}
+
+func BenchmarkAttackAES200(b *testing.B) {
+	rng := prng.NewDRBG([]byte("dpa-bench"))
+	ts, err := CollectAES(aesKey, 200, 0.5, rng, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AttackAES(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEMRecovery: the electromagnetic variant (Hamming-distance leakage)
+// recovers the key just like the power variant.
+func TestEMRecovery(t *testing.T) {
+	rng := prng.NewDRBG([]byte("em"))
+	ts, err := CollectAESEM(aesKey, 300, 0.5, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, corrs, err := AttackAESEM(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, aesKey) {
+		t.Fatalf("EM recovery failed: %x", got)
+	}
+	for j, c := range corrs {
+		if c < 0.8 {
+			t.Errorf("byte %d EM correlation %.3f too low", j, c)
+		}
+	}
+}
+
+// TestEMCountermeasure: the masked+precharged model defeats the EM
+// attack.
+func TestEMCountermeasure(t *testing.T) {
+	rng := prng.NewDRBG([]byte("em-masked"))
+	ts, err := CollectAESEM(aesKey, 800, 0, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := AttackAESEM(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, aesKey) {
+		t.Fatal("EM attack beat the countermeasure")
+	}
+}
+
+// TestEMHypothesisDiffersFromHW: the two leakage models are genuinely
+// different signals (an HW attack on HD traces underperforms).
+func TestEMHypothesisDiffersFromHW(t *testing.T) {
+	rng := prng.NewDRBG([]byte("em-vs-hw"))
+	ts, err := CollectAESEM(aesKey, 400, 0, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHW, _, err := AttackAES(ts) // wrong model for these traces
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHD, _, _ := AttackAESEM(ts)
+	if !bytes.Equal(gotHD, aesKey) {
+		t.Fatal("HD model should win on HD traces")
+	}
+	if bytes.Equal(gotHW, aesKey) {
+		t.Log("HW model also recovered key on HD traces (correlated models); acceptable but unusual")
+	}
+}
+
+func TestEMValidation(t *testing.T) {
+	rng := prng.NewDRBG(nil)
+	if _, err := CollectAESEM(make([]byte, 3), 10, 0, rng, false); err == nil {
+		t.Error("accepted short key")
+	}
+	if _, err := CollectAESEM(aesKey, 0, 0, rng, false); err == nil {
+		t.Error("accepted zero traces")
+	}
+	if _, _, err := AttackAESEM(&TraceSet{}); err == nil {
+		t.Error("attacked empty set")
+	}
+}

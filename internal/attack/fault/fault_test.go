@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+var key *rsa.PrivateKey
+
+func victimKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	if key == nil {
+		var err error
+		key, err = rsa.GenerateKey(prng.NewDRBG([]byte("fault-victim")), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return key
+}
+
+// TestSingleGlitchFactorsModulus is experiment A3's positive arm: one
+// fault in a CRT half yields a prime factor and then the whole key.
+func TestSingleGlitchFactorsModulus(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("routine firmware update manifest"))
+	faulty, err := rsa.SignPKCS1(k, "sha1", digest[:], &rsa.Options{Fault: &rsa.Fault{FlipBit: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], faulty)
+	if err != nil {
+		t.Fatalf("factorization failed: %v", err)
+	}
+	if factor.Cmp(k.P) != 0 && factor.Cmp(k.Q) != 0 {
+		t.Fatalf("recovered %v is not a factor of N", factor)
+	}
+	// Full key recovery from the factor.
+	recovered, err := RecoverPrivateKey(&k.PublicKey, factor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.D.Cmp(k.D) != 0 {
+		t.Fatal("recovered private exponent differs")
+	}
+	// The recovered key signs verifiably.
+	sig, err := rsa.SignPKCS1(recovered, "sha1", digest[:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rsa.VerifyPKCS1(&k.PublicKey, "sha1", digest[:], sig); err != nil {
+		t.Fatal("signature from recovered key does not verify")
+	}
+}
+
+// TestEveryBitPositionWorks: the attack is indifferent to which bit the
+// glitch hits — any corruption of one half works.
+func TestEveryBitPositionWorks(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("any glitch will do"))
+	for _, bit := range []int{0, 1, 63, 100, 200, 255} {
+		faulty, err := rsa.SignPKCS1(k, "sha1", digest[:], &rsa.Options{Fault: &rsa.Fault{FlipBit: bit}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], faulty); err != nil {
+			t.Errorf("bit %d: %v", bit, err)
+		}
+	}
+}
+
+// TestCorrectSignatureDoesNotFactor: a fault-free signature reveals
+// nothing.
+func TestCorrectSignatureDoesNotFactor(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("healthy signature"))
+	sig, err := rsa.SignPKCS1(k, "sha1", digest[:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], sig); err != ErrNotFactored {
+		t.Fatalf("want ErrNotFactored, got %v", err)
+	}
+}
+
+// TestVerifyBeforeReleaseStopsAttack is A3's countermeasure arm: with
+// verify-after-sign the faulty signature never leaves the device, so the
+// attacker has nothing to factor with.
+func TestVerifyBeforeReleaseStopsAttack(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("protected signing"))
+	_, err := rsa.SignPKCS1(k, "sha1", digest[:], &rsa.Options{
+		Fault:           &rsa.Fault{FlipBit: 17},
+		VerifyAfterSign: true,
+	})
+	if err != rsa.ErrFaultDetected {
+		t.Fatalf("countermeasure failed: err = %v", err)
+	}
+}
+
+// TestNoCRTImmune: without CRT, a fault yields an invalid signature but no
+// factorization — the trade-off Section 3.4 implies.
+func TestNoCRTImmune(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("no-crt signing"))
+	faulty, err := rsa.SignPKCS1(k, "sha1", digest[:], &rsa.Options{
+		NoCRT: true,
+		Fault: &rsa.Fault{FlipBit: 17},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], faulty); err != ErrNotFactored {
+		t.Fatalf("non-CRT fault should not factor: %v", err)
+	}
+}
+
+func TestRecoverPrivateKeyValidation(t *testing.T) {
+	k := victimKey(t)
+	if _, err := RecoverPrivateKey(&k.PublicKey, big.NewInt(0)); err == nil {
+		t.Error("accepted zero factor")
+	}
+	if _, err := RecoverPrivateKey(&k.PublicKey, big.NewInt(7)); err == nil {
+		t.Error("accepted non-factor")
+	}
+}
+
+func TestSignatureLengthValidation(t *testing.T) {
+	k := victimKey(t)
+	digest := sha1.Sum([]byte("x"))
+	if _, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], []byte{1, 2}); err == nil {
+		t.Error("accepted short signature")
+	}
+	if _, err := FactorFromFaultySignature(&k.PublicKey, "sha9", digest[:], make([]byte, k.Size())); err == nil {
+		t.Error("accepted unknown hash")
+	}
+}
+
+func BenchmarkFactorFromFault(b *testing.B) {
+	k := victimKey(b)
+	digest := sha1.Sum([]byte("bench"))
+	faulty, err := rsa.SignPKCS1(k, "sha1", digest[:], &rsa.Options{Fault: &rsa.Fault{FlipBit: 9}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorFromFaultySignature(&k.PublicKey, "sha1", digest[:], faulty); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package maccompare implements the remote timing attack on byte-wise
+// MAC comparison — the protocol-level cousin of the paper's Section 3.4
+// timing attacks ([47], and [48]'s "network security under siege: the
+// timing attack").
+//
+// A verifier that compares a received MAC against the expected one with
+// an early-exit loop leaks, through its running time, how many leading
+// bytes of the guess are correct. An attacker forges a valid MAC for a
+// chosen message one byte at a time: for each position, try all 256
+// values and keep the one whose verification ran measurably longer.
+//
+// The countermeasure is the constant-time comparison every verifier in
+// this repository uses (internal/crypto/hmac.Equal).
+package maccompare
+
+import (
+	"errors"
+	"hash"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/sha1"
+)
+
+// Verifier models a device checking a MAC over a fixed message; it
+// returns accept/reject and a simulated cycle count for the check.
+type Verifier struct {
+	mac          []byte
+	constantTime bool
+	// perByteCycles is the simulated cost of comparing one byte pair.
+	perByteCycles uint64
+}
+
+// NewVerifier builds a verifier for the MAC of message under key.
+// constantTime selects the hardened comparison.
+func NewVerifier(key, message []byte, constantTime bool) *Verifier {
+	h := hmac.New(func() hash.Hash { return sha1.New() }, key)
+	h.Write(message)
+	return &Verifier{mac: h.Sum(nil), constantTime: constantTime, perByteCycles: 12}
+}
+
+// MACLen returns the MAC length the attacker must forge.
+func (v *Verifier) MACLen() int { return len(v.mac) }
+
+// Check verifies a candidate MAC, returning acceptance and the simulated
+// verification time in cycles.
+func (v *Verifier) Check(candidate []byte) (bool, uint64) {
+	if len(candidate) != len(v.mac) {
+		return false, v.perByteCycles
+	}
+	if v.constantTime {
+		// Hardened path: full-length scan, uniform cost.
+		return hmac.Equal(candidate, v.mac), uint64(len(v.mac)) * v.perByteCycles
+	}
+	// Leaky path: early-exit loop — time reveals the match prefix.
+	var cycles uint64
+	for i := range v.mac {
+		cycles += v.perByteCycles
+		if candidate[i] != v.mac[i] {
+			return false, cycles
+		}
+	}
+	return true, cycles
+}
+
+// ForgeMAC mounts the byte-at-a-time forgery: for each position it keeps
+// the candidate byte that maximizes verification time. It needs
+// 256·maclen queries instead of 2^(8·maclen). Returns the forged MAC or
+// an error when the timing gives no signal (the hardened verifier).
+func ForgeMAC(v *Verifier) ([]byte, int, error) {
+	guess := make([]byte, v.MACLen())
+	queries := 0
+	for pos := 0; pos < len(guess); pos++ {
+		var bestByte byte
+		bestTime := uint64(0)
+		minTime := ^uint64(0)
+		for b := 0; b < 256; b++ {
+			guess[pos] = byte(b)
+			ok, cycles := v.Check(guess)
+			queries++
+			if ok {
+				return guess, queries, nil
+			}
+			if cycles > bestTime {
+				bestTime = cycles
+				bestByte = byte(b)
+			}
+			if cycles < minTime {
+				minTime = cycles
+			}
+		}
+		// With an early-exit verifier, the correct byte at pos makes the
+		// comparison proceed one byte further, so its time strictly
+		// exceeds every wrong candidate's. Zero spread across all 256
+		// candidates means the verifier leaks nothing.
+		if bestTime == minTime {
+			return nil, queries, errors.New("maccompare: no timing signal; verifier appears constant-time")
+		}
+		guess[pos] = bestByte
+	}
+	if ok, _ := v.Check(guess); ok {
+		return guess, queries, nil
+	}
+	return nil, queries, errors.New("maccompare: forgery failed")
+}

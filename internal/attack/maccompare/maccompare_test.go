@@ -1,0 +1,96 @@
+package maccompare
+
+import (
+	"bytes"
+	"hash"
+	"testing"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/sha1"
+)
+
+var (
+	key     = []byte("shared mac key")
+	message = []byte("POST /pay?to=mallory&amt=999")
+)
+
+// TestForgeAgainstLeakyVerifier: the byte-at-a-time forgery defeats the
+// early-exit comparison in 256·20 queries instead of 2^160.
+func TestForgeAgainstLeakyVerifier(t *testing.T) {
+	v := NewVerifier(key, message, false)
+	forged, queries, err := ForgeMAC(v)
+	if err != nil {
+		t.Fatalf("forgery failed: %v", err)
+	}
+	if ok, _ := v.Check(forged); !ok {
+		t.Fatal("forged MAC rejected")
+	}
+	// The forged MAC equals the real one.
+	h := hmac.New(func() hash.Hash { return sha1.New() }, key)
+	h.Write(message)
+	if !bytes.Equal(forged, h.Sum(nil)) {
+		t.Fatal("forged MAC differs from the true MAC")
+	}
+	if queries > 256*v.MACLen() {
+		t.Fatalf("used %d queries; linear attack should need ≤ %d", queries, 256*v.MACLen())
+	}
+}
+
+// TestConstantTimeDefeatsForgery: against hmac.Equal the timing carries
+// no signal and the attack reports failure at the first position.
+func TestConstantTimeDefeatsForgery(t *testing.T) {
+	v := NewVerifier(key, message, true)
+	forged, queries, err := ForgeMAC(v)
+	if err == nil {
+		t.Fatalf("forgery succeeded against constant-time verifier: %x", forged)
+	}
+	if queries > 256 {
+		t.Fatalf("attack should give up within one position, used %d queries", queries)
+	}
+}
+
+// TestTimingSignalShape: the leaky verifier's time grows exactly with the
+// matched prefix; the hardened one is flat.
+func TestTimingSignalShape(t *testing.T) {
+	v := NewVerifier(key, message, false)
+	h := hmac.New(func() hash.Hash { return sha1.New() }, key)
+	h.Write(message)
+	real := h.Sum(nil)
+
+	candidate := make([]byte, len(real))
+	for i := range candidate {
+		candidate[i] = real[i] ^ 0xff // all wrong
+	}
+	_, t0 := v.Check(candidate)
+	copy(candidate[:3], real[:3]) // first 3 bytes right
+	_, t3 := v.Check(candidate)
+	if t3 != t0+3*v.perByteCycles {
+		t.Fatalf("leaky timing: %d vs %d", t3, t0)
+	}
+
+	ct := NewVerifier(key, message, true)
+	_, c0 := ct.Check(candidate)
+	copy(candidate, real)
+	candidate[len(candidate)-1] ^= 1
+	_, c19 := ct.Check(candidate)
+	if c0 != c19 {
+		t.Fatal("constant-time verifier timing varies")
+	}
+}
+
+func TestCheckWrongLength(t *testing.T) {
+	v := NewVerifier(key, message, false)
+	if ok, _ := v.Check([]byte{1, 2, 3}); ok {
+		t.Fatal("accepted short MAC")
+	}
+}
+
+func BenchmarkForgeMAC(b *testing.B) {
+	v := NewVerifier(key, message, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ForgeMAC(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package spa implements simple power analysis against modular
+// exponentiation: the coarse, single-trace sibling of the differential
+// attacks the paper's Section 3.4 describes under "analyzing the power
+// consumption of the system" [44].
+//
+// A square-and-multiply exponentiation emits one power burst per modular
+// operation, and squares are visibly shorter than multiplies. Reading the
+// operation sequence off ONE trace yields the exponent directly:
+//
+//	S S M S S M S ...  →  bits 0 1 0 1 ...
+//
+// (a square starting an iteration that is followed by a multiply means
+// the bit was 1; a square followed by another square means 0).
+//
+// The Montgomery-ladder countermeasure emits one uniform sample per bit,
+// so the trace is flat and the attack recovers nothing.
+package spa
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/crypto/mp"
+)
+
+// Classification thresholds: the attacker first clusters the trace's
+// amplitude levels, then replays the square/multiply grammar.
+
+// RecoverExponent reads the secret exponent from one operation-duration
+// trace of a left-to-right square-and-multiply (as produced by
+// mp.ModExpWithTrace). ctx supplies the cost levels the attacker would
+// calibrate from reference traces.
+func RecoverExponent(ctx *mp.MontCtx, trace []uint64) (*big.Int, error) {
+	if len(trace) == 0 {
+		return nil, errors.New("spa: empty trace")
+	}
+	sq, mul, extra := ctx.ExpCycleCosts()
+	// Any sample below the multiply floor is a square (squares are
+	// cheaper even with the extra reduction, because extra < mul-sq is
+	// not guaranteed in general — so classify against the midpoint).
+	mid := (sq + extra + mul) / 2
+	isMul := func(d uint64) bool { return d > mid }
+
+	// Grammar: every iteration starts with a square; a following
+	// multiply marks bit=1. The first iteration corresponds to the MSB
+	// (always 1 in this encoding).
+	var bits []uint
+	i := 0
+	for i < len(trace) {
+		if isMul(trace[i]) {
+			return nil, errors.New("spa: trace does not start an iteration with a square")
+		}
+		i++
+		if i < len(trace) && isMul(trace[i]) {
+			bits = append(bits, 1)
+			i++
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	if len(bits) == 0 || bits[0] != 1 {
+		// The leading square-multiply pair of a normalized exponent
+		// always yields a 1; a flat or malformed trace lands here.
+		return nil, errors.New("spa: trace inconsistent with a normalized exponent")
+	}
+	exp := new(big.Int)
+	for _, b := range bits {
+		exp.Lsh(exp, 1)
+		if b == 1 {
+			exp.SetBit(exp, 0, 1)
+		}
+	}
+	return exp, nil
+}
+
+// TraceIsFlat reports whether a trace is uniform — what the attacker sees
+// against the Montgomery-ladder countermeasure.
+func TraceIsFlat(trace []uint64) bool {
+	for _, d := range trace[1:] {
+		if d != trace[0] {
+			return false
+		}
+	}
+	return len(trace) > 0
+}

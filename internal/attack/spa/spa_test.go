@@ -1,0 +1,138 @@
+package spa
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/mp"
+	"repro/internal/crypto/prng"
+)
+
+func setup(t testing.TB) (*mp.MontCtx, *prng.DRBG) {
+	t.Helper()
+	rng := prng.NewDRBG([]byte("spa"))
+	n := new(big.Int).SetBytes(rng.Bytes(64))
+	n.SetBit(n, 511, 1)
+	n.SetBit(n, 0, 1)
+	ctx, err := mp.NewMontCtx(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, rng
+}
+
+// TestSingleTraceRecovery: SPA reads a full 512-bit exponent off ONE
+// trace — no statistics needed, the headline property of the attack.
+func TestSingleTraceRecovery(t *testing.T) {
+	ctx, rng := setup(t)
+	secret := new(big.Int).SetBytes(rng.Bytes(64))
+	secret.SetBit(secret, 511, 1)
+	base := new(big.Int).SetBytes(rng.Bytes(64))
+	base.Mod(base, ctx.N)
+
+	_, trace := ctx.ModExpWithTrace(base, secret, nil)
+	got, err := RecoverExponent(ctx, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("recovered %x, want %x", got, secret)
+	}
+}
+
+// TestManyExponents: recovery works across random exponents of various
+// sizes (property-style sweep).
+func TestManyExponents(t *testing.T) {
+	ctx, rng := setup(t)
+	base := big.NewInt(0xabcdef)
+	for _, bits := range []int{8, 17, 64, 160} {
+		for i := 0; i < 10; i++ {
+			secret := new(big.Int).SetBytes(rng.Bytes((bits + 7) / 8))
+			secret.SetBit(secret, bits-1, 1)
+			_, trace := ctx.ModExpWithTrace(base, secret, nil)
+			got, err := RecoverExponent(ctx, trace)
+			if err != nil {
+				t.Fatalf("bits %d iter %d: %v", bits, i, err)
+			}
+			if got.Cmp(secret) != 0 {
+				t.Fatalf("bits %d iter %d: wrong exponent", bits, i)
+			}
+		}
+	}
+}
+
+// TestLadderDefeatsSPA: the constant-time trace is flat and yields
+// nothing.
+func TestLadderDefeatsSPA(t *testing.T) {
+	ctx, rng := setup(t)
+	secret := new(big.Int).SetBytes(rng.Bytes(32))
+	secret.SetBit(secret, 255, 1)
+	base := big.NewInt(3)
+	_, trace := ctx.ModExpConstTimeWithTrace(base, secret, nil)
+	if !TraceIsFlat(trace) {
+		t.Fatal("ladder trace is not flat")
+	}
+	if got, err := RecoverExponent(ctx, trace); err == nil && got.Cmp(secret) == 0 {
+		t.Fatal("SPA recovered the exponent from a ladder trace")
+	}
+}
+
+// TestTraceMatchesMeter: the trace sums to the meter, tying the SPA
+// signal to the timing model.
+func TestTraceMatchesMeter(t *testing.T) {
+	ctx, rng := setup(t)
+	secret := new(big.Int).SetBytes(rng.Bytes(16))
+	secret.SetBit(secret, 127, 1)
+	var m mp.CycleMeter
+	_, trace := ctx.ModExpWithTrace(big.NewInt(7), secret, &m)
+	var sum uint64
+	for _, d := range trace {
+		sum += d
+	}
+	if sum != m.Cycles() {
+		t.Fatalf("trace sum %d != meter %d", sum, m.Cycles())
+	}
+}
+
+// TestTracedResultCorrect: the traced variants compute the right value.
+func TestTracedResultCorrect(t *testing.T) {
+	ctx, rng := setup(t)
+	base := new(big.Int).SetBytes(rng.Bytes(32))
+	base.Mod(base, ctx.N)
+	exp := new(big.Int).SetBytes(rng.Bytes(8))
+	want := new(big.Int).Exp(base, exp, ctx.N)
+	got1, _ := ctx.ModExpWithTrace(base, exp, nil)
+	got2, _ := ctx.ModExpConstTimeWithTrace(base, exp, nil)
+	if got1.Cmp(want) != 0 || got2.Cmp(want) != 0 {
+		t.Fatal("traced exponentiation computes wrong result")
+	}
+	// Zero exponent edge case.
+	if r, tr := ctx.ModExpWithTrace(base, big.NewInt(0), nil); r.Int64() != 1 || tr != nil {
+		t.Fatal("zero exponent mishandled")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ctx, _ := setup(t)
+	if _, err := RecoverExponent(ctx, nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+	// A trace starting with a multiply-class sample is malformed.
+	_, mul, extra := ctx.ExpCycleCosts()
+	if _, err := RecoverExponent(ctx, []uint64{mul + extra}); err == nil {
+		t.Error("accepted malformed trace")
+	}
+}
+
+func BenchmarkSPARecover512(b *testing.B) {
+	ctx, rng := setup(b)
+	secret := new(big.Int).SetBytes(rng.Bytes(64))
+	secret.SetBit(secret, 511, 1)
+	_, trace := ctx.ModExpWithTrace(big.NewInt(5), secret, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverExponent(ctx, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package timing implements the Kocher/Dhem-style timing attack on
+// modular exponentiation, the canonical side-channel of the paper's
+// Section 3.4 ("the timing attack [47], which exploits the observation
+// that the computations ... often take different amounts of time on
+// different inputs").
+//
+// The victim is internal/crypto/mp's leaky square-and-multiply ModExp,
+// whose simulated cycle count includes the data-dependent Montgomery
+// extra reduction. The attacker:
+//
+//  1. submits chosen bases and observes total (simulated) execution time;
+//  2. recovers the secret exponent bit by bit, MSB first: for each
+//     unknown bit it emulates the public Montgomery arithmetic up to that
+//     bit under the hypothesis "bit = 1" and partitions the sample set by
+//     whether the hypothesized multiply incurs an extra reduction;
+//  3. if the partition means differ by about one extra-reduction cost,
+//     the multiply really happened (bit = 1); if the partition looks like
+//     noise, it did not (bit = 0).
+//
+// The same attack run against the constant-time ladder or a blinded
+// oracle fails — the countermeasures of Section 3.4 in executable form.
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto/mp"
+)
+
+// Oracle models the attacker's measurement access: submit a base, observe
+// the victim's execution time in simulated cycles (possibly noisy).
+type Oracle func(base *big.Int) float64
+
+// LeakyOracle is a victim running the data-dependent square-and-multiply.
+// noise, if non-nil, is added to each observation (e.g. measurement
+// jitter drawn from a DRBG).
+func LeakyOracle(ctx *mp.MontCtx, secret *big.Int, noise func() float64) Oracle {
+	return func(base *big.Int) float64 {
+		var m mp.CycleMeter
+		ctx.ModExp(base, secret, &m)
+		t := float64(m.Cycles())
+		if noise != nil {
+			t += noise()
+		}
+		return t
+	}
+}
+
+// ConstTimeOracle is a victim running the Montgomery-ladder
+// countermeasure.
+func ConstTimeOracle(ctx *mp.MontCtx, secret *big.Int, noise func() float64) Oracle {
+	return func(base *big.Int) float64 {
+		var m mp.CycleMeter
+		ctx.ModExpConstTime(base, secret, &m)
+		t := float64(m.Cycles())
+		if noise != nil {
+			t += noise()
+		}
+		return t
+	}
+}
+
+// BlindedOracle is a victim that blinds the base with r^e before the
+// leaky exponentiation (RSA-style base blinding): the attacker's
+// emulation no longer tracks the victim's operand values. blindSource
+// must yield a fresh r each call; e is the public exponent.
+func BlindedOracle(ctx *mp.MontCtx, secret *big.Int, e *big.Int, blindSource func() *big.Int) Oracle {
+	return func(base *big.Int) float64 {
+		r := blindSource()
+		re := ctx.ModExp(r, e, nil)
+		blinded := new(big.Int).Mod(new(big.Int).Mul(base, re), ctx.N)
+		var m mp.CycleMeter
+		ctx.ModExp(blinded, secret, &m)
+		return float64(m.Cycles())
+	}
+}
+
+// Result reports a recovery attempt.
+type Result struct {
+	Recovered *big.Int
+	BitLen    int
+	Samples   int
+	// Confidence is the mean absolute separation (in units of the
+	// extra-reduction cost) across decided bits; ≈1 for a leaking
+	// victim, ≈0 for a constant-time one.
+	Confidence float64
+}
+
+// RecoverExponent mounts the attack. bitLen is the secret's bit length
+// (the MSB is assumed 1, as for any real key), and bases are the chosen
+// messages to time. It needs no access to the victim beyond the oracle
+// and the public modulus context.
+func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.Int) (*Result, error) {
+	if bitLen < 2 {
+		return nil, errors.New("timing: bit length too small")
+	}
+	if len(bases) < 16 {
+		return nil, fmt.Errorf("timing: %d samples is too few", len(bases))
+	}
+	n := len(bases)
+	times := make([]float64, n)
+	acc := make([]*big.Int, n) // emulated accumulator per message
+	bm := make([]*big.Int, n)  // base in Montgomery form
+	for i, b := range bases {
+		times[i] = oracle(b)
+		bm[i] = ctx.ToMont(b)
+		// Emulate the first iteration (MSB is 1): square of one, then
+		// multiply by the base.
+		a, _ := ctx.MulMont(ctx.One(), ctx.One())
+		a, _ = ctx.MulMont(a, bm[i])
+		acc[i] = a
+	}
+
+	extraCost := float64(ctx.CostExtraReduction())
+	recovered := new(big.Int).SetBit(new(big.Int), bitLen-1, 1)
+	totalSep := 0.0
+	decided := 0
+
+	// separation computes the partition statistic: the difference of mean
+	// observed times between samples whose flag is set and clear, in
+	// units of the extra-reduction cost.
+	separation := func(flags []bool) float64 {
+		var sum1, sum0 float64
+		var n1, n0 int
+		for i, f := range flags {
+			if f {
+				sum1 += times[i]
+				n1++
+			} else {
+				sum0 += times[i]
+				n0++
+			}
+		}
+		if n1 == 0 || n0 == 0 {
+			return 0
+		}
+		return (sum1/float64(n1) - sum0/float64(n0)) / extraCost
+	}
+
+	for bit := bitLen - 2; bit >= 1; bit-- {
+		// The attacker tests two competing hypotheses about the *next
+		// iteration's square* (Schindler/Dhem): under H1 the victim
+		// multiplied, so the next square runs on sq·b̄; under H0 it
+		// runs on sq itself. Exactly one of those squares executed, so
+		// its extra-reduction flag partitions the timings with a one-
+		// extra-reduction separation, while the false hypothesis'
+		// partition is noise. Using squares for both hypotheses keeps
+		// the operand-magnitude bias symmetric (partitioning on the
+		// multiply's own flag would key on b̄'s fixed magnitude, which
+		// correlates with every multiply in the whole execution).
+		sq := make([]*big.Int, n)
+		mulRes := make([]*big.Int, n)
+		extraNextSqH1 := make([]bool, n)
+		extraNextSqH0 := make([]bool, n)
+		for i := range bases {
+			s, _ := ctx.MulMont(acc[i], acc[i])
+			sq[i] = s
+			m, _ := ctx.MulMont(s, bm[i])
+			mulRes[i] = m
+			_, ex1 := ctx.MulMont(m, m)
+			extraNextSqH1[i] = ex1
+			_, ex0 := ctx.MulMont(s, s)
+			extraNextSqH0[i] = ex0
+		}
+		sepH1 := separation(extraNextSqH1)
+		sepH0 := separation(extraNextSqH0)
+		totalSep += absf(sepH1 - sepH0)
+		decided++
+		if sepH1 > sepH0 {
+			recovered.SetBit(recovered, bit, 1)
+			copy(acc, mulRes)
+		} else {
+			copy(acc, sq)
+		}
+	}
+	// Bit 0: there is no following square to key on, so the attack takes
+	// the standard shortcut — RSA private exponents are odd (d·e ≡ 1 mod
+	// φ(n) with e odd forces odd d), so the final bit is 1.
+	recovered.SetBit(recovered, 0, 1)
+	conf := 0.0
+	if decided > 0 {
+		conf = totalSep / float64(decided)
+	}
+	return &Result{Recovered: recovered, BitLen: bitLen, Samples: n, Confidence: conf}, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

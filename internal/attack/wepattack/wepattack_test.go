@@ -1,0 +1,258 @@
+package wepattack
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/wep"
+)
+
+var key40 = []byte{0x05, 0x13, 0x42, 0xAD, 0x77}
+
+// TestKeystreamReuse: two frames under one IV; knowing one plaintext
+// decrypts the other (the Borisov-Goldberg-Wagner observation).
+func TestKeystreamReuse(t *testing.T) {
+	iv := [3]byte{9, 9, 9}
+	known := []byte("a fully known broadcast message")
+	secretMsg := []byte("PIN 4929, vault combination 7-3")
+	f1, err := wep.SealWithIV(key40, iv, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := wep.SealWithIV(key40, iv, secretMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := RecoverKeystream(f1, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptWithKeystream(f2, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secretMsg[:len(got)]) {
+		t.Fatalf("decrypted %q, want prefix of %q", got, secretMsg)
+	}
+	if len(got) != len(secretMsg) {
+		t.Fatalf("recovered %d of %d bytes", len(got), len(secretMsg))
+	}
+}
+
+func TestKeystreamPartialKnown(t *testing.T) {
+	iv := [3]byte{1, 2, 3}
+	full := []byte("HEADERsecret-part")
+	f1, _ := wep.SealWithIV(key40, iv, full)
+	ks, err := RecoverKeystream(f1, full[:6]) // only the header known
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 6 {
+		t.Fatalf("keystream length %d, want 6", len(ks))
+	}
+	f2, _ := wep.SealWithIV(key40, iv, []byte("EVILPKT..."))
+	got, err := DecryptWithKeystream(f2, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 6 keystream bytes: DecryptWithKeystream returns what it can
+	// (here less than ICV coverage, so all 6).
+	if !bytes.Equal(got, []byte("EVILPK")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecoverKeystreamValidation(t *testing.T) {
+	if _, err := RecoverKeystream([]byte{1}, []byte("x")); err == nil {
+		t.Error("accepted truncated frame")
+	}
+	iv := [3]byte{0, 0, 1}
+	f, _ := wep.SealWithIV(key40, iv, []byte("abc"))
+	if _, err := RecoverKeystream(f, []byte("too-long-plaintext")); err == nil {
+		t.Error("accepted oversized known plaintext")
+	}
+}
+
+// TestBitFlipForgery: flip plaintext bits and fix the CRC without the key
+// (the ICV-linearity attack).
+func TestBitFlipForgery(t *testing.T) {
+	ep, err := wep.NewEndpoint(key40, wep.IVSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte("PAY alice   $0001.00")
+	frame, err := ep.Seal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker wants to turn $0001.00 into $9991.00 — XOR delta at the
+	// amount offset, no key needed.
+	delta := make([]byte, len(orig))
+	delta[13] = '0' ^ '9'
+	delta[14] = '0' ^ '9'
+	delta[15] = '0' ^ '9'
+	forged, err := ForgeBitFlip(frame, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ep.Open(forged)
+	if err != nil {
+		t.Fatalf("forged frame rejected: %v", err)
+	}
+	want := []byte("PAY alice   $9991.00")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("forged plaintext %q, want %q", got, want)
+	}
+}
+
+func TestBitFlipShortDelta(t *testing.T) {
+	ep, _ := wep.NewEndpoint(key40, wep.IVSequential)
+	frame, _ := ep.Seal([]byte("0123456789"))
+	forged, err := ForgeBitFlip(frame, []byte{0xff}) // flip first byte only
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ep.Open(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != '0'^0xff || !bytes.Equal(got[1:], []byte("123456789")) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBitFlipValidation(t *testing.T) {
+	ep, _ := wep.NewEndpoint(key40, wep.IVSequential)
+	frame, _ := ep.Seal([]byte("abc"))
+	if _, err := ForgeBitFlip(frame, make([]byte, 100)); err == nil {
+		t.Error("accepted oversized delta")
+	}
+	if _, err := ForgeBitFlip([]byte{1, 2}, []byte{1}); err == nil {
+		t.Error("accepted truncated frame")
+	}
+}
+
+// collectFMSFrames simulates the weak-IV traffic an attacker sniffs: SNAP
+// frames (first byte 0xAA) under IVs (b+3, 255, x).
+func collectFMSFrames(t *testing.T, key []byte, rng *prng.DRBG) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	payload := make([]byte, 16)
+	for b := 0; b < len(key); b++ {
+		for x := 0; x < 256; x++ {
+			iv := [3]byte{byte(b + 3), 255, byte(x)}
+			payload[0] = 0xAA // SNAP header
+			rng.Read(payload[1:])
+			f, err := wep.SealWithIV(key, iv, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, f)
+		}
+	}
+	return frames
+}
+
+// TestFMSRecover40BitKey is the headline WEP break: full key recovery
+// from sniffed weak-IV traffic.
+func TestFMSRecover40BitKey(t *testing.T) {
+	rng := prng.NewDRBG([]byte("fms"))
+	frames := collectFMSFrames(t, key40, rng)
+
+	// The attacker verifies candidates against one captured frame whose
+	// plaintext is known.
+	iv := [3]byte{200, 1, 2}
+	knownPlain := []byte("dhcp discover....")
+	reference, _ := wep.SealWithIV(key40, iv, knownPlain)
+	verify := func(k []byte) bool {
+		got, err := wep.Open(k, reference)
+		return err == nil && bytes.Equal(got, knownPlain)
+	}
+
+	res, err := FMSRecoverKey(frames, 0xAA, len(key40), verify)
+	if err != nil {
+		t.Fatalf("FMS failed: %v", err)
+	}
+	if !bytes.Equal(res.Key, key40) {
+		t.Fatalf("recovered %x, want %x", res.Key, key40)
+	}
+	if res.WeakFrames == 0 {
+		t.Fatal("no weak frames counted")
+	}
+}
+
+// TestFMSNeedsWeakIVs: traffic with random (non-weak) IVs does not allow
+// recovery — the property "IV filtering" mitigations rely on.
+func TestFMSRandomIVsInsufficient(t *testing.T) {
+	rng := prng.NewDRBG([]byte("fms-random"))
+	var frames [][]byte
+	payload := make([]byte, 16)
+	for i := 0; i < 1280; i++ {
+		ivb := rng.Bytes(3)
+		if ivb[1] == 255 {
+			ivb[1] = 0 // exclude the weak class entirely
+		}
+		payload[0] = 0xAA
+		rng.Read(payload[1:])
+		f, _ := wep.SealWithIV(key40, [3]byte{ivb[0], ivb[1], ivb[2]}, payload)
+		frames = append(frames, f)
+	}
+	verify := func(k []byte) bool { return bytes.Equal(k, key40) }
+	res, err := FMSRecoverKey(frames, 0xAA, len(key40), verify)
+	if err == nil {
+		t.Fatalf("recovery should fail without weak IVs, got key %x", res.Key)
+	}
+}
+
+func TestFMSValidation(t *testing.T) {
+	verify := func([]byte) bool { return false }
+	if _, err := FMSRecoverKey(nil, 0xAA, 5, verify); err == nil {
+		t.Error("accepted empty capture")
+	}
+	if _, err := FMSRecoverKey([][]byte{{1}}, 0xAA, 7, verify); err == nil {
+		t.Error("accepted bad key length")
+	}
+	if _, err := FMSRecoverKey([][]byte{{1}}, 0xAA, 5, nil); err == nil {
+		t.Error("accepted nil verifier")
+	}
+}
+
+func TestTopCandidates(t *testing.T) {
+	var votes [256]int
+	votes[7] = 10
+	votes[3] = 10
+	votes[200] = 5
+	top := topCandidates(votes, 3)
+	if top[0] != 3 || top[1] != 7 || top[2] != 200 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func BenchmarkFMSRecover(b *testing.B) {
+	rng := prng.NewDRBG([]byte("fms-bench"))
+	var frames [][]byte
+	payload := make([]byte, 16)
+	for kb := 0; kb < len(key40); kb++ {
+		for x := 0; x < 256; x++ {
+			iv := [3]byte{byte(kb + 3), 255, byte(x)}
+			payload[0] = 0xAA
+			rng.Read(payload[1:])
+			f, _ := wep.SealWithIV(key40, iv, payload)
+			frames = append(frames, f)
+		}
+	}
+	iv := [3]byte{200, 1, 2}
+	knownPlain := []byte("reference frame!")
+	reference, _ := wep.SealWithIV(key40, iv, knownPlain)
+	verify := func(k []byte) bool {
+		got, err := wep.Open(k, reference)
+		return err == nil && bytes.Equal(got, knownPlain)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FMSRecoverKey(frames, 0xAA, len(key40), verify); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package bearer implements a GSM-style cellular bearer security layer:
+// the A5/1 air-interface stream cipher (from scratch, faithful to the
+// published LFSR structure) and SIM challenge-response authentication
+// with session-key derivation.
+//
+// This is the bottom rung of the paper's protocol ladder — "security
+// protocols provided in the bearer technologies (such as CDPD, GSM,
+// CDMA...) may be used to provide network access domain security"
+// (Section 2) — and its known fragility (GSM security references
+// [15,16,24,25]) is why the upper WTLS/IPSec layers exist.
+package bearer
+
+// A5/1 register definitions (Briceno/Goldberg/Wagner reference
+// disclosure): three LFSRs of 19, 22 and 23 bits with majority-rule
+// stop/go clocking.
+const (
+	r1Len, r2Len, r3Len = 19, 22, 23
+
+	r1Taps = (1 << 18) | (1 << 17) | (1 << 16) | (1 << 13)
+	r2Taps = (1 << 21) | (1 << 20)
+	r3Taps = (1 << 22) | (1 << 21) | (1 << 20) | (1 << 7)
+
+	r1Clk = 8  // clocking bit of R1
+	r2Clk = 10 // clocking bit of R2
+	r3Clk = 10 // clocking bit of R3
+)
+
+// FrameBits is the keystream length per direction per frame (114 bits).
+const FrameBits = 114
+
+// FrameBytes is FrameBits rounded up to bytes (the last byte carries only
+// 2 used bits).
+const FrameBytes = (FrameBits + 7) / 8
+
+type a5state struct {
+	r1, r2, r3 uint32
+}
+
+func parity(x uint32) uint32 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// clockOne advances one register unconditionally.
+func (s *a5state) clockR1() { s.r1 = (s.r1<<1 | parity(s.r1&r1Taps)) & (1<<r1Len - 1) }
+func (s *a5state) clockR2() { s.r2 = (s.r2<<1 | parity(s.r2&r2Taps)) & (1<<r2Len - 1) }
+func (s *a5state) clockR3() { s.r3 = (s.r3<<1 | parity(s.r3&r3Taps)) & (1<<r3Len - 1) }
+
+// clockAll advances all three registers (key/frame loading phase).
+func (s *a5state) clockAll() {
+	s.clockR1()
+	s.clockR2()
+	s.clockR3()
+}
+
+// clockMajority applies the stop/go rule: registers whose clocking bit
+// agrees with the majority advance.
+func (s *a5state) clockMajority() {
+	b1 := s.r1 >> r1Clk & 1
+	b2 := s.r2 >> r2Clk & 1
+	b3 := s.r3 >> r3Clk & 1
+	maj := (b1 & b2) | (b1 & b3) | (b2 & b3)
+	if b1 == maj {
+		s.clockR1()
+	}
+	if b2 == maj {
+		s.clockR2()
+	}
+	if b3 == maj {
+		s.clockR3()
+	}
+}
+
+func (s *a5state) outputBit() uint32 {
+	return ((s.r1 >> (r1Len - 1)) ^ (s.r2 >> (r2Len - 1)) ^ (s.r3 >> (r3Len - 1))) & 1
+}
+
+// A5Frame generates the two 114-bit keystream bursts (downlink, uplink)
+// for a 64-bit session key and a 22-bit frame number.
+func A5Frame(key [8]byte, frame uint32) (downlink, uplink [FrameBytes]byte) {
+	var s a5state
+	// Load the key LSB-first, XORing each bit into all registers.
+	for i := 0; i < 64; i++ {
+		bit := uint32(key[i/8]>>(uint(i)%8)) & 1
+		s.clockAll()
+		s.r1 ^= bit
+		s.r2 ^= bit
+		s.r3 ^= bit
+	}
+	// Load the 22-bit frame number the same way.
+	for i := 0; i < 22; i++ {
+		bit := frame >> uint(i) & 1
+		s.clockAll()
+		s.r1 ^= bit
+		s.r2 ^= bit
+		s.r3 ^= bit
+	}
+	// 100 mixing cycles with majority clocking, output discarded.
+	for i := 0; i < 100; i++ {
+		s.clockMajority()
+	}
+	gen := func(out *[FrameBytes]byte) {
+		for i := 0; i < FrameBits; i++ {
+			s.clockMajority()
+			if s.outputBit()&1 == 1 {
+				out[i/8] |= 1 << uint(7-i%8)
+			}
+		}
+	}
+	gen(&downlink)
+	gen(&uplink)
+	return downlink, uplink
+}
+
+// XORBurst XORs a payload of up to FrameBytes against a burst keystream.
+func XORBurst(dst, src []byte, burst [FrameBytes]byte) int {
+	n := len(src)
+	if n > FrameBytes {
+		n = FrameBytes
+	}
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] ^ burst[i]
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package bearer
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/sha1"
+)
+
+// SIM challenge-response authentication in the GSM A3/A8 mold: the home
+// network and the SIM share a subscriber key Ki; a RAND challenge yields
+// a response SRES (proving possession) and a session cipher key Kc.
+//
+// Substitution note: real GSM used the (broken) COMP128 for A3/A8; this
+// implementation derives both from HMAC-SHA-1 — the control flow,
+// message pattern and key-handling behaviour are what the bearer layer
+// experiments need, without reproducing COMP128's specific weakness.
+
+// KiLen is the subscriber key length.
+const KiLen = 16
+
+// SRESLen is the authentication response length.
+const SRESLen = 4
+
+// KcLen is the derived session key length (64-bit, as in GSM — itself a
+// documented weakness of the bearer layer).
+const KcLen = 8
+
+// SIM is the subscriber identity module holding Ki.
+type SIM struct {
+	IMSI string
+	ki   []byte
+}
+
+// NewSIM provisions a SIM.
+func NewSIM(imsi string, ki []byte) (*SIM, error) {
+	if len(ki) != KiLen {
+		return nil, fmt.Errorf("bearer: Ki must be %d bytes, got %d", KiLen, len(ki))
+	}
+	return &SIM{IMSI: imsi, ki: append([]byte{}, ki...)}, nil
+}
+
+func a3a8(ki, rand []byte) (sres [SRESLen]byte, kc [8]byte) {
+	h := hmac.New(func() hash.Hash { return sha1.New() }, ki)
+	h.Write([]byte("a3a8"))
+	h.Write(rand)
+	sum := h.Sum(nil)
+	copy(sres[:], sum[:SRESLen])
+	copy(kc[:], sum[SRESLen:SRESLen+KcLen])
+	return sres, kc
+}
+
+// Respond runs the SIM side of the challenge: SRES to send back, Kc kept
+// for ciphering.
+func (s *SIM) Respond(rand []byte) (sres [SRESLen]byte, kc [8]byte) {
+	return a3a8(s.ki, rand)
+}
+
+// AuthCenter is the home network's subscriber database.
+type AuthCenter struct {
+	subscribers map[string][]byte // IMSI -> Ki
+	rng         io.Reader
+	used        map[string]bool // issued RANDs, replay defense
+}
+
+// NewAuthCenter creates an authentication center drawing challenges from
+// rng.
+func NewAuthCenter(rng io.Reader) *AuthCenter {
+	return &AuthCenter{subscribers: make(map[string][]byte), rng: rng, used: make(map[string]bool)}
+}
+
+// Provision registers a subscriber.
+func (ac *AuthCenter) Provision(imsi string, ki []byte) error {
+	if len(ki) != KiLen {
+		return fmt.Errorf("bearer: Ki must be %d bytes", KiLen)
+	}
+	ac.subscribers[imsi] = append([]byte{}, ki...)
+	return nil
+}
+
+// Challenge issues a fresh RAND for a subscriber.
+func (ac *AuthCenter) Challenge(imsi string) ([]byte, error) {
+	if _, ok := ac.subscribers[imsi]; !ok {
+		return nil, fmt.Errorf("bearer: unknown subscriber %q", imsi)
+	}
+	rand := make([]byte, 16)
+	if _, err := io.ReadFull(ac.rng, rand); err != nil {
+		return nil, err
+	}
+	return rand, nil
+}
+
+// Errors returned by Verify.
+var (
+	ErrAuthFailed = errors.New("bearer: SRES mismatch")
+	ErrReplayed   = errors.New("bearer: challenge response replayed")
+)
+
+// Verify checks the SIM's response and, on success, returns the session
+// key Kc the network side will cipher with. Each (imsi, RAND) pair is
+// accepted once.
+func (ac *AuthCenter) Verify(imsi string, rand []byte, sres [SRESLen]byte) ([8]byte, error) {
+	var kc [8]byte
+	ki, ok := ac.subscribers[imsi]
+	if !ok {
+		return kc, fmt.Errorf("bearer: unknown subscriber %q", imsi)
+	}
+	tag := imsi + string(rand)
+	if ac.used[tag] {
+		return kc, ErrReplayed
+	}
+	wantSRES, wantKc := a3a8(ki, rand)
+	var diff byte
+	for i := range sres {
+		diff |= sres[i] ^ wantSRES[i]
+	}
+	if diff != 0 {
+		return kc, ErrAuthFailed
+	}
+	ac.used[tag] = true
+	return wantKc, nil
+}
+
+// Channel is an authenticated, A5/1-ciphered bearer link. Each direction
+// uses its burst of the per-frame keystream; the frame counter advances
+// per burst pair.
+type Channel struct {
+	kc    [8]byte
+	frame uint32
+}
+
+// NewChannel opens a bearer channel under an agreed session key.
+func NewChannel(kc [8]byte) *Channel {
+	return &Channel{kc: kc}
+}
+
+// Frame reports the current frame counter.
+func (c *Channel) Frame() uint32 { return c.frame }
+
+// SealFrame ciphers up to FrameBytes of downlink payload and advances the
+// frame counter; it returns the frame number used (needed to decipher).
+func (c *Channel) SealFrame(payload []byte) (uint32, []byte, error) {
+	if len(payload) > FrameBytes {
+		return 0, nil, fmt.Errorf("bearer: payload %d exceeds frame capacity %d", len(payload), FrameBytes)
+	}
+	frame := c.frame & 0x3fffff
+	down, _ := A5Frame(c.kc, frame)
+	out := make([]byte, len(payload))
+	XORBurst(out, payload, down)
+	c.frame++
+	return frame, out, nil
+}
+
+// OpenFrame deciphers a downlink burst for a given frame number.
+func (c *Channel) OpenFrame(frame uint32, sealed []byte) ([]byte, error) {
+	if len(sealed) > FrameBytes {
+		return nil, fmt.Errorf("bearer: burst %d exceeds frame capacity %d", len(sealed), FrameBytes)
+	}
+	down, _ := A5Frame(c.kc, frame&0x3fffff)
+	out := make([]byte, len(sealed))
+	XORBurst(out, sealed, down)
+	return out, nil
+}

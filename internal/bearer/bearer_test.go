@@ -1,0 +1,199 @@
+package bearer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto/prng"
+)
+
+// TestA5ReferenceVector checks the published test vector of the
+// Briceno/Goldberg/Wagner reference disclosure of A5/1.
+func TestA5ReferenceVector(t *testing.T) {
+	key := [8]byte{0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF}
+	const frame = 0x134
+	wantAtoB := [FrameBytes]byte{0x53, 0x4E, 0xAA, 0x58, 0x2F, 0xE8, 0x15,
+		0x1A, 0xB6, 0xE1, 0x85, 0x5A, 0x72, 0x8C, 0x00}
+	wantBtoA := [FrameBytes]byte{0x24, 0xFD, 0x35, 0xA3, 0x5D, 0x5F, 0xB6,
+		0x52, 0x6D, 0x32, 0xF9, 0x06, 0xDF, 0x1A, 0xC0}
+	down, up := A5Frame(key, frame)
+	if down != wantAtoB {
+		t.Fatalf("downlink = %x, want %x", down, wantAtoB)
+	}
+	if up != wantBtoA {
+		t.Fatalf("uplink = %x, want %x", up, wantBtoA)
+	}
+}
+
+func TestA5FrameSeparation(t *testing.T) {
+	key := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	d1, u1 := A5Frame(key, 1)
+	d2, _ := A5Frame(key, 2)
+	if d1 == d2 {
+		t.Fatal("different frames produced identical keystream")
+	}
+	if d1 == u1 {
+		t.Fatal("downlink and uplink keystreams identical")
+	}
+	// Determinism.
+	d1b, u1b := A5Frame(key, 1)
+	if d1 != d1b || u1 != u1b {
+		t.Fatal("A5 keystream not deterministic")
+	}
+	// Key separation.
+	key2 := key
+	key2[0] ^= 1
+	d1c, _ := A5Frame(key2, 1)
+	if d1 == d1c {
+		t.Fatal("different keys produced identical keystream")
+	}
+}
+
+func TestXORBurst(t *testing.T) {
+	var burst [FrameBytes]byte
+	for i := range burst {
+		burst[i] = byte(i * 17)
+	}
+	msg := []byte("burst payload")
+	ct := make([]byte, len(msg))
+	XORBurst(ct, msg, burst)
+	pt := make([]byte, len(msg))
+	XORBurst(pt, ct, burst)
+	if !bytes.Equal(pt, msg) {
+		t.Fatal("XORBurst not an involution")
+	}
+	// Length clamping.
+	long := make([]byte, FrameBytes+10)
+	if n := XORBurst(long, long, burst); n != FrameBytes {
+		t.Fatalf("clamped to %d, want %d", n, FrameBytes)
+	}
+}
+
+func TestSIMAuthAgreement(t *testing.T) {
+	ki := bytes.Repeat([]byte{0x5A}, KiLen)
+	sim, err := NewSIM("00101-555-01", ki)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := NewAuthCenter(prng.NewDRBG([]byte("auc")))
+	if err := ac.Provision("00101-555-01", ki); err != nil {
+		t.Fatal(err)
+	}
+	rand, err := ac.Challenge("00101-555-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, kcSIM := sim.Respond(rand)
+	kcNet, err := ac.Verify("00101-555-01", rand, sres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcSIM != kcNet {
+		t.Fatal("SIM and network derived different Kc")
+	}
+}
+
+func TestAuthRejectsWrongSIM(t *testing.T) {
+	ac := NewAuthCenter(prng.NewDRBG([]byte("auc2")))
+	ki := bytes.Repeat([]byte{1}, KiLen)
+	ac.Provision("good", ki) //nolint:errcheck
+	clone, _ := NewSIM("good", bytes.Repeat([]byte{2}, KiLen))
+	rand, _ := ac.Challenge("good")
+	sres, _ := clone.Respond(rand)
+	if _, err := ac.Verify("good", rand, sres); err != ErrAuthFailed {
+		t.Fatalf("cloned SIM: want ErrAuthFailed, got %v", err)
+	}
+}
+
+func TestAuthReplayRejected(t *testing.T) {
+	ac := NewAuthCenter(prng.NewDRBG([]byte("auc3")))
+	ki := bytes.Repeat([]byte{7}, KiLen)
+	ac.Provision("sub", ki) //nolint:errcheck
+	sim, _ := NewSIM("sub", ki)
+	rand, _ := ac.Challenge("sub")
+	sres, _ := sim.Respond(rand)
+	if _, err := ac.Verify("sub", rand, sres); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Verify("sub", rand, sres); err != ErrReplayed {
+		t.Fatalf("replay: want ErrReplayed, got %v", err)
+	}
+}
+
+func TestAuthUnknownSubscriber(t *testing.T) {
+	ac := NewAuthCenter(prng.NewDRBG(nil))
+	if _, err := ac.Challenge("ghost"); err == nil {
+		t.Error("challenged unknown subscriber")
+	}
+	if _, err := ac.Verify("ghost", []byte("r"), [SRESLen]byte{}); err == nil {
+		t.Error("verified unknown subscriber")
+	}
+	if err := ac.Provision("x", []byte("short")); err == nil {
+		t.Error("provisioned short Ki")
+	}
+	if _, err := NewSIM("x", []byte("short")); err == nil {
+		t.Error("built SIM with short Ki")
+	}
+}
+
+func TestChannelRoundtrip(t *testing.T) {
+	kc := [8]byte{9, 8, 7, 6, 5, 4, 3, 2}
+	phone := NewChannel(kc)
+	tower := NewChannel(kc)
+	for i := 0; i < 5; i++ {
+		msg := []byte("voice frame ")
+		msg = append(msg, byte('0'+i))
+		frame, sealed, err := phone.SealFrame(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(sealed, msg) {
+			t.Fatal("frame not ciphered")
+		}
+		got, err := tower.OpenFrame(frame, sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+	if phone.Frame() != 5 {
+		t.Fatalf("frame counter = %d", phone.Frame())
+	}
+}
+
+func TestChannelRejectsOversized(t *testing.T) {
+	c := NewChannel([8]byte{})
+	if _, _, err := c.SealFrame(make([]byte, FrameBytes+1)); err == nil {
+		t.Error("sealed oversized frame")
+	}
+	if _, err := c.OpenFrame(0, make([]byte, FrameBytes+1)); err == nil {
+		t.Error("opened oversized frame")
+	}
+}
+
+// TestFrameCounterResetReusesKeystream documents the bearer-layer
+// weakness the paper's upper layers compensate for: resetting the
+// counter (as happens across GSM hyperframes) reuses keystream, so two
+// ciphertexts XOR to the two plaintexts.
+func TestFrameCounterResetReusesKeystream(t *testing.T) {
+	kc := [8]byte{1, 1, 2, 2, 3, 3, 4, 4}
+	a := NewChannel(kc)
+	b := NewChannel(kc) // "after reset": counter starts at 0 again
+	_, ct1, _ := a.SealFrame([]byte("AAAAAAAA"))
+	_, ct2, _ := b.SealFrame([]byte("BBBBBBBB"))
+	for i := range ct1 {
+		if ct1[i]^ct2[i] != 'A'^'B' {
+			t.Fatal("expected keystream reuse after counter reset")
+		}
+	}
+}
+
+func BenchmarkA5Frame(b *testing.B) {
+	key := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.SetBytes(2 * FrameBytes)
+	for i := 0; i < b.N; i++ {
+		A5Frame(key, uint32(i)&0x3fffff)
+	}
+}

@@ -1,0 +1,224 @@
+// Package biometric models the end-user identification block of the
+// paper's platform: "Biometric technologies such as finger print
+// recognition and voice recognition are emerging as important elements in
+// enabling a secure wireless environment with minimal actions or
+// understanding required from end-users" (Section 4.1), realizing the
+// "user identification" sector of Figure 1.
+//
+// A subject's biometric is a fixed feature vector; each scan observes it
+// through sensor noise. Enrollment averages scans into a template;
+// verification thresholds the distance between a fresh scan and the
+// template. The threshold trades the false-accept rate (FAR) against the
+// false-reject rate (FRR) — the quantitative knob a system designer sets.
+// A PIN fallback with a retry counter and lockout completes the block.
+package biometric
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"math"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/sha1"
+)
+
+// FeatureDim is the feature-vector dimensionality of the simulated
+// sensor.
+const FeatureDim = 16
+
+// Subject is a person with a ground-truth biometric.
+type Subject struct {
+	features []float64
+}
+
+// NewSubject draws a random ground-truth feature vector.
+func NewSubject(rng *prng.DRBG) *Subject {
+	f := make([]float64, FeatureDim)
+	for i := range f {
+		f[i] = rng.Float64()*2 - 1
+	}
+	return &Subject{features: f}
+}
+
+// Scan simulates one sensor reading: the true features plus Gaussian
+// noise of the given standard deviation.
+func (s *Subject) Scan(rng *prng.DRBG, noiseStd float64) []float64 {
+	out := make([]float64, len(s.features))
+	for i, v := range s.features {
+		out[i] = v + rng.NormFloat64()*noiseStd
+	}
+	return out
+}
+
+// Template is an enrolled biometric reference.
+type Template struct {
+	mean []float64
+}
+
+// Enroll averages several scans into a template.
+func Enroll(scans [][]float64) (*Template, error) {
+	if len(scans) == 0 {
+		return nil, errors.New("biometric: enrollment needs at least one scan")
+	}
+	dim := len(scans[0])
+	mean := make([]float64, dim)
+	for _, s := range scans {
+		if len(s) != dim {
+			return nil, errors.New("biometric: inconsistent scan dimensions")
+		}
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(scans))
+	}
+	return &Template{mean: mean}, nil
+}
+
+// Distance is the RMS distance between a scan and the template.
+func (t *Template) Distance(scan []float64) (float64, error) {
+	if len(scan) != len(t.mean) {
+		return 0, errors.New("biometric: scan dimension mismatch")
+	}
+	sum := 0.0
+	for i, v := range scan {
+		d := v - t.mean[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(scan))), nil
+}
+
+// Matcher verifies scans against a template under a distance threshold.
+type Matcher struct {
+	Template  *Template
+	Threshold float64
+}
+
+// Match returns the distance and whether it passes.
+func (m *Matcher) Match(scan []float64) (float64, bool, error) {
+	d, err := m.Template.Distance(scan)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d <= m.Threshold, nil
+}
+
+// Rates estimates FAR and FRR for a threshold over simulated trials: the
+// genuine subject and impostors each present `trials` scans.
+func Rates(rng *prng.DRBG, threshold, noiseStd float64, trials int) (far, frr float64, err error) {
+	if trials <= 0 {
+		return 0, 0, errors.New("biometric: trials must be positive")
+	}
+	genuine := NewSubject(rng)
+	var enrollScans [][]float64
+	for i := 0; i < 4; i++ {
+		enrollScans = append(enrollScans, genuine.Scan(rng, noiseStd))
+	}
+	tpl, err := Enroll(enrollScans)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := &Matcher{Template: tpl, Threshold: threshold}
+	rejects, accepts := 0, 0
+	for i := 0; i < trials; i++ {
+		if _, ok, _ := m.Match(genuine.Scan(rng, noiseStd)); !ok {
+			rejects++
+		}
+		impostor := NewSubject(rng)
+		if _, ok, _ := m.Match(impostor.Scan(rng, noiseStd)); ok {
+			accepts++
+		}
+	}
+	return float64(accepts) / float64(trials), float64(rejects) / float64(trials), nil
+}
+
+// Verifier is the complete user-identification block: biometric first,
+// PIN fallback, retry counter with lockout.
+type Verifier struct {
+	matcher   *Matcher
+	pinMAC    []byte
+	macKey    []byte
+	retries   int
+	maxRetry  int
+	lockedOut bool
+}
+
+// Verifier errors.
+var (
+	ErrLockedOut = errors.New("biometric: device locked out")
+	ErrBadPIN    = errors.New("biometric: wrong PIN")
+)
+
+// NewVerifier builds the block from an enrolled matcher, a PIN (stored as
+// a keyed MAC, never in clear) and a retry budget.
+func NewVerifier(m *Matcher, macKey []byte, pin string, maxRetries int) (*Verifier, error) {
+	if m == nil || m.Template == nil {
+		return nil, errors.New("biometric: verifier needs an enrolled matcher")
+	}
+	if len(macKey) < 16 {
+		return nil, fmt.Errorf("biometric: MAC key must be ≥16 bytes, got %d", len(macKey))
+	}
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	v := &Verifier{matcher: m, macKey: append([]byte{}, macKey...), maxRetry: maxRetries}
+	v.pinMAC = v.mac(pin)
+	return v, nil
+}
+
+func (v *Verifier) mac(pin string) []byte {
+	h := hmac.New(func() hash.Hash { return sha1.New() }, v.macKey)
+	h.Write([]byte("pin:"))
+	h.Write([]byte(pin))
+	return h.Sum(nil)
+}
+
+// VerifyScan attempts biometric unlock. Failures count against the retry
+// budget; success resets it.
+func (v *Verifier) VerifyScan(scan []float64) (bool, error) {
+	if v.lockedOut {
+		return false, ErrLockedOut
+	}
+	_, ok, err := v.matcher.Match(scan)
+	if err != nil {
+		return false, err
+	}
+	v.note(ok)
+	return ok, nil
+}
+
+// VerifyPIN attempts PIN unlock.
+func (v *Verifier) VerifyPIN(pin string) (bool, error) {
+	if v.lockedOut {
+		return false, ErrLockedOut
+	}
+	ok := hmac.Equal(v.mac(pin), v.pinMAC)
+	v.note(ok)
+	if !ok {
+		return false, ErrBadPIN
+	}
+	return true, nil
+}
+
+func (v *Verifier) note(ok bool) {
+	if ok {
+		v.retries = 0
+		return
+	}
+	v.retries++
+	if v.retries >= v.maxRetry {
+		v.lockedOut = true
+	}
+}
+
+// LockedOut reports whether the retry budget is exhausted.
+func (v *Verifier) LockedOut() bool { return v.lockedOut }
+
+// AdminReset clears a lockout (e.g. after operator intervention).
+func (v *Verifier) AdminReset() {
+	v.lockedOut = false
+	v.retries = 0
+}

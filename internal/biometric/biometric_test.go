@@ -1,0 +1,156 @@
+package biometric
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto/prng"
+)
+
+func enrolledMatcher(t *testing.T, rng *prng.DRBG, subject *Subject, threshold float64) *Matcher {
+	t.Helper()
+	var scans [][]float64
+	for i := 0; i < 4; i++ {
+		scans = append(scans, subject.Scan(rng, 0.1))
+	}
+	tpl, err := Enroll(scans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Matcher{Template: tpl, Threshold: threshold}
+}
+
+func TestGenuineAcceptedImpostorRejected(t *testing.T) {
+	rng := prng.NewDRBG([]byte("bio"))
+	alice := NewSubject(rng)
+	m := enrolledMatcher(t, rng, alice, 0.3)
+	for i := 0; i < 20; i++ {
+		if _, ok, err := m.Match(alice.Scan(rng, 0.1)); err != nil || !ok {
+			t.Fatalf("genuine scan %d rejected (err=%v)", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		mallory := NewSubject(rng)
+		if _, ok, _ := m.Match(mallory.Scan(rng, 0.1)); ok {
+			t.Fatalf("impostor %d accepted", i)
+		}
+	}
+}
+
+// TestThresholdTradeoff: raising the threshold lowers FRR and raises FAR
+// — the designer's tradeoff curve.
+func TestThresholdTradeoff(t *testing.T) {
+	lowFAR, lowFRR, err := Rates(prng.NewDRBG([]byte("rates")), 0.15, 0.15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highFAR, highFRR, err := Rates(prng.NewDRBG([]byte("rates")), 0.8, 0.15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if highFAR < lowFAR {
+		t.Fatalf("FAR should rise with threshold (%.3f -> %.3f)", lowFAR, highFAR)
+	}
+	if highFRR > lowFRR {
+		t.Fatalf("FRR should fall with threshold (%.3f -> %.3f)", lowFRR, highFRR)
+	}
+	// A sane operating point exists.
+	far, frr, err := Rates(prng.NewDRBG([]byte("op")), 0.35, 0.15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far > 0.05 || frr > 0.05 {
+		t.Fatalf("operating point FAR=%.3f FRR=%.3f; both should be small", far, frr)
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	if _, err := Enroll(nil); err == nil {
+		t.Error("enrolled with no scans")
+	}
+	if _, err := Enroll([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("enrolled inconsistent dimensions")
+	}
+	tpl, _ := Enroll([][]float64{{1, 2, 3}})
+	if _, err := tpl.Distance([]float64{1}); err == nil {
+		t.Error("distance with mismatched dimensions")
+	}
+}
+
+func TestRatesValidation(t *testing.T) {
+	if _, _, err := Rates(prng.NewDRBG(nil), 0.3, 0.1, 0); err == nil {
+		t.Error("accepted zero trials")
+	}
+}
+
+func newVerifier(t *testing.T, maxRetries int) (*Verifier, *Subject, *prng.DRBG) {
+	t.Helper()
+	rng := prng.NewDRBG([]byte("verifier"))
+	alice := NewSubject(rng)
+	m := enrolledMatcher(t, rng, alice, 0.3)
+	v, err := NewVerifier(m, bytes.Repeat([]byte{9}, 16), "4929", maxRetries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, alice, rng
+}
+
+func TestVerifierBioAndPIN(t *testing.T) {
+	v, alice, rng := newVerifier(t, 3)
+	ok, err := v.VerifyScan(alice.Scan(rng, 0.1))
+	if err != nil || !ok {
+		t.Fatalf("genuine scan failed: %v", err)
+	}
+	if ok, err := v.VerifyPIN("4929"); err != nil || !ok {
+		t.Fatalf("correct PIN failed: %v", err)
+	}
+	if _, err := v.VerifyPIN("0000"); err != ErrBadPIN {
+		t.Fatalf("wrong PIN: want ErrBadPIN, got %v", err)
+	}
+}
+
+// TestLockoutAfterRetries: three failures lock the device; success resets
+// the counter; AdminReset clears a lockout.
+func TestLockoutAfterRetries(t *testing.T) {
+	v, alice, rng := newVerifier(t, 3)
+	v.VerifyPIN("1111") //nolint:errcheck
+	v.VerifyPIN("2222") //nolint:errcheck
+	if v.LockedOut() {
+		t.Fatal("locked out too early")
+	}
+	// A success resets the budget.
+	if ok, _ := v.VerifyScan(alice.Scan(rng, 0.1)); !ok {
+		t.Fatal("genuine scan rejected")
+	}
+	v.VerifyPIN("1111") //nolint:errcheck
+	v.VerifyPIN("2222") //nolint:errcheck
+	v.VerifyPIN("3333") //nolint:errcheck
+	if !v.LockedOut() {
+		t.Fatal("not locked out after 3 consecutive failures")
+	}
+	if _, err := v.VerifyPIN("4929"); err != ErrLockedOut {
+		t.Fatalf("locked device: want ErrLockedOut, got %v", err)
+	}
+	if _, err := v.VerifyScan(alice.Scan(rng, 0.1)); err != ErrLockedOut {
+		t.Fatalf("locked device scan: want ErrLockedOut, got %v", err)
+	}
+	v.AdminReset()
+	if ok, err := v.VerifyPIN("4929"); err != nil || !ok {
+		t.Fatalf("PIN after reset failed: %v", err)
+	}
+}
+
+func TestNewVerifierValidation(t *testing.T) {
+	rng := prng.NewDRBG([]byte("v"))
+	m := enrolledMatcher(t, rng, NewSubject(rng), 0.3)
+	if _, err := NewVerifier(nil, bytes.Repeat([]byte{1}, 16), "1", 3); err == nil {
+		t.Error("accepted nil matcher")
+	}
+	if _, err := NewVerifier(m, []byte("short"), "1", 3); err == nil {
+		t.Error("accepted short MAC key")
+	}
+	v, err := NewVerifier(m, bytes.Repeat([]byte{1}, 16), "1", 0)
+	if err != nil || v == nil {
+		t.Fatalf("default retries rejected: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/energy"
+	"repro/internal/proc"
+	"repro/internal/radio"
+	"repro/internal/suite"
+)
+
+// This file implements the "battery-aware system design techniques"
+// Section 3.3 calls for: the appliance degrades its security
+// configuration gracefully as the battery drains, instead of dying early
+// at full strength or running unprotected.
+
+// PolicyTier maps a battery band to a cipher suite.
+type PolicyTier struct {
+	// MinBatteryFrac is the lowest remaining-charge fraction (0..1) at
+	// which this tier applies.
+	MinBatteryFrac float64
+	SuiteID        uint16
+}
+
+// AdaptivePolicy selects cipher suites by remaining battery.
+type AdaptivePolicy struct {
+	tiers []PolicyTier // sorted by MinBatteryFrac descending
+}
+
+// NewAdaptivePolicy validates and orders the tiers; at least one tier
+// must cover the empty-battery end (MinBatteryFrac == 0).
+func NewAdaptivePolicy(tiers []PolicyTier) (*AdaptivePolicy, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("core: adaptive policy needs at least one tier")
+	}
+	covered := false
+	for _, t := range tiers {
+		if t.MinBatteryFrac < 0 || t.MinBatteryFrac >= 1 {
+			return nil, fmt.Errorf("core: tier threshold %v out of [0,1)", t.MinBatteryFrac)
+		}
+		if t.MinBatteryFrac == 0 {
+			covered = true
+		}
+		if _, err := suite.ByID(t.SuiteID); err != nil {
+			return nil, err
+		}
+	}
+	if !covered {
+		return nil, errors.New("core: no tier covers the empty-battery band")
+	}
+	p := &AdaptivePolicy{tiers: append([]PolicyTier{}, tiers...)}
+	sort.Slice(p.tiers, func(i, j int) bool {
+		return p.tiers[i].MinBatteryFrac > p.tiers[j].MinBatteryFrac
+	})
+	return p, nil
+}
+
+// DefaultAdaptivePolicy is a three-tier policy: full-strength AES+SHA
+// above 50%, the cheap RC4+MD5 suite above 15%, and the export suite (a
+// last-resort "some protection beats none") below that.
+func DefaultAdaptivePolicy() *AdaptivePolicy {
+	p, err := NewAdaptivePolicy([]PolicyTier{
+		{MinBatteryFrac: 0.5, SuiteID: 0x002F},  // RSA_WITH_AES_128_CBC_SHA
+		{MinBatteryFrac: 0.15, SuiteID: 0x0004}, // RSA_WITH_RC4_128_MD5
+		{MinBatteryFrac: 0, SuiteID: 0x0003},    // RSA_EXPORT_WITH_RC4_40_MD5
+	})
+	if err != nil {
+		panic("core: default adaptive policy invalid: " + err.Error())
+	}
+	return p
+}
+
+// Choose returns the suite for the battery's current state.
+func (p *AdaptivePolicy) Choose(b *energy.Battery) (*suite.Suite, error) {
+	frac := b.RemainingJ() / b.CapacityJ()
+	for _, t := range p.tiers {
+		if frac >= t.MinBatteryFrac {
+			return suite.ByID(t.SuiteID)
+		}
+	}
+	return suite.ByID(p.tiers[len(p.tiers)-1].SuiteID)
+}
+
+// SessionEnergyJ prices one session (full handshake + kbytes of bulk data
+// both ways) on a CPU and radio, using the calibrated cost model.
+func SessionEnergyJ(cpu *proc.Processor, r *radio.Radio, s *suite.Suite, kbytes int) (float64, error) {
+	h, err := cost.HandshakeInstr(s.KeyExchange)
+	if err != nil {
+		return 0, err
+	}
+	bytes := float64(kbytes * 1024)
+	instr := h + bytes*cost.BulkInstrPerByte(s.Cipher, s.MAC)
+	cpuJ := cpu.EnergyForInstr(instr)
+	radioJ := r.TxEnergyJ(kbytes*1024) + r.RxEnergyJ(kbytes*1024)
+	return cpuJ + radioJ, nil
+}
+
+// LifetimeResult compares a fixed-suite appliance with an adaptive one.
+type LifetimeResult struct {
+	FixedSuite       string
+	FixedSessions    int
+	AdaptiveSessions int
+	// TierSessions counts adaptive sessions per suite name.
+	TierSessions map[string]int
+	// Gain is AdaptiveSessions / FixedSessions.
+	Gain float64
+}
+
+// CompareAdaptiveLifetime drains two identical batteries session by
+// session: one always using fixedSuite, one following the policy, and
+// reports how many sessions each completes.
+func CompareAdaptiveLifetime(cpu *proc.Processor, r *radio.Radio, batteryJ float64,
+	fixedSuiteID uint16, policy *AdaptivePolicy, kbytesPerSession int) (*LifetimeResult, error) {
+	fixed, err := suite.ByID(fixedSuiteID)
+	if err != nil {
+		return nil, err
+	}
+	res := &LifetimeResult{FixedSuite: fixed.Name, TierSessions: make(map[string]int)}
+
+	// Fixed-strength appliance.
+	b1, err := energy.NewBattery(batteryJ)
+	if err != nil {
+		return nil, err
+	}
+	perFixed, err := SessionEnergyJ(cpu, r, fixed, kbytesPerSession)
+	if err != nil {
+		return nil, err
+	}
+	for b1.Drain("session", perFixed) == nil {
+		res.FixedSessions++
+	}
+
+	// Adaptive appliance.
+	b2, err := energy.NewBattery(batteryJ)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		s, err := policy.Choose(b2)
+		if err != nil {
+			return nil, err
+		}
+		per, err := SessionEnergyJ(cpu, r, s, kbytesPerSession)
+		if err != nil {
+			return nil, err
+		}
+		if b2.Drain("session", per) != nil {
+			break
+		}
+		res.AdaptiveSessions++
+		res.TierSessions[s.Name]++
+	}
+	if res.FixedSessions > 0 {
+		res.Gain = float64(res.AdaptiveSessions) / float64(res.FixedSessions)
+	}
+	return res, nil
+}

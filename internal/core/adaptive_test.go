@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/proc"
+	"repro/internal/radio"
+	"repro/internal/suite"
+)
+
+func TestAdaptivePolicyValidation(t *testing.T) {
+	if _, err := NewAdaptivePolicy(nil); err == nil {
+		t.Error("accepted empty policy")
+	}
+	if _, err := NewAdaptivePolicy([]PolicyTier{{MinBatteryFrac: 0.5, SuiteID: 0x002F}}); err == nil {
+		t.Error("accepted policy with uncovered empty-battery band")
+	}
+	if _, err := NewAdaptivePolicy([]PolicyTier{{MinBatteryFrac: 0, SuiteID: 0xFFFF}}); err == nil {
+		t.Error("accepted unknown suite")
+	}
+	if _, err := NewAdaptivePolicy([]PolicyTier{{MinBatteryFrac: 1.5, SuiteID: 0x002F}}); err == nil {
+		t.Error("accepted out-of-range threshold")
+	}
+}
+
+func TestPolicyChoosesByCharge(t *testing.T) {
+	p := DefaultAdaptivePolicy()
+	b, _ := energy.NewBattery(100)
+
+	s, err := p.Choose(b)
+	if err != nil || s.ID != 0x002F {
+		t.Fatalf("full battery: got %v, want AES suite", s)
+	}
+	b.Drain("x", 60) //nolint:errcheck // 40% left
+	if s, _ = p.Choose(b); s.ID != 0x0004 {
+		t.Fatalf("40%%: got %s, want RC4_128_MD5", s.Name)
+	}
+	b.Drain("x", 30) //nolint:errcheck // 10% left
+	if s, _ = p.Choose(b); s.ID != 0x0003 {
+		t.Fatalf("10%%: got %s, want export suite", s.Name)
+	}
+}
+
+func TestSessionEnergyOrdering(t *testing.T) {
+	cpu, _ := proc.ByName("ARM7-cell-phone")
+	r := radio.NewSensorRadio()
+	heavy, err := SessionEnergyJ(cpu, r, mustSuite(t, 0x000A), 16) // 3DES+SHA
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := SessionEnergyJ(cpu, r, mustSuite(t, 0x0004), 16) // RC4+MD5
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := SessionEnergyJ(cpu, r, mustSuite(t, 0x0003), 16) // export RC4-40
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(export < light && light < heavy) {
+		t.Fatalf("energy ordering wrong: export %.4f, light %.4f, heavy %.4f", export, light, heavy)
+	}
+}
+
+// TestAdaptiveExtendsLifetime is the Section 3.3 payoff: the adaptive
+// appliance completes more sessions per charge than the fixed
+// full-strength one, while spending its early battery on strong suites.
+func TestAdaptiveExtendsLifetime(t *testing.T) {
+	cpu, _ := proc.ByName("ARM7-cell-phone")
+	r := radio.NewSensorRadio()
+	res, err := CompareAdaptiveLifetime(cpu, r, 500, 0x002F, DefaultAdaptivePolicy(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveSessions <= res.FixedSessions {
+		t.Fatalf("adaptive %d sessions vs fixed %d — no lifetime gain", res.AdaptiveSessions, res.FixedSessions)
+	}
+	if res.Gain <= 1.0 {
+		t.Fatalf("gain %.2f", res.Gain)
+	}
+	// The strong suite must still carry the early sessions.
+	if res.TierSessions["RSA_WITH_AES_128_CBC_SHA"] == 0 {
+		t.Fatal("adaptive policy never used the strong suite")
+	}
+	if res.TierSessions["RSA_EXPORT_WITH_RC4_40_MD5"] == 0 {
+		t.Fatal("adaptive policy never degraded to the last-resort suite")
+	}
+}
+
+func TestCompareAdaptiveValidation(t *testing.T) {
+	cpu, _ := proc.ByName("ARM7-cell-phone")
+	r := radio.NewSensorRadio()
+	if _, err := CompareAdaptiveLifetime(cpu, r, 500, 0xFFFF, DefaultAdaptivePolicy(), 16); err == nil {
+		t.Error("accepted unknown fixed suite")
+	}
+	if _, err := CompareAdaptiveLifetime(cpu, r, -5, 0x002F, DefaultAdaptivePolicy(), 16); err == nil {
+		t.Error("accepted negative battery")
+	}
+}
+
+func mustSuite(t *testing.T, id uint16) *suite.Suite {
+	t.Helper()
+	s, err := suite.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/energy"
+	"repro/internal/radio"
+)
+
+// BatteryMode is one bar of Figure 4.
+type BatteryMode struct {
+	Name            string
+	PerTxJoules     float64
+	Transactions    int
+	RelativeToPlain float64
+}
+
+// BatteryFigure reproduces Figure 4 ("the impact of security processing
+// on battery life"): the number of 1 KB transactions a 26 KJ sensor-node
+// battery supports without and with RSA-based secure mode.
+type BatteryFigure struct {
+	BatteryJ float64
+	Modes    []BatteryMode
+}
+
+// ComputeBatteryFigure evaluates Figure 4 analytically from the paper's
+// constants: a transaction transmits and receives 1 KB; secure mode adds
+// the RSA energy overhead.
+func ComputeBatteryFigure() (*BatteryFigure, error) {
+	b, err := energy.NewBattery(cost.SensorBatteryJoules)
+	if err != nil {
+		return nil, err
+	}
+	plainPerTx := (cost.TxMilliJoulePerKB + cost.RxMilliJoulePerKB) / 1e3
+	securePerTx := plainPerTx + cost.RSASecureModeExtraMilliJoulePerKB/1e3
+	fig := &BatteryFigure{BatteryJ: b.CapacityJ()}
+	plainTx := b.TransactionsPossible(plainPerTx)
+	for _, m := range []struct {
+		name  string
+		perTx float64
+	}{
+		{"unencrypted", plainPerTx},
+		{"secure (RSA)", securePerTx},
+	} {
+		tx := b.TransactionsPossible(m.perTx)
+		fig.Modes = append(fig.Modes, BatteryMode{
+			Name:            m.name,
+			PerTxJoules:     m.perTx,
+			Transactions:    tx,
+			RelativeToPlain: float64(tx) / float64(plainTx),
+		})
+	}
+	return fig, nil
+}
+
+// SimulateBatteryFigure cross-checks the analytic figure by actually
+// draining a Battery through the radio model, transaction by transaction,
+// until exhaustion. step batches transactions per drain call to keep the
+// simulation fast; step=1 is exact.
+func SimulateBatteryFigure(step int) (*BatteryFigure, error) {
+	if step < 1 {
+		step = 1
+	}
+	fig := &BatteryFigure{BatteryJ: cost.SensorBatteryJoules}
+	var plainTx int
+	for _, secure := range []bool{false, true} {
+		b, err := energy.NewBattery(cost.SensorBatteryJoules)
+		if err != nil {
+			return nil, err
+		}
+		r := radio.NewSensorRadio()
+		count := 0
+		for {
+			perTx := r.TxEnergyJ(1024) + r.RxEnergyJ(1024)
+			if secure {
+				perTx += cost.RSASecureModeExtraMilliJoulePerKB / 1e3
+			}
+			if err := b.Drain("transactions", perTx*float64(step)); err != nil {
+				break
+			}
+			count += step
+		}
+		name := "unencrypted"
+		if secure {
+			name = "secure (RSA)"
+		} else {
+			plainTx = count
+		}
+		rel := 1.0
+		if plainTx > 0 {
+			rel = float64(count) / float64(plainTx)
+		}
+		fig.Modes = append(fig.Modes, BatteryMode{
+			Name:         name,
+			PerTxJoules:  (cost.TxMilliJoulePerKB + cost.RxMilliJoulePerKB) / 1e3,
+			Transactions: count, RelativeToPlain: rel,
+		})
+	}
+	return fig, nil
+}
+
+// CSV renders the figure as comma-separated rows for external plotting.
+func (f *BatteryFigure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("mode,per_tx_joules,transactions,relative_to_plain\n")
+	for _, m := range f.Modes {
+		fmt.Fprintf(&sb, "%s,%.4f,%d,%.4f\n", m.Name, m.PerTxJoules, m.Transactions, m.RelativeToPlain)
+	}
+	return sb.String()
+}
+
+// Render prints Figure 4 as a bar chart.
+func (f *BatteryFigure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 — impact of security processing on battery life\n")
+	fmt.Fprintf(&sb, "battery %.0f J; 1 KB transactions (tx %.1f + rx %.1f mJ/KB, +%.1f mJ/KB RSA secure mode)\n",
+		f.BatteryJ, cost.TxMilliJoulePerKB, cost.RxMilliJoulePerKB, cost.RSASecureModeExtraMilliJoulePerKB)
+	max := 0
+	for _, m := range f.Modes {
+		if m.Transactions > max {
+			max = m.Transactions
+		}
+	}
+	for _, m := range f.Modes {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", m.Transactions*50/max)
+		}
+		fmt.Fprintf(&sb, "%-14s %8d tx  (%.2fx) %s\n", m.Name, m.Transactions, m.RelativeToPlain, bar)
+	}
+	return sb.String()
+}

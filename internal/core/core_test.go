@@ -1,0 +1,445 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/proc"
+	"repro/internal/radio"
+	"repro/internal/see"
+	"repro/internal/wtls"
+)
+
+// ---- Figure 2 ----
+
+func TestTimelineCoverage(t *testing.T) {
+	byFam := RevisionsByFamily()
+	for _, fam := range Families() {
+		if len(byFam[fam]) < 3 {
+			t.Errorf("family %s has %d revisions; Figure 2 shows continuous evolution", fam, len(byFam[fam]))
+		}
+	}
+	// The paper's concrete anchor: TLS gained AES in June 2002.
+	found := false
+	for _, r := range byFam["SSL/TLS"] {
+		if strings.Contains(r.Name, "AES") && math.Abs(r.Year-2002.5) < 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("timeline missing the June 2002 TLS/AES revision the paper cites")
+	}
+}
+
+// TestWirelessProtocolsYoungerAndFaster is Figure 2's qualitative claim:
+// wireless families start later and revise at a higher rate.
+func TestWirelessProtocolsYoungerAndFaster(t *testing.T) {
+	byFam := RevisionsByFamily()
+	wiredStart := math.Min(byFam["IPSec"][0].Year, byFam["SSL/TLS"][0].Year)
+	for _, fam := range []string{"WTLS", "MET"} {
+		if byFam[fam][0].Year <= wiredStart+2 {
+			t.Errorf("%s should start well after the wired protocols", fam)
+		}
+	}
+	wiredRate, err := RevisionRate("SSL/TLS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"WTLS", "MET"} {
+		r, err := RevisionRate(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= wiredRate {
+			t.Errorf("%s revision rate %.2f/yr should exceed SSL/TLS %.2f/yr", fam, r, wiredRate)
+		}
+	}
+}
+
+func TestRevisionRateErrors(t *testing.T) {
+	if _, err := RevisionRate("NOPE"); err == nil {
+		t.Error("accepted unknown family")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	out := RenderTimeline()
+	for _, fam := range Families() {
+		if !strings.Contains(out, fam) {
+			t.Errorf("render missing family %s", fam)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render has no revision markers")
+	}
+}
+
+// ---- Figure 3 ----
+
+func TestGapSurfaceShape(t *testing.T) {
+	s, err := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's anchor: at 10 Mbps bulk alone the demand is ≈651.3 —
+	// far above the 300-MIPS plane at every latency.
+	for i, l := range s.Latencies {
+		for j, r := range s.Rates {
+			p := s.Points[i][j]
+			if r >= 10 && p.DemandMIPS <= 300 {
+				t.Errorf("latency %.2f rate %.0f: demand %.1f should exceed the plane", l, r, p.DemandMIPS)
+			}
+		}
+	}
+	// Monotone in both axes.
+	for i := range s.Latencies {
+		for j := 1; j < len(s.Rates); j++ {
+			if s.Points[i][j].DemandMIPS <= s.Points[i][j-1].DemandMIPS {
+				t.Fatal("demand not increasing in rate")
+			}
+		}
+	}
+	for j := range s.Rates {
+		for i := 1; i < len(s.Latencies); i++ {
+			if s.Points[i][j].DemandMIPS >= s.Points[i-1][j].DemandMIPS {
+				t.Fatal("demand not decreasing in latency")
+			}
+		}
+	}
+	if g := s.GapFraction(); g <= 0.3 || g >= 1.0 {
+		t.Fatalf("gap fraction %.2f implausible for the default envelope", g)
+	}
+}
+
+// TestGapAnchor651: the exact Section 3.2 number falls out of the surface.
+func TestGapAnchor651(t *testing.T) {
+	s, err := ComputeGapSurface([]float64{1000}, []float64{10}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Huge latency isolates the bulk term.
+	if d := s.Points[0][0].DemandMIPS; math.Abs(d-651.3) > 0.2 {
+		t.Fatalf("bulk demand at 10 Mbps = %.2f MIPS, paper says 651.3", d)
+	}
+}
+
+func TestMaxFeasibleRate(t *testing.T) {
+	s, _ := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	r1 := s.MaxFeasibleRate(1.0)
+	r01 := s.MaxFeasibleRate(0.1)
+	if r1 <= r01 {
+		t.Fatalf("relaxing latency must not shrink the feasible rate (%.1f vs %.1f)", r1, r01)
+	}
+	if r1 >= 10 {
+		t.Fatalf("a 300-MIPS plane cannot feed 10 Mbps of 3DES+SHA (got %.1f)", r1)
+	}
+}
+
+func TestGapSurfaceLighterSuite(t *testing.T) {
+	heavy, _ := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	light, err := ComputeGapSurfaceFor(DefaultLatencies(), DefaultRates(), 300,
+		cost.HandshakeRSA1024, cost.RC4, cost.MD5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.GapFraction() >= heavy.GapFraction() {
+		t.Fatal("RC4+MD5 should shrink the gap versus 3DES+SHA")
+	}
+}
+
+func TestGapSurfaceValidation(t *testing.T) {
+	if _, err := ComputeGapSurface(nil, DefaultRates(), 300); err == nil {
+		t.Error("accepted empty latency axis")
+	}
+	if _, err := ComputeGapSurface(DefaultLatencies(), nil, 300); err == nil {
+		t.Error("accepted empty rate axis")
+	}
+	if _, err := ComputeGapSurfaceFor([]float64{1}, []float64{1}, 300,
+		cost.HandshakeKind("x"), cost.DES3, cost.SHA1); err == nil {
+		t.Error("accepted unknown handshake kind")
+	}
+}
+
+func TestGapRender(t *testing.T) {
+	s, _ := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	out := s.Render()
+	// At 1.0 s latency and 10 Mbps the cell is 47 + 651.3 = 698.3 MIPS.
+	if !strings.Contains(out, "698.3") {
+		t.Error("render missing the anchor demand value 698.3")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render shows no gap region")
+	}
+}
+
+// TestAcceleratorAblation is experiment B1: each architecture rung lowers
+// demand; hardware closes the gap.
+func TestAcceleratorAblation(t *testing.T) {
+	cpu, err := proc.ByName("StrongARM-SA1100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := AcceleratorAblation(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Feasible {
+		t.Error("software-only should be infeasible at the anchor workload")
+	}
+	if !rows[len(rows)-1].Feasible {
+		t.Error("protocol engine should be feasible at the anchor workload")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DemandMIPS >= rows[i-1].DemandMIPS {
+			t.Errorf("rung %s does not reduce demand", rows[i].Arch)
+		}
+		if rows[i].MaxRateMbps <= rows[i-1].MaxRateMbps {
+			t.Errorf("rung %s does not raise max rate", rows[i].Arch)
+		}
+	}
+}
+
+// ---- Figure 4 ----
+
+func TestBatteryFigureMatchesPaper(t *testing.T) {
+	fig, err := ComputeBatteryFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Modes) != 2 {
+		t.Fatalf("want 2 modes, got %d", len(fig.Modes))
+	}
+	plain, secure := fig.Modes[0], fig.Modes[1]
+	// 26 kJ / 35.8 mJ ≈ 726k; 26 kJ / 77.8 mJ ≈ 334k.
+	if plain.Transactions < 700_000 || plain.Transactions > 750_000 {
+		t.Fatalf("plain transactions = %d, want ≈726k", plain.Transactions)
+	}
+	if secure.Transactions < 320_000 || secure.Transactions > 350_000 {
+		t.Fatalf("secure transactions = %d, want ≈334k", secure.Transactions)
+	}
+	if secure.RelativeToPlain >= 0.5 {
+		t.Fatalf("secure/plain = %.3f; the paper says less than half", secure.RelativeToPlain)
+	}
+	if secure.RelativeToPlain < 0.4 {
+		t.Fatalf("secure/plain = %.3f; implausibly far from the paper's ≈0.46", secure.RelativeToPlain)
+	}
+}
+
+// TestSimulationMatchesAnalytic: draining the battery model transaction
+// by transaction agrees with the closed form within the batching error.
+func TestSimulationMatchesAnalytic(t *testing.T) {
+	analytic, _ := ComputeBatteryFigure()
+	sim, err := SimulateBatteryFigure(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sim.Modes {
+		a := analytic.Modes[i].Transactions
+		s := sim.Modes[i].Transactions
+		if math.Abs(float64(a-s)) > 200 {
+			t.Fatalf("mode %s: simulated %d vs analytic %d", sim.Modes[i].Name, s, a)
+		}
+	}
+}
+
+func TestBatteryRender(t *testing.T) {
+	fig, _ := ComputeBatteryFigure()
+	out := fig.Render()
+	if !strings.Contains(out, "unencrypted") || !strings.Contains(out, "secure") {
+		t.Error("render missing modes")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("render has no bars")
+	}
+}
+
+// ---- Platform (Figures 1, 5, 6) ----
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	cpu, err := proc.ByName("ARM7-cell-phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(PlatformConfig{
+		Name:     "handset-1",
+		Arch:     proc.SoftwareOnly(cpu),
+		BatteryJ: 10_000,
+		Radio:    radio.NewSensorRadio(),
+		Seed:     []byte("test-platform"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bootPlatform(t *testing.T, p *Platform) {
+	t.Helper()
+	images := []*see.Image{
+		{Name: "boot", Code: []byte("loader")},
+		{Name: "os", Code: []byte("kernel")},
+	}
+	rom, err := see.BuildChain(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SecureBoot(rom, images); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformRequiresBoot(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.AccountSession(wtls.Metrics{}, 0, 0); err == nil {
+		t.Fatal("unbooted platform accounted a session")
+	}
+	bootPlatform(t, p)
+	if !p.Booted() {
+		t.Fatal("boot flag not set")
+	}
+}
+
+func TestPlatformAccounting(t *testing.T) {
+	p := testPlatform(t)
+	bootPlatform(t, p)
+	m := wtls.Metrics{
+		FullHandshakes: 1,
+		HandshakeInstr: 47e6,
+		BulkInstr:      1e6,
+		AppBytesOut:    1024,
+		AppBytesIn:     1024,
+	}
+	rep, err := p.AccountSession(m, 1200, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48e6 instr on a 20-MIPS ARM7 is 2.4 s of CPU time.
+	if math.Abs(rep.CPUTimeSec-2.4) > 0.01 {
+		t.Fatalf("CPU time %.3f s, want ≈2.4", rep.CPUTimeSec)
+	}
+	if rep.TotalEnergyJ <= 0 || rep.BatteryLeftJ >= p.Battery.CapacityJ() {
+		t.Fatal("energy not accounted")
+	}
+	if p.Battery.Drained("crypto") <= 0 || p.Battery.Drained("radio") <= 0 {
+		t.Fatal("ledger categories missing")
+	}
+	if n := p.SessionsUntilFlat(rep); n <= 0 {
+		t.Fatal("SessionsUntilFlat broken")
+	}
+}
+
+// TestAccelerationReducesBill: the same session on a crypto-accelerated
+// architecture costs less time and energy (the Section 4.2 payoff).
+func TestAccelerationReducesBill(t *testing.T) {
+	cpu, _ := proc.ByName("ARM7-cell-phone")
+	mkReport := func(arch *proc.Architecture) *SessionReport {
+		p, err := NewPlatform(PlatformConfig{
+			Name: "x", Arch: arch, BatteryJ: 10_000,
+			Radio: radio.NewSensorRadio(), Seed: []byte("s"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bootPlatform(t, p)
+		rep, err := p.AccountSession(wtls.Metrics{HandshakeInstr: 47e6, BulkInstr: 5e6}, 2048, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sw := mkReport(proc.SoftwareOnly(cpu))
+	hw := mkReport(proc.WithCryptoAccelerator(cpu))
+	if hw.CPUTimeSec >= sw.CPUTimeSec {
+		t.Fatal("accelerator did not reduce CPU time")
+	}
+	if hw.CPUEnergyJ >= sw.CPUEnergyJ {
+		t.Fatal("accelerator did not reduce energy")
+	}
+}
+
+func TestPlatformValidation(t *testing.T) {
+	if _, err := NewPlatform(PlatformConfig{}); err == nil {
+		t.Error("accepted empty config")
+	}
+	cpu, _ := proc.ByName("ARM7-cell-phone")
+	if _, err := NewPlatform(PlatformConfig{Arch: proc.SoftwareOnly(cpu)}); err == nil {
+		t.Error("accepted config without radio")
+	}
+	if _, err := NewPlatform(PlatformConfig{
+		Arch: proc.SoftwareOnly(cpu), Radio: radio.NewSensorRadio(), BatteryJ: -1,
+	}); err == nil {
+		t.Error("accepted negative battery")
+	}
+}
+
+func TestConcernsTaxonomy(t *testing.T) {
+	cs := Concerns()
+	if len(cs) != 7 {
+		t.Fatalf("Figure 1 has 7 concerns, got %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Name == "" || c.Description == "" || c.RealizedBy == "" {
+			t.Errorf("incomplete concern %+v", c)
+		}
+	}
+}
+
+func TestDescribePlatform(t *testing.T) {
+	p := testPlatform(t)
+	out := p.DescribePlatform()
+	for _, want := range []string{"crypto engine", "HW RNG", "secure RAM/ROM", "battery", "radio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("description missing %q", want)
+		}
+	}
+}
+
+func TestGapCSV(t *testing.T) {
+	s, _ := ComputeGapSurface([]float64{0.5, 1}, []float64{1, 10}, 300)
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "latency_s,1_mbps,10_mbps") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.5,") {
+		t.Fatalf("csv row: %s", lines[1])
+	}
+}
+
+func TestBatteryCSV(t *testing.T) {
+	fig, _ := ComputeBatteryFigure()
+	csv := fig.CSV()
+	if !strings.Contains(csv, "unencrypted,") || !strings.Contains(csv, "secure (RSA),") {
+		t.Fatalf("csv missing modes:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "mode,per_tx_joules,transactions,relative_to_plain\n") {
+		t.Fatal("csv header wrong")
+	}
+}
+
+// TestAccountSessionBatteryExhaustion: a dead battery refuses the session
+// with ErrBatteryExhausted surfaced from the energy model.
+func TestAccountSessionBatteryExhaustion(t *testing.T) {
+	cpu, _ := proc.ByName("DragonBall-68EC000")
+	p, err := NewPlatform(PlatformConfig{
+		Name: "dying", Arch: proc.SoftwareOnly(cpu), BatteryJ: 0.000001,
+		Radio: radio.NewSensorRadio(), Seed: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootPlatform(t, p)
+	_, err = p.AccountSession(wtls.Metrics{HandshakeInstr: 47e6}, 1024, 1024)
+	if err == nil {
+		t.Fatal("dead battery accounted a session")
+	}
+}

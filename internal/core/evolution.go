@@ -1,0 +1,110 @@
+// Package core is the paper's platform layer: it ties the processor,
+// battery, radio, protocol-stack and secure-execution substrates into a
+// mobile-appliance model, and regenerates the paper's data figures — the
+// protocol-evolution timeline (Figure 2), the wireless security
+// processing gap (Figure 3) and the battery-life impact (Figure 4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Revision is one protocol standard revision on the Figure 2 timeline.
+type Revision struct {
+	Family string  // "IPSec", "SSL/TLS", "WTLS", "MET"
+	Name   string  // revision label
+	Year   float64 // fractional year (e.g. 2002.5 = June 2002)
+	Note   string  // what changed
+}
+
+// EvolutionTimeline reconstructs Figure 2 ("Evolution of security
+// protocols"): the revision histories of the wired protocols (IPSec,
+// SSL/TLS) and the younger wireless ones (WTLS, MET). Dates come from the
+// published standards history; the paper's figure is qualitative, and the
+// claims it supports — wired protocols revise continuously (e.g. TLS
+// gained AES in June 2002), wireless protocols are younger and revise
+// faster — are what the reproduction checks.
+func EvolutionTimeline() []Revision {
+	return []Revision{
+		// SSL / TLS.
+		{"SSL/TLS", "SSL 2.0", 1995.1, "first deployed SSL"},
+		{"SSL/TLS", "SSL 3.0", 1996.9, "redesign after SSL 2.0 breaks"},
+		{"SSL/TLS", "TLS 1.0 (RFC 2246)", 1999.1, "IETF standardization"},
+		{"SSL/TLS", "TLS extensions drafts", 2001.5, "wireless-motivated extensions"},
+		{"SSL/TLS", "AES cipher suites (RFC 3268)", 2002.5, "June 2002: AES added, the paper's example"},
+		// IPSec.
+		{"IPSec", "RFC 1825-1829", 1995.6, "first IPSec architecture"},
+		{"IPSec", "RFC 2401-2412", 1998.9, "IKE and revised ESP/AH"},
+		{"IPSec", "AES drafts", 2002.0, "AES transforms in progress"},
+		// WTLS.
+		{"WTLS", "WAP 1.0 WTLS", 1998.3, "initial wireless TLS adaptation"},
+		{"WTLS", "WAP 1.1 WTLS", 1999.5, "fixes to initial release"},
+		{"WTLS", "WAP 1.2 WTLS", 1999.9, "additional ciphers and classes"},
+		{"WTLS", "WAP 2.0 (TLS profile)", 2002.1, "converges back toward wired TLS"},
+		// MET.
+		{"MET", "MeT 1.0", 2000.9, "mobile electronic transactions framework"},
+		{"MET", "MeT PTD definition 1.1", 2001.1, "Feb 2001, the paper's ref [1]"},
+		{"MET", "MeT 2.0 drafts", 2002.3, "rapid follow-on revision"},
+	}
+}
+
+// Families returns the protocol families on the timeline, wired first.
+func Families() []string { return []string{"IPSec", "SSL/TLS", "WTLS", "MET"} }
+
+// RevisionsByFamily groups the timeline per family, sorted by date.
+func RevisionsByFamily() map[string][]Revision {
+	m := make(map[string][]Revision)
+	for _, r := range EvolutionTimeline() {
+		m[r.Family] = append(m[r.Family], r)
+	}
+	for f := range m {
+		sort.Slice(m[f], func(i, j int) bool { return m[f][i].Year < m[f][j].Year })
+	}
+	return m
+}
+
+// RevisionRate returns revisions per year over a family's active span —
+// the quantitative form of "wireless protocols are still in their
+// infancy" (younger families revise faster).
+func RevisionRate(family string) (float64, error) {
+	revs := RevisionsByFamily()[family]
+	if len(revs) < 2 {
+		return 0, fmt.Errorf("core: family %q has too few revisions", family)
+	}
+	span := revs[len(revs)-1].Year - revs[0].Year
+	if span <= 0 {
+		return 0, fmt.Errorf("core: family %q has zero time span", family)
+	}
+	return float64(len(revs)) / span, nil
+}
+
+// RenderTimeline produces an ASCII Figure 2: one row per family, one
+// column per year, '*' at each revision.
+func RenderTimeline() string {
+	const startYear, endYear = 1994, 2003
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — evolution of security protocols (reconstruction)\n")
+	sb.WriteString(fmt.Sprintf("%-8s ", ""))
+	for y := startYear; y <= endYear; y++ {
+		sb.WriteString(fmt.Sprintf("%-5d", y))
+	}
+	sb.WriteString("\n")
+	byFam := RevisionsByFamily()
+	for _, fam := range Families() {
+		row := make([]byte, (endYear-startYear+1)*5)
+		for i := range row {
+			row[i] = '-'
+		}
+		for _, r := range byFam[fam] {
+			pos := int((r.Year - startYear) * 5)
+			if pos >= 0 && pos < len(row) {
+				row[pos] = '*'
+			}
+		}
+		sb.WriteString(fmt.Sprintf("%-8s %s\n", fam, row))
+	}
+	sb.WriteString("each '*' is one standard revision; see EvolutionTimeline() for labels\n")
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+// Package cost is the calibrated security-processing cost model behind the
+// paper's quantitative figures.
+//
+// The paper's Figure 3 ("the wireless security processing gap") plots the
+// MIPS a security protocol demands against connection latency and data
+// rate. Its anchors, taken from [12] (Ravi et al., ISSS 2002), are:
+//
+//   - a protocol using 3DES encryption + SHA message authentication needs
+//     ≈651.3 MIPS at 10 Mbps, and
+//   - a 235-MIPS SA-1100 class processor can sustain RSA connection
+//     set-up at 0.5 s or 1 s latency targets but not at 0.1 s.
+//
+// This package encodes those anchors as instruction-count constants and
+// derives the full demand surface:
+//
+//	demand(L, R) = handshake_instr/L + R/8 · bulk_instr_per_byte
+//
+// The absolute constants are calibrated to the paper (not to this
+// repository's own simulated-cycle meter, which serves the side-channel
+// experiments); the relative costs between algorithms follow the same
+// published workload characterizations.
+package cost
+
+import "fmt"
+
+// Algorithm identifies a cryptographic algorithm in the cost tables.
+type Algorithm string
+
+// Algorithms with modeled costs.
+const (
+	DES3 Algorithm = "3des"
+	DES  Algorithm = "des"
+	AES  Algorithm = "aes128"
+	RC4  Algorithm = "rc4"
+	RC2  Algorithm = "rc2"
+	SHA1 Algorithm = "sha1"
+	MD5  Algorithm = "md5"
+	None Algorithm = "null"
+)
+
+// instrPerByte gives the per-byte instruction cost of each algorithm on
+// the reference 32-bit embedded core.
+//
+// Calibration: 3DES+SHA1 must total 521.04 instr/byte so that 10 Mbps
+// costs 651.3 MIPS exactly as in Figure 3's source data. The remaining
+// entries keep the published relative ordering: DES is one third of 3DES;
+// AES in software is ≈4.5x cheaper than 3DES; RC4 and MD5 are the
+// lightweight pair; RC2's mixing rounds land between DES and 3DES.
+var instrPerByte = map[Algorithm]float64{
+	DES3: 450.04,
+	DES:  150.0,
+	AES:  100.0,
+	RC4:  12.0,
+	RC2:  180.0,
+	SHA1: 71.0,
+	MD5:  25.0,
+	None: 0.0,
+}
+
+// InstrPerByte returns the per-byte instruction cost of the algorithm.
+// Unknown algorithms cost zero (and should be caught by suite validation
+// upstream).
+func InstrPerByte(a Algorithm) float64 { return instrPerByte[a] }
+
+// BulkInstrPerByte is the per-byte cost of bulk protection with the given
+// cipher and MAC hash: every byte is both encrypted and authenticated.
+func BulkInstrPerByte(cipher, mac Algorithm) float64 {
+	return instrPerByte[cipher] + instrPerByte[mac]
+}
+
+// HandshakeKind identifies a connection set-up workload.
+type HandshakeKind string
+
+// Handshake workloads with modeled costs.
+const (
+	HandshakeRSA1024 HandshakeKind = "rsa1024" // full SSL-style RSA key exchange
+	HandshakeRSA768  HandshakeKind = "rsa768"
+	HandshakeRSA512  HandshakeKind = "rsa512"
+	HandshakeDH1024  HandshakeKind = "dh1024"
+	HandshakeResume  HandshakeKind = "resume" // abbreviated handshake, symmetric only
+)
+
+// handshakeInstr gives the total instruction cost of one connection
+// set-up, dominated by the private-key operation.
+//
+// Calibration: the RSA-1024 handshake is 47e6 instructions, so a 235-MIPS
+// SA-1100 completes it in 0.20 s — achievable under the paper's 0.5 s and
+// 1 s latency targets, not under 0.1 s (which would demand 470 MIPS),
+// matching Section 3.2. Modular-exponentiation cost scales ≈cubically
+// with modulus size; DH does two full exponentiations but no CRT.
+var handshakeInstr = map[HandshakeKind]float64{
+	HandshakeRSA1024: 47e6,
+	HandshakeRSA768:  47e6 * 0.75 * 0.75 * 0.75, // ≈19.8e6
+	HandshakeRSA512:  47e6 * 0.125,              // ≈5.9e6
+	HandshakeDH1024:  47e6 * 2.6,                // two full-size exponentiations
+	HandshakeResume:  0.6e6,                     // PRF + MAC only
+}
+
+// HandshakeInstr returns the instruction cost of one connection set-up.
+func HandshakeInstr(k HandshakeKind) (float64, error) {
+	v, ok := handshakeInstr[k]
+	if !ok {
+		return 0, fmt.Errorf("cost: unknown handshake kind %q", k)
+	}
+	return v, nil
+}
+
+// DemandMIPS returns the sustained MIPS a security protocol demands when
+// connections must complete within latencySec and bulk data flows at
+// rateMbps — the z-axis of Figure 3.
+func DemandMIPS(latencySec, rateMbps float64, hs HandshakeKind, cipher, mac Algorithm) (float64, error) {
+	if latencySec <= 0 {
+		return 0, fmt.Errorf("cost: non-positive latency %v", latencySec)
+	}
+	if rateMbps < 0 {
+		return 0, fmt.Errorf("cost: negative data rate %v", rateMbps)
+	}
+	h, err := HandshakeInstr(hs)
+	if err != nil {
+		return 0, err
+	}
+	handshakeMIPS := h / latencySec / 1e6
+	bulkMIPS := rateMbps * 1e6 / 8 * BulkInstrPerByte(cipher, mac) / 1e6
+	return handshakeMIPS + bulkMIPS, nil
+}
+
+// Radio and battery constants of the paper's Section 3.3 case study
+// (sensor node with a DragonBall MC68328, data from [36]).
+const (
+	// TxMilliJoulePerKB is the radio transmit energy at 10 Kbps.
+	TxMilliJoulePerKB = 21.5
+	// RxMilliJoulePerKB is the radio receive energy at 10 Kbps.
+	RxMilliJoulePerKB = 14.3
+	// RSASecureModeExtraMilliJoulePerKB is the added energy of RSA-based
+	// encryption in the node's secure mode.
+	RSASecureModeExtraMilliJoulePerKB = 42.0
+	// SensorBatteryJoules is the node's battery capacity (26 KJ).
+	SensorBatteryJoules = 26_000.0
+)
+
+// MIPSYears would overflow the metaphor; processors live in internal/proc.

@@ -1,0 +1,158 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClaim651MIPS reproduces the paper's Section 3.2 anchor: a protocol
+// using 3DES encryption and SHA message authentication at 10 Mbps demands
+// ≈651.3 MIPS (T1 in DESIGN.md).
+func TestClaim651MIPS(t *testing.T) {
+	perByte := BulkInstrPerByte(DES3, SHA1)
+	mips := 10e6 / 8 * perByte / 1e6
+	if math.Abs(mips-651.3) > 0.1 {
+		t.Fatalf("3DES+SHA @ 10 Mbps = %.2f MIPS, paper says 651.3", mips)
+	}
+}
+
+// TestClaimHandshakeLatency reproduces the Section 3.2 anchor: a 235-MIPS
+// processor meets 0.5 s and 1 s RSA connection latencies but not 0.1 s
+// (T2 in DESIGN.md).
+func TestClaimHandshakeLatency(t *testing.T) {
+	const saMIPS = 235.0
+	h, err := HandshakeInstr(HandshakeRSA1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		latency  float64
+		feasible bool
+	}{
+		{1.0, true},
+		{0.5, true},
+		{0.1, false},
+	} {
+		demand := h / c.latency / 1e6
+		if (demand <= saMIPS) != c.feasible {
+			t.Errorf("latency %.1fs: demand %.1f MIPS vs %0.f MIPS, feasible=%v, paper says %v",
+				c.latency, demand, saMIPS, demand <= saMIPS, c.feasible)
+		}
+	}
+}
+
+func TestDemandMIPSComposition(t *testing.T) {
+	// Demand must decompose into handshake and bulk terms.
+	total, err := DemandMIPS(0.5, 10, HandshakeRSA1024, DES3, SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsOnly, err := DemandMIPS(0.5, 0, HandshakeRSA1024, DES3, SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk := 10e6 / 8 * BulkInstrPerByte(DES3, SHA1) / 1e6
+	if math.Abs(total-(hsOnly+bulk)) > 1e-9 {
+		t.Fatalf("demand does not decompose: %v != %v + %v", total, hsOnly, bulk)
+	}
+}
+
+// TestDemandMonotonicity: demand grows as latency shrinks and rate grows —
+// the shape of the Figure 3 surface.
+func TestDemandMonotonicity(t *testing.T) {
+	prev := 0.0
+	for _, rate := range []float64{0.1, 1, 2, 10, 30, 60} {
+		d, err := DemandMIPS(0.5, rate, HandshakeRSA1024, DES3, SHA1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Fatalf("demand not increasing in rate at %v Mbps", rate)
+		}
+		prev = d
+	}
+	prev = math.Inf(1)
+	for _, lat := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		d, err := DemandMIPS(lat, 1, HandshakeRSA1024, DES3, SHA1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= prev {
+			t.Fatalf("demand not decreasing in latency at %vs", lat)
+		}
+		prev = d
+	}
+}
+
+func TestAlgorithmOrdering(t *testing.T) {
+	// The published relative ordering of software costs.
+	if !(InstrPerByte(RC4) < InstrPerByte(AES)) {
+		t.Error("RC4 should be cheaper than AES")
+	}
+	if !(InstrPerByte(AES) < InstrPerByte(DES)) {
+		t.Error("AES should be cheaper than DES in software")
+	}
+	if !(InstrPerByte(DES) < InstrPerByte(DES3)) {
+		t.Error("DES should be cheaper than 3DES")
+	}
+	if !(InstrPerByte(MD5) < InstrPerByte(SHA1)) {
+		t.Error("MD5 should be cheaper than SHA1")
+	}
+	if math.Abs(InstrPerByte(DES3)-3*InstrPerByte(DES)) > 1 {
+		t.Error("3DES should cost ≈3x DES")
+	}
+	if InstrPerByte(None) != 0 {
+		t.Error("null algorithm should be free")
+	}
+}
+
+func TestHandshakeOrdering(t *testing.T) {
+	get := func(k HandshakeKind) float64 {
+		v, err := HandshakeInstr(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(get(HandshakeResume) < get(HandshakeRSA512)) {
+		t.Error("resumption should be cheaper than any full handshake")
+	}
+	if !(get(HandshakeRSA512) < get(HandshakeRSA768)) ||
+		!(get(HandshakeRSA768) < get(HandshakeRSA1024)) {
+		t.Error("handshake cost should grow with modulus size")
+	}
+	if !(get(HandshakeRSA1024) < get(HandshakeDH1024)) {
+		t.Error("DH (no CRT, two exps) should cost more than RSA")
+	}
+}
+
+func TestDemandErrors(t *testing.T) {
+	if _, err := DemandMIPS(0, 1, HandshakeRSA1024, DES3, SHA1); err == nil {
+		t.Error("accepted zero latency")
+	}
+	if _, err := DemandMIPS(1, -1, HandshakeRSA1024, DES3, SHA1); err == nil {
+		t.Error("accepted negative rate")
+	}
+	if _, err := DemandMIPS(1, 1, HandshakeKind("bogus"), DES3, SHA1); err == nil {
+		t.Error("accepted unknown handshake kind")
+	}
+	if _, err := HandshakeInstr(HandshakeKind("bogus")); err == nil {
+		t.Error("HandshakeInstr accepted unknown kind")
+	}
+}
+
+// TestClaimBatteryConstants checks the Section 3.3 constants and the <½
+// transaction-count claim they imply (T3 in DESIGN.md).
+func TestClaimBatteryConstants(t *testing.T) {
+	plainPerTx := (TxMilliJoulePerKB + RxMilliJoulePerKB) / 1e3
+	securePerTx := plainPerTx + RSASecureModeExtraMilliJoulePerKB/1e3
+	plain := SensorBatteryJoules / plainPerTx
+	secure := SensorBatteryJoules / securePerTx
+	ratio := secure / plain
+	if ratio >= 0.5 {
+		t.Fatalf("secure/plain transactions = %.3f, paper says < 0.5", ratio)
+	}
+	if ratio < 0.4 {
+		t.Fatalf("secure/plain transactions = %.3f, implausibly low vs paper's ≈0.46", ratio)
+	}
+}

@@ -1,0 +1,241 @@
+// Package aes implements the AES block cipher from scratch (FIPS 197),
+// supporting 128-, 192- and 256-bit keys.
+//
+// The paper highlights AES as the then-new DES replacement that protocol
+// revisions (TLS, June 2002) and hardware accelerators must absorb
+// (Sections 3.1, 4.1) — the flexibility problem in one algorithm.
+//
+// The implementation is deliberately byte-oriented (SubBytes / ShiftRows /
+// MixColumns as specified) rather than T-table optimized: it is the
+// software baseline the paper's accelerator discussion starts from, and
+// the S-box-output leakage point targeted by internal/attack/dpa.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySizeError reports an invalid key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("aes: invalid key size %d", int(k))
+}
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+)
+
+// gfMul multiplies two elements of GF(2^8) modulo x^8+x^4+x^3+x+1.
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func init() {
+	// Build the S-box from the GF(2^8) inverse and the affine transform,
+	// rather than transcribing 256 constants.
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gfMul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		x := inv[i]
+		s := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// SBox returns the AES S-box value for b. Exported for the DPA attack
+// model, which predicts the Hamming weight of first-round S-box outputs.
+func SBox(b byte) byte { return sbox[b] }
+
+// Cipher is an AES block cipher instance.
+type Cipher struct {
+	enc    [][4][4]byte // round keys as state-shaped matrices
+	rounds int
+}
+
+// NewCipher creates an AES cipher from a 16-, 24- or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, KeySizeError(len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// BlockSize returns the cipher block size (16).
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	nw := 4 * (c.rounds + 1)
+	w := make([][4]byte, nw)
+	for i := 0; i < nk; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			t = [4]byte{sbox[t[1]] ^ rcon, sbox[t[2]], sbox[t[3]], sbox[t[0]]}
+			rcon = gfMul(rcon, 2)
+		} else if nk > 6 && i%nk == 4 {
+			t = [4]byte{sbox[t[0]], sbox[t[1]], sbox[t[2]], sbox[t[3]]}
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-nk][j] ^ t[j]
+		}
+	}
+	c.enc = make([][4][4]byte, c.rounds+1)
+	for r := 0; r <= c.rounds; r++ {
+		for col := 0; col < 4; col++ {
+			for row := 0; row < 4; row++ {
+				c.enc[r][row][col] = w[4*r+col][row]
+			}
+		}
+	}
+}
+
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for i := 0; i < 16; i++ {
+		s[i%4][i/4] = src[i]
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for i := 0; i < 16; i++ {
+		dst[i] = s[i%4][i/4]
+	}
+}
+
+func (s *state) addRoundKey(rk *[4][4]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] ^= rk[r][c]
+		}
+	}
+}
+
+func (s *state) subBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) invSubBytes() {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[r][(c+r)%4]
+		}
+		s[r] = row
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[(c+r)%4] = s[r][c]
+		}
+		s[r] = row
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3
+		s[1][c] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3
+		s[2][c] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3)
+		s[3][c] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gfMul(a0, 14) ^ gfMul(a1, 11) ^ gfMul(a2, 13) ^ gfMul(a3, 9)
+		s[1][c] = gfMul(a0, 9) ^ gfMul(a1, 14) ^ gfMul(a2, 11) ^ gfMul(a3, 13)
+		s[2][c] = gfMul(a0, 13) ^ gfMul(a1, 9) ^ gfMul(a2, 14) ^ gfMul(a3, 11)
+		s[3][c] = gfMul(a0, 11) ^ gfMul(a1, 13) ^ gfMul(a2, 9) ^ gfMul(a3, 14)
+	}
+}
+
+// Encrypt encrypts the 16-byte block src into dst.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	s := loadState(src)
+	s.addRoundKey(&c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(&c.enc[r])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(&c.enc[c.rounds])
+	s.store(dst)
+}
+
+// Decrypt decrypts the 16-byte block src into dst.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	s := loadState(src)
+	s.addRoundKey(&c.enc[c.rounds])
+	for r := c.rounds - 1; r > 0; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(&c.enc[r])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(&c.enc[0])
+	s.store(dst)
+}

@@ -1,0 +1,164 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 197 Appendix C example vectors for all three key sizes.
+var fipsVectors = []struct {
+	key, pt, ct string
+}{
+	{
+		"000102030405060708090a0b0c0d0e0f",
+		"00112233445566778899aabbccddeeff",
+		"69c4e0d86a7b0430d8cdb78070b4c55a",
+	},
+	{
+		"000102030405060708090a0b0c0d0e0f1011121314151617",
+		"00112233445566778899aabbccddeeff",
+		"dda97ca4864cdfe06eaf70a0ec0d7191",
+	},
+	{
+		"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+		"00112233445566778899aabbccddeeff",
+		"8ea2b7ca516745bfeafc49904b496089",
+	},
+}
+
+func TestFIPSVectors(t *testing.T) {
+	for _, v := range fipsVectors {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		c.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AES-%d: encrypt = %x, want %x", len(key)*8, got, want)
+			continue
+		}
+		back := make([]byte, 16)
+		c.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("AES-%d: decrypt roundtrip failed", len(key)*8)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, klen := range []int{16, 24, 32} {
+		for i := 0; i < 100; i++ {
+			key := make([]byte, klen)
+			pt := make([]byte, 16)
+			rng.Read(key)
+			rng.Read(pt)
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 16)
+			want := make([]byte, 16)
+			ours.Encrypt(got, pt)
+			ref.Encrypt(want, pt)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("AES-%d key %x: encrypt mismatch", klen*8, key)
+			}
+			back := make([]byte, 16)
+			ours.Decrypt(back, got)
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("AES-%d: roundtrip failed", klen*8)
+			}
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 16)
+		pt := make([]byte, 16)
+		c.Encrypt(ct, block[:])
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, block[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSBoxProperties checks the generated S-box against its defining
+// algebraic properties and two published entries.
+func TestSBoxProperties(t *testing.T) {
+	if SBox(0x00) != 0x63 {
+		t.Errorf("SBox(0x00) = %#x, want 0x63", SBox(0x00))
+	}
+	if SBox(0x53) != 0xed {
+		t.Errorf("SBox(0x53) = %#x, want 0xed", SBox(0x53))
+	}
+	// Bijectivity and no fixed points (including anti-fixed points).
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		s := SBox(byte(i))
+		if seen[s] {
+			t.Fatalf("S-box not a bijection at %d", i)
+		}
+		seen[s] = true
+		if s == byte(i) {
+			t.Fatalf("S-box fixed point at %#x", i)
+		}
+		if s == byte(i)^0xff {
+			t.Fatalf("S-box anti-fixed point at %#x", i)
+		}
+		if invSbox[s] != byte(i) {
+			t.Fatalf("inverse S-box mismatch at %#x", i)
+		}
+	}
+}
+
+func TestKeySizeErrors(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 31, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("accepted %d-byte key", n)
+		}
+	}
+	if KeySizeError(3).Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestGFMul(t *testing.T) {
+	// {57} • {83} = {c1} from the FIPS 197 example.
+	if got := gfMul(0x57, 0x83); got != 0xc1 {
+		t.Fatalf("gfMul(0x57,0x83) = %#x, want 0xc1", got)
+	}
+	// Commutativity property.
+	f := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

@@ -1,0 +1,211 @@
+// Package des implements the DES and Triple-DES (EDE) block ciphers from
+// scratch, following FIPS 46-3.
+//
+// DES/3DES is the workhorse symmetric cipher of the security protocols the
+// paper analyzes (Section 3.2 anchors its processing-gap figure on a
+// 3DES+SHA protocol), and its bit-permutation structure is the canonical
+// example of security processing that word-oriented embedded CPUs execute
+// poorly (Section 4.2.1).
+//
+// The package additionally exposes the round internals (Feistel function,
+// S-box lookups) needed by internal/attack/dpa to mount a first-round
+// correlation power attack.
+package des
+
+import (
+	"fmt"
+
+	"repro/internal/crypto/bitutil"
+)
+
+// BlockSize is the DES block size in bytes.
+const BlockSize = 8
+
+// KeySize is the single-DES key size in bytes (including parity bits).
+const KeySize = 8
+
+// KeySizeError reports an invalid key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("des: invalid key size %d", int(k))
+}
+
+// Cipher is a single-DES block cipher instance.
+type Cipher struct {
+	subkeys [16]uint64 // 48-bit round subkeys, right-aligned
+}
+
+// NewCipher creates a DES cipher from an 8-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, KeySizeError(len(key))
+	}
+	c := new(Cipher)
+	c.expandKey(key)
+	return c, nil
+}
+
+// BlockSize returns the cipher block size (8).
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// Encrypt encrypts the 8-byte block src into dst.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	b := bitutil.Load64(src)
+	bitutil.Store64(dst, c.cryptBlock(b, false))
+}
+
+// Decrypt decrypts the 8-byte block src into dst.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	b := bitutil.Load64(src)
+	bitutil.Store64(dst, c.cryptBlock(b, true))
+}
+
+// Subkey returns round subkey i (0-based, right-aligned 48 bits). It is
+// exported for the key-schedule tests and the DPA attack's verification
+// step.
+func (c *Cipher) Subkey(i int) uint64 { return c.subkeys[i] }
+
+func (c *Cipher) expandKey(key []byte) {
+	k := bitutil.Load64(key)
+	cd := bitutil.PermuteBlock(k, permutedChoice1, 64) // 56 bits
+	cHalf := uint32(cd >> 28)
+	dHalf := uint32(cd & (1<<28 - 1))
+	for i, shift := range keyShifts {
+		cHalf = bitutil.RotateLeft28(cHalf, shift)
+		dHalf = bitutil.RotateLeft28(dHalf, shift)
+		combined := uint64(cHalf)<<28 | uint64(dHalf)
+		c.subkeys[i] = bitutil.PermuteBlock(combined, permutedChoice2, 56)
+	}
+}
+
+func (c *Cipher) cryptBlock(b uint64, decrypt bool) uint64 {
+	b = bitutil.PermuteBlock(b, initialPermutation, 64)
+	left := uint32(b >> 32)
+	right := uint32(b)
+	for round := 0; round < 16; round++ {
+		k := round
+		if decrypt {
+			k = 15 - round
+		}
+		left, right = right, left^Feistel(right, c.subkeys[k])
+	}
+	// The halves are swapped after the last round (no swap in round 16,
+	// equivalently swap once more here).
+	pre := uint64(right)<<32 | uint64(left)
+	return bitutil.PermuteBlock(pre, finalPermutation, 64)
+}
+
+// EncryptWithFault encrypts one block but flips a single bit of the
+// right half entering the given round (0-based) — the computational
+// fault a glitch induces, modeled at the exact point the
+// Biham-Shamir differential fault analysis [43] assumes (round=15 flips
+// R15 ahead of the final round). It exists for the DFA experiment in
+// internal/attack/dfa.
+func (c *Cipher) EncryptWithFault(dst, src []byte, round int, bit uint) {
+	b := bitutil.Load64(src)
+	b = bitutil.PermuteBlock(b, initialPermutation, 64)
+	left := uint32(b >> 32)
+	right := uint32(b)
+	for r := 0; r < 16; r++ {
+		if r == round {
+			right ^= 1 << (bit % 32)
+		}
+		left, right = right, left^Feistel(right, c.subkeys[r])
+	}
+	pre := uint64(right)<<32 | uint64(left)
+	bitutil.Store64(dst, bitutil.PermuteBlock(pre, finalPermutation, 64))
+}
+
+// PInverse applies the inverse of the round permutation P — the DFA
+// attack uses it to map ciphertext differences back to S-box output
+// differences.
+func PInverse(v uint32) uint32 {
+	var out uint32
+	for pos, src := range roundPermutation {
+		// P maps input bit src (1-based from MSB) to output bit pos+1.
+		bit := v >> uint(32-(pos+1)) & 1
+		out |= bit << uint(32-int(src))
+	}
+	return out
+}
+
+// Feistel computes the DES round function f(R, K) for a 32-bit half block
+// and a 48-bit subkey. Exported for the DPA attack model.
+func Feistel(right uint32, subkey uint64) uint32 {
+	expanded := bitutil.PermuteBlock(uint64(right), expansion, 32) // 48 bits
+	x := expanded ^ subkey
+	var out uint32
+	for box := 0; box < 8; box++ {
+		six := uint8(x >> (uint(7-box) * 6) & 0x3f)
+		out = out<<4 | uint32(SBox(box, six))
+	}
+	return uint32(bitutil.PermuteBlock(uint64(out), roundPermutation, 32))
+}
+
+// SBox performs the lookup of S-box `box` (0-7) on a 6-bit input, where the
+// row is formed by bits 1 and 6 and the column by bits 2-5, per FIPS 46-3.
+func SBox(box int, in6 uint8) uint8 {
+	row := (in6>>4)&2 | in6&1
+	col := (in6 >> 1) & 0xf
+	return sBoxes[box][row][col]
+}
+
+// ExpandHalf applies the DES expansion permutation E to a 32-bit half
+// block, returning 48 bits. Exported for the DPA attack model, which needs
+// the per-S-box input chunks.
+func ExpandHalf(right uint32) uint64 {
+	return bitutil.PermuteBlock(uint64(right), expansion, 32)
+}
+
+// InitialPermute applies the DES initial permutation to a 64-bit block.
+// Exported for the DPA attack model.
+func InitialPermute(b uint64) uint64 {
+	return bitutil.PermuteBlock(b, initialPermutation, 64)
+}
+
+// TripleCipher is a 3DES (EDE) cipher instance. With a 24-byte key the
+// three stages use independent keys (keying option 1); with a 16-byte key
+// the first and third stages share a key (keying option 2).
+type TripleCipher struct {
+	k1, k2, k3 Cipher
+}
+
+// NewTripleCipher creates a 3DES cipher from a 16- or 24-byte key.
+func NewTripleCipher(key []byte) (*TripleCipher, error) {
+	var k1, k2, k3 []byte
+	switch len(key) {
+	case 24:
+		k1, k2, k3 = key[0:8], key[8:16], key[16:24]
+	case 16:
+		k1, k2, k3 = key[0:8], key[8:16], key[0:8]
+	default:
+		return nil, KeySizeError(len(key))
+	}
+	c := new(TripleCipher)
+	c.k1.expandKey(k1)
+	c.k2.expandKey(k2)
+	c.k3.expandKey(k3)
+	return c, nil
+}
+
+// BlockSize returns the cipher block size (8).
+func (c *TripleCipher) BlockSize() int { return BlockSize }
+
+// Encrypt performs EDE encryption of one block.
+func (c *TripleCipher) Encrypt(dst, src []byte) {
+	b := bitutil.Load64(src)
+	b = c.k1.cryptBlock(b, false)
+	b = c.k2.cryptBlock(b, true)
+	b = c.k3.cryptBlock(b, false)
+	bitutil.Store64(dst, b)
+}
+
+// Decrypt performs EDE decryption of one block.
+func (c *TripleCipher) Decrypt(dst, src []byte) {
+	b := bitutil.Load64(src)
+	b = c.k3.cryptBlock(b, true)
+	b = c.k2.cryptBlock(b, false)
+	b = c.k1.cryptBlock(b, true)
+	bitutil.Store64(dst, b)
+}

@@ -1,0 +1,125 @@
+package dh
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/mp"
+	"repro/internal/crypto/prng"
+)
+
+func TestOakley2Parameters(t *testing.T) {
+	g := Oakley2()
+	if g.P.BitLen() != 1024 {
+		t.Fatalf("Oakley group 2 prime is %d bits, want 1024", g.P.BitLen())
+	}
+	if !g.P.ProbablyPrime(8) {
+		t.Fatal("Oakley group 2 modulus is not prime")
+	}
+	// Safe prime: (p-1)/2 is also prime.
+	q := new(big.Int).Rsh(new(big.Int).Sub(g.P, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(4) {
+		t.Fatal("Oakley group 2 is not a safe prime")
+	}
+}
+
+func testGroup(t *testing.T) *Group {
+	t.Helper()
+	g, err := TestGroup512(prng.NewDRBG([]byte("dh-group")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKeyAgreement(t *testing.T) {
+	g := testGroup(t)
+	rng := prng.NewDRBG([]byte("agree"))
+	alice, err := GenerateKeyPair(g, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := GenerateKeyPair(g, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := alice.SharedSecret(bob.Public, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := bob.SharedSecret(alice.Public, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("shared secrets disagree")
+	}
+	if len(s1) != (g.P.BitLen()+7)/8 {
+		t.Fatalf("secret length %d, want %d", len(s1), (g.P.BitLen()+7)/8)
+	}
+}
+
+func TestDistinctPairsDistinctSecrets(t *testing.T) {
+	g := testGroup(t)
+	rng := prng.NewDRBG([]byte("distinct"))
+	a, _ := GenerateKeyPair(g, rng, nil)
+	b, _ := GenerateKeyPair(g, rng, nil)
+	c, _ := GenerateKeyPair(g, rng, nil)
+	sab, _ := a.SharedSecret(b.Public, nil)
+	sac, _ := a.SharedSecret(c.Public, nil)
+	if bytes.Equal(sab, sac) {
+		t.Fatal("different peers produced the same secret")
+	}
+}
+
+func TestRejectsInvalidPublic(t *testing.T) {
+	g := testGroup(t)
+	kp, _ := GenerateKeyPair(g, prng.NewDRBG([]byte("x")), nil)
+	for _, bad := range []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(g.P, big.NewInt(1)),
+		new(big.Int).Add(g.P, big.NewInt(5)),
+	} {
+		if _, err := kp.SharedSecret(bad, nil); err != ErrInvalidPublic {
+			t.Errorf("public value %v: want ErrInvalidPublic, got %v", bad, err)
+		}
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	g := testGroup(t)
+	var m mp.CycleMeter
+	if _, err := GenerateKeyPair(g, prng.NewDRBG([]byte("m")), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles() == 0 {
+		t.Fatal("key generation accrued no simulated cycles")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := testGroup(t)
+	a1, _ := GenerateKeyPair(g, prng.NewDRBG([]byte("same")), nil)
+	a2, _ := GenerateKeyPair(g, prng.NewDRBG([]byte("same")), nil)
+	if a1.Private.Cmp(a2.Private) != 0 || a1.Public.Cmp(a2.Public) != 0 {
+		t.Fatal("same seed should give same key pair")
+	}
+}
+
+func BenchmarkSharedSecret512(b *testing.B) {
+	g, err := TestGroup512(prng.NewDRBG([]byte("dh-group")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := prng.NewDRBG([]byte("bench"))
+	alice, _ := GenerateKeyPair(g, rng, nil)
+	bob, _ := GenerateKeyPair(g, rng, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alice.SharedSecret(bob.Public, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package hmac implements HMAC (RFC 2104) from scratch over any hash in
+// this repository.
+//
+// HMAC-SHA-1 and HMAC-MD5 are the message-authentication algorithms the
+// paper's protocols negotiate alongside their bulk ciphers (Section 3.1).
+package hmac
+
+import "hash"
+
+// New returns an HMAC instance keyed with key over the hash produced by h.
+// The returned value satisfies hash.Hash.
+func New(h func() hash.Hash, key []byte) hash.Hash {
+	hm := &hmac{inner: h(), outer: h()}
+	bs := hm.inner.BlockSize()
+	hm.ipad = make([]byte, bs)
+	hm.opad = make([]byte, bs)
+	if len(key) > bs {
+		hm.outer.Write(key)
+		key = hm.outer.Sum(nil)
+		hm.outer.Reset()
+	}
+	copy(hm.ipad, key)
+	copy(hm.opad, key)
+	for i := range hm.ipad {
+		hm.ipad[i] ^= 0x36
+		hm.opad[i] ^= 0x5c
+	}
+	hm.inner.Write(hm.ipad)
+	return hm
+}
+
+type hmac struct {
+	inner, outer hash.Hash
+	ipad, opad   []byte
+}
+
+func (h *hmac) Write(p []byte) (int, error) { return h.inner.Write(p) }
+
+func (h *hmac) Size() int { return h.inner.Size() }
+
+func (h *hmac) BlockSize() int { return h.inner.BlockSize() }
+
+func (h *hmac) Reset() {
+	h.inner.Reset()
+	h.inner.Write(h.ipad)
+}
+
+func (h *hmac) Sum(in []byte) []byte {
+	mark := len(in)
+	in = h.inner.Sum(in)
+	h.outer.Reset()
+	h.outer.Write(h.opad)
+	h.outer.Write(in[mark:])
+	return h.outer.Sum(in[:mark])
+}
+
+// Equal compares two MACs in constant time, preventing the byte-at-a-time
+// timing oracle the paper's tamper-resistance section warns about.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,108 @@
+package md5
+
+import (
+	"bytes"
+	stdmd5 "crypto/md5"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1321 test suite.
+var knownVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "d41d8cd98f00b204e9800998ecf8427e"},
+	{"a", "0cc175b9c0f1b6a831c399e269772661"},
+	{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+	{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+	{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+		"d174ab98d277d9f5a5611c2c9f419d9f"},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+		"57edf4a22be3c955ac49da2e2107b67a"},
+}
+
+func TestKnownVectors(t *testing.T) {
+	for _, v := range knownVectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("MD5(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(300)
+		msg := make([]byte, n)
+		rng.Read(msg)
+		got := Sum(msg)
+		want := stdmd5.Sum(msg)
+		if got != want {
+			t.Fatalf("len %d: got %x want %x", n, got, want)
+		}
+	}
+}
+
+func TestChunkedWrites(t *testing.T) {
+	msg := make([]byte, 401)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(msg)
+	whole := Sum(msg)
+	d := New()
+	for i := 0; i < len(msg); {
+		n := rng.Intn(70) + 1
+		if i+n > len(msg) {
+			n = len(msg) - i
+		}
+		d.Write(msg[i : i+n])
+		i += n
+	}
+	if !bytes.Equal(d.Sum(nil), whole[:]) {
+		t.Fatal("chunked digest differs from one-shot digest")
+	}
+}
+
+func TestSumDoesNotMutate(t *testing.T) {
+	d := New()
+	d.Write([]byte("foo"))
+	a := d.Sum(nil)
+	b := d.Sum(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Sum mutated digest state")
+	}
+}
+
+func TestStdlibEquivalenceProperty(t *testing.T) {
+	f := func(msg []byte) bool {
+		got := Sum(msg)
+		want := stdmd5.Sum(msg)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum(buf)
+	}
+}

@@ -1,0 +1,170 @@
+// Package modes implements block-cipher modes of operation (ECB, CBC, CTR)
+// and PKCS#7 padding over any block cipher in this repository.
+//
+// The record layers of the protocol substrates (internal/wtls,
+// internal/esp) compose these modes with the negotiated cipher, mirroring
+// the protocol-flexibility requirement of Section 3.1.
+package modes
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/bitutil"
+)
+
+// Block is the block-cipher interface shared by des, aes and rc2. It is
+// intentionally identical in shape to crypto/cipher.Block.
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// ErrNotBlockAligned reports input whose length is not a multiple of the
+// cipher block size.
+var ErrNotBlockAligned = errors.New("modes: input not a multiple of the block size")
+
+// ErrBadPadding reports invalid PKCS#7 padding on decryption.
+var ErrBadPadding = errors.New("modes: invalid padding")
+
+// Pad appends PKCS#7 padding for the given block size and returns the
+// padded slice (the input is not modified).
+func Pad(data []byte, blockSize int) []byte {
+	n := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// Unpad strips and validates PKCS#7 padding.
+func Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, ErrBadPadding
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > blockSize || n > len(data) {
+		return nil, ErrBadPadding
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, ErrBadPadding
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// EncryptECB encrypts src (block-aligned) in electronic-codebook mode.
+// ECB is provided as the baseline mode; the protocol layers use CBC.
+func EncryptECB(b Block, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, ErrNotBlockAligned
+	}
+	dst := make([]byte, len(src))
+	for i := 0; i < len(src); i += bs {
+		b.Encrypt(dst[i:i+bs], src[i:i+bs])
+	}
+	return dst, nil
+}
+
+// DecryptECB decrypts src (block-aligned) in electronic-codebook mode.
+func DecryptECB(b Block, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, ErrNotBlockAligned
+	}
+	dst := make([]byte, len(src))
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(dst[i:i+bs], src[i:i+bs])
+	}
+	return dst, nil
+}
+
+// EncryptCBC encrypts src (block-aligned) in CBC mode with the given IV.
+func EncryptCBC(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(src)%bs != 0 {
+		return nil, ErrNotBlockAligned
+	}
+	dst := make([]byte, len(src))
+	prev := make([]byte, bs)
+	copy(prev, iv)
+	block := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		bitutil.XORBytes(block, src[i:i+bs], prev)
+		b.Encrypt(dst[i:i+bs], block)
+		copy(prev, dst[i:i+bs])
+	}
+	return dst, nil
+}
+
+// DecryptCBC decrypts src (block-aligned) in CBC mode with the given IV.
+func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(src)%bs != 0 {
+		return nil, ErrNotBlockAligned
+	}
+	dst := make([]byte, len(src))
+	prev := make([]byte, bs)
+	copy(prev, iv)
+	tmp := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		b.Decrypt(tmp, src[i:i+bs])
+		bitutil.XORBytes(dst[i:i+bs], tmp, prev)
+		copy(prev, src[i:i+bs])
+	}
+	return dst, nil
+}
+
+// CTR is a counter-mode stream built over a block cipher. It implements
+// XORKeyStream like a stream cipher and may process data of any length.
+type CTR struct {
+	b       Block
+	counter []byte
+	stream  []byte
+	used    int
+}
+
+// NewCTR creates a counter-mode stream with the given initial counter
+// block (its length must equal the cipher block size).
+func NewCTR(b Block, iv []byte) (*CTR, error) {
+	if len(iv) != b.BlockSize() {
+		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), b.BlockSize())
+	}
+	c := &CTR{
+		b:       b,
+		counter: append([]byte{}, iv...),
+		stream:  make([]byte, b.BlockSize()),
+		used:    b.BlockSize(),
+	}
+	return c, nil
+}
+
+// XORKeyStream XORs src with the counter-mode keystream into dst.
+func (c *CTR) XORKeyStream(dst, src []byte) {
+	for i := range src {
+		if c.used == len(c.stream) {
+			c.b.Encrypt(c.stream, c.counter)
+			c.used = 0
+			// Increment the counter big-endian.
+			for j := len(c.counter) - 1; j >= 0; j-- {
+				c.counter[j]++
+				if c.counter[j] != 0 {
+					break
+				}
+			}
+		}
+		dst[i] = src[i] ^ c.stream[c.used]
+		c.used++
+	}
+}

@@ -1,0 +1,229 @@
+package modes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	stdcipher "crypto/cipher"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/des"
+)
+
+func mustAES(t *testing.T, key []byte) Block {
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPadUnpadProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, bs := range []int{8, 16} {
+			padded := Pad(data, bs)
+			if len(padded)%bs != 0 || len(padded) <= len(data) {
+				return false
+			}
+			out, err := Unpad(padded, bs)
+			if err != nil || !bytes.Equal(out, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpadRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},                // not block aligned
+		{0, 0, 0, 0, 0, 0, 0, 0}, // zero pad byte
+		{1, 2, 3, 4, 5, 6, 7, 9}, // pad byte > block size
+		{1, 2, 3, 4, 5, 6, 2, 3}, // inconsistent padding
+	}
+	for i, c := range cases {
+		if _, err := Unpad(c, 8); err == nil {
+			t.Errorf("case %d: Unpad accepted corrupt padding %v", i, c)
+		}
+	}
+}
+
+func TestECBRoundtrip(t *testing.T) {
+	key := make([]byte, 16)
+	c := mustAES(t, key)
+	pt := Pad([]byte("electronic codebook mode test"), 16)
+	ct, err := EncryptECB(c, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecryptECB(c, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatal("ECB roundtrip failed")
+	}
+	// ECB leaks equal blocks — the property that motivates CBC.
+	pt2 := bytes.Repeat([]byte{0xab}, 32)
+	ct2, _ := EncryptECB(c, pt2)
+	if !bytes.Equal(ct2[:16], ct2[16:]) {
+		t.Fatal("ECB should encrypt equal blocks identically")
+	}
+}
+
+func TestCBCAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		key := make([]byte, 16)
+		iv := make([]byte, 16)
+		pt := make([]byte, 16*(1+rng.Intn(8)))
+		rng.Read(key)
+		rng.Read(iv)
+		rng.Read(pt)
+
+		ours := mustAES(t, key)
+		got, err := EncryptCBC(ours, iv, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _ := stdaes.NewCipher(key)
+		want := make([]byte, len(pt))
+		stdcipher.NewCBCEncrypter(ref, iv).CryptBlocks(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("CBC encrypt mismatch with stdlib (iter %d)", i)
+		}
+		back, err := DecryptCBC(ours, iv, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatal("CBC roundtrip failed")
+		}
+	}
+}
+
+func TestCBCHidesEqualBlocks(t *testing.T) {
+	c := mustAES(t, make([]byte, 16))
+	iv := make([]byte, 16)
+	iv[0] = 1
+	pt := bytes.Repeat([]byte{0xab}, 32)
+	ct, _ := EncryptCBC(c, iv, pt)
+	if bytes.Equal(ct[:16], ct[16:]) {
+		t.Fatal("CBC must not encrypt equal blocks identically")
+	}
+}
+
+func TestCBCWithDES(t *testing.T) {
+	c, err := des.NewTripleCipher(make([]byte, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pt := Pad([]byte("3DES-CBC is the paper's reference bulk cipher"), 8)
+	ct, err := EncryptCBC(c, iv, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecryptCBC(c, iv, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatal("3DES-CBC roundtrip failed")
+	}
+}
+
+func TestCBCErrors(t *testing.T) {
+	c := mustAES(t, make([]byte, 16))
+	if _, err := EncryptCBC(c, make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("accepted short IV")
+	}
+	if _, err := EncryptCBC(c, make([]byte, 16), make([]byte, 15)); err == nil {
+		t.Error("accepted unaligned input")
+	}
+	if _, err := DecryptCBC(c, make([]byte, 16), make([]byte, 15)); err == nil {
+		t.Error("decrypt accepted unaligned input")
+	}
+	if _, err := EncryptECB(c, make([]byte, 15)); err == nil {
+		t.Error("ECB accepted unaligned input")
+	}
+}
+
+func TestCTRAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		key := make([]byte, 16)
+		iv := make([]byte, 16)
+		pt := make([]byte, rng.Intn(200))
+		rng.Read(key)
+		rng.Read(iv)
+		rng.Read(pt)
+
+		ours := mustAES(t, key)
+		ctr, err := NewCTR(ours, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(pt))
+		ctr.XORKeyStream(got, pt)
+
+		ref, _ := stdaes.NewCipher(key)
+		want := make([]byte, len(pt))
+		stdcipher.NewCTR(ref, iv).XORKeyStream(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("CTR mismatch with stdlib (iter %d, len %d)", i, len(pt))
+		}
+	}
+}
+
+func TestCTRCounterWraps(t *testing.T) {
+	c := mustAES(t, make([]byte, 16))
+	iv := bytes.Repeat([]byte{0xff}, 16) // next increment wraps to zero
+	ctr, _ := NewCTR(c, iv)
+	buf := make([]byte, 48)
+	ctr.XORKeyStream(buf, buf)
+
+	ref, _ := stdaes.NewCipher(make([]byte, 16))
+	want := make([]byte, 48)
+	stdcipher.NewCTR(ref, iv).XORKeyStream(want, make([]byte, 48))
+	if !bytes.Equal(buf, want) {
+		t.Fatal("CTR wraparound mismatch with stdlib")
+	}
+}
+
+func TestCTRSplitStream(t *testing.T) {
+	c := mustAES(t, make([]byte, 16))
+	iv := make([]byte, 16)
+	one, _ := NewCTR(c, iv)
+	two, _ := NewCTR(c, iv)
+	msg := make([]byte, 100)
+	a := make([]byte, 100)
+	one.XORKeyStream(a, msg)
+	b := make([]byte, 0, 100)
+	tmp := make([]byte, 9)
+	for off := 0; off < 100; {
+		n := 9
+		if off+n > 100 {
+			n = 100 - off
+		}
+		two.XORKeyStream(tmp[:n], msg[off:off+n])
+		b = append(b, tmp[:n]...)
+		off += n
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("split CTR keystream differs")
+	}
+}
+
+func TestNewCTRBadIV(t *testing.T) {
+	c := mustAES(t, make([]byte, 16))
+	if _, err := NewCTR(c, make([]byte, 8)); err == nil {
+		t.Fatal("NewCTR accepted wrong-size IV")
+	}
+}

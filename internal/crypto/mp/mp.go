@@ -1,0 +1,267 @@
+// Package mp provides the multi-precision modular arithmetic used by the
+// public-key algorithms (RSA, Diffie-Hellman): Montgomery multiplication,
+// leaky and constant-time modular exponentiation, and a simulated cycle
+// meter.
+//
+// The paper's tamper-resistance section (3.4) singles out the timing
+// attack on modular exponentiation [47] as the canonical side-channel.
+// Real timing attacks exploit the data-dependent "extra reduction" at the
+// end of a Montgomery multiplication; this package implements genuine
+// Montgomery reduction (REDC) over math/big and *meters* each operation in
+// simulated cycles of a 32-bit embedded CPU, so the attack in
+// internal/attack/timing operates on exactly the signal the literature
+// describes — deterministically and without wall-clock noise.
+package mp
+
+import (
+	"errors"
+	"math/big"
+)
+
+// WordBits is the simulated embedded-CPU word size. The paper's subject
+// processors (ARM7/9, SA-1100, embedded MIPS) are 32-bit machines.
+const WordBits = 32
+
+// CycleMeter accumulates simulated execution cycles.
+type CycleMeter struct {
+	cycles uint64
+}
+
+// Add accumulates n cycles.
+func (m *CycleMeter) Add(n uint64) {
+	if m != nil {
+		m.cycles += n
+	}
+}
+
+// Cycles returns the accumulated cycle count.
+func (m *CycleMeter) Cycles() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.cycles
+}
+
+// Reset zeroes the meter.
+func (m *CycleMeter) Reset() {
+	if m != nil {
+		m.cycles = 0
+	}
+}
+
+// ErrEvenModulus reports a modulus unusable for Montgomery arithmetic.
+var ErrEvenModulus = errors.New("mp: modulus must be odd and > 1")
+
+// MontCtx holds precomputed Montgomery parameters for an odd modulus N.
+type MontCtx struct {
+	N      *big.Int
+	rbits  uint     // R = 2^rbits, a whole number of words
+	rMask  *big.Int // R-1
+	nPrime *big.Int // -N^{-1} mod R
+	rr     *big.Int // R^2 mod N, converts into Montgomery form
+	one    *big.Int // R mod N, the Montgomery representation of 1
+	words  int      // modulus length in simulated CPU words
+
+	// Per-operation cycle costs, derived from the word count. A k-word
+	// operand costs ~k^2 word multiplies for a multiplication, squares
+	// are ~25% cheaper, and the extra reduction is a k-word subtraction.
+	costMul, costSquare, costExtra uint64
+}
+
+// NewMontCtx prepares Montgomery arithmetic modulo n.
+func NewMontCtx(n *big.Int) (*MontCtx, error) {
+	if n.Sign() <= 0 || n.Bit(0) == 0 || n.BitLen() < 2 {
+		return nil, ErrEvenModulus
+	}
+	words := (n.BitLen() + WordBits - 1) / WordBits
+	rbits := uint(words * WordBits)
+	r := new(big.Int).Lsh(big.NewInt(1), rbits)
+	rMask := new(big.Int).Sub(r, big.NewInt(1))
+	inv := new(big.Int).ModInverse(n, r)
+	if inv == nil {
+		return nil, ErrEvenModulus
+	}
+	nPrime := new(big.Int).Sub(r, inv) // -N^{-1} mod R
+	rr := new(big.Int).Mod(new(big.Int).Mul(r, r), n)
+	one := new(big.Int).Mod(r, n)
+	w := uint64(words)
+	return &MontCtx{
+		N:          new(big.Int).Set(n),
+		rbits:      rbits,
+		rMask:      rMask,
+		nPrime:     nPrime,
+		rr:         rr,
+		one:        one,
+		words:      words,
+		costMul:    4*w*w + 6*w,
+		costSquare: 3*w*w + 6*w,
+		costExtra:  2 * w,
+	}, nil
+}
+
+// Words returns the modulus length in simulated CPU words.
+func (c *MontCtx) Words() int { return c.words }
+
+// CostExtraReduction returns the simulated cycle cost of the final
+// conditional subtraction — the quantity a timing attacker estimates.
+func (c *MontCtx) CostExtraReduction() uint64 { return c.costExtra }
+
+// redc computes t·R^{-1} mod N for t < R·N, reporting whether the final
+// conditional subtraction ("extra reduction") fired.
+func (c *MontCtx) redc(t *big.Int) (*big.Int, bool) {
+	m := new(big.Int).And(t, c.rMask)
+	m.Mul(m, c.nPrime)
+	m.And(m, c.rMask)
+	u := new(big.Int).Mul(m, c.N)
+	u.Add(u, t)
+	u.Rsh(u, c.rbits)
+	extra := u.Cmp(c.N) >= 0
+	if extra {
+		u.Sub(u, c.N)
+	}
+	return u, extra
+}
+
+// ToMont converts x (reduced mod N) into Montgomery form.
+func (c *MontCtx) ToMont(x *big.Int) *big.Int {
+	t := new(big.Int).Mul(new(big.Int).Mod(x, c.N), c.rr)
+	v, _ := c.redc(t)
+	return v
+}
+
+// FromMont converts a Montgomery-form value back to the ordinary residue.
+func (c *MontCtx) FromMont(x *big.Int) *big.Int {
+	v, _ := c.redc(new(big.Int).Set(x))
+	return v
+}
+
+// MulMont multiplies two Montgomery-form values, reporting the
+// extra-reduction flag. This is the primitive the timing attack emulates.
+func (c *MontCtx) MulMont(a, b *big.Int) (*big.Int, bool) {
+	return c.redc(new(big.Int).Mul(a, b))
+}
+
+// One returns the Montgomery representation of 1.
+func (c *MontCtx) One() *big.Int { return new(big.Int).Set(c.one) }
+
+// ModExp computes base^exp mod N with a left-to-right square-and-multiply
+// over Montgomery arithmetic. Its simulated timing (accumulated into
+// meter, which may be nil) is data-dependent in exactly the way the
+// Kocher/Dhem timing attacks exploit: per-operation cost differs between
+// squares and multiplies, and each operation may or may not incur the
+// extra-reduction subtraction.
+func (c *MontCtx) ModExp(base, exp *big.Int, meter *CycleMeter) *big.Int {
+	if exp.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), c.N)
+	}
+	bm := c.ToMont(base)
+	acc := c.One()
+	var extra bool
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		acc, extra = c.MulMont(acc, acc)
+		meter.Add(c.costSquare)
+		if extra {
+			meter.Add(c.costExtra)
+		}
+		if exp.Bit(i) == 1 {
+			acc, extra = c.MulMont(acc, bm)
+			meter.Add(c.costMul)
+			if extra {
+				meter.Add(c.costExtra)
+			}
+		}
+	}
+	return c.FromMont(acc)
+}
+
+// ModExpConstTime computes base^exp mod N with a Montgomery ladder whose
+// simulated timing is independent of both the exponent bits and the data:
+// every iteration performs one multiply and one square, and the extra
+// reduction is charged unconditionally (modelling an implementation that
+// always executes the subtraction and discards it when unneeded). This is
+// the countermeasure of Section 3.4 in executable form.
+func (c *MontCtx) ModExpConstTime(base, exp *big.Int, meter *CycleMeter) *big.Int {
+	if exp.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), c.N)
+	}
+	r0 := c.One()
+	r1 := c.ToMont(base)
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		if exp.Bit(i) == 0 {
+			r1, _ = c.MulMont(r0, r1)
+			r0, _ = c.MulMont(r0, r0)
+		} else {
+			r0, _ = c.MulMont(r0, r1)
+			r1, _ = c.MulMont(r1, r1)
+		}
+		// Uniform charge: mul + square + one always-taken extra
+		// reduction, independent of data and key bits.
+		meter.Add(c.costMul + c.costSquare + c.costExtra)
+	}
+	return c.FromMont(r0)
+}
+
+// ExpCycleCosts reports the simulated (square, multiply, extra) costs so
+// the cost model in internal/cost and the attack threshold can share them.
+func (c *MontCtx) ExpCycleCosts() (square, mul, extra uint64) {
+	return c.costSquare, c.costMul, c.costExtra
+}
+
+// ModExpWithTrace is ModExp with a per-operation duration trace — the
+// signal a simple power analysis (SPA) probe sees: one amplitude sample
+// per modular operation. Squares and multiplies have different durations,
+// so the operation sequence (and with it the exponent) is readable
+// straight off the trace; internal/attack/spa does exactly that.
+func (c *MontCtx) ModExpWithTrace(base, exp *big.Int, meter *CycleMeter) (*big.Int, []uint64) {
+	if exp.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), c.N), nil
+	}
+	var trace []uint64
+	bm := c.ToMont(base)
+	acc := c.One()
+	var extra bool
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		acc, extra = c.MulMont(acc, acc)
+		d := c.costSquare
+		if extra {
+			d += c.costExtra
+		}
+		trace = append(trace, d)
+		meter.Add(d)
+		if exp.Bit(i) == 1 {
+			acc, extra = c.MulMont(acc, bm)
+			d := c.costMul
+			if extra {
+				d += c.costExtra
+			}
+			trace = append(trace, d)
+			meter.Add(d)
+		}
+	}
+	return c.FromMont(acc), trace
+}
+
+// ModExpConstTimeWithTrace is the Montgomery-ladder counterpart: every
+// iteration emits one uniform sample, so the trace is flat and carries no
+// key information.
+func (c *MontCtx) ModExpConstTimeWithTrace(base, exp *big.Int, meter *CycleMeter) (*big.Int, []uint64) {
+	if exp.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), c.N), nil
+	}
+	var trace []uint64
+	r0 := c.One()
+	r1 := c.ToMont(base)
+	uniform := c.costMul + c.costSquare + c.costExtra
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		if exp.Bit(i) == 0 {
+			r1, _ = c.MulMont(r0, r1)
+			r0, _ = c.MulMont(r0, r0)
+		} else {
+			r0, _ = c.MulMont(r0, r1)
+			r1, _ = c.MulMont(r1, r1)
+		}
+		trace = append(trace, uniform)
+		meter.Add(uniform)
+	}
+	return c.FromMont(r0), trace
+}

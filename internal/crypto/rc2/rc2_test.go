@@ -1,0 +1,133 @@
+package rc2
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 2268 §5 test vectors.
+var rfcVectors = []struct {
+	key     string
+	effBits int
+	pt      string
+	ct      string
+}{
+	{"0000000000000000", 63, "0000000000000000", "ebb773f993278eff"},
+	{"ffffffffffffffff", 64, "ffffffffffffffff", "278b27e42e2f0d49"},
+	{"3000000000000000", 64, "1000000000000001", "30649edf9be7d2c2"},
+	{"88", 64, "0000000000000000", "61a8a244adacccf0"},
+	{"88bca90e90875a", 64, "0000000000000000", "6ccf4308974c267f"},
+	{"88bca90e90875a7f0f79c384627bafb2", 64, "0000000000000000", "1a807d272bbe5db1"},
+	{"88bca90e90875a7f0f79c384627bafb2", 128, "0000000000000000", "2269552ab0f85ca6"},
+	{"88bca90e90875a7f0f79c384627bafb216f80a6f85920584c42fceb0be255daf1e", 129,
+		"0000000000000000", "5b78d3a43dfff1f1"},
+}
+
+func TestRFCVectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		c, err := NewCipherEffective(key, v.effBits)
+		if err != nil {
+			t.Fatalf("key %s: %v", v.key, err)
+		}
+		got := make([]byte, 8)
+		c.Encrypt(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Errorf("key %s eff %d: encrypt = %x, want %x", v.key, v.effBits, got, want)
+			continue
+		}
+		back := make([]byte, 8)
+		c.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Errorf("key %s eff %d: decrypt roundtrip failed", v.key, v.effBits)
+		}
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(key [16]byte, block [8]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 8)
+		pt := make([]byte, 8)
+		c.Encrypt(ct, block[:])
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, block[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundtripVariableKeys exercises odd key lengths, which stress the
+// key-expansion wraparound.
+func TestRoundtripVariableKeys(t *testing.T) {
+	for _, klen := range []int{1, 5, 7, 8, 13, 16, 33, 64, 128} {
+		key := make([]byte, klen)
+		for i := range key {
+			key[i] = byte(i*7 + klen)
+		}
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatalf("klen %d: %v", klen, err)
+		}
+		pt := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04}
+		ct := make([]byte, 8)
+		back := make([]byte, 8)
+		c.Encrypt(ct, pt)
+		c.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("klen %d: roundtrip failed", klen)
+		}
+		if bytes.Equal(ct, pt) {
+			t.Fatalf("klen %d: encryption is identity", klen)
+		}
+	}
+}
+
+// TestEffectiveBitsMatter verifies that shrinking the effective key length
+// changes the cipher (the export-grade weakening the paper's SSL suite
+// discussion mentions).
+func TestEffectiveBitsMatter(t *testing.T) {
+	key := []byte("sixteen byte key")
+	full, _ := NewCipherEffective(key, 128)
+	weak, _ := NewCipherEffective(key, 40)
+	pt := make([]byte, 8)
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	full.Encrypt(a, pt)
+	weak.Encrypt(b, pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("effective key bits had no effect")
+	}
+}
+
+func TestKeySizeErrors(t *testing.T) {
+	if _, err := NewCipher(nil); err == nil {
+		t.Error("accepted empty key")
+	}
+	if _, err := NewCipher(make([]byte, 129)); err == nil {
+		t.Error("accepted 129-byte key")
+	}
+	if _, err := NewCipherEffective(make([]byte, 8), 0); err == nil {
+		t.Error("accepted 0 effective bits")
+	}
+	if _, err := NewCipherEffective(make([]byte, 8), 1025); err == nil {
+		t.Error("accepted 1025 effective bits")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

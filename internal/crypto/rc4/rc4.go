@@ -1,0 +1,69 @@
+// Package rc4 implements the RC4 stream cipher from scratch.
+//
+// RC4 is both a negotiable SSL/WTLS bulk cipher (Section 3.1) and the
+// cipher underlying 802.11 WEP, whose key-schedule weakness enables the
+// FMS attack reproduced in internal/attack/wepattack (Section 2, refs
+// [21-23]).
+package rc4
+
+import "fmt"
+
+// KeySizeError reports an invalid key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("rc4: invalid key size %d", int(k))
+}
+
+// Cipher is an RC4 stream cipher instance.
+type Cipher struct {
+	s    [256]byte
+	i, j uint8
+}
+
+// NewCipher creates an RC4 cipher from a 1- to 256-byte key, running the
+// full key-scheduling algorithm (KSA).
+func NewCipher(key []byte) (*Cipher, error) {
+	k := len(key)
+	if k < 1 || k > 256 {
+		return nil, KeySizeError(k)
+	}
+	c := new(Cipher)
+	for i := range c.s {
+		c.s[i] = byte(i)
+	}
+	var j uint8
+	for i := 0; i < 256; i++ {
+		j += c.s[i] + key[i%k]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+	}
+	return c, nil
+}
+
+// XORKeyStream XORs src with the cipher's keystream into dst. dst and src
+// may overlap entirely or not at all.
+func (c *Cipher) XORKeyStream(dst, src []byte) {
+	for k, v := range src {
+		c.i++
+		c.j += c.s[c.i]
+		c.s[c.i], c.s[c.j] = c.s[c.j], c.s[c.i]
+		dst[k] = v ^ c.s[c.s[c.i]+c.s[c.j]]
+	}
+}
+
+// Keystream writes n keystream bytes into out (encrypting zeros). It is a
+// convenience for the WEP attacks, which reason about raw keystream.
+func (c *Cipher) Keystream(out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	c.XORKeyStream(out, out)
+}
+
+// State returns a copy of the current permutation state and the i/j
+// indices. The FMS attack in internal/attack/wepattack simulates partial
+// KSA runs; exposing the state keeps that simulation honest (it uses only
+// information an attacker can compute from the public IV).
+func (c *Cipher) State() (s [256]byte, i, j uint8) {
+	return c.s, c.i, c.j
+}

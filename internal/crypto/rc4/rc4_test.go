@@ -1,0 +1,140 @@
+package rc4
+
+import (
+	"bytes"
+	stdrc4 "crypto/rc4"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Published RC4 keystream vectors (from the original posting / RFC 6229
+// style short checks).
+var keystreamVectors = []struct {
+	key  string
+	want string
+}{
+	{"0102030405", "b2396305f03dc027"},
+	{"01020304050607", "293f02d47f37c9b6"},
+	{"0102030405060708", "97ab8a1bf0afb961"},
+	{"0102030405060708090a0b0c0d0e0f10", "9ac7cc9a609d1ef7"},
+}
+
+func TestKeystreamVectors(t *testing.T) {
+	for _, v := range keystreamVectors {
+		key, _ := hex.DecodeString(v.key)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 8)
+		c.Keystream(out)
+		if hex.EncodeToString(out) != v.want {
+			t.Errorf("key %s: keystream = %x, want %s", v.key, out, v.want)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 1+rng.Intn(32))
+		msg := make([]byte, rng.Intn(500))
+		rng.Read(key)
+		rng.Read(msg)
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := stdrc4.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		want := make([]byte, len(msg))
+		ours.XORKeyStream(got, msg)
+		ref.XORKeyStream(want, msg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %x: mismatch with stdlib", key)
+		}
+	}
+}
+
+// TestStreamSymmetry: encrypting twice with fresh ciphers restores the
+// plaintext (stream ciphers are their own inverse).
+func TestStreamSymmetry(t *testing.T) {
+	f := func(key [16]byte, msg []byte) bool {
+		c1, _ := NewCipher(key[:])
+		c2, _ := NewCipher(key[:])
+		ct := make([]byte, len(msg))
+		pt := make([]byte, len(msg))
+		c1.XORKeyStream(ct, msg)
+		c2.XORKeyStream(pt, ct)
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitStream verifies keystream continuity across calls.
+func TestSplitStream(t *testing.T) {
+	key := []byte("wepkey40")
+	c1, _ := NewCipher(key)
+	c2, _ := NewCipher(key)
+	msg := make([]byte, 100)
+	one := make([]byte, 100)
+	c1.XORKeyStream(one, msg)
+	two := make([]byte, 0, 100)
+	buf := make([]byte, 7)
+	for off := 0; off < 100; {
+		n := 7
+		if off+n > 100 {
+			n = 100 - off
+		}
+		c2.XORKeyStream(buf[:n], msg[off:off+n])
+		two = append(two, buf[:n]...)
+		off += n
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("split keystream differs from contiguous keystream")
+	}
+}
+
+func TestKeySizeErrors(t *testing.T) {
+	if _, err := NewCipher(nil); err == nil {
+		t.Error("accepted empty key")
+	}
+	if _, err := NewCipher(make([]byte, 257)); err == nil {
+		t.Error("accepted 257-byte key")
+	}
+	if KeySizeError(0).Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestStateAccess(t *testing.T) {
+	c, _ := NewCipher([]byte{1, 2, 3, 4, 5})
+	s, i, j := c.State()
+	if i != 0 || j != 0 {
+		t.Fatalf("fresh cipher i,j = %d,%d; want 0,0", i, j)
+	}
+	// State must be a permutation of 0..255.
+	var seen [256]bool
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("state is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkXORKeyStream1K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		c.XORKeyStream(buf, buf)
+	}
+}

@@ -1,0 +1,248 @@
+package rsa
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/crypto/mp"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/sha1"
+)
+
+// testKey generates a deterministic key once per size and caches it; RSA
+// keygen dominates test time otherwise.
+var keyCache = map[int]*PrivateKey{}
+
+func testKey(t *testing.T, bits int) *PrivateKey {
+	t.Helper()
+	if k, ok := keyCache[bits]; ok {
+		return k
+	}
+	k, err := GenerateKey(prng.NewDRBG([]byte("rsa-test-key")), bits)
+	if err != nil {
+		t.Fatalf("GenerateKey(%d): %v", bits, err)
+	}
+	keyCache[bits] = k
+	return k
+}
+
+func TestGenerateKeyStructure(t *testing.T) {
+	k := testKey(t, 512)
+	if k.N.BitLen() != 512 {
+		t.Fatalf("modulus %d bits, want 512", k.N.BitLen())
+	}
+	if new(big.Int).Mul(k.P, k.Q).Cmp(k.N) != 0 {
+		t.Fatal("N != P*Q")
+	}
+	// e*d ≡ 1 mod φ(n)
+	phi := new(big.Int).Mul(
+		new(big.Int).Sub(k.P, big.NewInt(1)),
+		new(big.Int).Sub(k.Q, big.NewInt(1)))
+	ed := new(big.Int).Mul(big.NewInt(k.E), k.D)
+	if new(big.Int).Mod(ed, phi).Int64() != 1 {
+		t.Fatal("e*d != 1 mod phi")
+	}
+	// CRT parameters.
+	if new(big.Int).Mod(new(big.Int).Mul(k.Qinv, k.Q), k.P).Int64() != 1 {
+		t.Fatal("qinv*q != 1 mod p")
+	}
+}
+
+func TestGenerateKeyRejectsTiny(t *testing.T) {
+	if _, err := GenerateKey(prng.NewDRBG(nil), 64); err == nil {
+		t.Fatal("accepted 64-bit modulus")
+	}
+}
+
+func TestEncryptDecryptRoundtrip(t *testing.T) {
+	k := testKey(t, 512)
+	rng := prng.NewDRBG([]byte("enc"))
+	for _, msg := range [][]byte{
+		[]byte(""),
+		[]byte("a"),
+		[]byte("pre-master secret!"),
+		bytes.Repeat([]byte{0xff}, 512/8-11),
+	} {
+		ct, err := EncryptPKCS1(rng, &k.PublicKey, msg)
+		if err != nil {
+			t.Fatalf("encrypt %q: %v", msg, err)
+		}
+		pt, err := DecryptPKCS1(k, ct, nil)
+		if err != nil {
+			t.Fatalf("decrypt %q: %v", msg, err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("roundtrip %q -> %q", msg, pt)
+		}
+	}
+}
+
+func TestEncryptTooLong(t *testing.T) {
+	k := testKey(t, 512)
+	msg := make([]byte, 512/8-10)
+	if _, err := EncryptPKCS1(prng.NewDRBG(nil), &k.PublicKey, msg); err != ErrMessageTooLong {
+		t.Fatalf("want ErrMessageTooLong, got %v", err)
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	k := testKey(t, 512)
+	if _, err := DecryptPKCS1(k, make([]byte, 3), nil); err == nil {
+		t.Fatal("accepted short ciphertext")
+	}
+	big := bytes.Repeat([]byte{0xff}, k.Size())
+	if _, err := DecryptPKCS1(k, big, nil); err == nil {
+		t.Fatal("accepted ciphertext >= N")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("signed message"))
+	for _, opts := range []*Options{
+		nil,
+		{NoCRT: true},
+		{ConstantTime: true},
+		{Blinding: true, Rand: prng.NewDRBG([]byte("blind"))},
+		{VerifyAfterSign: true},
+	} {
+		sig, err := SignPKCS1(k, "sha1", digest[:], opts)
+		if err != nil {
+			t.Fatalf("sign with %+v: %v", opts, err)
+		}
+		if err := VerifyPKCS1(&k.PublicKey, "sha1", digest[:], sig); err != nil {
+			t.Fatalf("verify with %+v: %v", opts, err)
+		}
+	}
+}
+
+func TestCRTMatchesNoCRT(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("crt equivalence"))
+	s1, err := SignPKCS1(k, "sha1", digest[:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SignPKCS1(k, "sha1", digest[:], &Options{NoCRT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("CRT and non-CRT signatures differ")
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("message"))
+	sig, _ := SignPKCS1(k, "sha1", digest[:], nil)
+
+	bad := append([]byte{}, sig...)
+	bad[5] ^= 1
+	if VerifyPKCS1(&k.PublicKey, "sha1", digest[:], bad) == nil {
+		t.Fatal("accepted corrupted signature")
+	}
+	other := sha1.Sum([]byte("other message"))
+	if VerifyPKCS1(&k.PublicKey, "sha1", other[:], sig) == nil {
+		t.Fatal("accepted signature over wrong digest")
+	}
+	if VerifyPKCS1(&k.PublicKey, "sha1", digest[:], sig[:10]) == nil {
+		t.Fatal("accepted truncated signature")
+	}
+}
+
+func TestSignMD5(t *testing.T) {
+	k := testKey(t, 512)
+	digest := make([]byte, 16)
+	sig, err := SignPKCS1(k, "md5", digest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPKCS1(&k.PublicKey, "md5", digest, sig); err != nil {
+		t.Fatal(err)
+	}
+	if VerifyPKCS1(&k.PublicKey, "sha1", append(digest, 0, 0, 0, 0), sig) == nil {
+		t.Fatal("hash algorithm confusion accepted")
+	}
+}
+
+func TestUnsupportedHash(t *testing.T) {
+	k := testKey(t, 512)
+	if _, err := SignPKCS1(k, "sha256", make([]byte, 32), nil); err == nil {
+		t.Fatal("accepted unsupported hash")
+	}
+}
+
+// TestFaultInjectionBreaksSignature: with a fault and no countermeasure
+// the signature is invalid — the precondition of the BDL attack.
+func TestFaultInjectionBreaksSignature(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("faulted"))
+	sig, err := SignPKCS1(k, "sha1", digest[:], &Options{Fault: &Fault{FlipBit: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyPKCS1(&k.PublicKey, "sha1", digest[:], sig) == nil {
+		t.Fatal("faulty signature verified")
+	}
+}
+
+// TestVerifyAfterSignCatchesFault: the countermeasure refuses to release a
+// faulty signature.
+func TestVerifyAfterSignCatchesFault(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("protected"))
+	_, err := SignPKCS1(k, "sha1", digest[:], &Options{
+		Fault:           &Fault{FlipBit: 3},
+		VerifyAfterSign: true,
+	})
+	if err != ErrFaultDetected {
+		t.Fatalf("want ErrFaultDetected, got %v", err)
+	}
+}
+
+func TestBlindingRequiresRand(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("m"))
+	if _, err := SignPKCS1(k, "sha1", digest[:], &Options{Blinding: true}); err == nil {
+		t.Fatal("blinding without Rand accepted")
+	}
+}
+
+// TestCRTFasterThanNoCRT: the CRT path should cost roughly 4x less in
+// simulated cycles — the reason implementations use it despite the fault
+// risk (Section 3.4).
+func TestCRTFasterThanNoCRT(t *testing.T) {
+	k := testKey(t, 512)
+	digest := sha1.Sum([]byte("cycles"))
+	var crt, plain mp.CycleMeter
+	if _, err := SignPKCS1(k, "sha1", digest[:], &Options{Meter: &crt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SignPKCS1(k, "sha1", digest[:], &Options{NoCRT: true, Meter: &plain}); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(plain.Cycles()) / float64(crt.Cycles())
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("no-CRT/CRT cycle ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestPublicKeySize(t *testing.T) {
+	k := testKey(t, 512)
+	if k.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", k.Size())
+	}
+}
+
+func BenchmarkSignCRT512(b *testing.B) {
+	k, _ := GenerateKey(prng.NewDRBG([]byte("bench")), 512)
+	digest := sha1.Sum([]byte("bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SignPKCS1(k, "sha1", digest[:], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package energy models the battery of a mobile appliance: a finite joule
+// budget with a categorized drain ledger.
+//
+// Section 3.3 of the paper frames the "battery gap": security processing
+// drains a slowly-improving (5-8%/year) energy supply. The Battery type
+// here is the accounting substrate of the Figure 4 reproduction.
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrBatteryExhausted reports a drain exceeding the remaining charge.
+var ErrBatteryExhausted = errors.New("energy: battery exhausted")
+
+// Battery is a finite energy store with per-category drain accounting.
+type Battery struct {
+	mu        sync.Mutex
+	capacityJ float64
+	drainedJ  float64
+	ledger    map[string]float64
+}
+
+// NewBattery creates a battery with the given capacity in joules.
+func NewBattery(capacityJ float64) (*Battery, error) {
+	if capacityJ <= 0 {
+		return nil, fmt.Errorf("energy: non-positive capacity %v", capacityJ)
+	}
+	return &Battery{capacityJ: capacityJ, ledger: make(map[string]float64)}, nil
+}
+
+// CapacityJ returns the battery's capacity in joules.
+func (b *Battery) CapacityJ() float64 { return b.capacityJ }
+
+// RemainingJ returns the remaining charge in joules.
+func (b *Battery) RemainingJ() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacityJ - b.drainedJ
+}
+
+// Drain removes joules from the battery under the given ledger category.
+// It fails (without partial drain) if the charge is insufficient.
+func (b *Battery) Drain(category string, joules float64) error {
+	if joules < 0 {
+		return fmt.Errorf("energy: negative drain %v", joules)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.drainedJ+joules > b.capacityJ {
+		return ErrBatteryExhausted
+	}
+	b.drainedJ += joules
+	b.ledger[category] += joules
+	return nil
+}
+
+// Drained returns the joules drained under a category.
+func (b *Battery) Drained(category string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ledger[category]
+}
+
+// Categories returns the ledger categories in sorted order.
+func (b *Battery) Categories() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cats []string
+	for c := range b.ledger {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// Recharge restores the battery to full and clears the ledger.
+func (b *Battery) Recharge() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drainedJ = 0
+	b.ledger = make(map[string]float64)
+}
+
+// TransactionsPossible returns how many transactions of perTxJoules each a
+// full battery supports — the y-axis of Figure 4.
+func (b *Battery) TransactionsPossible(perTxJoules float64) int {
+	if perTxJoules <= 0 {
+		return 0
+	}
+	return int(b.capacityJ / perTxJoules)
+}

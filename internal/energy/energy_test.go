@@ -1,0 +1,133 @@
+package energy
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewBattery(-5); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}
+
+func TestDrainAccounting(t *testing.T) {
+	b, _ := NewBattery(100)
+	if err := b.Drain("radio", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Drain("crypto", 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RemainingJ(); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("remaining = %v, want 50", got)
+	}
+	if b.Drained("radio") != 30 || b.Drained("crypto") != 20 {
+		t.Fatal("ledger wrong")
+	}
+	cats := b.Categories()
+	if len(cats) != 2 || cats[0] != "crypto" || cats[1] != "radio" {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestDrainExhaustion(t *testing.T) {
+	b, _ := NewBattery(10)
+	if err := b.Drain("x", 11); err != ErrBatteryExhausted {
+		t.Fatalf("want ErrBatteryExhausted, got %v", err)
+	}
+	// Failed drain must not change state.
+	if b.RemainingJ() != 10 {
+		t.Fatal("failed drain changed state")
+	}
+	if err := b.Drain("x", 10); err != nil {
+		t.Fatalf("exact drain failed: %v", err)
+	}
+	if err := b.Drain("x", 0.001); err != ErrBatteryExhausted {
+		t.Fatal("empty battery accepted drain")
+	}
+}
+
+func TestDrainRejectsNegative(t *testing.T) {
+	b, _ := NewBattery(10)
+	if err := b.Drain("x", -1); err == nil {
+		t.Fatal("accepted negative drain")
+	}
+}
+
+func TestRecharge(t *testing.T) {
+	b, _ := NewBattery(10)
+	b.Drain("x", 7) //nolint:errcheck
+	b.Recharge()
+	if b.RemainingJ() != 10 || len(b.Categories()) != 0 {
+		t.Fatal("recharge did not reset state")
+	}
+}
+
+// TestFig4Endpoints computes the Figure 4 numbers with the Battery type:
+// secure-mode transaction count must be under half the plain count.
+func TestFig4Endpoints(t *testing.T) {
+	b, _ := NewBattery(26_000)
+	plainTx := b.TransactionsPossible((21.5 + 14.3) / 1e3)
+	secureTx := b.TransactionsPossible((21.5 + 14.3 + 42.0) / 1e3)
+	if plainTx == 0 || secureTx == 0 {
+		t.Fatal("degenerate transaction counts")
+	}
+	ratio := float64(secureTx) / float64(plainTx)
+	if ratio >= 0.5 {
+		t.Fatalf("secure/plain = %.3f, paper's Figure 4 shows < 0.5", ratio)
+	}
+}
+
+func TestTransactionsPossibleEdge(t *testing.T) {
+	b, _ := NewBattery(10)
+	if b.TransactionsPossible(0) != 0 || b.TransactionsPossible(-1) != 0 {
+		t.Fatal("non-positive per-tx energy should yield 0")
+	}
+	if b.TransactionsPossible(3) != 3 {
+		t.Fatalf("10/3 transactions = %d, want 3", b.TransactionsPossible(3))
+	}
+}
+
+// TestDrainConservation is a quick property: total drained equals the sum
+// over ledger categories and never exceeds capacity.
+func TestDrainConservation(t *testing.T) {
+	f := func(amounts []uint8) bool {
+		b, _ := NewBattery(1000)
+		for i, a := range amounts {
+			cat := "c" + string(rune('a'+i%5))
+			_ = b.Drain(cat, float64(a)) // may fail when exhausted; fine
+		}
+		sum := 0.0
+		for _, c := range b.Categories() {
+			sum += b.Drained(c)
+		}
+		return math.Abs((1000-b.RemainingJ())-sum) < 1e-9 && b.RemainingJ() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDrain(t *testing.T) {
+	b, _ := NewBattery(1e6)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = b.Drain("load", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Drained("load"); got != 8000 {
+		t.Fatalf("concurrent drain lost updates: %v", got)
+	}
+}

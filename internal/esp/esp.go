@@ -1,0 +1,196 @@
+// Package esp implements an IPSec-ESP-style network-layer protection
+// scheme from scratch: per-SA sequence numbers, CBC encryption with a
+// negotiated block cipher, a truncated-HMAC integrity value and an
+// anti-replay window.
+//
+// It is the "network or IP layer (IPSec)" rung of the paper's protocol
+// ladder (Section 2): the layer a VPN-connected wireless PDA must run in
+// addition to WEP below it and SSL above it (Section 3.1's tri-layer
+// example), and the workload the Safenet-style protocol engines of
+// Section 4.2.3 accelerate.
+package esp
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/modes"
+)
+
+// ICVLen is the truncated HMAC length (96 bits, as in HMAC-SHA1-96).
+const ICVLen = 12
+
+// Errors returned by Open.
+var (
+	ErrAuth     = errors.New("esp: authentication failed")
+	ErrReplay   = errors.New("esp: replayed or stale sequence number")
+	ErrTooShort = errors.New("esp: packet too short")
+	ErrWrongSPI = errors.New("esp: packet for a different SPI")
+)
+
+// windowSize is the anti-replay window width.
+const windowSize = 64
+
+// SA is one direction of a security association.
+type SA struct {
+	SPI    uint32
+	block  modes.Block
+	newMAC func() hash.Hash
+	macKey []byte
+	rng    io.Reader
+
+	sendSeq uint32
+
+	// receive-side anti-replay state
+	highestSeq uint32
+	window     uint64
+
+	// lifetime limits (0 = unlimited); when exceeded the SA refuses
+	// further traffic and must be rekeyed, as IPSec SAs do.
+	byteLifetime   int
+	packetLifetime uint32
+	bytesSealed    int
+}
+
+// ErrLifetimeExceeded reports an SA past its negotiated lifetime.
+var ErrLifetimeExceeded = errors.New("esp: SA lifetime exceeded; rekey required")
+
+// SetLifetime bounds the SA to maxBytes of payload and maxPackets
+// packets (either may be 0 for unlimited).
+func (sa *SA) SetLifetime(maxBytes int, maxPackets uint32) {
+	sa.byteLifetime = maxBytes
+	sa.packetLifetime = maxPackets
+}
+
+// LifetimeExhausted reports whether the SA must be rekeyed.
+func (sa *SA) LifetimeExhausted() bool {
+	if sa.byteLifetime > 0 && sa.bytesSealed >= sa.byteLifetime {
+		return true
+	}
+	if sa.packetLifetime > 0 && sa.sendSeq >= sa.packetLifetime {
+		return true
+	}
+	return false
+}
+
+// NewSA creates a security association. block encrypts the payload in CBC
+// mode with random IVs from rng; newMAC+macKey authenticate the packet.
+func NewSA(spi uint32, block modes.Block, newMAC func() hash.Hash, macKey []byte, rng io.Reader) (*SA, error) {
+	if block == nil || newMAC == nil || rng == nil {
+		return nil, errors.New("esp: nil cipher, MAC or rng")
+	}
+	if len(macKey) == 0 {
+		return nil, errors.New("esp: empty MAC key")
+	}
+	return &SA{SPI: spi, block: block, newMAC: newMAC, macKey: append([]byte{}, macKey...), rng: rng}, nil
+}
+
+func (sa *SA) icv(data []byte) []byte {
+	h := hmac.New(sa.newMAC, sa.macKey)
+	h.Write(data)
+	return h.Sum(nil)[:ICVLen]
+}
+
+// Seal protects a payload into a packet:
+//
+//	SPI(4) || seq(4) || IV(bs) || CBC(payload padded) || ICV(12)
+//
+// The ICV covers everything before it.
+func (sa *SA) Seal(payload []byte) ([]byte, error) {
+	if sa.LifetimeExhausted() {
+		return nil, ErrLifetimeExceeded
+	}
+	sa.sendSeq++
+	if sa.sendSeq == 0 {
+		return nil, errors.New("esp: sequence number exhausted; rekey required")
+	}
+	sa.bytesSealed += len(payload)
+	bs := sa.block.BlockSize()
+	iv := make([]byte, bs)
+	if _, err := io.ReadFull(sa.rng, iv); err != nil {
+		return nil, fmt.Errorf("esp: drawing IV: %w", err)
+	}
+	ct, err := modes.EncryptCBC(sa.block, iv, modes.Pad(payload, bs))
+	if err != nil {
+		return nil, err
+	}
+	pkt := make([]byte, 0, 8+bs+len(ct)+ICVLen)
+	pkt = append(pkt,
+		byte(sa.SPI>>24), byte(sa.SPI>>16), byte(sa.SPI>>8), byte(sa.SPI),
+		byte(sa.sendSeq>>24), byte(sa.sendSeq>>16), byte(sa.sendSeq>>8), byte(sa.sendSeq))
+	pkt = append(pkt, iv...)
+	pkt = append(pkt, ct...)
+	return append(pkt, sa.icv(pkt)...), nil
+}
+
+// Open verifies, replay-checks and decrypts a packet.
+func (sa *SA) Open(pkt []byte) ([]byte, error) {
+	bs := sa.block.BlockSize()
+	if len(pkt) < 8+bs+ICVLen {
+		return nil, ErrTooShort
+	}
+	spi := uint32(pkt[0])<<24 | uint32(pkt[1])<<16 | uint32(pkt[2])<<8 | uint32(pkt[3])
+	if spi != sa.SPI {
+		return nil, ErrWrongSPI
+	}
+	seq := uint32(pkt[4])<<24 | uint32(pkt[5])<<16 | uint32(pkt[6])<<8 | uint32(pkt[7])
+
+	body, icv := pkt[:len(pkt)-ICVLen], pkt[len(pkt)-ICVLen:]
+	if !hmac.Equal(icv, sa.icv(body)) {
+		return nil, ErrAuth
+	}
+	if err := sa.checkReplay(seq); err != nil {
+		return nil, err
+	}
+	iv := body[8 : 8+bs]
+	ct := body[8+bs:]
+	pt, err := modes.DecryptCBC(sa.block, iv, ct)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := modes.Unpad(pt, bs)
+	if err != nil {
+		return nil, err
+	}
+	sa.markSeen(seq)
+	return payload, nil
+}
+
+// checkReplay implements the RFC 2401-style sliding window.
+func (sa *SA) checkReplay(seq uint32) error {
+	if seq == 0 {
+		return ErrReplay
+	}
+	switch {
+	case seq > sa.highestSeq:
+		return nil
+	case sa.highestSeq-seq >= windowSize:
+		return ErrReplay
+	default:
+		if sa.window&(1<<(sa.highestSeq-seq)) != 0 {
+			return ErrReplay
+		}
+		return nil
+	}
+}
+
+func (sa *SA) markSeen(seq uint32) {
+	if seq > sa.highestSeq {
+		shift := seq - sa.highestSeq
+		if shift >= windowSize {
+			sa.window = 0
+		} else {
+			sa.window <<= shift
+		}
+		sa.window |= 1
+		sa.highestSeq = seq
+	} else {
+		sa.window |= 1 << (sa.highestSeq - seq)
+	}
+}
+
+// SendSeq reports the last sent sequence number.
+func (sa *SA) SendSeq() uint32 { return sa.sendSeq }

@@ -1,0 +1,19 @@
+package esp
+
+import "testing"
+
+// FuzzOpen: arbitrary packets against a live SA must error cleanly (and
+// never panic); valid packets are covered by the unit tests.
+func FuzzOpen(f *testing.F) {
+	tx, rx := pairSA(f)
+	good, err := tx.Seal([]byte("seed packet"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:9])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rx.Open(data) //nolint:errcheck // must not panic
+	})
+}

@@ -1,0 +1,139 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// This file gives Section 4.2.3's programmable security protocol engines
+// a concrete, queue-level form: a discrete-event simulation of packets
+// through a single FIFO server, where the server is either the host CPU
+// running the protocol in software or a dedicated packet engine. The
+// divergence of the software queue at WLAN rates is the processing gap as
+// a latency phenomenon; the engine's bounded latency is what "holistic"
+// offload (crypto + protocol processing) buys.
+
+// Packet is one arrival in the simulation.
+type Packet struct {
+	ArrivalUs float64
+	Bytes     int
+}
+
+// Server is a serial packet processor.
+type Server struct {
+	Name        string
+	PerPacketUs float64 // fixed protocol-processing overhead per packet
+	PerByteUs   float64 // payload-proportional work
+}
+
+// ServiceUs returns the service time of one packet.
+func (s *Server) ServiceUs(bytes int) float64 {
+	return s.PerPacketUs + float64(bytes)*s.PerByteUs
+}
+
+// SoftwareServer models the host CPU running the bulk protection and
+// per-packet protocol processing in software.
+func SoftwareServer(cpu *Processor, cipher, mac cost.Algorithm, perPacketInstr float64) *Server {
+	instrPerByte := cost.BulkInstrPerByte(cipher, mac)
+	usPerInstr := 1e6 / (cpu.MIPS * 1e6)
+	return &Server{
+		Name:        "sw-" + cpu.Name,
+		PerPacketUs: perPacketInstr * usPerInstr,
+		PerByteUs:   instrPerByte * usPerInstr,
+	}
+}
+
+// EngineServer models a dedicated security protocol engine with a line
+// rate and small fixed per-packet latency.
+func EngineServer(name string, lineRateMbps, perPacketUs float64) *Server {
+	return &Server{
+		Name:        name,
+		PerPacketUs: perPacketUs,
+		PerByteUs:   8 / lineRateMbps, // µs per byte at the line rate
+	}
+}
+
+// QueueStats summarizes one simulation run.
+type QueueStats struct {
+	Packets        int
+	MeanLatencyUs  float64
+	MaxLatencyUs   float64
+	MaxBacklog     int // packets waiting at any instant
+	ThroughputMbps float64
+	Utilization    float64 // busy time / span
+}
+
+// SimulateQueue runs the packets through a single FIFO server and returns
+// per-packet latencies with summary statistics. Packets must be in
+// arrival order.
+func SimulateQueue(s *Server, packets []Packet) ([]float64, *QueueStats, error) {
+	if s == nil {
+		return nil, nil, errors.New("proc: nil server")
+	}
+	if len(packets) == 0 {
+		return nil, nil, errors.New("proc: no packets")
+	}
+	latencies := make([]float64, len(packets))
+	stats := &QueueStats{Packets: len(packets)}
+	var serverFree float64
+	var busy float64
+	var totalBytes int
+	departures := make([]float64, len(packets))
+	for i, p := range packets {
+		if i > 0 && p.ArrivalUs < packets[i-1].ArrivalUs {
+			return nil, nil, fmt.Errorf("proc: packets out of order at %d", i)
+		}
+		start := p.ArrivalUs
+		if serverFree > start {
+			start = serverFree
+		}
+		svc := s.ServiceUs(p.Bytes)
+		dep := start + svc
+		serverFree = dep
+		busy += svc
+		departures[i] = dep
+		latencies[i] = dep - p.ArrivalUs
+		stats.MeanLatencyUs += latencies[i]
+		if latencies[i] > stats.MaxLatencyUs {
+			stats.MaxLatencyUs = latencies[i]
+		}
+		totalBytes += p.Bytes
+		// Backlog: packets that arrived at or before this packet's
+		// arrival but have not departed.
+		backlog := 0
+		for j := 0; j <= i; j++ {
+			if departures[j] > p.ArrivalUs {
+				backlog++
+			}
+		}
+		if backlog > stats.MaxBacklog {
+			stats.MaxBacklog = backlog
+		}
+	}
+	stats.MeanLatencyUs /= float64(len(packets))
+	span := departures[len(departures)-1] - packets[0].ArrivalUs
+	if span > 0 {
+		stats.ThroughputMbps = float64(totalBytes) * 8 / span
+		stats.Utilization = busy / span
+	}
+	return latencies, stats, nil
+}
+
+// CBRStream generates a constant-bit-rate packet stream: rateMbps of
+// packetBytes-sized packets for durationMs.
+func CBRStream(rateMbps float64, packetBytes int, durationMs float64) ([]Packet, error) {
+	if rateMbps <= 0 || packetBytes <= 0 || durationMs <= 0 {
+		return nil, errors.New("proc: CBR parameters must be positive")
+	}
+	interArrivalUs := float64(packetBytes) * 8 / rateMbps
+	var packets []Packet
+	for t := 0.0; t < durationMs*1000; t += interArrivalUs {
+		packets = append(packets, Packet{ArrivalUs: t, Bytes: packetBytes})
+	}
+	if len(packets) == 0 {
+		return nil, errors.New("proc: stream too short for one packet")
+	}
+	return packets, nil
+}

@@ -1,0 +1,120 @@
+package proc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestCBRStream(t *testing.T) {
+	pkts, err := CBRStream(10, 1500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 Mbps for 10 ms = 100 kbit = 12500 B ≈ 8-9 packets of 1500 B.
+	if len(pkts) < 8 || len(pkts) > 10 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].ArrivalUs <= pkts[i-1].ArrivalUs {
+			t.Fatal("arrivals not increasing")
+		}
+	}
+	if _, err := CBRStream(0, 1500, 10); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := CBRStream(10, 0, 10); err == nil {
+		t.Error("accepted zero packet size")
+	}
+	if _, err := CBRStream(10, 1500, 0); err == nil {
+		t.Error("accepted zero duration")
+	}
+}
+
+// TestSoftwarePathDivergesAtWLANRate: the SA-1100 running 3DES+SHA in
+// software cannot keep up with a 10 Mbps stream — queueing delay grows
+// without bound (the gap as a latency phenomenon).
+func TestSoftwarePathDivergesAtWLANRate(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	sw := SoftwareServer(cpu, cost.DES3, cost.SHA1, 2000)
+	pkts, err := CBRStream(10, 1500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, stats, err := SimulateQueue(sw, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overloaded server: last packet waits far longer than the first.
+	if lat[len(lat)-1] < 10*lat[0] {
+		t.Fatalf("expected divergence: first %v µs, last %v µs", lat[0], lat[len(lat)-1])
+	}
+	if stats.Utilization < 0.99 {
+		t.Fatalf("overloaded server utilization %.3f, want ≈1", stats.Utilization)
+	}
+	// Its sustained throughput is pinned by the CPU, around 2.9 Mbps
+	// (235 MIPS / 651.3 MIPS-per-10Mbps ≈ 3.6, minus per-packet cost).
+	if stats.ThroughputMbps > 4 {
+		t.Fatalf("software throughput %.2f Mbps too high", stats.ThroughputMbps)
+	}
+}
+
+// TestEngineKeepsUp: a protocol engine provisioned above the line rate
+// bounds latency and matches the offered load.
+func TestEngineKeepsUp(t *testing.T) {
+	eng := EngineServer("packet-engine", 100, 20) // 100 Mbps, 20 µs/packet
+	pkts, _ := CBRStream(10, 1500, 50)
+	lat, stats, err := SimulateQueue(eng, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lat {
+		if l > 500 {
+			t.Fatalf("packet %d latency %v µs; engine should stay bounded", i, l)
+		}
+	}
+	if math.Abs(stats.ThroughputMbps-10) > 1 {
+		t.Fatalf("engine throughput %.2f Mbps, want ≈10", stats.ThroughputMbps)
+	}
+	if stats.Utilization > 0.5 {
+		t.Fatalf("engine utilization %.3f, want well under 1", stats.Utilization)
+	}
+	if stats.MaxBacklog > 2 {
+		t.Fatalf("engine backlog %d packets", stats.MaxBacklog)
+	}
+}
+
+// TestEngineVsSoftwareLatencyGap quantifies the Section 4.2.3 payoff.
+func TestEngineVsSoftwareLatencyGap(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	sw := SoftwareServer(cpu, cost.DES3, cost.SHA1, 2000)
+	eng := EngineServer("packet-engine", 100, 20)
+	pkts, _ := CBRStream(10, 1500, 50)
+	_, swStats, _ := SimulateQueue(sw, pkts)
+	_, engStats, _ := SimulateQueue(eng, pkts)
+	if engStats.MeanLatencyUs*50 > swStats.MeanLatencyUs {
+		t.Fatalf("engine mean %v µs vs software %v µs: gap too small",
+			engStats.MeanLatencyUs, swStats.MeanLatencyUs)
+	}
+}
+
+func TestSimulateQueueValidation(t *testing.T) {
+	eng := EngineServer("e", 10, 1)
+	if _, _, err := SimulateQueue(nil, []Packet{{0, 100}}); err == nil {
+		t.Error("accepted nil server")
+	}
+	if _, _, err := SimulateQueue(eng, nil); err == nil {
+		t.Error("accepted empty stream")
+	}
+	if _, _, err := SimulateQueue(eng, []Packet{{10, 1}, {5, 1}}); err == nil {
+		t.Error("accepted out-of-order arrivals")
+	}
+}
+
+func TestServiceUs(t *testing.T) {
+	s := &Server{PerPacketUs: 10, PerByteUs: 2}
+	if got := s.ServiceUs(5); got != 20 {
+		t.Fatalf("ServiceUs = %v, want 20", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package proc models the embedded processors and security-processing
+// hardware of the paper: the MIPS ladder of Section 3.2, the ISA
+// extensions, cryptographic accelerators and programmable protocol engines
+// of Section 4.2.
+package proc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Processor is a parametric embedded (or desktop) CPU model.
+type Processor struct {
+	Name      string
+	MIPS      float64 // sustained instruction throughput
+	ClockMHz  float64
+	ActiveMW  float64 // active power draw
+	Class     string  // "sensor", "phone", "pda", "desktop"
+	WordBits  int
+	Reference string // where the rating comes from in the paper
+}
+
+// TimeForInstr returns the seconds needed to execute instr instructions.
+func (p *Processor) TimeForInstr(instr float64) float64 {
+	return instr / (p.MIPS * 1e6)
+}
+
+// EnergyForInstr returns the joules consumed executing instr instructions
+// at the processor's active power.
+func (p *Processor) EnergyForInstr(instr float64) float64 {
+	return p.TimeForInstr(instr) * p.ActiveMW / 1e3
+}
+
+// NanoJoulePerInstr is the processor's energy cost per instruction.
+func (p *Processor) NanoJoulePerInstr() float64 {
+	// (mW/1e3 W) / (MIPS·1e6 instr/s) · 1e9 nJ/J = ActiveMW/MIPS.
+	return p.ActiveMW / p.MIPS
+}
+
+// Catalog returns the paper's processor ladder (Section 3.2): the
+// DragonBall core of Palm OS devices and the sensor-node study, the
+// ARM7-class cell-phone CPU, the StrongARM SA-1100 PDA processor and the
+// desktop Pentium 4 reference point.
+func Catalog() []*Processor {
+	return []*Processor{
+		{
+			Name: "DragonBall-68EC000", MIPS: 2.7, ClockMHz: 16, ActiveMW: 45,
+			Class: "sensor", WordBits: 32,
+			Reference: "Motorola 68EC000 core, §3.2 / [35]",
+		},
+		{
+			Name: "ARM7-cell-phone", MIPS: 20, ClockMHz: 40, ActiveMW: 60,
+			Class: "phone", WordBits: 32,
+			Reference: "ARM7/ARM9 central CPU at 30-40 MHz, §3.2",
+		},
+		{
+			Name: "StrongARM-SA1100", MIPS: 235, ClockMHz: 206, ActiveMW: 400,
+			Class: "pda", WordBits: 32,
+			Reference: "Intel StrongARM 1100 at 206 MHz, §3.2 / [34]",
+		},
+		{
+			Name: "Pentium4-2.6GHz", MIPS: 2890, ClockMHz: 2600, ActiveMW: 60000,
+			Class: "desktop", WordBits: 32,
+			Reference: "2.6 GHz Pentium 4 desktop, §3.2",
+		},
+	}
+}
+
+// ByName looks a processor up in the catalog.
+func ByName(name string) (*Processor, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("proc: unknown processor %q", name)
+}
+
+// Architecture is a security-processing architecture: a base processor
+// optionally augmented with the Section 4.2 hardware. Speedups are
+// expressed as demand dividers on each workload component, following the
+// architectural ablation the paper sketches:
+//
+//   - ISA extensions (SmartMIPS / SecurCore style) speed up symmetric
+//     ciphers and, more modestly, hashes and big-number arithmetic;
+//   - crypto accelerators execute the cipher/hash/public-key kernels in
+//     dedicated hardware;
+//   - programmable protocol engines (MOSES style) additionally absorb the
+//     protocol-processing component.
+type Architecture struct {
+	Name           string
+	CPU            *Processor
+	SymmetricGain  float64 // divider on cipher instructions (≥1)
+	HashGain       float64 // divider on MAC/hash instructions (≥1)
+	PublicKeyGain  float64 // divider on handshake instructions (≥1)
+	ProtocolGain   float64 // divider applied on top of everything (≥1)
+	EnergyGainGain float64 // divider on security-processing energy (≥1)
+}
+
+func gain(g float64) float64 {
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// SoftwareOnly is the all-software baseline on the given CPU.
+func SoftwareOnly(cpu *Processor) *Architecture {
+	return &Architecture{Name: "sw-only", CPU: cpu,
+		SymmetricGain: 1, HashGain: 1, PublicKeyGain: 1, ProtocolGain: 1, EnergyGainGain: 1}
+}
+
+// WithISAExtensions models a SmartMIPS/SecurCore-class core: 2-4x on
+// bit-level symmetric kernels, 1.5x on hashes, 2x on modular arithmetic.
+func WithISAExtensions(cpu *Processor) *Architecture {
+	return &Architecture{Name: "isa-ext", CPU: cpu,
+		SymmetricGain: 3, HashGain: 1.5, PublicKeyGain: 2, ProtocolGain: 1, EnergyGainGain: 1.5}
+}
+
+// WithCryptoAccelerator models a dedicated cipher/hash/modexp engine
+// (Discretix / Safenet EmbeddedIP class): large gains on the kernels, none
+// on protocol processing.
+func WithCryptoAccelerator(cpu *Processor) *Architecture {
+	return &Architecture{Name: "crypto-accel", CPU: cpu,
+		SymmetricGain: 20, HashGain: 10, PublicKeyGain: 15, ProtocolGain: 1, EnergyGainGain: 6}
+}
+
+// WithProtocolEngine models a programmable security protocol engine
+// (MOSES / Safenet packet-engine class): accelerator gains plus absorption
+// of the protocol-processing component.
+func WithProtocolEngine(cpu *Processor) *Architecture {
+	return &Architecture{Name: "protocol-engine", CPU: cpu,
+		SymmetricGain: 25, HashGain: 12, PublicKeyGain: 20, ProtocolGain: 2, EnergyGainGain: 8}
+}
+
+// Ablation returns the four-architecture ladder over a CPU, in increasing
+// capability order (the B1 experiment).
+func Ablation(cpu *Processor) []*Architecture {
+	return []*Architecture{
+		SoftwareOnly(cpu),
+		WithISAExtensions(cpu),
+		WithCryptoAccelerator(cpu),
+		WithProtocolEngine(cpu),
+	}
+}
+
+// EffectiveDemandMIPS is the MIPS the *CPU* must supply under this
+// architecture for the given workload — Figure 3's demand surface divided
+// by the architecture's gains.
+func (a *Architecture) EffectiveDemandMIPS(latencySec, rateMbps float64,
+	hs cost.HandshakeKind, cipher, mac cost.Algorithm) (float64, error) {
+	h, err := cost.HandshakeInstr(hs)
+	if err != nil {
+		return 0, err
+	}
+	if latencySec <= 0 {
+		return 0, fmt.Errorf("proc: non-positive latency %v", latencySec)
+	}
+	if rateMbps < 0 {
+		return 0, fmt.Errorf("proc: negative rate %v", rateMbps)
+	}
+	handshakeMIPS := h / gain(a.PublicKeyGain) / latencySec / 1e6
+	bytesPerSec := rateMbps * 1e6 / 8
+	cipherMIPS := bytesPerSec * cost.InstrPerByte(cipher) / gain(a.SymmetricGain) / 1e6
+	macMIPS := bytesPerSec * cost.InstrPerByte(mac) / gain(a.HashGain) / 1e6
+	return (handshakeMIPS + cipherMIPS + macMIPS) / gain(a.ProtocolGain), nil
+}
+
+// Feasible reports whether the architecture's CPU can supply the workload.
+func (a *Architecture) Feasible(latencySec, rateMbps float64,
+	hs cost.HandshakeKind, cipher, mac cost.Algorithm) (bool, error) {
+	d, err := a.EffectiveDemandMIPS(latencySec, rateMbps, hs, cipher, mac)
+	if err != nil {
+		return false, err
+	}
+	return d <= a.CPU.MIPS, nil
+}
+
+// MaxRateMbps returns the highest bulk data rate (Mbps) the architecture
+// sustains at the given connection latency, or 0 if even the handshake
+// alone exceeds the CPU.
+func (a *Architecture) MaxRateMbps(latencySec float64,
+	hs cost.HandshakeKind, cipher, mac cost.Algorithm) (float64, error) {
+	h, err := cost.HandshakeInstr(hs)
+	if err != nil {
+		return 0, err
+	}
+	perMbps := (cost.InstrPerByte(cipher)/gain(a.SymmetricGain) +
+		cost.InstrPerByte(mac)/gain(a.HashGain)) * 1e6 / 8 / 1e6
+	if perMbps == 0 {
+		return 0, fmt.Errorf("proc: zero bulk cost; cannot bound rate")
+	}
+	handshakeMIPS := h / gain(a.PublicKeyGain) / latencySec / 1e6
+	budget := a.CPU.MIPS*gain(a.ProtocolGain) - handshakeMIPS
+	if budget <= 0 {
+		return 0, nil
+	}
+	return budget / perMbps, nil
+}
+
+// SecurityHeadroomMIPS returns the MIPS left for security processing when
+// a fraction of the CPU is already consumed by the rest of the workload —
+// Section 3.2's caveat that "the processor is typically burdened by a
+// workload that also includes other application software, network
+// protocol and operating system execution".
+func (a *Architecture) SecurityHeadroomMIPS(baseLoadFrac float64) (float64, error) {
+	if baseLoadFrac < 0 || baseLoadFrac >= 1 {
+		return 0, fmt.Errorf("proc: base load fraction %v out of [0,1)", baseLoadFrac)
+	}
+	return a.CPU.MIPS * (1 - baseLoadFrac), nil
+}
+
+// FeasibleWithBaseLoad is Feasible with only the base-load-adjusted
+// headroom available to security processing.
+func (a *Architecture) FeasibleWithBaseLoad(baseLoadFrac, latencySec, rateMbps float64,
+	hs cost.HandshakeKind, cipher, mac cost.Algorithm) (bool, error) {
+	headroom, err := a.SecurityHeadroomMIPS(baseLoadFrac)
+	if err != nil {
+		return false, err
+	}
+	d, err := a.EffectiveDemandMIPS(latencySec, rateMbps, hs, cipher, mac)
+	if err != nil {
+		return false, err
+	}
+	return d <= headroom, nil
+}
+
+// SortedCatalogNames returns catalog processor names, sorted, for stable
+// display in the figure tools.
+func SortedCatalogNames() []string {
+	var names []string
+	for _, p := range Catalog() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}

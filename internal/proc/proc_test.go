@@ -1,0 +1,229 @@
+package proc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// TestProcessorCatalog checks the paper's MIPS ladder (T4 in DESIGN.md):
+// DragonBall 2.7, ARM7 class 15-20, SA-1100 235, Pentium 4 2890.
+func TestProcessorCatalog(t *testing.T) {
+	want := map[string]float64{
+		"DragonBall-68EC000": 2.7,
+		"ARM7-cell-phone":    20,
+		"StrongARM-SA1100":   235,
+		"Pentium4-2.6GHz":    2890,
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d processors, want %d", len(cat), len(want))
+	}
+	for _, p := range cat {
+		if w, ok := want[p.Name]; !ok || math.Abs(p.MIPS-w) > 1e-9 {
+			t.Errorf("processor %s MIPS = %v, want %v", p.Name, p.MIPS, w)
+		}
+		if p.Reference == "" {
+			t.Errorf("processor %s missing paper reference", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("StrongARM-SA1100")
+	if err != nil || p.MIPS != 235 {
+		t.Fatalf("ByName(SA1100) = %v, %v", p, err)
+	}
+	if _, err := ByName("Cray-1"); err == nil {
+		t.Fatal("accepted unknown processor")
+	}
+}
+
+func TestTimeAndEnergy(t *testing.T) {
+	p, _ := ByName("StrongARM-SA1100")
+	// 235e6 instructions take exactly one second.
+	if got := p.TimeForInstr(235e6); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("TimeForInstr = %v, want 1s", got)
+	}
+	// One second at 400 mW is 0.4 J.
+	if got := p.EnergyForInstr(235e6); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("EnergyForInstr = %v, want 0.4 J", got)
+	}
+	// nJ/instr = mW/MIPS.
+	if got := p.NanoJoulePerInstr(); math.Abs(got-400.0/235.0) > 1e-12 {
+		t.Fatalf("NanoJoulePerInstr = %v", got)
+	}
+}
+
+// TestGapExistsForSA1100: the software-only SA-1100 cannot sustain the
+// paper's 3DES+SHA workload at 10 Mbps — the security processing gap.
+func TestGapExistsForSA1100(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	arch := SoftwareOnly(cpu)
+	ok, err := arch.Feasible(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("software-only SA-1100 should NOT sustain 3DES+SHA at 10 Mbps (the gap)")
+	}
+	// The desktop P4 can (the paper's desktop/embedded contrast).
+	p4, _ := ByName("Pentium4-2.6GHz")
+	ok, err = SoftwareOnly(p4).Feasible(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("P4 should sustain the same workload")
+	}
+}
+
+// TestAblationCloses: each architecture step strictly reduces effective
+// demand, and hardware acceleration closes the 10 Mbps gap on the SA-1100
+// (experiment B1).
+func TestAblationCloses(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	prev := math.Inf(1)
+	var lastFeasible bool
+	for _, arch := range Ablation(cpu) {
+		d, err := arch.EffectiveDemandMIPS(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= prev {
+			t.Fatalf("architecture %s does not reduce demand (%v >= %v)", arch.Name, d, prev)
+		}
+		prev = d
+		lastFeasible = d <= cpu.MIPS
+	}
+	if !lastFeasible {
+		t.Fatal("protocol engine should close the 10 Mbps gap on the SA-1100")
+	}
+}
+
+func TestMaxRateMbps(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	sw := SoftwareOnly(cpu)
+	rate, err := sw.MaxRateMbps(0.5, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At that exact rate the workload must be feasible; slightly above, not.
+	ok, _ := sw.Feasible(0.5, rate*0.999, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if !ok {
+		t.Fatalf("rate just below MaxRateMbps (%v) infeasible", rate)
+	}
+	ok, _ = sw.Feasible(0.5, rate*1.001, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if ok {
+		t.Fatalf("rate just above MaxRateMbps (%v) feasible", rate)
+	}
+	// A too-tight latency leaves no budget at all.
+	dragonball, _ := ByName("DragonBall-68EC000")
+	r, err := SoftwareOnly(dragonball).MaxRateMbps(0.1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("DragonBall at 0.1s latency should have zero rate budget, got %v", r)
+	}
+}
+
+func TestMaxRateLightSuiteHigher(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	sw := SoftwareOnly(cpu)
+	heavy, _ := sw.MaxRateMbps(0.5, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	light, _ := sw.MaxRateMbps(0.5, cost.HandshakeRSA1024, cost.RC4, cost.MD5)
+	if light <= heavy {
+		t.Fatalf("RC4+MD5 max rate (%v) should exceed 3DES+SHA (%v)", light, heavy)
+	}
+}
+
+func TestArchitectureErrors(t *testing.T) {
+	cpu, _ := ByName("ARM7-cell-phone")
+	a := SoftwareOnly(cpu)
+	if _, err := a.EffectiveDemandMIPS(0, 1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1); err == nil {
+		t.Error("accepted zero latency")
+	}
+	if _, err := a.EffectiveDemandMIPS(1, -2, cost.HandshakeRSA1024, cost.DES3, cost.SHA1); err == nil {
+		t.Error("accepted negative rate")
+	}
+	if _, err := a.EffectiveDemandMIPS(1, 1, cost.HandshakeKind("x"), cost.DES3, cost.SHA1); err == nil {
+		t.Error("accepted unknown handshake")
+	}
+	if _, err := a.MaxRateMbps(1, cost.HandshakeKind("x"), cost.DES3, cost.SHA1); err == nil {
+		t.Error("MaxRateMbps accepted unknown handshake")
+	}
+	if _, err := a.MaxRateMbps(1, cost.HandshakeRSA1024, cost.None, cost.None); err == nil {
+		t.Error("MaxRateMbps accepted zero-cost bulk suite")
+	}
+	if _, err := a.Feasible(0, 0, cost.HandshakeRSA1024, cost.DES3, cost.SHA1); err == nil {
+		t.Error("Feasible accepted zero latency")
+	}
+}
+
+func TestGainClamping(t *testing.T) {
+	cpu, _ := ByName("ARM7-cell-phone")
+	a := &Architecture{Name: "degenerate", CPU: cpu} // all gains zero
+	d, err := a.EffectiveDemandMIPS(1, 1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := SoftwareOnly(cpu).EffectiveDemandMIPS(1, 1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("zero gains should clamp to 1 (got %v, want %v)", d, want)
+	}
+}
+
+func TestSortedCatalogNames(t *testing.T) {
+	names := SortedCatalogNames()
+	if len(names) != 4 {
+		t.Fatalf("got %d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+// TestBaseLoadShrinksHeadroom: the Section 3.2 caveat — a workload that
+// is feasible on an idle CPU stops being feasible once the OS and
+// applications take their share.
+func TestBaseLoadShrinksHeadroom(t *testing.T) {
+	cpu, _ := ByName("StrongARM-SA1100")
+	sw := SoftwareOnly(cpu)
+	// 2 Mbps of 3DES+SHA at 0.5 s latency: feasible when idle...
+	ok, err := sw.FeasibleWithBaseLoad(0, 0.5, 2, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil || !ok {
+		t.Fatalf("idle CPU should be feasible (ok=%v err=%v)", ok, err)
+	}
+	// ... infeasible when half the CPU is busy elsewhere.
+	ok, err = sw.FeasibleWithBaseLoad(0.5, 0.5, 2, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("50% base load should break the 2 Mbps workload")
+	}
+}
+
+func TestSecurityHeadroomValidation(t *testing.T) {
+	cpu, _ := ByName("ARM7-cell-phone")
+	sw := SoftwareOnly(cpu)
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := sw.SecurityHeadroomMIPS(bad); err == nil {
+			t.Errorf("accepted base load %v", bad)
+		}
+	}
+	h, err := sw.SecurityHeadroomMIPS(0.25)
+	if err != nil || math.Abs(h-15) > 1e-9 {
+		t.Fatalf("headroom = %v, want 15", h)
+	}
+	if _, err := sw.FeasibleWithBaseLoad(2, 0.5, 1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1); err == nil {
+		t.Error("FeasibleWithBaseLoad accepted bad fraction")
+	}
+	if _, err := sw.FeasibleWithBaseLoad(0, 0, 1, cost.HandshakeRSA1024, cost.DES3, cost.SHA1); err == nil {
+		t.Error("FeasibleWithBaseLoad accepted zero latency")
+	}
+}

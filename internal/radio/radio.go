@@ -1,0 +1,89 @@
+// Package radio models the wireless interface of a mobile appliance: link
+// energy per kilobyte and airtime at a configured bit rate.
+//
+// The constants default to the paper's Section 3.3 sensor-node case study
+// ([36]): 21.5 mJ/KB transmit and 14.3 mJ/KB receive at 10 Kbps.
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// Radio is a wireless link model.
+type Radio struct {
+	Name        string
+	RateKbps    float64 // link bit rate
+	TxMJPerKB   float64 // transmit energy, millijoules per kilobyte
+	RxMJPerKB   float64 // receive energy, millijoules per kilobyte
+	bytesTx     int
+	bytesRx     int
+	energyJ     float64
+	airtimeSecs float64
+}
+
+// NewSensorRadio returns the 10 Kbps sensor-node radio of the paper's
+// battery study.
+func NewSensorRadio() *Radio {
+	return &Radio{
+		Name:      "sensor-10kbps",
+		RateKbps:  10,
+		TxMJPerKB: cost.TxMilliJoulePerKB,
+		RxMJPerKB: cost.RxMilliJoulePerKB,
+	}
+}
+
+// NewWLANRadio returns an 802.11b-class radio. Energy per KB scales down
+// with rate (higher rates amortize the radio's power over more bits); the
+// 2-60 Mbps span matches Section 3.2's "current and emerging data rates".
+func NewWLANRadio(rateMbps float64) (*Radio, error) {
+	if rateMbps <= 0 {
+		return nil, fmt.Errorf("radio: non-positive rate %v", rateMbps)
+	}
+	scale := 10.0 / (rateMbps * 1000) // relative to the 10 Kbps baseline
+	return &Radio{
+		Name:      fmt.Sprintf("wlan-%gMbps", rateMbps),
+		RateKbps:  rateMbps * 1000,
+		TxMJPerKB: cost.TxMilliJoulePerKB * scale * 40, // WLAN radios draw far more power
+		RxMJPerKB: cost.RxMilliJoulePerKB * scale * 40,
+	}, nil
+}
+
+// TxEnergyJ returns the joules to transmit n bytes.
+func (r *Radio) TxEnergyJ(n int) float64 {
+	return float64(n) / 1024 * r.TxMJPerKB / 1e3
+}
+
+// RxEnergyJ returns the joules to receive n bytes.
+func (r *Radio) RxEnergyJ(n int) float64 {
+	return float64(n) / 1024 * r.RxMJPerKB / 1e3
+}
+
+// Airtime returns the seconds of airtime for n bytes at the link rate.
+func (r *Radio) Airtime(n int) float64 {
+	return float64(n) * 8 / (r.RateKbps * 1000)
+}
+
+// Transmit accounts for transmitting n bytes and returns the energy spent.
+func (r *Radio) Transmit(n int) float64 {
+	e := r.TxEnergyJ(n)
+	r.bytesTx += n
+	r.energyJ += e
+	r.airtimeSecs += r.Airtime(n)
+	return e
+}
+
+// Receive accounts for receiving n bytes and returns the energy spent.
+func (r *Radio) Receive(n int) float64 {
+	e := r.RxEnergyJ(n)
+	r.bytesRx += n
+	r.energyJ += e
+	r.airtimeSecs += r.Airtime(n)
+	return e
+}
+
+// Stats reports cumulative traffic, energy and airtime.
+func (r *Radio) Stats() (bytesTx, bytesRx int, energyJ, airtimeSecs float64) {
+	return r.bytesTx, r.bytesRx, r.energyJ, r.airtimeSecs
+}

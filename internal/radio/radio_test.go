@@ -1,0 +1,69 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSensorRadioConstants(t *testing.T) {
+	r := NewSensorRadio()
+	// Paper constants: 21.5 / 14.3 mJ per KB at 10 Kbps.
+	if got := r.TxEnergyJ(1024); math.Abs(got-21.5e-3) > 1e-12 {
+		t.Fatalf("1 KB tx = %v J, want 21.5 mJ", got)
+	}
+	if got := r.RxEnergyJ(1024); math.Abs(got-14.3e-3) > 1e-12 {
+		t.Fatalf("1 KB rx = %v J, want 14.3 mJ", got)
+	}
+	// 1 KB at 10 Kbps takes 8192 bits / 10000 bps.
+	if got := r.Airtime(1024); math.Abs(got-0.8192) > 1e-9 {
+		t.Fatalf("airtime = %v s, want 0.8192", got)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	r := NewSensorRadio()
+	e1 := r.Transmit(1024)
+	e2 := r.Receive(2048)
+	tx, rx, e, air := r.Stats()
+	if tx != 1024 || rx != 2048 {
+		t.Fatalf("tx/rx = %d/%d", tx, rx)
+	}
+	if math.Abs(e-(e1+e2)) > 1e-15 {
+		t.Fatalf("energy ledger %v != %v", e, e1+e2)
+	}
+	if air <= 0 {
+		t.Fatal("airtime not accumulated")
+	}
+}
+
+func TestWLANRadio(t *testing.T) {
+	r, err := NewWLANRadio(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RateKbps != 11000 {
+		t.Fatalf("rate = %v Kbps", r.RateKbps)
+	}
+	// Per-byte energy must be far below the 10 Kbps sensor radio: higher
+	// rate amortizes radio power across more bits.
+	s := NewSensorRadio()
+	if r.TxEnergyJ(1024) >= s.TxEnergyJ(1024) {
+		t.Fatal("WLAN per-KB energy should be below the 10 Kbps sensor radio")
+	}
+	if _, err := NewWLANRadio(0); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+	if _, err := NewWLANRadio(-3); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+func TestEnergyScalesLinearly(t *testing.T) {
+	r := NewSensorRadio()
+	if math.Abs(r.TxEnergyJ(2048)-2*r.TxEnergyJ(1024)) > 1e-15 {
+		t.Fatal("tx energy not linear in bytes")
+	}
+	if r.TxEnergyJ(0) != 0 || r.RxEnergyJ(0) != 0 {
+		t.Fatal("zero bytes should cost zero energy")
+	}
+}

@@ -1,0 +1,57 @@
+package see
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Attestor re-measures the boot-chain images at run time against the
+// measurements recorded at boot — the paper's software-attack-resistance
+// measure (i): "finding a means to ascertain the operational correctness
+// of protected code and data, before and during run-time" (Section 3.4).
+type Attestor struct {
+	baseline [][20]byte
+	names    []string
+	checks   int
+}
+
+// NewAttestor captures the boot report as the runtime baseline.
+func NewAttestor(rep *BootReport) (*Attestor, error) {
+	if rep == nil || len(rep.Measurements) == 0 {
+		return nil, errors.New("see: attestor needs a boot report")
+	}
+	a := &Attestor{}
+	a.baseline = append(a.baseline, rep.Measurements...)
+	a.names = append(a.names, rep.Stages...)
+	return a, nil
+}
+
+// TamperReport identifies a runtime-patched stage.
+type TamperReport struct {
+	Stage int
+	Name  string
+}
+
+func (r *TamperReport) Error() string {
+	return fmt.Sprintf("see: runtime tampering detected in stage %d (%s)", r.Stage, r.Name)
+}
+
+// Check re-measures the (currently loaded) images; the first stage whose
+// digest diverges from the boot-time baseline is reported.
+func (a *Attestor) Check(images []*Image) error {
+	a.checks++
+	if len(images) != len(a.baseline) {
+		return errors.New("see: image set size changed since boot")
+	}
+	for i, im := range images {
+		d := im.Digest()
+		if !bytes.Equal(d[:], a.baseline[i][:]) {
+			return &TamperReport{Stage: i, Name: a.names[i]}
+		}
+	}
+	return nil
+}
+
+// Checks reports how many attestation rounds have run.
+func (a *Attestor) Checks() int { return a.checks }

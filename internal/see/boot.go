@@ -1,0 +1,97 @@
+// Package see implements the secure-execution-environment primitives of
+// the paper's Section 4.1: a hash-chained secure boot rooted in ROM, a
+// sealed key store over hardware-fused key material, a secure RAM/ROM
+// memory-protection model with trusted/untrusted worlds, and DRM license
+// enforcement ("enforcing that application content can remain secret —
+// digital rights management", Section 3.4).
+package see
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/sha1"
+)
+
+// Image is one boot-chain stage: its code plus the digest it expects of
+// the next stage (zero for the last stage).
+type Image struct {
+	Name     string
+	Code     []byte
+	NextHash [sha1.Size]byte
+}
+
+// Digest returns the stage measurement: H(name || code || nexthash).
+func (im *Image) Digest() [sha1.Size]byte {
+	d := sha1.New()
+	d.Write([]byte(im.Name))
+	d.Write([]byte{0})
+	d.Write(im.Code)
+	d.Write(im.NextHash[:])
+	var out [sha1.Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// ROM is the immutable boot root: it pins the digest of the first image.
+type ROM struct {
+	RootHash [sha1.Size]byte
+}
+
+// BuildChain computes the hash chain over a sequence of stages (bootloader
+// first), filling each image's NextHash and returning the ROM that pins
+// the chain.
+func BuildChain(images []*Image) (*ROM, error) {
+	if len(images) == 0 {
+		return nil, errors.New("see: empty boot chain")
+	}
+	// Walk backwards: the last stage expects nothing.
+	var zero [sha1.Size]byte
+	images[len(images)-1].NextHash = zero
+	for i := len(images) - 2; i >= 0; i-- {
+		images[i].NextHash = images[i+1].Digest()
+	}
+	return &ROM{RootHash: images[0].Digest()}, nil
+}
+
+// BootError reports which stage failed verification.
+type BootError struct {
+	Stage int
+	Name  string
+}
+
+func (e *BootError) Error() string {
+	return fmt.Sprintf("see: boot verification failed at stage %d (%s)", e.Stage, e.Name)
+}
+
+// BootReport records a successful boot's measurements (a TPM-style PCR
+// trail).
+type BootReport struct {
+	Measurements [][sha1.Size]byte
+	Stages       []string
+}
+
+// Boot verifies the chain against the ROM and returns the measurement
+// report; any modified stage fails closed at the first divergence.
+func Boot(rom *ROM, images []*Image) (*BootReport, error) {
+	if rom == nil || len(images) == 0 {
+		return nil, errors.New("see: missing ROM or images")
+	}
+	expected := rom.RootHash
+	rep := &BootReport{}
+	var zero [sha1.Size]byte
+	for i, im := range images {
+		d := im.Digest()
+		if !bytes.Equal(d[:], expected[:]) {
+			return nil, &BootError{Stage: i, Name: im.Name}
+		}
+		rep.Measurements = append(rep.Measurements, d)
+		rep.Stages = append(rep.Stages, im.Name)
+		expected = im.NextHash
+	}
+	if !bytes.Equal(expected[:], zero[:]) {
+		return nil, errors.New("see: chain truncated; final stage expects a successor")
+	}
+	return rep, nil
+}

@@ -1,0 +1,207 @@
+package see
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/modes"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/sha1"
+)
+
+// Rights is the usage grant of a content license — the "read only, no
+// copying" terms of the paper's content-security concern (Section 2).
+type Rights struct {
+	PlayCount int  // remaining plays; <0 means unlimited
+	AllowCopy bool // export to another device permitted
+}
+
+// License binds an encrypted content key and rights to one device.
+type License struct {
+	ContentID string
+	Rights    Rights
+	// sealedKey is the content key encrypted under the device key.
+	sealedKey []byte
+	mac       []byte
+}
+
+// DRMAgent enforces content licenses inside the secure environment.
+type DRMAgent struct {
+	deviceKey []byte
+	rng       *prng.DRBG
+	licenses  map[string]*License
+	content   map[string][]byte // encrypted content by ID
+}
+
+// Errors returned by the DRM agent.
+var (
+	ErrNoLicense     = errors.New("see/drm: no license for content")
+	ErrRightsExpired = errors.New("see/drm: play count exhausted")
+	ErrCopyDenied    = errors.New("see/drm: license forbids copying")
+	ErrLicenseTamper = errors.New("see/drm: license integrity check failed")
+	ErrWrongDevice   = errors.New("see/drm: license is bound to another device")
+)
+
+// NewDRMAgent creates an agent bound to the device's fused key.
+func NewDRMAgent(deviceKey []byte, rng *prng.DRBG) (*DRMAgent, error) {
+	if len(deviceKey) < 16 {
+		return nil, fmt.Errorf("see/drm: device key must be ≥16 bytes, got %d", len(deviceKey))
+	}
+	if rng == nil {
+		return nil, errors.New("see/drm: randomness source required")
+	}
+	return &DRMAgent{
+		deviceKey: append([]byte{}, deviceKey...),
+		rng:       rng,
+		licenses:  make(map[string]*License),
+		content:   make(map[string][]byte),
+	}, nil
+}
+
+func (a *DRMAgent) kdf(label string) []byte {
+	h := hmac.New(func() hash.Hash { return sha1.New() }, a.deviceKey)
+	h.Write([]byte(label))
+	return h.Sum(nil)[:16]
+}
+
+func (a *DRMAgent) licenseMAC(l *License) []byte {
+	h := hmac.New(func() hash.Hash { return sha1.New() }, a.kdf("license-mac"))
+	h.Write([]byte(l.ContentID))
+	h.Write([]byte{byte(l.Rights.PlayCount >> 24), byte(l.Rights.PlayCount >> 16),
+		byte(l.Rights.PlayCount >> 8), byte(l.Rights.PlayCount)})
+	if l.Rights.AllowCopy {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write(l.sealedKey)
+	return h.Sum(nil)
+}
+
+// Package is the provider side: encrypt content and issue a license bound
+// to this device. (In a deployment the provider would wrap the content
+// key to the device's public key; the shared-key model preserves the
+// enforcement behaviour.)
+func (a *DRMAgent) Package(contentID string, plaintext []byte, rights Rights) error {
+	contentKey := a.rng.Bytes(16)
+	block, err := aes.NewCipher(contentKey)
+	if err != nil {
+		return err
+	}
+	iv := a.rng.Bytes(16)
+	ct, err := modes.EncryptCBC(block, iv, modes.Pad(plaintext, 16))
+	if err != nil {
+		return err
+	}
+	a.content[contentID] = append(iv, ct...)
+
+	// Seal the content key to the device.
+	devBlock, err := aes.NewCipher(a.kdf("key-seal"))
+	if err != nil {
+		return err
+	}
+	sealIV := a.rng.Bytes(16)
+	sealed, err := modes.EncryptCBC(devBlock, sealIV, modes.Pad(contentKey, 16))
+	if err != nil {
+		return err
+	}
+	lic := &License{
+		ContentID: contentID,
+		Rights:    rights,
+		sealedKey: append(sealIV, sealed...),
+	}
+	lic.mac = a.licenseMAC(lic)
+	a.licenses[contentID] = lic
+	return nil
+}
+
+// ImportLicense installs a license issued elsewhere (e.g. moved from
+// another device); integrity and device binding are checked at use.
+func (a *DRMAgent) ImportLicense(l *License, encryptedContent []byte) {
+	cp := *l
+	a.licenses[l.ContentID] = &cp
+	a.content[l.ContentID] = append([]byte{}, encryptedContent...)
+}
+
+// ExportLicense extracts a license and content for transfer, enforcing
+// the no-copy right.
+func (a *DRMAgent) ExportLicense(contentID string) (*License, []byte, error) {
+	l, ok := a.licenses[contentID]
+	if !ok {
+		return nil, nil, ErrNoLicense
+	}
+	if !hmac.Equal(l.mac, a.licenseMAC(l)) {
+		return nil, nil, ErrLicenseTamper
+	}
+	if !l.Rights.AllowCopy {
+		return nil, nil, ErrCopyDenied
+	}
+	cp := *l
+	return &cp, append([]byte{}, a.content[contentID]...), nil
+}
+
+// Play decrypts the content for one rendering, enforcing and decrementing
+// the play count. The plaintext never persists outside the call.
+func (a *DRMAgent) Play(contentID string) ([]byte, error) {
+	l, ok := a.licenses[contentID]
+	if !ok {
+		return nil, ErrNoLicense
+	}
+	if !hmac.Equal(l.mac, a.licenseMAC(l)) {
+		return nil, ErrLicenseTamper
+	}
+	if l.Rights.PlayCount == 0 {
+		return nil, ErrRightsExpired
+	}
+	// Unseal the content key with the *device* key — a license imported
+	// onto another device unseals garbage and fails below.
+	devBlock, err := aes.NewCipher(a.kdf("key-seal"))
+	if err != nil {
+		return nil, err
+	}
+	if len(l.sealedKey) < 32 {
+		return nil, ErrLicenseTamper
+	}
+	sealIV, sealed := l.sealedKey[:16], l.sealedKey[16:]
+	keyPadded, err := modes.DecryptCBC(devBlock, sealIV, sealed)
+	if err != nil {
+		return nil, ErrWrongDevice
+	}
+	contentKey, err := modes.Unpad(keyPadded, 16)
+	if err != nil || len(contentKey) != 16 {
+		return nil, ErrWrongDevice
+	}
+	enc, ok := a.content[contentID]
+	if !ok || len(enc) < 16 {
+		return nil, ErrNoLicense
+	}
+	block, err := aes.NewCipher(contentKey)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := modes.DecryptCBC(block, enc[:16], enc[16:])
+	if err != nil {
+		return nil, ErrWrongDevice
+	}
+	out, err := modes.Unpad(pt, 16)
+	if err != nil {
+		return nil, ErrWrongDevice
+	}
+	if l.Rights.PlayCount > 0 {
+		l.Rights.PlayCount--
+		l.mac = a.licenseMAC(l)
+	}
+	return out, nil
+}
+
+// RemainingPlays reports the license's remaining play count.
+func (a *DRMAgent) RemainingPlays(contentID string) (int, error) {
+	l, ok := a.licenses[contentID]
+	if !ok {
+		return 0, ErrNoLicense
+	}
+	return l.Rights.PlayCount, nil
+}

@@ -1,0 +1,225 @@
+package see
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"sort"
+
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/modes"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/sha1"
+)
+
+// KeyStore is the secure storage of Section 2 ("passwords, PINs, keys,
+// certificates ... in secondary storage"): entries are sealed with keys
+// derived from a hardware-fused device secret, integrity-protected, and
+// bound to a monotonic version to defeat rollback.
+type KeyStore struct {
+	encKey  []byte
+	macKey  []byte
+	rng     *prng.DRBG
+	entries map[string][]byte
+	version uint64
+}
+
+// Errors returned by the key store.
+var (
+	ErrNotFound  = errors.New("see: no such entry")
+	ErrTampered  = errors.New("see: sealed blob failed integrity check")
+	ErrRolledBak = errors.New("see: sealed blob is older than the device counter (rollback)")
+)
+
+// NewKeyStore derives the sealing keys from the device's hardware-fused
+// secret (never used directly, mirroring real key-ladder designs).
+func NewKeyStore(hwKey []byte, rng *prng.DRBG) (*KeyStore, error) {
+	if len(hwKey) < 16 {
+		return nil, fmt.Errorf("see: hardware key must be ≥16 bytes, got %d", len(hwKey))
+	}
+	if rng == nil {
+		return nil, errors.New("see: key store needs a randomness source")
+	}
+	derive := func(label string) []byte {
+		h := hmac.New(func() hash.Hash { return sha1.New() }, hwKey)
+		h.Write([]byte(label))
+		return h.Sum(nil)[:16]
+	}
+	return &KeyStore{
+		encKey:  derive("seal-enc"),
+		macKey:  derive("seal-mac"),
+		rng:     rng,
+		entries: make(map[string][]byte),
+	}, nil
+}
+
+// Put stores a secret under a name.
+func (ks *KeyStore) Put(name string, secret []byte) {
+	ks.entries[name] = append([]byte{}, secret...)
+}
+
+// Get retrieves a secret.
+func (ks *KeyStore) Get(name string) ([]byte, error) {
+	v, ok := ks.entries[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte{}, v...), nil
+}
+
+// Delete removes a secret.
+func (ks *KeyStore) Delete(name string) { delete(ks.entries, name) }
+
+// Names lists stored entry names, sorted.
+func (ks *KeyStore) Names() []string {
+	var names []string
+	for n := range ks.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version reports the device's monotonic counter.
+func (ks *KeyStore) Version() uint64 { return ks.version }
+
+// Seal serializes and seals the whole store for flash: version || IV ||
+// AES-CBC(entries) || HMAC. Sealing bumps the monotonic counter — an old
+// blob can no longer be restored.
+func (ks *KeyStore) Seal() ([]byte, error) {
+	ks.version++
+	var b builderBytes
+	b.addUint64(ks.version)
+	names := ks.Names()
+	b.addUint32(uint32(len(names)))
+	for _, n := range names {
+		b.addBytes([]byte(n))
+		b.addBytes(ks.entries[n])
+	}
+	block, err := aes.NewCipher(ks.encKey)
+	if err != nil {
+		return nil, err
+	}
+	iv := ks.rng.Bytes(block.BlockSize())
+	ct, err := modes.EncryptCBC(block, iv, modes.Pad(b.buf, block.BlockSize()))
+	if err != nil {
+		return nil, err
+	}
+	var out builderBytes
+	out.addUint64(ks.version)
+	out.buf = append(out.buf, iv...)
+	out.buf = append(out.buf, ct...)
+	h := hmac.New(func() hash.Hash { return sha1.New() }, ks.macKey)
+	h.Write(out.buf)
+	return h.Sum(out.buf), nil
+}
+
+// Unseal restores the store from a sealed blob, rejecting tampered blobs
+// and blobs older than the device counter.
+func (ks *KeyStore) Unseal(blob []byte) error {
+	macLen := sha1.Size
+	if len(blob) < 8+16+macLen {
+		return ErrTampered
+	}
+	body, mac := blob[:len(blob)-macLen], blob[len(blob)-macLen:]
+	h := hmac.New(func() hash.Hash { return sha1.New() }, ks.macKey)
+	h.Write(body)
+	if !hmac.Equal(mac, h.Sum(nil)) {
+		return ErrTampered
+	}
+	var version uint64
+	for i := 0; i < 8; i++ {
+		version = version<<8 | uint64(body[i])
+	}
+	if version < ks.version {
+		return ErrRolledBak
+	}
+	block, err := aes.NewCipher(ks.encKey)
+	if err != nil {
+		return err
+	}
+	bs := block.BlockSize()
+	iv := body[8 : 8+bs]
+	pt, err := modes.DecryptCBC(block, iv, body[8+bs:])
+	if err != nil {
+		return ErrTampered
+	}
+	pt, err = modes.Unpad(pt, bs)
+	if err != nil {
+		return ErrTampered
+	}
+	p := parserBytes{buf: pt}
+	var innerVersion uint64
+	var count uint32
+	if !p.readUint64(&innerVersion) || innerVersion != version || !p.readUint32(&count) {
+		return ErrTampered
+	}
+	entries := make(map[string][]byte, count)
+	for i := uint32(0); i < count; i++ {
+		var name, val []byte
+		if !p.readBytes(&name) || !p.readBytes(&val) {
+			return ErrTampered
+		}
+		entries[string(name)] = val
+	}
+	ks.entries = entries
+	ks.version = version
+	return nil
+}
+
+// builderBytes/parserBytes are minimal length-prefixed codecs for sealed
+// blobs (4-byte lengths; distinct from the wtls wire codec on purpose —
+// flash blobs and wire messages evolve independently).
+type builderBytes struct{ buf []byte }
+
+func (b *builderBytes) addUint64(v uint64) {
+	for i := 7; i >= 0; i-- {
+		b.buf = append(b.buf, byte(v>>(8*uint(i))))
+	}
+}
+
+func (b *builderBytes) addUint32(v uint32) {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (b *builderBytes) addBytes(p []byte) {
+	b.addUint32(uint32(len(p)))
+	b.buf = append(b.buf, p...)
+}
+
+type parserBytes struct{ buf []byte }
+
+func (p *parserBytes) readUint64(v *uint64) bool {
+	if len(p.buf) < 8 {
+		return false
+	}
+	*v = 0
+	for i := 0; i < 8; i++ {
+		*v = *v<<8 | uint64(p.buf[i])
+	}
+	p.buf = p.buf[8:]
+	return true
+}
+
+func (p *parserBytes) readUint32(v *uint32) bool {
+	if len(p.buf) < 4 {
+		return false
+	}
+	*v = uint32(p.buf[0])<<24 | uint32(p.buf[1])<<16 | uint32(p.buf[2])<<8 | uint32(p.buf[3])
+	p.buf = p.buf[4:]
+	return true
+}
+
+func (p *parserBytes) readBytes(out *[]byte) bool {
+	var n uint32
+	if !p.readUint32(&n) {
+		return false
+	}
+	if uint32(len(p.buf)) < n {
+		return false
+	}
+	*out = append([]byte{}, p.buf[:n]...)
+	p.buf = p.buf[n:]
+	return true
+}

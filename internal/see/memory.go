@@ -1,0 +1,262 @@
+package see
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// World is the execution privilege domain: the paper's "secure execution
+// mode ... where only trusted code can execute" (Section 4.1) versus the
+// normal application world.
+type World int
+
+// Execution worlds.
+const (
+	Untrusted World = iota
+	Trusted
+)
+
+func (w World) String() string {
+	if w == Trusted {
+		return "trusted"
+	}
+	return "untrusted"
+}
+
+// Access is a memory access type.
+type Access int
+
+// Access types.
+const (
+	Read Access = iota
+	Write
+	Execute
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "execute"
+	}
+}
+
+// Perm is a permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+func (p Perm) allows(a Access) bool {
+	switch a {
+	case Read:
+		return p&PermRead != 0
+	case Write:
+		return p&PermWrite != 0
+	default:
+		return p&PermExec != 0
+	}
+}
+
+// Region is a protected address range with per-world permissions — secure
+// ROM is {Trusted: R+X, Untrusted: none}; secure RAM is {Trusted: R+W,
+// Untrusted: none}; normal RAM is open.
+type Region struct {
+	Name       string
+	Base, Size uint32
+	Perms      map[World]Perm
+	mem        []byte
+}
+
+// Violation records a blocked access — the signal a tamper-response
+// policy consumes.
+type Violation struct {
+	World  World
+	Access Access
+	Addr   uint32
+	Region string // empty for unmapped addresses
+}
+
+func (v *Violation) Error() string {
+	where := v.Region
+	if where == "" {
+		where = "unmapped"
+	}
+	return fmt.Sprintf("see: %s-world %s at %#x denied (%s)", v.World, v.Access, v.Addr, where)
+}
+
+// MemoryMap is the secure RAM/ROM model of the base architecture
+// (Figure 6).
+type MemoryMap struct {
+	regions    []*Region
+	violations []Violation
+}
+
+// NewMemoryMap creates an empty memory map.
+func NewMemoryMap() *MemoryMap { return &MemoryMap{} }
+
+// AddRegion maps a region; overlapping regions are rejected.
+func (m *MemoryMap) AddRegion(name string, base, size uint32, perms map[World]Perm) (*Region, error) {
+	if size == 0 {
+		return nil, errors.New("see: zero-size region")
+	}
+	if base+size < base {
+		return nil, errors.New("see: region wraps the address space")
+	}
+	for _, r := range m.regions {
+		if base < r.Base+r.Size && r.Base < base+size {
+			return nil, fmt.Errorf("see: region %q overlaps %q", name, r.Name)
+		}
+	}
+	cp := make(map[World]Perm, len(perms))
+	for w, p := range perms {
+		cp[w] = p
+	}
+	r := &Region{Name: name, Base: base, Size: size, Perms: cp, mem: make([]byte, size)}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return r, nil
+}
+
+func (m *MemoryMap) find(addr uint32) *Region {
+	for _, r := range m.regions {
+		if addr >= r.Base && addr < r.Base+r.Size {
+			return r
+		}
+	}
+	return nil
+}
+
+func (m *MemoryMap) check(w World, a Access, addr uint32, n int) (*Region, error) {
+	r := m.find(addr)
+	if r == nil || uint32(n) > r.Size-(addr-r.Base) {
+		v := Violation{World: w, Access: a, Addr: addr}
+		if r != nil {
+			v.Region = r.Name
+		}
+		m.violations = append(m.violations, v)
+		return nil, &v
+	}
+	if !r.Perms[w].allows(a) {
+		v := Violation{World: w, Access: a, Addr: addr, Region: r.Name}
+		m.violations = append(m.violations, v)
+		return nil, &v
+	}
+	return r, nil
+}
+
+// ReadAt performs a checked read of n bytes.
+func (m *MemoryMap) ReadAt(w World, addr uint32, n int) ([]byte, error) {
+	r, err := m.check(w, Read, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - r.Base
+	return append([]byte{}, r.mem[off:off+uint32(n)]...), nil
+}
+
+// WriteAt performs a checked write.
+func (m *MemoryMap) WriteAt(w World, addr uint32, data []byte) error {
+	r, err := m.check(w, Write, addr, len(data))
+	if err != nil {
+		return err
+	}
+	copy(r.mem[addr-r.Base:], data)
+	return nil
+}
+
+// FetchAt performs a checked instruction fetch (returns the opcode bytes).
+func (m *MemoryMap) FetchAt(w World, addr uint32, n int) ([]byte, error) {
+	r, err := m.check(w, Execute, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - r.Base
+	return append([]byte{}, r.mem[off:off+uint32(n)]...), nil
+}
+
+// LoadROM writes region contents bypassing permissions — factory
+// provisioning only (before the device "ships").
+func (m *MemoryMap) LoadROM(name string, data []byte) error {
+	for _, r := range m.regions {
+		if r.Name == name {
+			if len(data) > len(r.mem) {
+				return errors.New("see: ROM image larger than region")
+			}
+			copy(r.mem, data)
+			return nil
+		}
+	}
+	return fmt.Errorf("see: no region %q", name)
+}
+
+// Violations returns the recorded access violations.
+func (m *MemoryMap) Violations() []Violation {
+	return append([]Violation{}, m.violations...)
+}
+
+// StandardLayout builds the Figure 6 memory model: secure ROM (trusted
+// read+exec), secure RAM (trusted read+write), and open RAM.
+func StandardLayout() (*MemoryMap, error) {
+	m := NewMemoryMap()
+	if _, err := m.AddRegion("secure-rom", 0x0000_0000, 64<<10, map[World]Perm{
+		Trusted: PermRead | PermExec,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := m.AddRegion("secure-ram", 0x1000_0000, 128<<10, map[World]Perm{
+		Trusted: PermRead | PermWrite,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := m.AddRegion("normal-ram", 0x2000_0000, 1<<20, map[World]Perm{
+		Trusted:   PermRead | PermWrite | PermExec,
+		Untrusted: PermRead | PermWrite | PermExec,
+	}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Gate is the controlled entry into the trusted world: only registered
+// entry points may switch worlds, modelling the secure-mode entry
+// discipline of SecurCore/SmartMIPS-class designs.
+type Gate struct {
+	entries map[uint32]string
+	world   World
+	calls   int
+}
+
+// NewGate creates a gate starting in the untrusted world.
+func NewGate() *Gate { return &Gate{entries: make(map[uint32]string)} }
+
+// RegisterEntry registers a trusted service entry point address.
+func (g *Gate) RegisterEntry(addr uint32, name string) { g.entries[addr] = name }
+
+// World reports the current world.
+func (g *Gate) World() World { return g.world }
+
+// Calls reports how many successful world switches have occurred.
+func (g *Gate) Calls() int { return g.calls }
+
+// EnterTrusted switches to the trusted world via a registered entry.
+func (g *Gate) EnterTrusted(addr uint32) (string, error) {
+	name, ok := g.entries[addr]
+	if !ok {
+		return "", fmt.Errorf("see: %#x is not a registered secure entry point", addr)
+	}
+	g.world = Trusted
+	g.calls++
+	return name, nil
+}
+
+// ExitTrusted returns to the untrusted world.
+func (g *Gate) ExitTrusted() { g.world = Untrusted }

@@ -1,0 +1,141 @@
+package see
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+// This file models the software-attack surface of Section 3.4: a tiny
+// kernel with trusted/untrusted processes, vendor-signed application
+// installation (the "downloaded software may originate from a non-trusted
+// source" threat), secret-access mediation (integrity and privacy
+// attacks) and per-process syscall quotas (availability attacks).
+
+// Process is one schedulable application.
+type Process struct {
+	PID     int
+	Name    string
+	Trusted bool
+	quota   int
+}
+
+// Kernel mediates access from processes to the platform's secrets.
+type Kernel struct {
+	ks        *KeyStore
+	vendorKey *rsa.PublicKey
+	procs     map[int]*Process
+	nextPID   int
+	audit     []string
+	quota     int
+}
+
+// Kernel errors.
+var (
+	ErrUntrustedProcess = errors.New("see: untrusted process denied access to secret")
+	ErrQuotaExhausted   = errors.New("see: process syscall quota exhausted")
+	ErrBadAppSignature  = errors.New("see: application signature rejected")
+)
+
+// NewKernel creates a kernel over the key store, trusting applications
+// signed by vendorKey. quota bounds syscalls per process (an
+// availability-attack backstop); 0 means a default of 1000.
+func NewKernel(ks *KeyStore, vendorKey *rsa.PublicKey, quota int) (*Kernel, error) {
+	if ks == nil || vendorKey == nil {
+		return nil, errors.New("see: kernel needs a key store and vendor key")
+	}
+	if quota <= 0 {
+		quota = 1000
+	}
+	return &Kernel{ks: ks, vendorKey: vendorKey, procs: make(map[int]*Process), quota: quota}, nil
+}
+
+// SignApp produces the vendor signature over an application image; the
+// vendor runs this, not the device.
+func SignApp(vendor *rsa.PrivateKey, name string, code []byte) ([]byte, error) {
+	digest := appDigest(name, code)
+	return rsa.SignPKCS1(vendor, "sha1", digest, nil)
+}
+
+func appDigest(name string, code []byte) []byte {
+	d := sha1.New()
+	d.Write([]byte(name))
+	d.Write([]byte{0})
+	d.Write(code)
+	return d.Sum(nil)
+}
+
+// Install spawns a process for a (possibly downloaded) application. With
+// a valid vendor signature the process is trusted; without one it still
+// runs — mobile terminals execute downloaded code, that is the threat —
+// but untrusted.
+func (k *Kernel) Install(name string, code, signature []byte) (*Process, error) {
+	trusted := false
+	if signature != nil {
+		if err := rsa.VerifyPKCS1(k.vendorKey, "sha1", appDigest(name, code), signature); err != nil {
+			k.log("install %s: invalid signature rejected", name)
+			return nil, ErrBadAppSignature
+		}
+		trusted = true
+	}
+	k.nextPID++
+	p := &Process{PID: k.nextPID, Name: name, Trusted: trusted, quota: k.quota}
+	k.procs[p.PID] = p
+	k.log("install %s: pid %d trusted=%v", name, p.PID, trusted)
+	return p, nil
+}
+
+// charge enforces the availability quota.
+func (k *Kernel) charge(p *Process) error {
+	if p.quota <= 0 {
+		k.log("pid %d (%s): quota exhausted", p.PID, p.Name)
+		return ErrQuotaExhausted
+	}
+	p.quota--
+	return nil
+}
+
+// RequestSecret mediates a privacy-sensitive read: trusted processes get
+// the secret, untrusted ones are denied and audited (the trojan-horse
+// scenario of Section 3.4, measure (ii)).
+func (k *Kernel) RequestSecret(p *Process, name string) ([]byte, error) {
+	if err := k.charge(p); err != nil {
+		return nil, err
+	}
+	if !p.Trusted {
+		k.log("pid %d (%s): DENIED secret %q", p.PID, p.Name, name)
+		return nil, ErrUntrustedProcess
+	}
+	v, err := k.ks.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	k.log("pid %d (%s): read secret %q", p.PID, p.Name, name)
+	return v, nil
+}
+
+// StoreSecret mediates writes: only trusted processes may modify secrets
+// (the integrity-attack arm).
+func (k *Kernel) StoreSecret(p *Process, name string, value []byte) error {
+	if err := k.charge(p); err != nil {
+		return err
+	}
+	if !p.Trusted {
+		k.log("pid %d (%s): DENIED write of secret %q", p.PID, p.Name, name)
+		return ErrUntrustedProcess
+	}
+	k.ks.Put(name, value)
+	k.log("pid %d (%s): wrote secret %q", p.PID, p.Name, name)
+	return nil
+}
+
+// Audit returns the kernel's audit trail.
+func (k *Kernel) Audit() []string {
+	return append([]string{}, k.audit...)
+}
+
+func (k *Kernel) log(format string, args ...interface{}) {
+	k.audit = append(k.audit, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,193 @@
+package see
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+)
+
+var vendorKey *rsa.PrivateKey
+
+func vendor(t *testing.T) *rsa.PrivateKey {
+	t.Helper()
+	if vendorKey == nil {
+		var err error
+		vendorKey, err = rsa.GenerateKey(prng.NewDRBG([]byte("vendor")), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vendorKey
+}
+
+func newKernel(t *testing.T, quota int) (*Kernel, *KeyStore) {
+	t.Helper()
+	ks, err := NewKeyStore(bytes.Repeat([]byte{3}, 16), prng.NewDRBG([]byte("kern")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks.Put("sim-ki", []byte("subscriber key"))
+	k, err := NewKernel(ks, &vendor(t).PublicKey, quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, ks
+}
+
+func TestSignedAppIsTrusted(t *testing.T) {
+	k, _ := newKernel(t, 0)
+	code := []byte("dialer app v1")
+	sig, err := SignApp(vendor(t), "dialer", code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Install("dialer", code, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trusted {
+		t.Fatal("signed app not trusted")
+	}
+	got, err := k.RequestSecret(p, "sim-ki")
+	if err != nil || !bytes.Equal(got, []byte("subscriber key")) {
+		t.Fatalf("trusted read failed: %v", err)
+	}
+}
+
+// TestTrojanDenied is the paper's trojan-horse scenario: downloaded,
+// unsigned code runs but cannot reach secrets, and the denial is audited.
+func TestTrojanDenied(t *testing.T) {
+	k, _ := newKernel(t, 0)
+	trojan, err := k.Install("free-game", []byte("evil payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trojan.Trusted {
+		t.Fatal("unsigned app trusted")
+	}
+	if _, err := k.RequestSecret(trojan, "sim-ki"); err != ErrUntrustedProcess {
+		t.Fatalf("privacy attack: want ErrUntrustedProcess, got %v", err)
+	}
+	if err := k.StoreSecret(trojan, "sim-ki", []byte("overwritten")); err != ErrUntrustedProcess {
+		t.Fatalf("integrity attack: want ErrUntrustedProcess, got %v", err)
+	}
+	found := false
+	for _, line := range k.Audit() {
+		if strings.Contains(line, "DENIED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("denials not audited")
+	}
+}
+
+// TestTamperedSignatureRejected: modifying signed code invalidates it.
+func TestTamperedSignatureRejected(t *testing.T) {
+	k, _ := newKernel(t, 0)
+	code := []byte("wallet app")
+	sig, _ := SignApp(vendor(t), "wallet", code)
+	patched := append([]byte{}, code...)
+	patched[0] ^= 1
+	if _, err := k.Install("wallet", patched, sig); err != ErrBadAppSignature {
+		t.Fatalf("want ErrBadAppSignature, got %v", err)
+	}
+	// Signature over a different name also fails.
+	if _, err := k.Install("wallet2", code, sig); err != ErrBadAppSignature {
+		t.Fatalf("name swap: want ErrBadAppSignature, got %v", err)
+	}
+}
+
+// TestQuotaStopsAvailabilityAttack: a syscall-flooding process is
+// throttled, and other processes continue to be served.
+func TestQuotaStopsAvailabilityAttack(t *testing.T) {
+	k, _ := newKernel(t, 5)
+	flooder, _ := k.Install("flooder", []byte("spin"), nil)
+	for i := 0; i < 5; i++ {
+		if _, err := k.RequestSecret(flooder, "sim-ki"); err != ErrUntrustedProcess {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if _, err := k.RequestSecret(flooder, "sim-ki"); err != ErrQuotaExhausted {
+		t.Fatalf("want ErrQuotaExhausted, got %v", err)
+	}
+	// An honest trusted app still works.
+	code := []byte("bank app")
+	sig, _ := SignApp(vendor(t), "bank", code)
+	bank, _ := k.Install("bank", code, sig)
+	if _, err := k.RequestSecret(bank, "sim-ki"); err != nil {
+		t.Fatalf("honest app starved: %v", err)
+	}
+}
+
+func TestTrustedWriteVisible(t *testing.T) {
+	k, ks := newKernel(t, 0)
+	code := []byte("provisioner")
+	sig, _ := SignApp(vendor(t), "prov", code)
+	p, _ := k.Install("prov", code, sig)
+	if err := k.StoreSecret(p, "new-key", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ks.Get("new-key")
+	if err != nil || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatal("trusted write not persisted")
+	}
+	if _, err := k.RequestSecret(p, "missing"); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestNewKernelValidation(t *testing.T) {
+	if _, err := NewKernel(nil, &vendor(t).PublicKey, 0); err == nil {
+		t.Error("accepted nil key store")
+	}
+	ks, _ := NewKeyStore(bytes.Repeat([]byte{3}, 16), prng.NewDRBG(nil))
+	if _, err := NewKernel(ks, nil, 0); err == nil {
+		t.Error("accepted nil vendor key")
+	}
+}
+
+// ---- attestation ----
+
+func TestAttestorDetectsRuntimePatch(t *testing.T) {
+	images := testChain()
+	rom, _ := BuildChain(images)
+	rep, err := Boot(rom, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := NewAttestor(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Check(images); err != nil {
+		t.Fatalf("clean check failed: %v", err)
+	}
+	// Runtime patch of the kernel stage (a virus rewriting code pages).
+	images[1].Code[3] ^= 0xff
+	err = att.Check(images)
+	var tr *TamperReport
+	if !errors.As(err, &tr) || tr.Stage != 1 {
+		t.Fatalf("want TamperReport at stage 1, got %v", err)
+	}
+	if att.Checks() != 2 {
+		t.Fatalf("checks = %d", att.Checks())
+	}
+}
+
+func TestAttestorValidation(t *testing.T) {
+	if _, err := NewAttestor(nil); err == nil {
+		t.Error("accepted nil report")
+	}
+	images := testChain()
+	rom, _ := BuildChain(images)
+	rep, _ := Boot(rom, images)
+	att, _ := NewAttestor(rep)
+	if err := att.Check(images[:2]); err == nil {
+		t.Error("accepted shrunken image set")
+	}
+}

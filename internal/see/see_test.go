@@ -1,0 +1,454 @@
+package see
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/prng"
+)
+
+func testChain() []*Image {
+	return []*Image{
+		{Name: "bootloader", Code: []byte("stage1 code")},
+		{Name: "os-kernel", Code: []byte("stage2 kernel image")},
+		{Name: "wallet-app", Code: []byte("stage3 trusted application")},
+	}
+}
+
+func TestBootHappyPath(t *testing.T) {
+	images := testChain()
+	rom, err := BuildChain(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Boot(rom, images)
+	if err != nil {
+		t.Fatalf("boot failed: %v", err)
+	}
+	if len(rep.Stages) != 3 || rep.Stages[2] != "wallet-app" {
+		t.Fatalf("report stages = %v", rep.Stages)
+	}
+	if len(rep.Measurements) != 3 {
+		t.Fatal("missing measurements")
+	}
+}
+
+// TestBootDetectsTamperAtEveryStage flips one byte in each stage in turn;
+// boot must fail exactly at that stage.
+func TestBootDetectsTamperAtEveryStage(t *testing.T) {
+	for stage := 0; stage < 3; stage++ {
+		images := testChain()
+		rom, err := BuildChain(images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[stage].Code[0] ^= 0x01
+		_, err = Boot(rom, images)
+		var be *BootError
+		if !errors.As(err, &be) {
+			t.Fatalf("stage %d: want BootError, got %v", stage, err)
+		}
+		if be.Stage != stage {
+			t.Fatalf("tampered stage %d, error points at stage %d", stage, be.Stage)
+		}
+	}
+}
+
+func TestBootDetectsSwappedStages(t *testing.T) {
+	images := testChain()
+	rom, _ := BuildChain(images)
+	images[1], images[2] = images[2], images[1]
+	if _, err := Boot(rom, images); err == nil {
+		t.Fatal("swapped stages booted")
+	}
+}
+
+func TestBootDetectsTruncatedChain(t *testing.T) {
+	images := testChain()
+	rom, _ := BuildChain(images)
+	if _, err := Boot(rom, images[:2]); err == nil {
+		t.Fatal("truncated chain booted")
+	}
+}
+
+func TestBootValidation(t *testing.T) {
+	if _, err := BuildChain(nil); err == nil {
+		t.Error("BuildChain accepted empty chain")
+	}
+	if _, err := Boot(nil, testChain()); err == nil {
+		t.Error("Boot accepted nil ROM")
+	}
+}
+
+func newKS(t *testing.T) *KeyStore {
+	t.Helper()
+	ks, err := NewKeyStore([]byte("hw-fused-device-key-0001"), prng.NewDRBG([]byte("ks")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestKeyStoreBasics(t *testing.T) {
+	ks := newKS(t)
+	ks.Put("wifi-psk", []byte("hunter2"))
+	ks.Put("sim-ki", []byte{1, 2, 3, 4})
+	got, err := ks.Get("wifi-psk")
+	if err != nil || !bytes.Equal(got, []byte("hunter2")) {
+		t.Fatalf("Get: %q %v", got, err)
+	}
+	if _, err := ks.Get("nope"); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	names := ks.Names()
+	if len(names) != 2 || names[0] != "sim-ki" {
+		t.Fatalf("Names = %v", names)
+	}
+	ks.Delete("sim-ki")
+	if _, err := ks.Get("sim-ki"); err != ErrNotFound {
+		t.Fatal("Delete did not remove entry")
+	}
+}
+
+func TestKeyStoreSealUnseal(t *testing.T) {
+	ks := newKS(t)
+	ks.Put("pin", []byte("1234"))
+	ks.Put("cert", bytes.Repeat([]byte{7}, 300))
+	blob, err := ks.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh device instance with the same hardware key restores it.
+	ks2, _ := NewKeyStore([]byte("hw-fused-device-key-0001"), prng.NewDRBG([]byte("other")))
+	if err := ks2.Unseal(blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ks2.Get("pin")
+	if err != nil || !bytes.Equal(got, []byte("1234")) {
+		t.Fatal("unsealed store lost data")
+	}
+	if ks2.Version() != 1 {
+		t.Fatalf("version = %d", ks2.Version())
+	}
+}
+
+func TestKeyStoreWrongDeviceKey(t *testing.T) {
+	ks := newKS(t)
+	ks.Put("pin", []byte("1234"))
+	blob, _ := ks.Seal()
+	other, _ := NewKeyStore([]byte("a-different-device-key!!"), prng.NewDRBG(nil))
+	if err := other.Unseal(blob); err != ErrTampered {
+		t.Fatalf("foreign device unseal: want ErrTampered, got %v", err)
+	}
+}
+
+func TestKeyStoreTamperDetected(t *testing.T) {
+	ks := newKS(t)
+	ks.Put("pin", []byte("1234"))
+	blob, _ := ks.Seal()
+	for _, idx := range []int{0, 10, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte{}, blob...)
+		bad[idx] ^= 0x20
+		ks2, _ := NewKeyStore([]byte("hw-fused-device-key-0001"), prng.NewDRBG(nil))
+		if err := ks2.Unseal(bad); err != ErrTampered {
+			t.Fatalf("byte %d: want ErrTampered, got %v", idx, err)
+		}
+	}
+	if err := ks.Unseal(blob[:10]); err != ErrTampered {
+		t.Fatal("short blob accepted")
+	}
+}
+
+// TestKeyStoreRollbackDetected: restoring an old blob after a newer Seal
+// must fail (the anti-rollback counter).
+func TestKeyStoreRollbackDetected(t *testing.T) {
+	ks := newKS(t)
+	ks.Put("pin", []byte("1111"))
+	oldBlob, _ := ks.Seal()
+	ks.Put("pin", []byte("2222"))
+	if _, err := ks.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Unseal(oldBlob); err != ErrRolledBak {
+		t.Fatalf("rollback: want ErrRolledBak, got %v", err)
+	}
+}
+
+func TestKeyStoreValidation(t *testing.T) {
+	if _, err := NewKeyStore([]byte("short"), prng.NewDRBG(nil)); err == nil {
+		t.Error("accepted short hardware key")
+	}
+	if _, err := NewKeyStore(bytes.Repeat([]byte{1}, 16), nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestMemoryWorldIsolation(t *testing.T) {
+	m, err := StandardLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrusted world cannot touch secure RAM or ROM at all.
+	if _, err := m.ReadAt(Untrusted, 0x1000_0000, 4); err == nil {
+		t.Fatal("untrusted read of secure RAM allowed")
+	}
+	if err := m.WriteAt(Untrusted, 0x1000_0000, []byte{1}); err == nil {
+		t.Fatal("untrusted write of secure RAM allowed")
+	}
+	if _, err := m.FetchAt(Untrusted, 0x0000_0000, 4); err == nil {
+		t.Fatal("untrusted exec of secure ROM allowed")
+	}
+	// Trusted world can use secure RAM but cannot write ROM.
+	if err := m.WriteAt(Trusted, 0x1000_0000, []byte("key material")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadAt(Trusted, 0x1000_0000, 12)
+	if err != nil || !bytes.Equal(got, []byte("key material")) {
+		t.Fatal("trusted secure-RAM roundtrip failed")
+	}
+	if err := m.WriteAt(Trusted, 0x0000_0000, []byte{1}); err == nil {
+		t.Fatal("trusted write of ROM allowed")
+	}
+	// Both worlds share normal RAM.
+	if err := m.WriteAt(Untrusted, 0x2000_0000, []byte("app data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt(Trusted, 0x2000_0000, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Violations were recorded for the denials above.
+	if len(m.Violations()) != 4 {
+		t.Fatalf("recorded %d violations, want 4", len(m.Violations()))
+	}
+}
+
+func TestMemoryUnmappedAndBounds(t *testing.T) {
+	m, _ := StandardLayout()
+	if _, err := m.ReadAt(Trusted, 0xdead_0000, 1); err == nil {
+		t.Fatal("unmapped read allowed")
+	}
+	// Read crossing the end of secure RAM.
+	if _, err := m.ReadAt(Trusted, 0x1000_0000+128<<10-2, 8); err == nil {
+		t.Fatal("out-of-bounds read allowed")
+	}
+	var v *Violation
+	if err := m.WriteAt(Untrusted, 0x1000_0000, []byte{1}); !errors.As(err, &v) {
+		t.Fatal("violation error type lost")
+	} else if v.Region != "secure-ram" || v.Access != Write {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestMemoryOverlapRejected(t *testing.T) {
+	m := NewMemoryMap()
+	if _, err := m.AddRegion("a", 0, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddRegion("b", 50, 100, nil); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if _, err := m.AddRegion("c", 0, 0, nil); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+	if _, err := m.AddRegion("d", 0xffff_ff00, 0x200, nil); err == nil {
+		t.Fatal("wrapping region accepted")
+	}
+}
+
+func TestLoadROM(t *testing.T) {
+	m, _ := StandardLayout()
+	if err := m.LoadROM("secure-rom", []byte("boot code")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.FetchAt(Trusted, 0, 9)
+	if err != nil || !bytes.Equal(got, []byte("boot code")) {
+		t.Fatalf("fetch after LoadROM: %q %v", got, err)
+	}
+	if err := m.LoadROM("secure-rom", make([]byte, 1<<20)); err == nil {
+		t.Fatal("oversized ROM image accepted")
+	}
+	if err := m.LoadROM("nope", []byte{1}); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	g := NewGate()
+	if g.World() != Untrusted {
+		t.Fatal("gate should start untrusted")
+	}
+	g.RegisterEntry(0x100, "sign-service")
+	if _, err := g.EnterTrusted(0x104); err == nil {
+		t.Fatal("unregistered entry accepted")
+	}
+	name, err := g.EnterTrusted(0x100)
+	if err != nil || name != "sign-service" {
+		t.Fatalf("EnterTrusted: %q %v", name, err)
+	}
+	if g.World() != Trusted || g.Calls() != 1 {
+		t.Fatal("gate state wrong after entry")
+	}
+	g.ExitTrusted()
+	if g.World() != Untrusted {
+		t.Fatal("gate did not exit")
+	}
+}
+
+func newAgent(t *testing.T, devKey, seed string) *DRMAgent {
+	t.Helper()
+	key := bytes.Repeat([]byte(devKey), 4)[:16]
+	a, err := NewDRMAgent(key, prng.NewDRBG([]byte(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDRMPlayAndCount(t *testing.T) {
+	a := newAgent(t, "dev1", "drm")
+	song := []byte("ringtone PCM data........")
+	if err := a.Package("song-1", song, Rights{PlayCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := a.Play("song-1")
+		if err != nil {
+			t.Fatalf("play %d: %v", i, err)
+		}
+		if !bytes.Equal(got, song) {
+			t.Fatal("content corrupted")
+		}
+	}
+	if _, err := a.Play("song-1"); err != ErrRightsExpired {
+		t.Fatalf("third play: want ErrRightsExpired, got %v", err)
+	}
+	if n, _ := a.RemainingPlays("song-1"); n != 0 {
+		t.Fatalf("remaining = %d", n)
+	}
+}
+
+func TestDRMUnlimitedPlays(t *testing.T) {
+	a := newAgent(t, "dev1", "drm2")
+	if err := a.Package("movie", []byte("frames"), Rights{PlayCount: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := a.Play("movie"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDRMCopyControl(t *testing.T) {
+	a := newAgent(t, "dev1", "drm3")
+	a.Package("locked", []byte("x"), Rights{PlayCount: -1, AllowCopy: false}) //nolint:errcheck
+	a.Package("open", []byte("y"), Rights{PlayCount: -1, AllowCopy: true})    //nolint:errcheck
+	if _, _, err := a.ExportLicense("locked"); err != ErrCopyDenied {
+		t.Fatalf("want ErrCopyDenied, got %v", err)
+	}
+	if _, _, err := a.ExportLicense("open"); err != nil {
+		t.Fatalf("copyable export failed: %v", err)
+	}
+	if _, _, err := a.ExportLicense("ghost"); err != ErrNoLicense {
+		t.Fatalf("want ErrNoLicense, got %v", err)
+	}
+}
+
+// TestDRMDeviceBinding: a license moved to another device must not play —
+// the content key is sealed to the issuing device.
+func TestDRMDeviceBinding(t *testing.T) {
+	a := newAgent(t, "dev1", "drm4")
+	a.Package("tune", []byte("melody"), Rights{PlayCount: -1, AllowCopy: true}) //nolint:errcheck
+	lic, enc, err := a.ExportLicense("tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newAgent(t, "dev2", "drm5")
+	b.ImportLicense(lic, enc)
+	if _, err := b.Play("tune"); err == nil {
+		t.Fatal("foreign device played device-bound content")
+	}
+	// Back on the original device the exported license still plays.
+	a2 := newAgent(t, "dev1", "drm6")
+	a2.ImportLicense(lic, enc)
+	if _, err := a2.Play("tune"); err != nil {
+		t.Fatalf("same-device import failed: %v", err)
+	}
+}
+
+// TestDRMTamperedLicense: bumping the play count in a license breaks its
+// MAC.
+func TestDRMTamperedLicense(t *testing.T) {
+	a := newAgent(t, "dev1", "drm7")
+	a.Package("song", []byte("data"), Rights{PlayCount: 1, AllowCopy: true}) //nolint:errcheck
+	lic, enc, err := a.ExportLicense("song")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lic.Rights.PlayCount = 9999
+	a.ImportLicense(lic, enc)
+	if _, err := a.Play("song"); err != ErrLicenseTamper {
+		t.Fatalf("want ErrLicenseTamper, got %v", err)
+	}
+}
+
+func TestDRMValidation(t *testing.T) {
+	if _, err := NewDRMAgent([]byte("short"), prng.NewDRBG(nil)); err == nil {
+		t.Error("accepted short device key")
+	}
+	if _, err := NewDRMAgent(bytes.Repeat([]byte{1}, 16), nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+	a := newAgent(t, "dev1", "drm8")
+	if _, err := a.Play("missing"); err != ErrNoLicense {
+		t.Errorf("want ErrNoLicense, got %v", err)
+	}
+	if _, err := a.RemainingPlays("missing"); err != ErrNoLicense {
+		t.Errorf("want ErrNoLicense, got %v", err)
+	}
+}
+
+// TestKeyStoreSealUnsealProperty is a testing/quick property: any set of
+// entries survives a seal/unseal cycle on a same-keyed device.
+func TestKeyStoreSealUnsealProperty(t *testing.T) {
+	hw := bytes.Repeat([]byte{0x55}, 16)
+	f := func(names [][8]byte, values [][]byte) bool {
+		ks, err := NewKeyStore(hw, prng.NewDRBG([]byte("prop")))
+		if err != nil {
+			return false
+		}
+		n := len(names)
+		if len(values) < n {
+			n = len(values)
+		}
+		want := map[string][]byte{}
+		for i := 0; i < n; i++ {
+			name := string(names[i][:])
+			ks.Put(name, values[i])
+			want[name] = values[i]
+		}
+		blob, err := ks.Seal()
+		if err != nil {
+			return false
+		}
+		ks2, err := NewKeyStore(hw, prng.NewDRBG([]byte("prop2")))
+		if err != nil {
+			return false
+		}
+		if err := ks2.Unseal(blob); err != nil {
+			return false
+		}
+		for name, v := range want {
+			got, err := ks2.Get(name)
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return len(ks2.Names()) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package setpay implements the application-level security layer of the
+// paper's protocol ladder: "specific applications may decide to directly
+// employ security mechanisms ... through an application-level security
+// protocol such as SET, or to provide additional functionality, such as
+// non-repudiation, that is not provided in the transport-layer security
+// protocol" (Section 2).
+//
+// The centerpiece is SET's dual signature: a cardholder signs
+// H(H(OrderInfo) || H(PaymentInfo)) once, so that
+//
+//   - the merchant, holding OrderInfo and only the *digest* of
+//     PaymentInfo, can verify the order is bound to a payment without
+//     seeing card details, and
+//   - the payment gateway, holding PaymentInfo and only the digest of
+//     OrderInfo, can verify the payment is bound to an order without
+//     learning what was bought,
+//
+// and neither can swap in a different counterpart — non-repudiation and
+// need-to-know in one primitive.
+package setpay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+// OrderInfo is the purchase description shared with the merchant.
+type OrderInfo struct {
+	MerchantID  string
+	Description string
+	AmountCents int64
+	Nonce       [8]byte
+}
+
+// PaymentInfo is the card data shared with the payment gateway only.
+type PaymentInfo struct {
+	CardNumber  string
+	Expiry      string
+	AmountCents int64
+	Nonce       [8]byte
+}
+
+func (oi *OrderInfo) digest() [sha1.Size]byte {
+	d := sha1.New()
+	d.Write([]byte("OI:"))
+	d.Write([]byte(oi.MerchantID))
+	d.Write([]byte{0})
+	d.Write([]byte(oi.Description))
+	d.Write([]byte{0})
+	writeInt64(d, oi.AmountCents)
+	d.Write(oi.Nonce[:])
+	var out [sha1.Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+func (pi *PaymentInfo) digest() [sha1.Size]byte {
+	d := sha1.New()
+	d.Write([]byte("PI:"))
+	d.Write([]byte(pi.CardNumber))
+	d.Write([]byte{0})
+	d.Write([]byte(pi.Expiry))
+	d.Write([]byte{0})
+	writeInt64(d, pi.AmountCents)
+	d.Write(pi.Nonce[:])
+	var out [sha1.Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+func writeInt64(d *sha1.Digest, v int64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> uint(56-8*i))
+	}
+	d.Write(b[:])
+}
+
+// pomd computes the payment-order message digest H(H(OI)||H(PI)).
+func pomd(oiDigest, piDigest [sha1.Size]byte) [sha1.Size]byte {
+	d := sha1.New()
+	d.Write(oiDigest[:])
+	d.Write(piDigest[:])
+	var out [sha1.Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// DualSignature is the cardholder's signature over the payment-order
+// digest, accompanied by the two component digests.
+type DualSignature struct {
+	OIDigest  [sha1.Size]byte
+	PIDigest  [sha1.Size]byte
+	Signature []byte
+}
+
+// Sign produces the dual signature with the cardholder's key.
+func Sign(cardholder *rsa.PrivateKey, oi *OrderInfo, pi *PaymentInfo, opts *rsa.Options) (*DualSignature, error) {
+	if oi == nil || pi == nil {
+		return nil, errors.New("setpay: nil order or payment info")
+	}
+	if oi.AmountCents != pi.AmountCents {
+		return nil, fmt.Errorf("setpay: amount mismatch (%d vs %d)", oi.AmountCents, pi.AmountCents)
+	}
+	ds := &DualSignature{OIDigest: oi.digest(), PIDigest: pi.digest()}
+	md := pomd(ds.OIDigest, ds.PIDigest)
+	sig, err := rsa.SignPKCS1(cardholder, "sha1", md[:], opts)
+	if err != nil {
+		return nil, err
+	}
+	ds.Signature = sig
+	return ds, nil
+}
+
+// Errors returned by the verifiers.
+var (
+	ErrBadSignature = errors.New("setpay: dual signature invalid")
+	ErrWrongOrder   = errors.New("setpay: order info does not match the signed digest")
+	ErrWrongPayment = errors.New("setpay: payment info does not match the signed digest")
+)
+
+// VerifyAsMerchant checks the dual signature given the full OrderInfo and
+// only the payment digest carried in the signature — the merchant never
+// sees card data.
+func VerifyAsMerchant(cardholder *rsa.PublicKey, oi *OrderInfo, ds *DualSignature) error {
+	if oi.digest() != ds.OIDigest {
+		return ErrWrongOrder
+	}
+	md := pomd(ds.OIDigest, ds.PIDigest)
+	if err := rsa.VerifyPKCS1(cardholder, "sha1", md[:], ds.Signature); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyAsGateway checks the dual signature given the full PaymentInfo
+// and only the order digest — the bank never learns the purchase.
+func VerifyAsGateway(cardholder *rsa.PublicKey, pi *PaymentInfo, ds *DualSignature) error {
+	if pi.digest() != ds.PIDigest {
+		return ErrWrongPayment
+	}
+	md := pomd(ds.OIDigest, ds.PIDigest)
+	if err := rsa.VerifyPKCS1(cardholder, "sha1", md[:], ds.Signature); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}

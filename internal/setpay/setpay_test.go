@@ -1,0 +1,150 @@
+package setpay
+
+import (
+	"testing"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+)
+
+var cardholder *rsa.PrivateKey
+
+func keys(t *testing.T) *rsa.PrivateKey {
+	t.Helper()
+	if cardholder == nil {
+		var err error
+		cardholder, err = rsa.GenerateKey(prng.NewDRBG([]byte("setpay")), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cardholder
+}
+
+func order() *OrderInfo {
+	return &OrderInfo{
+		MerchantID:  "shop-42",
+		Description: "ringtone-7",
+		AmountCents: 199,
+		Nonce:       [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+func payment() *PaymentInfo {
+	return &PaymentInfo{
+		CardNumber:  "4929-0000-1111-2222",
+		Expiry:      "09/05",
+		AmountCents: 199,
+		Nonce:       [8]byte{8, 7, 6, 5, 4, 3, 2, 1},
+	}
+}
+
+func TestDualSignatureBothSidesVerify(t *testing.T) {
+	k := keys(t)
+	ds, err := Sign(k, order(), payment(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAsMerchant(&k.PublicKey, order(), ds); err != nil {
+		t.Fatalf("merchant verification failed: %v", err)
+	}
+	if err := VerifyAsGateway(&k.PublicKey, payment(), ds); err != nil {
+		t.Fatalf("gateway verification failed: %v", err)
+	}
+}
+
+// TestMerchantCannotSwapOrder: changing the order (e.g. the price) breaks
+// the merchant-side binding — the non-repudiation property.
+func TestMerchantCannotSwapOrder(t *testing.T) {
+	k := keys(t)
+	ds, _ := Sign(k, order(), payment(), nil)
+	forged := order()
+	forged.AmountCents = 19900
+	if err := VerifyAsMerchant(&k.PublicKey, forged, ds); err != ErrWrongOrder {
+		t.Fatalf("want ErrWrongOrder, got %v", err)
+	}
+	renamed := order()
+	renamed.Description = "diamond ring"
+	if err := VerifyAsMerchant(&k.PublicKey, renamed, ds); err != ErrWrongOrder {
+		t.Fatalf("want ErrWrongOrder, got %v", err)
+	}
+}
+
+// TestGatewayCannotSwapPayment: substituting another card breaks the
+// gateway-side binding.
+func TestGatewayCannotSwapPayment(t *testing.T) {
+	k := keys(t)
+	ds, _ := Sign(k, order(), payment(), nil)
+	other := payment()
+	other.CardNumber = "5555-6666-7777-8888"
+	if err := VerifyAsGateway(&k.PublicKey, other, ds); err != ErrWrongPayment {
+		t.Fatalf("want ErrWrongPayment, got %v", err)
+	}
+}
+
+// TestSignatureBindsBothHalves: regenerating the signature digest with a
+// different counterpart digest must fail signature verification — neither
+// party can re-pair halves even with a matching plaintext.
+func TestSignatureBindsBothHalves(t *testing.T) {
+	k := keys(t)
+	ds, _ := Sign(k, order(), payment(), nil)
+	// Attacker replaces the PI digest (e.g. pointing at a cheaper
+	// payment) while keeping the order intact.
+	tampered := *ds
+	tampered.PIDigest[0] ^= 1
+	if err := VerifyAsMerchant(&k.PublicKey, order(), &tampered); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	k := keys(t)
+	ds, _ := Sign(k, order(), payment(), nil)
+	other, err := rsa.GenerateKey(prng.NewDRBG([]byte("imposter")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAsMerchant(&other.PublicKey, order(), ds); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestSignValidation(t *testing.T) {
+	k := keys(t)
+	if _, err := Sign(k, nil, payment(), nil); err == nil {
+		t.Error("signed nil order")
+	}
+	if _, err := Sign(k, order(), nil, nil); err == nil {
+		t.Error("signed nil payment")
+	}
+	pi := payment()
+	pi.AmountCents = 1
+	if _, err := Sign(k, order(), pi, nil); err == nil {
+		t.Error("signed mismatched amounts")
+	}
+}
+
+// TestPrivacySeparation: the merchant's view (OI + digests) reveals no
+// card data; the digest is not invertible in any practical sense, but at
+// minimum the struct content the merchant receives contains none of it.
+func TestPrivacySeparation(t *testing.T) {
+	k := keys(t)
+	ds, _ := Sign(k, order(), payment(), nil)
+	// The DualSignature carries only digests — assert the card number
+	// does not appear anywhere in what the merchant handles.
+	blob := append(append([]byte{}, ds.OIDigest[:]...), ds.PIDigest[:]...)
+	blob = append(blob, ds.Signature...)
+	card := []byte(payment().CardNumber)
+	for i := 0; i+len(card) <= len(blob); i++ {
+		match := true
+		for j := range card {
+			if blob[i+j] != card[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.Fatal("card number leaked into the merchant's view")
+		}
+	}
+}

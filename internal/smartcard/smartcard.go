@@ -1,0 +1,204 @@
+// Package smartcard models the mobile appliance the paper's
+// tamper-resistance discussion centers on: "It is not surprising that the
+// first target of these attacks are mobile devices such as smart cards"
+// (Section 3.4, refs [38-41]).
+//
+// The card exposes a simplified ISO 7816-4 APDU interface (SELECT, READ
+// BINARY, VERIFY, GET CHALLENGE, SIGN) over a filesystem with public and
+// PIN-protected files, a PIN try counter that blocks the card, and an
+// RSA signing key whose private-key operation carries the same
+// countermeasure knobs (CRT, blinding, verify-after-sign) as the rest of
+// the repository — so the Section 3.4 attacks run against the card
+// through its front door.
+package smartcard
+
+import (
+	"fmt"
+
+	"repro/internal/crypto/mp"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+// Instruction bytes (ISO 7816-4 subset).
+const (
+	InsSelect       byte = 0xA4
+	InsReadBinary   byte = 0xB0
+	InsVerify       byte = 0x20
+	InsGetChallenge byte = 0x84
+	InsSign         byte = 0x2A
+)
+
+// Status words.
+const (
+	SWOK                   uint16 = 0x9000
+	SWFileNotFound         uint16 = 0x6A82
+	SWSecurityNotSatisfied uint16 = 0x6982
+	SWAuthBlocked          uint16 = 0x6983
+	SWWrongData            uint16 = 0x6A80
+	SWInsNotSupported      uint16 = 0x6D00
+	SWInternalError        uint16 = 0x6F00
+)
+
+// SWPinFailBase encodes remaining tries as 0x63C0 | tries.
+const SWPinFailBase uint16 = 0x63C0
+
+// Command is an APDU command.
+type Command struct {
+	INS    byte
+	P1, P2 byte
+	Data   []byte
+}
+
+// Response is an APDU response.
+type Response struct {
+	Data []byte
+	SW   uint16
+}
+
+// File is one elementary file on the card.
+type File struct {
+	ID        uint16
+	Data      []byte
+	Protected bool // requires a verified PIN to read
+}
+
+// Card is a simulated smart card.
+type Card struct {
+	pin      string
+	tries    int
+	maxTries int
+	blocked  bool
+	verified bool
+
+	files    map[uint16]*File
+	selected uint16
+
+	key     *rsa.PrivateKey
+	rsaOpts *rsa.Options
+	rng     *prng.DRBG
+
+	// Meter accrues simulated cycles per command — the card-edge signal
+	// a side-channel bench probes.
+	Meter mp.CycleMeter
+}
+
+// Config assembles a card.
+type Config struct {
+	PIN      string
+	MaxTries int
+	Key      *rsa.PrivateKey
+	RSAOpts  *rsa.Options // countermeasure configuration
+	Seed     []byte
+	Files    []File
+}
+
+// New creates a card.
+func New(cfg Config) (*Card, error) {
+	if cfg.PIN == "" {
+		return nil, fmt.Errorf("smartcard: PIN required")
+	}
+	if cfg.Key == nil {
+		return nil, fmt.Errorf("smartcard: signing key required")
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = 3
+	}
+	c := &Card{
+		pin:      cfg.PIN,
+		maxTries: cfg.MaxTries,
+		files:    make(map[uint16]*File),
+		key:      cfg.Key,
+		rsaOpts:  cfg.RSAOpts,
+		rng:      prng.NewDRBG(append([]byte("card:"), cfg.Seed...)),
+	}
+	for i := range cfg.Files {
+		f := cfg.Files[i]
+		c.files[f.ID] = &f
+	}
+	return c, nil
+}
+
+// Blocked reports whether the PIN retry counter is exhausted.
+func (c *Card) Blocked() bool { return c.blocked }
+
+// TriesRemaining reports the remaining PIN attempts.
+func (c *Card) TriesRemaining() int { return c.maxTries - c.tries }
+
+// Process executes one APDU.
+func (c *Card) Process(cmd Command) Response {
+	opts := c.rsaOpts
+	if opts == nil {
+		opts = &rsa.Options{}
+	}
+	// Thread the card meter through the RSA options so key operations
+	// charge simulated cycles (a per-command power/timing profile).
+	metered := *opts
+	metered.Meter = &c.Meter
+
+	switch cmd.INS {
+	case InsSelect:
+		if len(cmd.Data) != 2 {
+			return Response{SW: SWWrongData}
+		}
+		id := uint16(cmd.Data[0])<<8 | uint16(cmd.Data[1])
+		if _, ok := c.files[id]; !ok {
+			return Response{SW: SWFileNotFound}
+		}
+		c.selected = id
+		return Response{SW: SWOK}
+
+	case InsReadBinary:
+		f, ok := c.files[c.selected]
+		if !ok {
+			return Response{SW: SWFileNotFound}
+		}
+		if f.Protected && !c.verified {
+			return Response{SW: SWSecurityNotSatisfied}
+		}
+		return Response{Data: append([]byte{}, f.Data...), SW: SWOK}
+
+	case InsVerify:
+		if c.blocked {
+			return Response{SW: SWAuthBlocked}
+		}
+		if string(cmd.Data) == c.pin {
+			c.verified = true
+			c.tries = 0
+			return Response{SW: SWOK}
+		}
+		c.tries++
+		if c.tries >= c.maxTries {
+			c.blocked = true
+			return Response{SW: SWAuthBlocked}
+		}
+		return Response{SW: SWPinFailBase | uint16(c.maxTries-c.tries)}
+
+	case InsGetChallenge:
+		n := int(cmd.P1)
+		if n == 0 {
+			n = 8
+		}
+		return Response{Data: c.rng.Bytes(n), SW: SWOK}
+
+	case InsSign:
+		if !c.verified {
+			return Response{SW: SWSecurityNotSatisfied}
+		}
+		if len(cmd.Data) == 0 {
+			return Response{SW: SWWrongData}
+		}
+		digest := sha1.Sum(cmd.Data)
+		sig, err := rsa.SignPKCS1(c.key, "sha1", digest[:], &metered)
+		if err != nil {
+			// Verify-after-sign tripped (or another internal error):
+			// fail closed without emitting the faulty signature.
+			return Response{SW: SWInternalError}
+		}
+		return Response{Data: sig, SW: SWOK}
+
+	default:
+		return Response{SW: SWInsNotSupported}
+	}
+}

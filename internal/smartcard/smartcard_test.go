@@ -1,0 +1,191 @@
+package smartcard
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attack/fault"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+var cardKey *rsa.PrivateKey
+
+func key(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	if cardKey == nil {
+		var err error
+		cardKey, err = rsa.GenerateKey(prng.NewDRBG([]byte("card-key")), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cardKey
+}
+
+func newCard(t *testing.T, opts *rsa.Options) *Card {
+	t.Helper()
+	c, err := New(Config{
+		PIN: "1234", Key: key(t), RSAOpts: opts, Seed: []byte("t"),
+		Files: []File{
+			{ID: 0x3F00, Data: []byte("public id data")},
+			{ID: 0x0001, Data: []byte("account 4929-..."), Protected: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sel(id uint16) Command {
+	return Command{INS: InsSelect, Data: []byte{byte(id >> 8), byte(id)}}
+}
+
+func TestSelectAndReadPublic(t *testing.T) {
+	c := newCard(t, nil)
+	if r := c.Process(sel(0x3F00)); r.SW != SWOK {
+		t.Fatalf("select: %04x", r.SW)
+	}
+	r := c.Process(Command{INS: InsReadBinary})
+	if r.SW != SWOK || !bytes.Equal(r.Data, []byte("public id data")) {
+		t.Fatalf("read: %04x %q", r.SW, r.Data)
+	}
+	if r := c.Process(sel(0xDEAD)); r.SW != SWFileNotFound {
+		t.Fatalf("select missing: %04x", r.SW)
+	}
+}
+
+func TestProtectedFileNeedsPIN(t *testing.T) {
+	c := newCard(t, nil)
+	c.Process(sel(0x0001))
+	if r := c.Process(Command{INS: InsReadBinary}); r.SW != SWSecurityNotSatisfied {
+		t.Fatalf("unauthenticated read: %04x", r.SW)
+	}
+	if r := c.Process(Command{INS: InsVerify, Data: []byte("1234")}); r.SW != SWOK {
+		t.Fatalf("verify: %04x", r.SW)
+	}
+	if r := c.Process(Command{INS: InsReadBinary}); r.SW != SWOK {
+		t.Fatalf("authenticated read: %04x", r.SW)
+	}
+}
+
+func TestPINTryCounterBlocks(t *testing.T) {
+	c := newCard(t, nil)
+	r := c.Process(Command{INS: InsVerify, Data: []byte("0000")})
+	if r.SW != SWPinFailBase|2 {
+		t.Fatalf("first fail: %04x, want %04x", r.SW, SWPinFailBase|2)
+	}
+	c.Process(Command{INS: InsVerify, Data: []byte("1111")})
+	r = c.Process(Command{INS: InsVerify, Data: []byte("2222")})
+	if r.SW != SWAuthBlocked || !c.Blocked() {
+		t.Fatalf("third fail should block: %04x", r.SW)
+	}
+	// Even the correct PIN is refused now — the anti-brute-force
+	// property invasive attackers try to reset (Section 3.4).
+	if r := c.Process(Command{INS: InsVerify, Data: []byte("1234")}); r.SW != SWAuthBlocked {
+		t.Fatalf("blocked card accepted PIN: %04x", r.SW)
+	}
+}
+
+func TestCorrectPINResetsCounter(t *testing.T) {
+	c := newCard(t, nil)
+	c.Process(Command{INS: InsVerify, Data: []byte("0000")})
+	if r := c.Process(Command{INS: InsVerify, Data: []byte("1234")}); r.SW != SWOK {
+		t.Fatalf("verify: %04x", r.SW)
+	}
+	if c.TriesRemaining() != 3 {
+		t.Fatalf("tries remaining = %d, want 3", c.TriesRemaining())
+	}
+}
+
+func TestSignRequiresPIN(t *testing.T) {
+	c := newCard(t, nil)
+	if r := c.Process(Command{INS: InsSign, Data: []byte("tx")}); r.SW != SWSecurityNotSatisfied {
+		t.Fatalf("unauthenticated sign: %04x", r.SW)
+	}
+	c.Process(Command{INS: InsVerify, Data: []byte("1234")})
+	r := c.Process(Command{INS: InsSign, Data: []byte("pay 100 to bob")})
+	if r.SW != SWOK {
+		t.Fatalf("sign: %04x", r.SW)
+	}
+	digest := sha1.Sum([]byte("pay 100 to bob"))
+	if err := rsa.VerifyPKCS1(&key(t).PublicKey, "sha1", digest[:], r.Data); err != nil {
+		t.Fatalf("signature invalid: %v", err)
+	}
+	if c.Meter.Cycles() == 0 {
+		t.Fatal("signing accrued no simulated cycles")
+	}
+	if r := c.Process(Command{INS: InsSign}); r.SW != SWWrongData {
+		t.Fatalf("empty sign data: %04x", r.SW)
+	}
+}
+
+// TestGlitchedCardLeaksFactor: a glitched card without countermeasures
+// emits a faulty signature that factors its modulus — the full
+// Section 3.4 scenario through the APDU interface.
+func TestGlitchedCardLeaksFactor(t *testing.T) {
+	c := newCard(t, &rsa.Options{Fault: &rsa.Fault{FlipBit: 11}})
+	c.Process(Command{INS: InsVerify, Data: []byte("1234")})
+	r := c.Process(Command{INS: InsSign, Data: []byte("victim tx")})
+	if r.SW != SWOK {
+		t.Fatalf("glitched sign: %04x", r.SW)
+	}
+	digest := sha1.Sum([]byte("victim tx"))
+	factor, err := fault.FactorFromFaultySignature(&key(t).PublicKey, "sha1", digest[:], r.Data)
+	if err != nil {
+		t.Fatalf("factorization failed: %v", err)
+	}
+	if factor.Cmp(key(t).P) != 0 && factor.Cmp(key(t).Q) != 0 {
+		t.Fatal("not a factor")
+	}
+}
+
+// TestHardenedCardFailsClosed: with verify-after-sign the glitched card
+// returns an error status instead of the exploitable signature.
+func TestHardenedCardFailsClosed(t *testing.T) {
+	c := newCard(t, &rsa.Options{Fault: &rsa.Fault{FlipBit: 11}, VerifyAfterSign: true})
+	c.Process(Command{INS: InsVerify, Data: []byte("1234")})
+	r := c.Process(Command{INS: InsSign, Data: []byte("victim tx")})
+	if r.SW != SWInternalError {
+		t.Fatalf("hardened card emitted %04x", r.SW)
+	}
+	if len(r.Data) != 0 {
+		t.Fatal("hardened card leaked data")
+	}
+}
+
+func TestGetChallenge(t *testing.T) {
+	c := newCard(t, nil)
+	r := c.Process(Command{INS: InsGetChallenge, P1: 16})
+	if r.SW != SWOK || len(r.Data) != 16 {
+		t.Fatalf("challenge: %04x len %d", r.SW, len(r.Data))
+	}
+	r2 := c.Process(Command{INS: InsGetChallenge, P1: 16})
+	if bytes.Equal(r.Data, r2.Data) {
+		t.Fatal("challenges repeat")
+	}
+	if r := c.Process(Command{INS: InsGetChallenge}); len(r.Data) != 8 {
+		t.Fatal("default challenge length wrong")
+	}
+}
+
+func TestUnknownInstruction(t *testing.T) {
+	c := newCard(t, nil)
+	if r := c.Process(Command{INS: 0xEE}); r.SW != SWInsNotSupported {
+		t.Fatalf("unknown ins: %04x", r.SW)
+	}
+	if r := c.Process(Command{INS: InsSelect, Data: []byte{1}}); r.SW != SWWrongData {
+		t.Fatalf("short select: %04x", r.SW)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Key: key(t)}); err == nil {
+		t.Error("accepted empty PIN")
+	}
+	if _, err := New(Config{PIN: "1"}); err == nil {
+		t.Error("accepted nil key")
+	}
+}

@@ -1,0 +1,74 @@
+package stack
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// Pipe returns two connected in-memory duplex endpoints with unbounded
+// buffering: writes never block, reads block until data arrives. It
+// stands in for the radio link in simulations and examples — unlike
+// net.Pipe, crossing flights (e.g. an alert racing a handshake message)
+// cannot deadlock.
+func Pipe() (a, b io.ReadWriteCloser) {
+	ab := newHalfDuplex()
+	ba := newHalfDuplex()
+	return &duplexEnd{r: ba, w: ab}, &duplexEnd{r: ab, w: ba}
+}
+
+type halfDuplex struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    bytes.Buffer
+	closed bool
+}
+
+func newHalfDuplex() *halfDuplex {
+	h := &halfDuplex{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfDuplex) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	n, _ := h.buf.Write(p)
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *halfDuplex) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.buf.Len() == 0 && !h.closed {
+		h.cond.Wait()
+	}
+	if h.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return h.buf.Read(p)
+}
+
+func (h *halfDuplex) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+type duplexEnd struct {
+	r, w *halfDuplex
+}
+
+func (e *duplexEnd) Read(p []byte) (int, error)  { return e.r.read(p) }
+func (e *duplexEnd) Write(p []byte) (int, error) { return e.w.write(p) }
+
+// Close ends the write direction; the peer's reads drain then see EOF.
+func (e *duplexEnd) Close() error {
+	e.w.close()
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package stack composes the paper's layered security hierarchy
+// (Figure 5) into one appliance-side protocol stack: a raw transport at
+// the bottom, then framed protection layers (WEP-style link security,
+// ESP-style network security), with a WTLS connection typically run over
+// the top by the caller.
+//
+// Section 3.1's motivating example — a wireless-LAN PDA that needs WEP at
+// the link layer, IPSec for its VPN and SSL for secure browsing, all at
+// once — is exactly a three-deep Stack. Each layer accounts its payload
+// bytes, frame expansion and modeled instruction cost so that the platform
+// (internal/core) can price the whole hierarchy.
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/esp"
+)
+
+// Protector seals payloads into frames and opens frames back into
+// payloads — the shape shared by wep.Endpoint and esp SA pairs.
+type Protector interface {
+	Seal(payload []byte) ([]byte, error)
+	Open(frame []byte) ([]byte, error)
+}
+
+// maxFrame bounds a single framed payload.
+const maxFrame = 1 << 15
+
+// Layer is one framed protection layer over a lower transport.
+type Layer struct {
+	name         string
+	lower        io.ReadWriter
+	prot         Protector
+	perByteInstr float64
+
+	readBuf []byte
+
+	payloadOut, payloadIn int
+	frameOut, frameIn     int
+	instr                 float64
+}
+
+// NewLayer wraps lower with the given protector. perByteInstr is the
+// modeled instruction cost per payload byte (cipher + integrity).
+func NewLayer(name string, lower io.ReadWriter, p Protector, perByteInstr float64) (*Layer, error) {
+	if lower == nil || p == nil {
+		return nil, errors.New("stack: nil transport or protector")
+	}
+	return &Layer{name: name, lower: lower, prot: p, perByteInstr: perByteInstr}, nil
+}
+
+// Name returns the layer's name.
+func (l *Layer) Name() string { return l.name }
+
+// Write seals p into frames on the lower transport.
+func (l *Layer) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxFrame {
+			n = maxFrame
+		}
+		frame, err := l.prot.Seal(p[:n])
+		if err != nil {
+			return total, fmt.Errorf("stack/%s: seal: %w", l.name, err)
+		}
+		if err := writeFrame(l.lower, frame); err != nil {
+			return total, err
+		}
+		l.payloadOut += n
+		l.frameOut += len(frame) + 2
+		l.instr += float64(n) * l.perByteInstr
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read opens frames from the lower transport into p.
+func (l *Layer) Read(p []byte) (int, error) {
+	for len(l.readBuf) == 0 {
+		frame, err := readFrame(l.lower)
+		if err != nil {
+			return 0, err
+		}
+		payload, err := l.prot.Open(frame)
+		if err != nil {
+			return 0, fmt.Errorf("stack/%s: open: %w", l.name, err)
+		}
+		l.readBuf = append(l.readBuf, payload...)
+		l.payloadIn += len(payload)
+		l.frameIn += len(frame) + 2
+		l.instr += float64(len(payload)) * l.perByteInstr
+	}
+	n := copy(p, l.readBuf)
+	l.readBuf = l.readBuf[n:]
+	return n, nil
+}
+
+// Stats reports the layer's accounting.
+type Stats struct {
+	Name                  string
+	PayloadOut, PayloadIn int
+	FrameOut, FrameIn     int // includes framing overhead
+	Instr                 float64
+}
+
+// Stats returns a snapshot of the layer's accounting.
+func (l *Layer) Stats() Stats {
+	return Stats{
+		Name:       l.name,
+		PayloadOut: l.payloadOut, PayloadIn: l.payloadIn,
+		FrameOut: l.frameOut, FrameIn: l.frameIn,
+		Instr: l.instr,
+	}
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) > 0xffff {
+		return errors.New("stack: frame too large")
+	}
+	hdr := []byte{byte(len(frame) >> 8), byte(len(frame))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// ESPPair adapts a pair of unidirectional SAs into a Protector.
+type ESPPair struct {
+	Out, In *esp.SA
+}
+
+// Seal seals on the outbound SA.
+func (p *ESPPair) Seal(payload []byte) ([]byte, error) { return p.Out.Seal(payload) }
+
+// Open opens on the inbound SA.
+func (p *ESPPair) Open(frame []byte) ([]byte, error) { return p.In.Open(frame) }
+
+// Stack is a bottom-up composition of protection layers over a transport.
+type Stack struct {
+	transport io.ReadWriter
+	layers    []*Layer
+}
+
+// New creates a stack over the raw transport.
+func New(transport io.ReadWriter) *Stack {
+	return &Stack{transport: transport}
+}
+
+// Push adds a protection layer on top of the current stack.
+func (s *Stack) Push(name string, p Protector, perByteInstr float64) error {
+	l, err := NewLayer(name, s.Top(), p, perByteInstr)
+	if err != nil {
+		return err
+	}
+	s.layers = append(s.layers, l)
+	return nil
+}
+
+// Top returns the highest layer (or the raw transport when empty); run
+// application traffic — or a wtls.Conn — over it.
+func (s *Stack) Top() io.ReadWriter {
+	if len(s.layers) == 0 {
+		return s.transport
+	}
+	return s.layers[len(s.layers)-1]
+}
+
+// Report returns per-layer statistics, bottom-up.
+func (s *Stack) Report() []Stats {
+	out := make([]Stats, 0, len(s.layers))
+	for _, l := range s.layers {
+		out = append(out, l.Stats())
+	}
+	return out
+}
+
+// TotalInstr sums the modeled instruction cost across layers.
+func (s *Stack) TotalInstr() float64 {
+	t := 0.0
+	for _, l := range s.layers {
+		t += l.instr
+	}
+	return t
+}
+
+// WireBytesOut returns the bytes the bottom layer put on the wire — the
+// figure the radio energy model charges for.
+func (s *Stack) WireBytesOut() int {
+	if len(s.layers) == 0 {
+		return 0
+	}
+	return s.layers[0].frameOut
+}

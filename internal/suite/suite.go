@@ -1,0 +1,179 @@
+// Package suite is the cipher-suite registry: the named combinations of
+// key exchange, bulk cipher and MAC hash that the protocol layers
+// negotiate.
+//
+// Section 3.1 of the paper builds its flexibility argument on exactly this
+// matrix — "an RSA key exchange based SSL cipher suite would need to
+// support 3-DES, RC4, RC2 or DES, along with the appropriate message
+// authentication algorithm (SHA-1 or MD5)" — and on the desirability of
+// supporting all allowed combinations for maximum interoperability.
+package suite
+
+import (
+	"fmt"
+	"hash"
+
+	"repro/internal/cost"
+	"repro/internal/crypto/aes"
+	"repro/internal/crypto/des"
+	"repro/internal/crypto/md5"
+	"repro/internal/crypto/modes"
+	"repro/internal/crypto/rc2"
+	"repro/internal/crypto/rc4"
+	"repro/internal/crypto/sha1"
+)
+
+// Kind distinguishes block from stream bulk ciphers.
+type Kind int
+
+// Cipher kinds.
+const (
+	BlockCipher Kind = iota
+	StreamCipher
+	NullCipher
+)
+
+// Stream is the stream-cipher interface (RC4 and CTR wrappers satisfy it).
+type Stream interface {
+	XORKeyStream(dst, src []byte)
+}
+
+// Suite describes one negotiable cipher suite.
+type Suite struct {
+	ID          uint16
+	Name        string
+	KeyExchange cost.HandshakeKind // RSA or DH connection set-up workload
+	KexName     string             // "RSA", "DHE"
+	Cipher      cost.Algorithm
+	Kind        Kind
+	KeyLen      int // bulk cipher key length in bytes
+	IVLen       int // IV length (block suites)
+	BlockSize   int
+	MAC         cost.Algorithm
+	MACKeyLen   int
+	Export      bool // export-weakened suite
+
+	// NewBlock constructs the block cipher for block suites.
+	NewBlock func(key []byte) (modes.Block, error)
+	// NewStream constructs the stream cipher for stream suites.
+	NewStream func(key []byte) (Stream, error)
+	// NewHash constructs the MAC hash.
+	NewHash func() hash.Hash
+}
+
+// MACLen returns the MAC output length in bytes.
+func (s *Suite) MACLen() int { return s.NewHash().Size() }
+
+func newSHA1() hash.Hash { return sha1.New() }
+func newMD5() hash.Hash  { return md5.New() }
+
+var registry = []*Suite{
+	{
+		ID: 0x000A, Name: "RSA_WITH_3DES_EDE_CBC_SHA",
+		KeyExchange: cost.HandshakeRSA1024, KexName: "RSA",
+		Cipher: cost.DES3, Kind: BlockCipher, KeyLen: 24, IVLen: 8, BlockSize: 8,
+		MAC: cost.SHA1, MACKeyLen: 20,
+		NewBlock: func(key []byte) (modes.Block, error) { return des.NewTripleCipher(key) },
+		NewHash:  newSHA1,
+	},
+	{
+		ID: 0x0009, Name: "RSA_WITH_DES_CBC_SHA",
+		KeyExchange: cost.HandshakeRSA1024, KexName: "RSA",
+		Cipher: cost.DES, Kind: BlockCipher, KeyLen: 8, IVLen: 8, BlockSize: 8,
+		MAC: cost.SHA1, MACKeyLen: 20,
+		NewBlock: func(key []byte) (modes.Block, error) { return des.NewCipher(key) },
+		NewHash:  newSHA1,
+	},
+	{
+		ID: 0x0005, Name: "RSA_WITH_RC4_128_SHA",
+		KeyExchange: cost.HandshakeRSA1024, KexName: "RSA",
+		Cipher: cost.RC4, Kind: StreamCipher, KeyLen: 16,
+		MAC: cost.SHA1, MACKeyLen: 20,
+		NewStream: func(key []byte) (Stream, error) { return rc4.NewCipher(key) },
+		NewHash:   newSHA1,
+	},
+	{
+		ID: 0x0004, Name: "RSA_WITH_RC4_128_MD5",
+		KeyExchange: cost.HandshakeRSA1024, KexName: "RSA",
+		Cipher: cost.RC4, Kind: StreamCipher, KeyLen: 16,
+		MAC: cost.MD5, MACKeyLen: 16,
+		NewStream: func(key []byte) (Stream, error) { return rc4.NewCipher(key) },
+		NewHash:   newMD5,
+	},
+	{
+		ID: 0x0003, Name: "RSA_EXPORT_WITH_RC4_40_MD5",
+		KeyExchange: cost.HandshakeRSA512, KexName: "RSA",
+		Cipher: cost.RC4, Kind: StreamCipher, KeyLen: 5, Export: true,
+		MAC: cost.MD5, MACKeyLen: 16,
+		NewStream: func(key []byte) (Stream, error) { return rc4.NewCipher(key) },
+		NewHash:   newMD5,
+	},
+	{
+		ID: 0x0006, Name: "RSA_EXPORT_WITH_RC2_CBC_40_MD5",
+		KeyExchange: cost.HandshakeRSA512, KexName: "RSA",
+		Cipher: cost.RC2, Kind: BlockCipher, KeyLen: 5, IVLen: 8, BlockSize: 8, Export: true,
+		MAC: cost.MD5, MACKeyLen: 16,
+		NewBlock: func(key []byte) (modes.Block, error) { return rc2.NewCipherEffective(key, 40) },
+		NewHash:  newMD5,
+	},
+	{
+		ID: 0x002F, Name: "RSA_WITH_AES_128_CBC_SHA",
+		KeyExchange: cost.HandshakeRSA1024, KexName: "RSA",
+		Cipher: cost.AES, Kind: BlockCipher, KeyLen: 16, IVLen: 16, BlockSize: 16,
+		MAC: cost.SHA1, MACKeyLen: 20,
+		NewBlock: func(key []byte) (modes.Block, error) { return aes.NewCipher(key) },
+		NewHash:  newSHA1,
+	},
+	{
+		ID: 0x0016, Name: "DHE_RSA_WITH_3DES_EDE_CBC_SHA",
+		KeyExchange: cost.HandshakeDH1024, KexName: "DHE",
+		Cipher: cost.DES3, Kind: BlockCipher, KeyLen: 24, IVLen: 8, BlockSize: 8,
+		MAC: cost.SHA1, MACKeyLen: 20,
+		NewBlock: func(key []byte) (modes.Block, error) { return des.NewTripleCipher(key) },
+		NewHash:  newSHA1,
+	},
+}
+
+// All returns every registered suite (shared slice; do not mutate).
+func All() []*Suite { return registry }
+
+// ByID looks up a suite by its wire identifier.
+func ByID(id uint16) (*Suite, error) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown suite id %#04x", id)
+}
+
+// ByName looks up a suite by name.
+func ByName(name string) (*Suite, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("suite: unknown suite %q", name)
+}
+
+// Negotiate picks the first of the client's offered suite IDs that the
+// server supports, modelling the hello exchange.
+func Negotiate(clientOffer []uint16, serverSupported []uint16) (*Suite, error) {
+	supported := make(map[uint16]bool, len(serverSupported))
+	for _, id := range serverSupported {
+		supported[id] = true
+	}
+	for _, id := range clientOffer {
+		if supported[id] {
+			return ByID(id)
+		}
+	}
+	return nil, fmt.Errorf("suite: no common cipher suite")
+}
+
+// DefaultServerPreference is a reasonable server-side support list:
+// everything, strongest first.
+func DefaultServerPreference() []uint16 {
+	return []uint16{0x002F, 0x000A, 0x0016, 0x0005, 0x0004, 0x0009, 0x0006, 0x0003}
+}

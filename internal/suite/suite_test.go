@@ -1,0 +1,170 @@
+package suite
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	seenID := map[uint16]bool{}
+	seenName := map[string]bool{}
+	for _, s := range All() {
+		if seenID[s.ID] {
+			t.Errorf("duplicate suite id %#04x", s.ID)
+		}
+		if seenName[s.Name] {
+			t.Errorf("duplicate suite name %s", s.Name)
+		}
+		seenID[s.ID] = true
+		seenName[s.Name] = true
+
+		switch s.Kind {
+		case BlockCipher:
+			if s.NewBlock == nil || s.IVLen == 0 || s.BlockSize == 0 {
+				t.Errorf("%s: incomplete block suite", s.Name)
+			}
+		case StreamCipher:
+			if s.NewStream == nil {
+				t.Errorf("%s: incomplete stream suite", s.Name)
+			}
+		}
+		if s.NewHash == nil || s.MACKeyLen == 0 || s.KeyLen == 0 {
+			t.Errorf("%s: missing MAC or key parameters", s.Name)
+		}
+		if s.MACLen() != s.NewHash().Size() {
+			t.Errorf("%s: MACLen mismatch", s.Name)
+		}
+	}
+}
+
+// TestPaperSuiteMatrix: the Section 3.1 matrix — RSA key exchange with
+// 3DES, RC4, RC2 and DES, each with SHA-1 or MD5 — must be representable.
+func TestPaperSuiteMatrix(t *testing.T) {
+	wantCiphers := map[cost.Algorithm]bool{cost.DES3: false, cost.RC4: false, cost.RC2: false, cost.DES: false}
+	wantMACs := map[cost.Algorithm]bool{cost.SHA1: false, cost.MD5: false}
+	for _, s := range All() {
+		if s.KexName != "RSA" {
+			continue
+		}
+		if _, ok := wantCiphers[s.Cipher]; ok {
+			wantCiphers[s.Cipher] = true
+		}
+		if _, ok := wantMACs[s.MAC]; ok {
+			wantMACs[s.MAC] = true
+		}
+	}
+	for c, found := range wantCiphers {
+		if !found {
+			t.Errorf("paper cipher %s missing from RSA suites", c)
+		}
+	}
+	for m, found := range wantMACs {
+		if !found {
+			t.Errorf("paper MAC %s missing from RSA suites", m)
+		}
+	}
+}
+
+func TestAllSuitesRoundtrip(t *testing.T) {
+	for _, s := range All() {
+		key := make([]byte, s.KeyLen)
+		for i := range key {
+			key[i] = byte(i + 1)
+		}
+		switch s.Kind {
+		case BlockCipher:
+			b, err := s.NewBlock(key)
+			if err != nil {
+				t.Fatalf("%s: NewBlock: %v", s.Name, err)
+			}
+			if b.BlockSize() != s.BlockSize {
+				t.Errorf("%s: block size %d != declared %d", s.Name, b.BlockSize(), s.BlockSize)
+			}
+			pt := make([]byte, s.BlockSize)
+			ct := make([]byte, s.BlockSize)
+			back := make([]byte, s.BlockSize)
+			b.Encrypt(ct, pt)
+			b.Decrypt(back, ct)
+			if !bytes.Equal(back, pt) {
+				t.Errorf("%s: block roundtrip failed", s.Name)
+			}
+		case StreamCipher:
+			sc1, err := s.NewStream(key)
+			if err != nil {
+				t.Fatalf("%s: NewStream: %v", s.Name, err)
+			}
+			sc2, _ := s.NewStream(key)
+			msg := []byte("stream suite roundtrip")
+			ct := make([]byte, len(msg))
+			back := make([]byte, len(msg))
+			sc1.XORKeyStream(ct, msg)
+			sc2.XORKeyStream(back, ct)
+			if !bytes.Equal(back, msg) {
+				t.Errorf("%s: stream roundtrip failed", s.Name)
+			}
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s, err := ByName("RSA_WITH_3DES_EDE_CBC_SHA")
+	if err != nil || s.ID != 0x000A {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	s2, err := ByID(0x000A)
+	if err != nil || s2 != s {
+		t.Fatalf("ByID returned different suite")
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("ByName accepted unknown")
+	}
+	if _, err := ByID(0xFFFF); err == nil {
+		t.Error("ByID accepted unknown")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	server := DefaultServerPreference()
+	// Client preference order wins.
+	s, err := Negotiate([]uint16{0x0004, 0x000A}, server)
+	if err != nil || s.ID != 0x0004 {
+		t.Fatalf("negotiated %v, %v", s, err)
+	}
+	// Unsupported offers are skipped.
+	s, err = Negotiate([]uint16{0xBEEF, 0x000A}, server)
+	if err != nil || s.ID != 0x000A {
+		t.Fatalf("negotiated %v, %v", s, err)
+	}
+	// No overlap fails.
+	if _, err := Negotiate([]uint16{0xBEEF}, server); err == nil {
+		t.Fatal("negotiated with no overlap")
+	}
+	if _, err := Negotiate(nil, server); err == nil {
+		t.Fatal("negotiated with empty offer")
+	}
+}
+
+func TestExportSuitesMarked(t *testing.T) {
+	for _, name := range []string{"RSA_EXPORT_WITH_RC4_40_MD5", "RSA_EXPORT_WITH_RC2_CBC_40_MD5"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Export || s.KeyLen != 5 {
+			t.Errorf("%s: export marking/key length wrong", name)
+		}
+		if s.KeyExchange != cost.HandshakeRSA512 {
+			t.Errorf("%s: export suite should use the 512-bit handshake workload", name)
+		}
+	}
+}
+
+func TestDefaultServerPreferenceValid(t *testing.T) {
+	for _, id := range DefaultServerPreference() {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("server preference contains unknown id %#04x", id)
+		}
+	}
+}

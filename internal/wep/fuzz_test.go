@@ -1,0 +1,22 @@
+package wep
+
+import "testing"
+
+// FuzzOpen: arbitrary frames must decrypt-or-error without panicking.
+func FuzzOpen(f *testing.F) {
+	key := []byte{1, 2, 3, 4, 5}
+	ep, err := NewEndpoint(key, IVSequential)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := ep.Seal([]byte("seed frame"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:3])
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		Open(key, frame) //nolint:errcheck // must not panic
+	})
+}

@@ -1,0 +1,103 @@
+package wtls
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+)
+
+// Certificate is a minimal server certificate: a subject name bound to an
+// RSA public key by a CA signature. (WTLS likewise defined its own
+// compact certificate format in place of full X.509 — the paper's
+// flexibility point about wireless-optimized protocol design.)
+type Certificate struct {
+	Subject   string
+	Issuer    string
+	Serial    uint64
+	PublicKey *rsa.PublicKey
+	Signature []byte
+}
+
+// tbs returns the to-be-signed byte string.
+func (c *Certificate) tbs() []byte {
+	var b builder
+	b.addString(c.Subject)
+	b.addString(c.Issuer)
+	b.addUint64(c.Serial)
+	b.addBytes16(c.PublicKey.N.Bytes())
+	b.addUint64(uint64(c.PublicKey.E))
+	return b.bytes()
+}
+
+// Marshal encodes the certificate.
+func (c *Certificate) Marshal() []byte {
+	var b builder
+	b.addString(c.Subject)
+	b.addString(c.Issuer)
+	b.addUint64(c.Serial)
+	b.addBytes16(c.PublicKey.N.Bytes())
+	b.addUint64(uint64(c.PublicKey.E))
+	b.addBytes16(c.Signature)
+	return b.bytes()
+}
+
+// UnmarshalCertificate decodes a certificate.
+func UnmarshalCertificate(data []byte) (*Certificate, error) {
+	p := parser{buf: data}
+	c := &Certificate{}
+	var n []byte
+	var e uint64
+	if !p.readString(&c.Subject) || !p.readString(&c.Issuer) ||
+		!p.readUint64(&c.Serial) || !p.readBytes16(&n) ||
+		!p.readUint64(&e) || !p.readBytes16(&c.Signature) || !p.empty() {
+		return nil, errors.New("wtls: malformed certificate")
+	}
+	c.PublicKey = &rsa.PublicKey{N: new(big.Int).SetBytes(n), E: int64(e)}
+	if c.PublicKey.N.Sign() == 0 || c.PublicKey.E == 0 {
+		return nil, errors.New("wtls: certificate with degenerate key")
+	}
+	return c, nil
+}
+
+// CA is a certificate authority able to issue certificates.
+type CA struct {
+	Name string
+	Key  *rsa.PrivateKey
+}
+
+// NewCA creates a CA with a fresh key of the given size.
+func NewCA(name string, rng io.Reader, bits int) (*CA, error) {
+	key, err := rsa.GenerateKey(rng, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Name: name, Key: key}, nil
+}
+
+// Issue signs a certificate binding subject to pub.
+func (ca *CA) Issue(subject string, serial uint64, pub *rsa.PublicKey) (*Certificate, error) {
+	c := &Certificate{Subject: subject, Issuer: ca.Name, Serial: serial, PublicKey: pub}
+	digest := sha1.Sum(c.tbs())
+	sig, err := rsa.SignPKCS1(ca.Key, "sha1", digest[:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("wtls: issuing certificate: %w", err)
+	}
+	c.Signature = sig
+	return c, nil
+}
+
+// Verify checks the certificate's CA signature and subject binding.
+func (c *Certificate) Verify(root *rsa.PublicKey, expectSubject string) error {
+	if expectSubject != "" && c.Subject != expectSubject {
+		return fmt.Errorf("wtls: certificate subject %q, want %q", c.Subject, expectSubject)
+	}
+	digest := sha1.Sum(c.tbs())
+	if err := rsa.VerifyPKCS1(root, "sha1", digest[:], c.Signature); err != nil {
+		return fmt.Errorf("wtls: certificate signature invalid: %w", err)
+	}
+	return nil
+}

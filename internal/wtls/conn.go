@@ -1,0 +1,743 @@
+package wtls
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/crypto/dh"
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/crypto/sha1"
+	"repro/internal/suite"
+)
+
+// Config configures a Conn endpoint.
+type Config struct {
+	// Rand supplies all randomness (hello randoms, premaster, blinding).
+	Rand *prng.DRBG
+	// Suites are the offered (client) or supported (server) suite IDs,
+	// in preference order. Defaults to suite.DefaultServerPreference.
+	Suites []uint16
+
+	// Certificate and PrivateKey identify a server.
+	Certificate *Certificate
+	PrivateKey  *rsa.PrivateKey
+	// DHGroup enables DHE suites on a server.
+	DHGroup *dh.Group
+
+	// RootCA is the client's trusted CA key.
+	RootCA *rsa.PublicKey
+	// ServerName is the subject the client expects in the certificate.
+	ServerName string
+
+	// SessionCache enables session resumption when set.
+	SessionCache *SessionCache
+
+	// RSAOptions tunes the server's private-key operation (blinding,
+	// constant-time, CRT) — the tamper-resistance knobs of Section 3.4.
+	RSAOptions *rsa.Options
+}
+
+func (c *Config) suitesOrDefault() []uint16 {
+	if len(c.Suites) > 0 {
+		return c.Suites
+	}
+	return suite.DefaultServerPreference()
+}
+
+// SessionCache stores resumable sessions, keyed by server name on clients
+// and by session ID on servers.
+type SessionCache struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+type session struct {
+	id      []byte
+	master  []byte
+	suiteID uint16
+}
+
+// NewSessionCache creates an empty session cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{m: make(map[string]*session)}
+}
+
+func (sc *SessionCache) put(key string, s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.m[key] = s
+}
+
+func (sc *SessionCache) get(key string) *session {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.m[key]
+}
+
+// Len reports the number of cached sessions.
+func (sc *SessionCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}
+
+// Metrics accumulates the modeled security-processing work of a
+// connection, feeding the platform cost accounting (internal/core).
+type Metrics struct {
+	FullHandshakes    int
+	ResumedHandshakes int
+	// HandshakeInstr is the modeled instruction cost of connection
+	// set-ups (cost model of internal/cost).
+	HandshakeInstr float64
+	// BulkInstr is the modeled instruction cost of record protection.
+	BulkInstr float64
+	// AppBytesOut/In count application plaintext through the record layer.
+	AppBytesOut, AppBytesIn int
+	RecordsSent, RecordsRcv int
+}
+
+// Conn is one endpoint of a WTLS connection.
+type Conn struct {
+	conn     io.ReadWriter
+	isClient bool
+	cfg      *Config
+
+	in, out       halfConn
+	suite         *suite.Suite
+	resumed       bool
+	handshakeDone bool
+	closed        bool
+
+	transcript   *sha1.Digest
+	handshakeBuf []byte
+	readBuf      []byte
+
+	sessionID []byte
+	master    []byte
+
+	metrics Metrics
+}
+
+// Client wraps conn as the client side of a WTLS connection.
+func Client(conn io.ReadWriter, cfg *Config) *Conn {
+	return &Conn{conn: conn, isClient: true, cfg: cfg, transcript: sha1.New()}
+}
+
+// Server wraps conn as the server side of a WTLS connection.
+func Server(conn io.ReadWriter, cfg *Config) *Conn {
+	return &Conn{conn: conn, isClient: false, cfg: cfg, transcript: sha1.New()}
+}
+
+// ConnectionState reports the negotiated parameters.
+type ConnectionState struct {
+	HandshakeDone bool
+	Suite         *suite.Suite
+	Resumed       bool
+	SessionID     []byte
+}
+
+// State returns the connection state.
+func (c *Conn) State() ConnectionState {
+	return ConnectionState{
+		HandshakeDone: c.handshakeDone,
+		Suite:         c.suite,
+		Resumed:       c.resumed,
+		SessionID:     append([]byte{}, c.sessionID...),
+	}
+}
+
+// Metrics returns the accumulated cost metrics.
+func (c *Conn) Metrics() Metrics { return c.metrics }
+
+// sendAlert writes an alert record (best effort).
+func (c *Conn) sendAlert(level, desc uint8) {
+	frag, err := c.out.protect(recordAlert, []byte{level, desc})
+	if err != nil {
+		return
+	}
+	_ = writeRecord(c.conn, recordAlert, frag)
+}
+
+func (c *Conn) fail(desc uint8, err error) error {
+	c.sendAlert(alertLevelFatal, desc)
+	return err
+}
+
+// writeHandshake protects, frames and transcripts one handshake message.
+func (c *Conn) writeHandshake(msg []byte) error {
+	c.transcript.Write(msg)
+	frag, err := c.out.protect(recordHandshake, msg)
+	if err != nil {
+		return err
+	}
+	c.metrics.RecordsSent++
+	return writeRecord(c.conn, recordHandshake, frag)
+}
+
+// readHandshakeMsg returns the next handshake message (type, body),
+// reading records as needed and updating the transcript.
+func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
+	for {
+		if len(c.handshakeBuf) >= 4 {
+			n := int(c.handshakeBuf[1])<<16 | int(c.handshakeBuf[2])<<8 | int(c.handshakeBuf[3])
+			if len(c.handshakeBuf) >= 4+n {
+				msg := c.handshakeBuf[:4+n]
+				c.handshakeBuf = c.handshakeBuf[4+n:]
+				c.transcript.Write(msg)
+				t, body, err := splitHandshake(msg)
+				return t, body, err
+			}
+		}
+		recType, frag, err := readRecord(c.conn)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.metrics.RecordsRcv++
+		payload, err := c.in.unprotect(recType, frag)
+		if err != nil {
+			return 0, nil, c.fail(AlertBadRecordMAC, err)
+		}
+		switch recType {
+		case recordHandshake:
+			c.handshakeBuf = append(c.handshakeBuf, payload...)
+		case recordAlert:
+			if len(payload) != 2 {
+				return 0, nil, errors.New("wtls: malformed alert")
+			}
+			return 0, nil, &AlertError{Level: payload[0], Description: payload[1]}
+		default:
+			return 0, nil, fmt.Errorf("wtls: unexpected record type %d during handshake", recType)
+		}
+	}
+}
+
+// expectHandshake reads a handshake message and checks its type.
+func (c *Conn) expectHandshake(want uint8) ([]byte, error) {
+	t, body, err := c.readHandshakeMsg()
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, c.fail(AlertHandshakeFailed,
+			fmt.Errorf("wtls: expected handshake type %d, got %d", want, t))
+	}
+	return body, nil
+}
+
+// sendChangeCipherSpec emits the CCS record and arms the outbound keys.
+func (c *Conn) sendChangeCipherSpec(km *keyMaterial) error {
+	frag, err := c.out.protect(recordChangeCipherSpec, []byte{1})
+	if err != nil {
+		return err
+	}
+	if err := writeRecord(c.conn, recordChangeCipherSpec, frag); err != nil {
+		return err
+	}
+	if c.isClient {
+		return c.out.enable(c.suite, km.clientMAC, km.clientKey, km.clientIV)
+	}
+	return c.out.enable(c.suite, km.serverMAC, km.serverKey, km.serverIV)
+}
+
+// recvChangeCipherSpec consumes the peer CCS and arms the inbound keys.
+func (c *Conn) recvChangeCipherSpec(km *keyMaterial) error {
+	recType, frag, err := readRecord(c.conn)
+	if err != nil {
+		return err
+	}
+	c.metrics.RecordsRcv++
+	payload, err := c.in.unprotect(recType, frag)
+	if err != nil {
+		return err
+	}
+	if recType == recordAlert && len(payload) == 2 {
+		return &AlertError{Level: payload[0], Description: payload[1]}
+	}
+	if recType != recordChangeCipherSpec || len(payload) != 1 || payload[0] != 1 {
+		return errors.New("wtls: expected change cipher spec")
+	}
+	if c.isClient {
+		return c.in.enable(c.suite, km.serverMAC, km.serverKey, km.serverIV)
+	}
+	return c.in.enable(c.suite, km.clientMAC, km.clientKey, km.clientIV)
+}
+
+// Handshake runs the protocol handshake. It is idempotent.
+func (c *Conn) Handshake() error {
+	if c.handshakeDone {
+		return nil
+	}
+	if c.cfg == nil || c.cfg.Rand == nil {
+		return errors.New("wtls: config with Rand required")
+	}
+	var err error
+	if c.isClient {
+		err = c.clientHandshake()
+	} else {
+		err = c.serverHandshake()
+	}
+	if err != nil {
+		return err
+	}
+	c.handshakeDone = true
+	kind := c.suite.KeyExchange
+	if c.resumed {
+		kind = cost.HandshakeResume
+		c.metrics.ResumedHandshakes++
+	} else {
+		c.metrics.FullHandshakes++
+	}
+	instr, err := cost.HandshakeInstr(kind)
+	if err != nil {
+		return err
+	}
+	c.metrics.HandshakeInstr += instr
+	return nil
+}
+
+func (c *Conn) transcriptHash() []byte { return c.transcript.Sum(nil) }
+
+func (c *Conn) clientHandshake() error {
+	clientRandom := c.cfg.Rand.Bytes(randomLen)
+	var cached *session
+	var offerID []byte
+	if c.cfg.SessionCache != nil && c.cfg.ServerName != "" {
+		if s := c.cfg.SessionCache.get("client:" + c.cfg.ServerName); s != nil {
+			cached = s
+			offerID = s.id
+		}
+	}
+	hello := &clientHello{random: clientRandom, sessionID: offerID, suites: c.cfg.suitesOrDefault()}
+	if err := c.writeHandshake(hello.marshal()); err != nil {
+		return err
+	}
+
+	body, err := c.expectHandshake(typeServerHello)
+	if err != nil {
+		return err
+	}
+	sh, err := parseServerHello(body)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	st, err := suite.ByID(sh.suite)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	offered := false
+	for _, id := range hello.suites {
+		if id == sh.suite {
+			offered = true
+			break
+		}
+	}
+	if !offered {
+		return c.fail(AlertHandshakeFailed, fmt.Errorf("wtls: server chose unoffered suite %#04x", sh.suite))
+	}
+	c.suite = st
+	c.sessionID = sh.sessionID
+
+	if sh.resumed {
+		if cached == nil || cached.suiteID != sh.suite || string(cached.id) != string(sh.sessionID) {
+			return c.fail(AlertHandshakeFailed, errors.New("wtls: bogus resumption"))
+		}
+		c.resumed = true
+		c.master = cached.master
+		km := deriveKeys(c.master, clientRandom, sh.random, st.MACKeyLen, st.KeyLen, st.IVLen)
+		// Server finishes first on resumption.
+		if err := c.recvChangeCipherSpec(&km); err != nil {
+			return err
+		}
+		serverTranscript := c.transcriptHash()
+		fbody, err := c.expectHandshake(typeFinished)
+		if err != nil {
+			return err
+		}
+		if err := c.checkFinished(fbody, false, serverTranscript); err != nil {
+			return err
+		}
+		if err := c.sendChangeCipherSpec(&km); err != nil {
+			return err
+		}
+		fin := &finishedMsg{verify: finishedData(c.master, true, c.transcriptHash())}
+		return c.writeHandshake(fin.marshal())
+	}
+
+	// Full handshake: certificate (+ server key exchange for DHE).
+	certBody, err := c.expectHandshake(typeCertificate)
+	if err != nil {
+		return err
+	}
+	cm, err := parseCertificateMsg(certBody)
+	if err != nil {
+		return c.fail(AlertBadCertificate, err)
+	}
+	cert, err := UnmarshalCertificate(cm.cert)
+	if err != nil {
+		return c.fail(AlertBadCertificate, err)
+	}
+	if c.cfg.RootCA == nil {
+		return c.fail(AlertBadCertificate, errors.New("wtls: client has no root CA"))
+	}
+	if err := cert.Verify(c.cfg.RootCA, c.cfg.ServerName); err != nil {
+		return c.fail(AlertBadCertificate, err)
+	}
+
+	var premaster []byte
+	var ckx *clientKeyExchange
+	switch st.KexName {
+	case "RSA":
+		body, err := c.expectHandshake(typeServerHelloDone)
+		if err != nil {
+			return err
+		}
+		if len(body) != 0 {
+			return c.fail(AlertHandshakeFailed, errors.New("wtls: non-empty hello done"))
+		}
+		premaster = make([]byte, masterSecretLen)
+		premaster[0] = byte(protocolVersion >> 8)
+		premaster[1] = byte(protocolVersion & 0xff)
+		copy(premaster[2:], c.cfg.Rand.Bytes(masterSecretLen-2))
+		enc, err := rsa.EncryptPKCS1(c.cfg.Rand, cert.PublicKey, premaster)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		ckx = &clientKeyExchange{payload: enc}
+	case "DHE":
+		skxBody, err := c.expectHandshake(typeServerKeyExchange)
+		if err != nil {
+			return err
+		}
+		skx, err := parseServerKeyExchange(skxBody)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		params := skx.signedParams(clientRandom, sh.random)
+		digest := sha1.Sum(params)
+		if err := rsa.VerifyPKCS1(cert.PublicKey, "sha1", digest[:], skx.signature); err != nil {
+			return c.fail(AlertHandshakeFailed, fmt.Errorf("wtls: DH params signature: %w", err))
+		}
+		body, err := c.expectHandshake(typeServerHelloDone)
+		if err != nil {
+			return err
+		}
+		if len(body) != 0 {
+			return c.fail(AlertHandshakeFailed, errors.New("wtls: non-empty hello done"))
+		}
+		group := &dh.Group{Name: "negotiated", P: skx.p, G: skx.g}
+		kp, err := dh.GenerateKeyPair(group, c.cfg.Rand, nil)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		premaster, err = kp.SharedSecret(skx.ys, nil)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		ckx = &clientKeyExchange{payload: kp.Public.Bytes()}
+	default:
+		return c.fail(AlertHandshakeFailed, fmt.Errorf("wtls: unsupported key exchange %q", st.KexName))
+	}
+
+	if err := c.writeHandshake(ckx.marshal()); err != nil {
+		return err
+	}
+	c.master = deriveMaster(premaster, clientRandom, sh.random)
+	km := deriveKeys(c.master, clientRandom, sh.random, st.MACKeyLen, st.KeyLen, st.IVLen)
+
+	if err := c.sendChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	fin := &finishedMsg{verify: finishedData(c.master, true, c.transcriptHash())}
+	if err := c.writeHandshake(fin.marshal()); err != nil {
+		return err
+	}
+	if err := c.recvChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	serverTranscript := c.transcriptHash()
+	fbody, err := c.expectHandshake(typeFinished)
+	if err != nil {
+		return err
+	}
+	if err := c.checkFinished(fbody, false, serverTranscript); err != nil {
+		return err
+	}
+	if c.cfg.SessionCache != nil && c.cfg.ServerName != "" && len(c.sessionID) > 0 {
+		c.cfg.SessionCache.put("client:"+c.cfg.ServerName, &session{
+			id: c.sessionID, master: c.master, suiteID: st.ID,
+		})
+	}
+	return nil
+}
+
+func (c *Conn) serverHandshake() error {
+	body, err := c.expectHandshake(typeClientHello)
+	if err != nil {
+		return err
+	}
+	ch, err := parseClientHello(body)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	serverRandom := c.cfg.Rand.Bytes(randomLen)
+
+	// Resumption path.
+	if c.cfg.SessionCache != nil && len(ch.sessionID) > 0 {
+		if s := c.cfg.SessionCache.get("server:" + string(ch.sessionID)); s != nil {
+			offered := false
+			for _, id := range ch.suites {
+				if id == s.suiteID {
+					offered = true
+					break
+				}
+			}
+			if offered {
+				return c.serverResume(ch, s, serverRandom)
+			}
+		}
+	}
+
+	st, err := suite.Negotiate(ch.suites, c.cfg.suitesOrDefault())
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	if st.KexName == "DHE" && c.cfg.DHGroup == nil {
+		// Fall back to the first non-DHE common suite.
+		var fallback []uint16
+		for _, id := range c.cfg.suitesOrDefault() {
+			if s2, err := suite.ByID(id); err == nil && s2.KexName != "DHE" {
+				fallback = append(fallback, id)
+			}
+		}
+		if st, err = suite.Negotiate(ch.suites, fallback); err != nil {
+			return c.fail(AlertHandshakeFailed, errors.New("wtls: DHE suite without DH group"))
+		}
+	}
+	c.suite = st
+	if c.cfg.Certificate == nil || c.cfg.PrivateKey == nil {
+		return c.fail(AlertHandshakeFailed, errors.New("wtls: server requires certificate and key"))
+	}
+
+	c.sessionID = c.cfg.Rand.Bytes(16)
+	sh := &serverHello{random: serverRandom, sessionID: c.sessionID, suite: st.ID}
+	if err := c.writeHandshake(sh.marshal()); err != nil {
+		return err
+	}
+	if err := c.writeHandshake((&certificateMsg{cert: c.cfg.Certificate.Marshal()}).marshal()); err != nil {
+		return err
+	}
+
+	var dhKey *dh.KeyPair
+	if st.KexName == "DHE" {
+		dhKey, err = dh.GenerateKeyPair(c.cfg.DHGroup, c.cfg.Rand, nil)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		skx := &serverKeyExchange{p: c.cfg.DHGroup.P, g: c.cfg.DHGroup.G, ys: dhKey.Public}
+		digest := sha1.Sum(skx.signedParams(ch.random, serverRandom))
+		sig, err := rsa.SignPKCS1(c.cfg.PrivateKey, "sha1", digest[:], c.cfg.RSAOptions)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+		skx.signature = sig
+		if err := c.writeHandshake(skx.marshal()); err != nil {
+			return err
+		}
+	}
+	if err := c.writeHandshake(wrapHandshake(typeServerHelloDone, nil)); err != nil {
+		return err
+	}
+
+	ckxBody, err := c.expectHandshake(typeClientKeyExchange)
+	if err != nil {
+		return err
+	}
+	ckx, err := parseClientKeyExchange(ckxBody)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+
+	var premaster []byte
+	switch st.KexName {
+	case "RSA":
+		pm, err := rsa.DecryptPKCS1(c.cfg.PrivateKey, ckx.payload, c.cfg.RSAOptions)
+		if err != nil || len(pm) != masterSecretLen ||
+			pm[0] != byte(protocolVersion>>8) || pm[1] != byte(protocolVersion&0xff) {
+			return c.fail(AlertDecryptError, errors.New("wtls: bad premaster"))
+		}
+		premaster = pm
+	case "DHE":
+		yc := new(big.Int).SetBytes(ckx.payload)
+		premaster, err = dhKey.SharedSecret(yc, nil)
+		if err != nil {
+			return c.fail(AlertHandshakeFailed, err)
+		}
+	}
+
+	c.master = deriveMaster(premaster, ch.random, serverRandom)
+	km := deriveKeys(c.master, ch.random, serverRandom, st.MACKeyLen, st.KeyLen, st.IVLen)
+
+	if err := c.recvChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	clientTranscript := c.transcriptHash()
+	fbody, err := c.expectHandshake(typeFinished)
+	if err != nil {
+		return err
+	}
+	if err := c.checkFinished(fbody, true, clientTranscript); err != nil {
+		return err
+	}
+	if err := c.sendChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	fin := &finishedMsg{verify: finishedData(c.master, false, c.transcriptHash())}
+	if err := c.writeHandshake(fin.marshal()); err != nil {
+		return err
+	}
+	if c.cfg.SessionCache != nil {
+		c.cfg.SessionCache.put("server:"+string(c.sessionID), &session{
+			id: c.sessionID, master: c.master, suiteID: st.ID,
+		})
+	}
+	return nil
+}
+
+func (c *Conn) serverResume(ch *clientHello, s *session, serverRandom []byte) error {
+	st, err := suite.ByID(s.suiteID)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	c.suite = st
+	c.resumed = true
+	c.sessionID = s.id
+	c.master = s.master
+	sh := &serverHello{random: serverRandom, sessionID: s.id, suite: st.ID, resumed: true}
+	if err := c.writeHandshake(sh.marshal()); err != nil {
+		return err
+	}
+	km := deriveKeys(c.master, ch.random, serverRandom, st.MACKeyLen, st.KeyLen, st.IVLen)
+	if err := c.sendChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	fin := &finishedMsg{verify: finishedData(c.master, false, c.transcriptHash())}
+	if err := c.writeHandshake(fin.marshal()); err != nil {
+		return err
+	}
+	if err := c.recvChangeCipherSpec(&km); err != nil {
+		return err
+	}
+	clientTranscript := c.transcriptHash()
+	fbody, err := c.expectHandshake(typeFinished)
+	if err != nil {
+		return err
+	}
+	return c.checkFinished(fbody, true, clientTranscript)
+}
+
+func (c *Conn) checkFinished(body []byte, fromClient bool, transcriptHash []byte) error {
+	fin, err := parseFinished(body)
+	if err != nil {
+		return c.fail(AlertHandshakeFailed, err)
+	}
+	want := finishedData(c.master, fromClient, transcriptHash)
+	if len(fin.verify) != len(want) {
+		return c.fail(AlertHandshakeFailed, errors.New("wtls: finished length"))
+	}
+	var diff byte
+	for i := range want {
+		diff |= fin.verify[i] ^ want[i]
+	}
+	if diff != 0 {
+		return c.fail(AlertHandshakeFailed, errors.New("wtls: finished verify data mismatch"))
+	}
+	return nil
+}
+
+// Write sends application data, fragmenting into records as needed.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	if c.closed {
+		return 0, errors.New("wtls: connection closed")
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxRecordPayload {
+			n = maxRecordPayload
+		}
+		frag, err := c.out.protect(recordApplicationData, p[:n])
+		if err != nil {
+			return total, err
+		}
+		if err := writeRecord(c.conn, recordApplicationData, frag); err != nil {
+			return total, err
+		}
+		c.metrics.RecordsSent++
+		c.metrics.AppBytesOut += n
+		c.metrics.BulkInstr += float64(n) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read returns application data, running the handshake if needed.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.Handshake(); err != nil {
+		return 0, err
+	}
+	for len(c.readBuf) == 0 {
+		if c.closed {
+			return 0, io.EOF
+		}
+		recType, frag, err := readRecord(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		c.metrics.RecordsRcv++
+		payload, err := c.in.unprotect(recType, frag)
+		if err != nil {
+			return 0, c.fail(AlertBadRecordMAC, err)
+		}
+		switch recType {
+		case recordApplicationData:
+			c.readBuf = append(c.readBuf, payload...)
+			c.metrics.AppBytesIn += len(payload)
+			c.metrics.BulkInstr += float64(len(payload)) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
+		case recordAlert:
+			if len(payload) != 2 {
+				return 0, errors.New("wtls: malformed alert")
+			}
+			if payload[1] == AlertCloseNotify {
+				c.closed = true
+				return 0, io.EOF
+			}
+			return 0, &AlertError{Level: payload[0], Description: payload[1]}
+		default:
+			return 0, fmt.Errorf("wtls: unexpected record type %d", recType)
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Close sends a close_notify alert.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.handshakeDone {
+		c.sendAlert(alertLevelWarning, AlertCloseNotify)
+	}
+	return nil
+}

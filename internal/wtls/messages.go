@@ -1,0 +1,226 @@
+package wtls
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Protocol version on the wire.
+const protocolVersion uint16 = 0x0301
+
+// Handshake message types.
+const (
+	typeClientHello       uint8 = 1
+	typeServerHello       uint8 = 2
+	typeCertificate       uint8 = 11
+	typeServerKeyExchange uint8 = 12
+	typeServerHelloDone   uint8 = 14
+	typeClientKeyExchange uint8 = 16
+	typeFinished          uint8 = 20
+)
+
+// randomLen is the hello random length.
+const randomLen = 32
+
+type clientHello struct {
+	random    []byte
+	sessionID []byte
+	suites    []uint16
+}
+
+func (m *clientHello) marshal() []byte {
+	var b builder
+	b.addUint16(protocolVersion)
+	b.addRaw(m.random)
+	b.addBytes8(m.sessionID)
+	b.addUint16(uint16(len(m.suites)))
+	for _, s := range m.suites {
+		b.addUint16(s)
+	}
+	return wrapHandshake(typeClientHello, b.bytes())
+}
+
+func parseClientHello(body []byte) (*clientHello, error) {
+	p := parser{buf: body}
+	var ver uint16
+	m := &clientHello{}
+	if !p.readUint16(&ver) || ver != protocolVersion {
+		return nil, errors.New("wtls: bad client hello version")
+	}
+	if !p.readRaw(randomLen, &m.random) || !p.readBytes8(&m.sessionID) {
+		return nil, errors.New("wtls: malformed client hello")
+	}
+	var n uint16
+	if !p.readUint16(&n) {
+		return nil, errors.New("wtls: malformed client hello suites")
+	}
+	for i := 0; i < int(n); i++ {
+		var id uint16
+		if !p.readUint16(&id) {
+			return nil, errors.New("wtls: truncated suite list")
+		}
+		m.suites = append(m.suites, id)
+	}
+	if !p.empty() {
+		return nil, errors.New("wtls: trailing bytes in client hello")
+	}
+	return m, nil
+}
+
+type serverHello struct {
+	random    []byte
+	sessionID []byte
+	suite     uint16
+	resumed   bool
+}
+
+func (m *serverHello) marshal() []byte {
+	var b builder
+	b.addUint16(protocolVersion)
+	b.addRaw(m.random)
+	b.addBytes8(m.sessionID)
+	b.addUint16(m.suite)
+	if m.resumed {
+		b.addUint8(1)
+	} else {
+		b.addUint8(0)
+	}
+	return wrapHandshake(typeServerHello, b.bytes())
+}
+
+func parseServerHello(body []byte) (*serverHello, error) {
+	p := parser{buf: body}
+	var ver uint16
+	m := &serverHello{}
+	var res uint8
+	if !p.readUint16(&ver) || ver != protocolVersion ||
+		!p.readRaw(randomLen, &m.random) || !p.readBytes8(&m.sessionID) ||
+		!p.readUint16(&m.suite) || !p.readUint8(&res) || !p.empty() {
+		return nil, errors.New("wtls: malformed server hello")
+	}
+	m.resumed = res == 1
+	return m, nil
+}
+
+type certificateMsg struct {
+	cert []byte // marshaled Certificate
+}
+
+func (m *certificateMsg) marshal() []byte {
+	var b builder
+	b.addBytes16(m.cert)
+	return wrapHandshake(typeCertificate, b.bytes())
+}
+
+func parseCertificateMsg(body []byte) (*certificateMsg, error) {
+	p := parser{buf: body}
+	m := &certificateMsg{}
+	if !p.readBytes16(&m.cert) || !p.empty() {
+		return nil, errors.New("wtls: malformed certificate message")
+	}
+	return m, nil
+}
+
+// serverKeyExchange carries ephemeral DH parameters signed by the server
+// key (DHE suites only).
+type serverKeyExchange struct {
+	p, g, ys  *big.Int
+	signature []byte
+}
+
+// signedParams returns the byte string the signature covers, bound to both
+// hello randoms to prevent replay.
+func (m *serverKeyExchange) signedParams(clientRandom, serverRandom []byte) []byte {
+	var b builder
+	b.addRaw(clientRandom)
+	b.addRaw(serverRandom)
+	b.addBytes16(m.p.Bytes())
+	b.addBytes16(m.g.Bytes())
+	b.addBytes16(m.ys.Bytes())
+	return b.bytes()
+}
+
+func (m *serverKeyExchange) marshal() []byte {
+	var b builder
+	b.addBytes16(m.p.Bytes())
+	b.addBytes16(m.g.Bytes())
+	b.addBytes16(m.ys.Bytes())
+	b.addBytes16(m.signature)
+	return wrapHandshake(typeServerKeyExchange, b.bytes())
+}
+
+func parseServerKeyExchange(body []byte) (*serverKeyExchange, error) {
+	p := parser{buf: body}
+	var pb, gb, yb, sig []byte
+	if !p.readBytes16(&pb) || !p.readBytes16(&gb) || !p.readBytes16(&yb) ||
+		!p.readBytes16(&sig) || !p.empty() {
+		return nil, errors.New("wtls: malformed server key exchange")
+	}
+	return &serverKeyExchange{
+		p:         new(big.Int).SetBytes(pb),
+		g:         new(big.Int).SetBytes(gb),
+		ys:        new(big.Int).SetBytes(yb),
+		signature: sig,
+	}, nil
+}
+
+type clientKeyExchange struct {
+	payload []byte // RSA-encrypted premaster, or client DH public value
+}
+
+func (m *clientKeyExchange) marshal() []byte {
+	var b builder
+	b.addBytes16(m.payload)
+	return wrapHandshake(typeClientKeyExchange, b.bytes())
+}
+
+func parseClientKeyExchange(body []byte) (*clientKeyExchange, error) {
+	p := parser{buf: body}
+	m := &clientKeyExchange{}
+	if !p.readBytes16(&m.payload) || !p.empty() {
+		return nil, errors.New("wtls: malformed client key exchange")
+	}
+	return m, nil
+}
+
+type finishedMsg struct {
+	verify []byte
+}
+
+func (m *finishedMsg) marshal() []byte {
+	var b builder
+	b.addRaw(m.verify)
+	return wrapHandshake(typeFinished, b.bytes())
+}
+
+func parseFinished(body []byte) (*finishedMsg, error) {
+	if len(body) != finishedLen {
+		return nil, errors.New("wtls: malformed finished")
+	}
+	return &finishedMsg{verify: append([]byte{}, body...)}, nil
+}
+
+// wrapHandshake frames a handshake body with its type and 24-bit length.
+func wrapHandshake(msgType uint8, body []byte) []byte {
+	var b builder
+	b.addUint8(msgType)
+	b.addUint24(len(body))
+	b.addRaw(body)
+	return b.bytes()
+}
+
+// splitHandshake removes the handshake frame, returning type and body.
+func splitHandshake(msg []byte) (uint8, []byte, error) {
+	p := parser{buf: msg}
+	var t uint8
+	var n int
+	if !p.readUint8(&t) || !p.readUint24(&n) {
+		return 0, nil, errors.New("wtls: truncated handshake header")
+	}
+	var body []byte
+	if !p.readRaw(n, &body) || !p.empty() {
+		return 0, nil, fmt.Errorf("wtls: handshake length mismatch (type %d)", t)
+	}
+	return t, body, nil
+}

@@ -1,0 +1,165 @@
+package wtls
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestClientHelloRoundtrip: marshal/parse identity via testing/quick.
+func TestClientHelloRoundtrip(t *testing.T) {
+	f := func(random [32]byte, sessionID []byte, suites []uint16) bool {
+		if len(sessionID) > 255 {
+			sessionID = sessionID[:255]
+		}
+		if len(suites) > 100 {
+			suites = suites[:100]
+		}
+		m := &clientHello{random: random[:], sessionID: sessionID, suites: suites}
+		wire := m.marshal()
+		typ, body, err := splitHandshake(wire)
+		if err != nil || typ != typeClientHello {
+			return false
+		}
+		got, err := parseClientHello(body)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got.random, m.random) || !bytes.Equal(got.sessionID, m.sessionID) {
+			return false
+		}
+		if len(got.suites) != len(m.suites) {
+			return false
+		}
+		for i := range m.suites {
+			if got.suites[i] != m.suites[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerHelloRoundtrip(t *testing.T) {
+	f := func(random [32]byte, sessionID []byte, suiteID uint16, resumed bool) bool {
+		if len(sessionID) > 255 {
+			sessionID = sessionID[:255]
+		}
+		m := &serverHello{random: random[:], sessionID: sessionID, suite: suiteID, resumed: resumed}
+		_, body, err := splitHandshake(m.marshal())
+		if err != nil {
+			return false
+		}
+		got, err := parseServerHello(body)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.random, m.random) && bytes.Equal(got.sessionID, m.sessionID) &&
+			got.suite == m.suite && got.resumed == m.resumed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerKeyExchangeRoundtrip(t *testing.T) {
+	f := func(p, g, ys uint64, sig []byte) bool {
+		m := &serverKeyExchange{
+			p:         new(big.Int).SetUint64(p),
+			g:         new(big.Int).SetUint64(g),
+			ys:        new(big.Int).SetUint64(ys),
+			signature: sig,
+		}
+		_, body, err := splitHandshake(m.marshal())
+		if err != nil {
+			return false
+		}
+		got, err := parseServerKeyExchange(body)
+		if err != nil {
+			return false
+		}
+		return got.p.Cmp(m.p) == 0 && got.g.Cmp(m.g) == 0 && got.ys.Cmp(m.ys) == 0 &&
+			bytes.Equal(got.signature, m.signature)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParsersNeverPanic: arbitrary bytes must yield an error, never a
+// panic — the malformed-input robustness the record layer depends on.
+func TestParsersNeverPanic(t *testing.T) {
+	f := func(junk []byte) bool {
+		// Each parser either errors or returns; panics fail the test
+		// via the harness.
+		parseClientHello(junk)       //nolint:errcheck
+		parseServerHello(junk)       //nolint:errcheck
+		parseCertificateMsg(junk)    //nolint:errcheck
+		parseServerKeyExchange(junk) //nolint:errcheck
+		parseClientKeyExchange(junk) //nolint:errcheck
+		parseFinished(junk)          //nolint:errcheck
+		splitHandshake(junk)         //nolint:errcheck
+		UnmarshalCertificate(junk)   //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsTrailingBytes(t *testing.T) {
+	m := &clientHello{random: make([]byte, 32), suites: []uint16{1}}
+	_, body, _ := splitHandshake(m.marshal())
+	if _, err := parseClientHello(append(body, 0xAA)); err == nil {
+		t.Fatal("client hello accepted trailing bytes")
+	}
+	sh := &serverHello{random: make([]byte, 32), sessionID: []byte{1}, suite: 2}
+	_, body2, _ := splitHandshake(sh.marshal())
+	if _, err := parseServerHello(append(body2, 0x00)); err == nil {
+		t.Fatal("server hello accepted trailing bytes")
+	}
+}
+
+func TestSplitHandshakeLengthMismatch(t *testing.T) {
+	wire := wrapHandshake(typeFinished, make([]byte, finishedLen))
+	if _, _, err := splitHandshake(wire[:len(wire)-1]); err == nil {
+		t.Fatal("accepted truncated handshake frame")
+	}
+	if _, _, err := splitHandshake(append(wire, 1)); err == nil {
+		t.Fatal("accepted oversized handshake frame")
+	}
+}
+
+// TestWireCodecPrimitives exercises the builder/parser pairs directly.
+func TestWireCodecPrimitives(t *testing.T) {
+	f := func(a uint8, b uint16, c uint64, s string, raw []byte) bool {
+		if len(raw) > 1<<15 {
+			raw = raw[:1<<15]
+		}
+		var bld builder
+		bld.addUint8(a)
+		bld.addUint16(b)
+		bld.addUint64(c)
+		bld.addString(s)
+		bld.addBytes16(raw)
+		bld.addUint24(int(b))
+		p := parser{buf: bld.bytes()}
+		var ga uint8
+		var gb uint16
+		var gc uint64
+		var gs string
+		var graw []byte
+		var g24 int
+		ok := p.readUint8(&ga) && p.readUint16(&gb) && p.readUint64(&gc) &&
+			p.readString(&gs) && p.readBytes16(&graw) && p.readUint24(&g24) && p.empty()
+		return ok && ga == a && gb == b && gc == c && gs == s &&
+			bytes.Equal(graw, raw) && g24 == int(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

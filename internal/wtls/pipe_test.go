@@ -1,0 +1,70 @@
+package wtls
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// bufferedPipe returns two connected in-memory duplex endpoints whose
+// writes never block. Unlike net.Pipe, a handshake failure path where both
+// sides have queued flights (e.g. an alert crossing a pending message)
+// cannot deadlock.
+func bufferedPipe() (a, b io.ReadWriter) {
+	ab := newBufHalf()
+	ba := newBufHalf()
+	return &pipeEnd{r: ba, w: ab}, &pipeEnd{r: ab, w: ba}
+}
+
+type bufHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    bytes.Buffer
+	closed bool
+}
+
+func newBufHalf() *bufHalf {
+	h := &bufHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *bufHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	n, _ := h.buf.Write(p)
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *bufHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.buf.Len() == 0 && !h.closed {
+		h.cond.Wait()
+	}
+	if h.buf.Len() == 0 && h.closed {
+		return 0, io.EOF
+	}
+	return h.buf.Read(p)
+}
+
+func (h *bufHalf) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+type pipeEnd struct {
+	r, w *bufHalf
+}
+
+func (e *pipeEnd) Read(p []byte) (int, error)  { return e.r.read(p) }
+func (e *pipeEnd) Write(p []byte) (int, error) { return e.w.write(p) }
+
+// CloseWrite ends the write direction (EOF for the peer's reads).
+func (e *pipeEnd) CloseWrite() { e.w.close() }

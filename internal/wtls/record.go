@@ -1,0 +1,193 @@
+package wtls
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/crypto/hmac"
+	"repro/internal/crypto/modes"
+	"repro/internal/suite"
+)
+
+// Record content types.
+const (
+	recordChangeCipherSpec uint8 = 20
+	recordAlert            uint8 = 21
+	recordHandshake        uint8 = 22
+	recordApplicationData  uint8 = 23
+)
+
+// maxRecordPayload bounds a single record's plaintext.
+const maxRecordPayload = 16384
+
+// Alert levels and descriptions (the subset this stack emits).
+const (
+	alertLevelWarning uint8 = 1
+	alertLevelFatal   uint8 = 2
+
+	AlertCloseNotify     uint8 = 0
+	AlertBadRecordMAC    uint8 = 20
+	AlertHandshakeFailed uint8 = 40
+	AlertBadCertificate  uint8 = 42
+	AlertDecryptError    uint8 = 51
+)
+
+// AlertError is a fatal alert received from the peer.
+type AlertError struct {
+	Level, Description uint8
+}
+
+func (e *AlertError) Error() string {
+	return fmt.Sprintf("wtls: received alert level %d description %d", e.Level, e.Description)
+}
+
+// halfConn is one direction of record protection.
+type halfConn struct {
+	seq     uint64
+	suite   *suite.Suite
+	macKey  []byte
+	block   modes.Block  // block suites
+	cbcIV   []byte       // running CBC residue (SSL 3.0/TLS 1.0 chaining)
+	stream  suite.Stream // stream suites
+	enabled bool
+}
+
+// enable arms the half connection with negotiated keys.
+func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
+	hc.suite = s
+	hc.macKey = append([]byte{}, macKey...)
+	switch s.Kind {
+	case suite.BlockCipher:
+		b, err := s.NewBlock(key)
+		if err != nil {
+			return err
+		}
+		hc.block = b
+		hc.cbcIV = append([]byte{}, iv...)
+	case suite.StreamCipher:
+		st, err := s.NewStream(key)
+		if err != nil {
+			return err
+		}
+		hc.stream = st
+	default:
+		return errors.New("wtls: suite kind unsupported by record layer")
+	}
+	hc.seq = 0
+	hc.enabled = true
+	return nil
+}
+
+// mac computes the record MAC over seq || type || length || payload.
+func (hc *halfConn) mac(recType uint8, payload []byte) []byte {
+	h := hmac.New(hc.suite.NewHash, hc.macKey)
+	var hdr [11]byte
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(hc.seq >> uint(56-8*i))
+	}
+	hdr[8] = recType
+	hdr[9] = byte(len(payload) >> 8)
+	hdr[10] = byte(len(payload))
+	h.Write(hdr[:])
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// protect seals a plaintext fragment.
+func (hc *halfConn) protect(recType uint8, payload []byte) ([]byte, error) {
+	if !hc.enabled {
+		return append([]byte{}, payload...), nil
+	}
+	mac := hc.mac(recType, payload)
+	hc.seq++
+	data := append(append([]byte{}, payload...), mac...)
+	switch hc.suite.Kind {
+	case suite.BlockCipher:
+		padded := modes.Pad(data, hc.suite.BlockSize)
+		ct, err := modes.EncryptCBC(hc.block, hc.cbcIV, padded)
+		if err != nil {
+			return nil, err
+		}
+		copy(hc.cbcIV, ct[len(ct)-hc.suite.BlockSize:])
+		return ct, nil
+	case suite.StreamCipher:
+		out := make([]byte, len(data))
+		hc.stream.XORKeyStream(out, data)
+		return out, nil
+	}
+	return nil, errors.New("wtls: unreachable suite kind")
+}
+
+// unprotect opens a sealed fragment.
+func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
+	if !hc.enabled {
+		return append([]byte{}, sealed...), nil
+	}
+	var data []byte
+	switch hc.suite.Kind {
+	case suite.BlockCipher:
+		pt, err := modes.DecryptCBC(hc.block, hc.cbcIV, sealed)
+		if err != nil {
+			return nil, err
+		}
+		if len(sealed) >= hc.suite.BlockSize {
+			copy(hc.cbcIV, sealed[len(sealed)-hc.suite.BlockSize:])
+		}
+		data, err = modes.Unpad(pt, hc.suite.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+	case suite.StreamCipher:
+		data = make([]byte, len(sealed))
+		hc.stream.XORKeyStream(data, sealed)
+	default:
+		return nil, errors.New("wtls: unreachable suite kind")
+	}
+	macLen := hc.suite.MACLen()
+	if len(data) < macLen {
+		return nil, errors.New("wtls: record shorter than MAC")
+	}
+	payload, gotMAC := data[:len(data)-macLen], data[len(data)-macLen:]
+	want := hc.mac(recType, payload)
+	hc.seq++
+	if !hmac.Equal(gotMAC, want) {
+		return nil, errors.New("wtls: bad record MAC")
+	}
+	return payload, nil
+}
+
+// writeRecord frames and writes one record.
+func writeRecord(w io.Writer, recType uint8, fragment []byte) error {
+	if len(fragment) > maxRecordPayload+1024 {
+		return errors.New("wtls: oversized record")
+	}
+	hdr := []byte{recType, byte(protocolVersion >> 8), byte(protocolVersion & 0xff),
+		byte(len(fragment) >> 8), byte(len(fragment))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(fragment)
+	return err
+}
+
+// readRecord reads one record, returning its type and raw fragment.
+func readRecord(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	ver := uint16(hdr[1])<<8 | uint16(hdr[2])
+	if ver != protocolVersion {
+		return 0, nil, fmt.Errorf("wtls: record version %#04x", ver)
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > maxRecordPayload+1024 {
+		return 0, nil, errors.New("wtls: oversized record")
+	}
+	frag := make([]byte, n)
+	if _, err := io.ReadFull(r, frag); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], frag, nil
+}

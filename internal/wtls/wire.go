@@ -1,0 +1,116 @@
+package wtls
+
+// Compact binary encoding helpers shared by the certificate and handshake
+// message codecs. All multi-byte integers are big-endian.
+
+type builder struct {
+	buf []byte
+}
+
+func (b *builder) addUint8(v uint8) { b.buf = append(b.buf, v) }
+func (b *builder) addUint16(v uint16) {
+	b.buf = append(b.buf, byte(v>>8), byte(v))
+}
+func (b *builder) addUint24(v int) {
+	b.buf = append(b.buf, byte(v>>16), byte(v>>8), byte(v))
+}
+func (b *builder) addUint64(v uint64) {
+	b.buf = append(b.buf, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (b *builder) addRaw(p []byte) { b.buf = append(b.buf, p...) }
+
+// addBytes8 appends a 1-byte-length-prefixed byte string.
+func (b *builder) addBytes8(p []byte) {
+	b.addUint8(uint8(len(p)))
+	b.addRaw(p)
+}
+
+// addBytes16 appends a 2-byte-length-prefixed byte string.
+func (b *builder) addBytes16(p []byte) {
+	b.addUint16(uint16(len(p)))
+	b.addRaw(p)
+}
+
+func (b *builder) addString(s string) { b.addBytes16([]byte(s)) }
+
+func (b *builder) bytes() []byte { return b.buf }
+
+type parser struct {
+	buf []byte
+}
+
+func (p *parser) empty() bool { return len(p.buf) == 0 }
+
+func (p *parser) readUint8(v *uint8) bool {
+	if len(p.buf) < 1 {
+		return false
+	}
+	*v = p.buf[0]
+	p.buf = p.buf[1:]
+	return true
+}
+
+func (p *parser) readUint16(v *uint16) bool {
+	if len(p.buf) < 2 {
+		return false
+	}
+	*v = uint16(p.buf[0])<<8 | uint16(p.buf[1])
+	p.buf = p.buf[2:]
+	return true
+}
+
+func (p *parser) readUint24(v *int) bool {
+	if len(p.buf) < 3 {
+		return false
+	}
+	*v = int(p.buf[0])<<16 | int(p.buf[1])<<8 | int(p.buf[2])
+	p.buf = p.buf[3:]
+	return true
+}
+
+func (p *parser) readUint64(v *uint64) bool {
+	if len(p.buf) < 8 {
+		return false
+	}
+	*v = 0
+	for i := 0; i < 8; i++ {
+		*v = *v<<8 | uint64(p.buf[i])
+	}
+	p.buf = p.buf[8:]
+	return true
+}
+
+func (p *parser) readRaw(n int, out *[]byte) bool {
+	if n < 0 || len(p.buf) < n {
+		return false
+	}
+	*out = append([]byte{}, p.buf[:n]...)
+	p.buf = p.buf[n:]
+	return true
+}
+
+func (p *parser) readBytes8(out *[]byte) bool {
+	var n uint8
+	if !p.readUint8(&n) {
+		return false
+	}
+	return p.readRaw(int(n), out)
+}
+
+func (p *parser) readBytes16(out *[]byte) bool {
+	var n uint16
+	if !p.readUint16(&n) {
+		return false
+	}
+	return p.readRaw(int(n), out)
+}
+
+func (p *parser) readString(s *string) bool {
+	var b []byte
+	if !p.readBytes16(&b) {
+		return false
+	}
+	*s = string(b)
+	return true
+}

@@ -1,0 +1,197 @@
+package mobilesec
+
+// Integration tests over the public facade: the paths a downstream user
+// takes, wired end to end.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPISecureSession(t *testing.T) {
+	ca, err := NewCA("Root", NewDRBG([]byte("t-ca")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := GenerateRSAKey(NewDRBG([]byte("t-key")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.Issue("srv", 1, &key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewDuplexPipe()
+	client := WTLSClient(a, &Config{
+		Rand: NewDRBG([]byte("c")), RootCA: &ca.Key.PublicKey, ServerName: "srv",
+	})
+	server := WTLSServer(b, &Config{
+		Rand: NewDRBG([]byte("s")), Certificate: cert, PrivateKey: key,
+	})
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, err := server.Read(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = server.Write(buf[:n])
+		done <- err
+	}()
+	msg := []byte("public api session")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, back); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatal("echo mismatch")
+	}
+	if client.Metrics().HandshakeInstr <= 0 {
+		t.Fatal("metrics not populated")
+	}
+}
+
+func TestPublicAPIPlatformLifecycle(t *testing.T) {
+	cpu, err := ProcessorByName("ARM7-cell-phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio, err := NewWLANRadio(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(PlatformConfig{
+		Name: "t", Arch: WithCryptoAccelerator(cpu), BatteryJ: 1000,
+		Radio: radio, Seed: []byte("seed"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := []*BootImage{{Name: "fw", Code: []byte("x")}}
+	rom, err := BuildBootChain(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SecureBoot(rom, images); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.AccountSession(Metrics{HandshakeInstr: 47e6, BulkInstr: 1e6}, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalEnergyJ <= 0 || p.SessionsUntilFlat(rep) <= 0 {
+		t.Fatal("accounting degenerate")
+	}
+}
+
+func TestPublicAPIFigures(t *testing.T) {
+	s, err := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GapFraction() <= 0 {
+		t.Fatal("no gap on the default surface")
+	}
+	fig, err := ComputeBatteryFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Modes[1].RelativeToPlain >= 0.5 {
+		t.Fatal("Figure 4 ratio should be below one half")
+	}
+	if len(EvolutionTimeline()) == 0 || !strings.Contains(RenderTimeline(), "WTLS") {
+		t.Fatal("Figure 2 data missing")
+	}
+	if len(Concerns()) != 7 {
+		t.Fatal("Figure 1 taxonomy wrong")
+	}
+	cpu, _ := ProcessorByName("StrongARM-SA1100")
+	rows, err := AcceleratorAblation(cpu)
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("ablation: %v", err)
+	}
+}
+
+func TestPublicAPISuitesAndStack(t *testing.T) {
+	if len(AllSuites()) < 8 {
+		t.Fatal("suite registry shrank")
+	}
+	if _, err := SuiteByName("RSA_WITH_3DES_EDE_CBC_SHA"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewDuplexPipe()
+	st := NewStack(a)
+	ep, err := NewWEPEndpoint([]byte{1, 2, 3, 4, 5}, WEPIVSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push("wep", ep, 16); err != nil {
+		t.Fatal(err)
+	}
+	if st.Top() == nil {
+		t.Fatal("stack top missing")
+	}
+}
+
+func TestPublicAPISEE(t *testing.T) {
+	ks, err := NewKeyStore(bytes.Repeat([]byte{7}, 16), NewDRBG([]byte("k")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks.Put("pin", []byte("1234"))
+	if _, err := ks.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewDRMAgent(bytes.Repeat([]byte{9}, 16), NewDRBG([]byte("d")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Package("c", []byte("data"), Rights{PlayCount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Play("c"); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := StandardMemoryLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem == nil {
+		t.Fatal("no memory map")
+	}
+	if Oakley2().P.BitLen() != 1024 {
+		t.Fatal("Oakley group wrong size")
+	}
+}
+
+func TestPublicAPIDualSignature(t *testing.T) {
+	k, err := GenerateRSAKey(NewDRBG([]byte("dual")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi := &OrderInfo{MerchantID: "m", Description: "d", AmountCents: 500}
+	pi := &PaymentInfo{CardNumber: "4929", Expiry: "09/05", AmountCents: 500}
+	ds, err := SignDual(k, oi, pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDualAsMerchant(&k.PublicKey, oi, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDualAsGateway(&k.PublicKey, pi, ds); err != nil {
+		t.Fatal(err)
+	}
+	oi.AmountCents = 1
+	if err := VerifyDualAsMerchant(&k.PublicKey, oi, ds); err == nil {
+		t.Fatal("tampered order accepted")
+	}
+}

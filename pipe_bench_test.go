@@ -1,0 +1,56 @@
+package mobilesec
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// newBenchPipe returns two connected in-memory duplex endpoints with
+// unbounded buffering (writes never block), used by the root-level
+// benchmarks and tests.
+func newBenchPipe() (io.ReadWriter, io.ReadWriter) {
+	ab := newPipeHalf()
+	ba := newPipeHalf()
+	return &pipeSide{r: ba, w: ab}, &pipeSide{r: ab, w: ba}
+}
+
+type pipeHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    bytes.Buffer
+	closed bool
+}
+
+func newPipeHalf() *pipeHalf {
+	h := &pipeHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+type pipeSide struct {
+	r, w *pipeHalf
+}
+
+func (s *pipeSide) Write(p []byte) (int, error) {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	if s.w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	n, _ := s.w.buf.Write(p)
+	s.w.cond.Broadcast()
+	return n, nil
+}
+
+func (s *pipeSide) Read(p []byte) (int, error) {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	for s.r.buf.Len() == 0 && !s.r.closed {
+		s.r.cond.Wait()
+	}
+	if s.r.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return s.r.buf.Read(p)
+}
