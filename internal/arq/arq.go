@@ -1,0 +1,409 @@
+// Package arq adds a retransmission-based reliability layer (Automatic
+// Repeat reQuest) over an unreliable frame-oriented link such as
+// chaos.FaultyTransport.
+//
+// The paper prices security protocols on a perfect radio; real sensor
+// and 802.11 channels drop and corrupt frames, and every recovery costs
+// transmit energy the battery ledger must see. This layer supplies the
+// recovery machinery: CRC-32 frame checks, sequence numbers, cumulative
+// acks, a retransmit timer with exponential backoff, a configurable
+// sliding window (window 1 = classic stop-and-wait), and a typed
+// ErrLinkDown give-up so upper layers can degrade gracefully instead of
+// hanging. Retransmissions and acks are reported through the OnTransmit
+// and OnReceive hooks so radio.Radio / energy.Battery can charge them.
+//
+// An Endpoint turns the lossy datagram link into a reliable byte stream:
+// Write blocks until the written bytes are acknowledged (or the link is
+// declared down), Read returns in-order delivered bytes. It plugs into
+// stack.Stack via Stack.PushARQ as the bottom layer of the protocol
+// hierarchy.
+package arq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrLinkDown reports that the retransmit budget was exhausted without an
+// acknowledgement; the link is declared dead and all subsequent reads and
+// writes fail. Test with errors.Is.
+var ErrLinkDown = errors.New("arq: link down")
+
+// Config parameterizes an Endpoint. Zero values select the defaults.
+type Config struct {
+	// Window is the maximum number of unacknowledged DATA frames in
+	// flight; 1 (the default) is stop-and-wait.
+	Window int
+	// MTU is the maximum payload bytes per DATA frame (default 240).
+	MTU int
+	// RetransmitTimeout is the base retransmit timer (default 15ms).
+	RetransmitTimeout time.Duration
+	// Backoff multiplies the timeout after each consecutive retransmit
+	// without progress (default 1.5).
+	Backoff float64
+	// MaxRetries is how many consecutive timeouts are tolerated before
+	// the link is declared down (default 10).
+	MaxRetries int
+
+	// OnTransmit, when set, observes every frame put on the wire: its
+	// length in bytes (ARQ header and CRC included) and whether it is a
+	// retransmission. Acks report retransmit=false.
+	OnTransmit func(bytes int, retransmit bool)
+	// OnReceive, when set, observes every frame taken off the wire.
+	OnReceive func(bytes int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 1
+	}
+	if c.MTU <= 0 {
+		c.MTU = 240
+	}
+	if c.RetransmitTimeout <= 0 {
+		c.RetransmitTimeout = 15 * time.Millisecond
+	}
+	if c.Backoff < 1 {
+		c.Backoff = 1.5
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	return c
+}
+
+// Stats counts the layer's work. Byte counters include ARQ framing
+// overhead; payload counters are application bytes.
+type Stats struct {
+	DataSent    int // first transmissions of DATA frames
+	Retransmits int // DATA frames sent again by the timer
+	AcksSent    int
+	AcksRcvd    int
+
+	CRCErrors  int // inbound frames discarded (bad CRC, short, bad type)
+	Duplicates int // inbound DATA below the expected sequence (re-acked)
+	OutOfOrder int // inbound DATA beyond the expected sequence (dropped)
+	StaleAcks  int // acks for frames never sent (corrupt or ancient)
+
+	BytesOut        int // wire bytes written, incl. retransmits and acks
+	BytesIn         int // wire bytes read
+	RetransmitBytes int // wire bytes attributable to retransmissions
+	PayloadOut      int // application bytes accepted by Write
+	PayloadIn       int // application bytes delivered to Read
+}
+
+// Goodput is the fraction of outbound wire bytes that carried first-time
+// application payload — the efficiency the channel noise taxes.
+func (s Stats) Goodput() float64 {
+	if s.BytesOut == 0 {
+		return 0
+	}
+	return float64(s.PayloadOut) / float64(s.BytesOut)
+}
+
+// Endpoint is one end of a reliable link over an unreliable frame
+// transport. The lower transport must be datagram-oriented: each Write
+// sends one frame, each Read returns exactly one frame.
+type Endpoint struct {
+	lower io.ReadWriter
+	cfg   Config
+
+	wmu    sync.Mutex // serializes frame writes to lower
+	sendMu sync.Mutex // serializes Write callers
+
+	mu       sync.Mutex
+	readable *sync.Cond // rcvBuf grew, or the link state changed
+	rcvBuf   []byte
+	rcvNext  uint16
+	sendBase uint16   // oldest unacknowledged sequence
+	nextSeq  uint16   // next sequence to assign
+	inflight [][]byte // encoded unacked DATA frames; [0] carries sendBase
+	stats    Stats
+	err      error // terminal link error
+	closed   bool
+
+	ackCh chan struct{} // cap-1 wakeup for the sending side
+}
+
+// New starts a reliability endpoint over lower and launches its receive
+// loop. Close the endpoint to stop the loop (lower is closed too when it
+// implements io.Closer).
+func New(lower io.ReadWriter, cfg Config) (*Endpoint, error) {
+	if lower == nil {
+		return nil, errors.New("arq: nil transport")
+	}
+	e := &Endpoint{lower: lower, cfg: cfg.withDefaults(), ackCh: make(chan struct{}, 1)}
+	e.readable = sync.NewCond(&e.mu)
+	go e.recvLoop()
+	return e, nil
+}
+
+// recvLoop drains the lower transport, dispatching acks to the sender and
+// data to the read buffer. It exits on transport error or Close.
+func (e *Endpoint) recvLoop() {
+	buf := make([]byte, e.cfg.MTU+overhead+64)
+	for {
+		n, err := e.lower.Read(buf)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if e.cfg.OnReceive != nil {
+			e.cfg.OnReceive(n)
+		}
+		e.mu.Lock()
+		e.stats.BytesIn += n
+		e.mu.Unlock()
+		e.handleFrame(buf[:n])
+	}
+}
+
+// handleFrame processes one inbound wire frame. Malformed frames of any
+// shape are counted and dropped; they must never panic (fuzzed).
+func (e *Endpoint) handleFrame(raw []byte) {
+	typ, seq, payload, err := parseFrame(raw)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.CRCErrors++
+		e.mu.Unlock()
+		return
+	}
+	switch typ {
+	case frameAck:
+		e.mu.Lock()
+		e.stats.AcksRcvd++
+		if seqLess(e.nextSeq, seq) {
+			// Acknowledges frames never sent: stale or corrupted-but-
+			// CRC-valid. Ignore.
+			e.stats.StaleAcks++
+			e.mu.Unlock()
+			return
+		}
+		advanced := false
+		for len(e.inflight) > 0 && seqLess(e.sendBase, seq) {
+			e.inflight = e.inflight[1:]
+			e.sendBase++
+			advanced = true
+		}
+		e.mu.Unlock()
+		if advanced {
+			e.wakeSender()
+		}
+	case frameData:
+		e.mu.Lock()
+		switch {
+		case seq == e.rcvNext:
+			e.rcvBuf = append(e.rcvBuf, payload...)
+			e.stats.PayloadIn += len(payload)
+			e.rcvNext++
+			e.readable.Broadcast()
+		case seqLess(seq, e.rcvNext):
+			e.stats.Duplicates++
+		default:
+			e.stats.OutOfOrder++
+		}
+		ack := e.rcvNext
+		e.mu.Unlock()
+		e.sendAck(ack)
+	}
+}
+
+// wakeSender nudges a Write blocked in awaitAck.
+func (e *Endpoint) wakeSender() {
+	select {
+	case e.ackCh <- struct{}{}:
+	default:
+	}
+}
+
+// fail records the terminal link error and wakes everyone.
+func (e *Endpoint) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.readable.Broadcast()
+	e.mu.Unlock()
+	e.wakeSender()
+}
+
+// transmit puts one encoded frame on the wire and accounts it.
+func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
+	e.wmu.Lock()
+	_, err := e.lower.Write(frame)
+	e.wmu.Unlock()
+	if err != nil {
+		e.fail(err)
+		return err
+	}
+	e.mu.Lock()
+	e.stats.BytesOut += len(frame)
+	if retransmit {
+		e.stats.Retransmits++
+		e.stats.RetransmitBytes += len(frame)
+	}
+	e.mu.Unlock()
+	if e.cfg.OnTransmit != nil {
+		e.cfg.OnTransmit(len(frame), retransmit)
+	}
+	return nil
+}
+
+// sendAck emits a cumulative ack for everything below seq.
+func (e *Endpoint) sendAck(seq uint16) {
+	frame := encodeFrame(frameAck, seq, nil)
+	e.mu.Lock()
+	e.stats.AcksSent++
+	e.mu.Unlock()
+	_ = e.transmit(frame, false) // an unsendable ack surfaces via e.err
+}
+
+// retransmitWindow resends every unacknowledged frame (go-back-N).
+func (e *Endpoint) retransmitWindow() error {
+	e.mu.Lock()
+	pending := make([][]byte, len(e.inflight))
+	copy(pending, e.inflight)
+	e.mu.Unlock()
+	for _, f := range pending {
+		if err := e.transmit(f, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitAck blocks until ok (evaluated under the endpoint lock) holds,
+// retransmitting the window on timeout with exponential backoff and
+// declaring the link down after MaxRetries consecutive silent timeouts.
+func (e *Endpoint) awaitAck(ok func() bool) error {
+	timeout := e.cfg.RetransmitTimeout
+	retries := 0
+	for {
+		e.mu.Lock()
+		if e.err != nil {
+			err := e.err
+			e.mu.Unlock()
+			return err
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return io.ErrClosedPipe
+		}
+		if ok() {
+			e.mu.Unlock()
+			return nil
+		}
+		seq := e.sendBase
+		e.mu.Unlock()
+
+		select {
+		case <-e.ackCh:
+			// Progress (or failure) — reset the backoff clock.
+			retries = 0
+			timeout = e.cfg.RetransmitTimeout
+		case <-time.After(timeout):
+			retries++
+			if retries > e.cfg.MaxRetries {
+				err := fmt.Errorf("%w: seq %d unacknowledged after %d attempts",
+					ErrLinkDown, seq, retries)
+				e.fail(err)
+				return err
+			}
+			if err := e.retransmitWindow(); err != nil {
+				return err
+			}
+			timeout = time.Duration(float64(timeout) * e.cfg.Backoff)
+		}
+	}
+}
+
+// Write chunks p into DATA frames, transmits them under the sliding
+// window, and returns once every byte is acknowledged. On error the
+// returned count is the bytes accepted into the send window, not
+// necessarily acknowledged.
+func (e *Endpoint) Write(p []byte) (int, error) {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		if err := e.awaitAck(func() bool { return len(e.inflight) < e.cfg.Window }); err != nil {
+			return total, err
+		}
+		n := len(p)
+		if n > e.cfg.MTU {
+			n = e.cfg.MTU
+		}
+		e.mu.Lock()
+		seq := e.nextSeq
+		e.nextSeq++
+		frame := encodeFrame(frameData, seq, p[:n])
+		e.inflight = append(e.inflight, frame)
+		e.stats.DataSent++
+		e.stats.PayloadOut += n
+		e.mu.Unlock()
+		if err := e.transmit(frame, false); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	if err := e.awaitAck(func() bool { return len(e.inflight) == 0 }); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// Read returns in-order delivered bytes, blocking until data arrives, the
+// peer goes away (io.EOF) or the link errors.
+func (e *Endpoint) Read(p []byte) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.rcvBuf) == 0 {
+		if e.err != nil {
+			return 0, e.err
+		}
+		if e.closed {
+			return 0, io.EOF
+		}
+		e.readable.Wait()
+	}
+	n := copy(p, e.rcvBuf)
+	e.rcvBuf = e.rcvBuf[n:]
+	return n, nil
+}
+
+// Close shuts the endpoint down: blocked reads return EOF, blocked writes
+// fail, and the lower transport is closed when it supports it (which also
+// stops the receive loop).
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.readable.Broadcast()
+	e.mu.Unlock()
+	e.wakeSender()
+	if c, ok := e.lower.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Down reports whether the link has been declared dead.
+func (e *Endpoint) Down() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return errors.Is(e.err, ErrLinkDown)
+}

@@ -1,0 +1,395 @@
+package arq_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arq"
+	"repro/internal/chaos"
+	"repro/internal/stack"
+)
+
+// duplexLink builds a two-ended ARQ link whose a→b and b→a directions run
+// over independently seeded fault channels.
+func duplexLink(t *testing.T, aCfg, bCfg chaos.Config, cfg arq.Config) (ea, eb *arq.Endpoint) {
+	t.Helper()
+	a, b := stack.Pipe()
+	ta, err := chaos.New(a, aCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := chaos.New(b, bCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err = arq.New(ta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err = arq.New(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ea.Close(); eb.Close() })
+	return ea, eb
+}
+
+func TestReliableRoundtripPerfectLink(t *testing.T) {
+	ea, eb := duplexLink(t, chaos.Config{}, chaos.Config{}, arq.Config{})
+	msg := bytes.Repeat([]byte("stop-and-wait "), 100) // several MTUs
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(eb, buf); err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf, msg) {
+			done <- errors.New("payload mismatch")
+			return
+		}
+		_, err := eb.Write(buf)
+		done <- err
+	}()
+	if _, err := ea.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(msg))
+	if _, err := io.ReadFull(ea, back); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatal("echo mismatch")
+	}
+	st := ea.Stats()
+	if st.Retransmits != 0 {
+		t.Fatalf("perfect link retransmitted: %+v", st)
+	}
+	if st.PayloadOut != len(msg) || st.PayloadIn != len(msg) {
+		t.Fatalf("payload accounting: %+v", st)
+	}
+	if st.BytesOut <= st.PayloadOut {
+		t.Fatal("wire bytes should exceed payload (framing overhead)")
+	}
+}
+
+func TestRecoversFromLossAndCorruption(t *testing.T) {
+	lossy := func(seed int64) chaos.Config {
+		return chaos.Config{Seed: seed, Drop: 0.15, BER: 5e-5, Dup: 0.02, Reorder: 0.02}
+	}
+	cfg := arq.Config{RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 40}
+	ea, eb := duplexLink(t, lossy(1), lossy(2), cfg)
+
+	msg := make([]byte, 8<<10)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(eb, buf); err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf, msg) {
+			done <- errors.New("corrupted delivery")
+			return
+		}
+		done <- nil
+	}()
+	if _, err := ea.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := ea.Stats()
+	if st.Retransmits == 0 {
+		t.Fatalf("15%% loss produced no retransmits: %+v", st)
+	}
+	if st.RetransmitBytes == 0 || st.Goodput() >= 1 {
+		t.Fatalf("retransmission accounting missing: %+v", st)
+	}
+}
+
+func TestSlidingWindowPipelines(t *testing.T) {
+	cfg := arq.Config{Window: 16, MTU: 64}
+	ea, eb := duplexLink(t, chaos.Config{}, chaos.Config{}, cfg)
+	msg := bytes.Repeat([]byte{0xC3}, 64*100)
+	go func() {
+		buf := make([]byte, len(msg))
+		io.ReadFull(eb, buf) //nolint:errcheck
+	}()
+	if _, err := ea.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if st := ea.Stats(); st.DataSent != 100 {
+		t.Fatalf("expected 100 data frames, got %+v", st)
+	}
+}
+
+func TestSequenceNumberWraparound(t *testing.T) {
+	cfg := arq.Config{Window: 32, MTU: 1}
+	ea, eb := duplexLink(t, chaos.Config{}, chaos.Config{}, cfg)
+	const n = 70000 // > 2^16 frames at MTU 1
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(eb, buf); err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf, msg) {
+			done <- errors.New("wraparound scrambled data")
+			return
+		}
+		done <- nil
+	}()
+	if _, err := ea.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkDownAfterMaxRetries(t *testing.T) {
+	blackhole := chaos.Config{Seed: 9, Drop: 1}
+	cfg := arq.Config{RetransmitTimeout: time.Millisecond, Backoff: 1, MaxRetries: 3}
+	ea, _ := duplexLink(t, blackhole, chaos.Config{}, cfg)
+
+	start := time.Now()
+	_, err := ea.Write([]byte("into the void"))
+	if !errors.Is(err, arq.ErrLinkDown) {
+		t.Fatalf("want ErrLinkDown, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("give-up took unreasonably long")
+	}
+	if !ea.Down() {
+		t.Fatal("Down() should report the dead link")
+	}
+	// The link stays down for subsequent operations.
+	if _, err := ea.Write([]byte("x")); !errors.Is(err, arq.ErrLinkDown) {
+		t.Fatalf("second write: want ErrLinkDown, got %v", err)
+	}
+	if _, err := ea.Read(make([]byte, 1)); !errors.Is(err, arq.ErrLinkDown) {
+		t.Fatalf("read: want ErrLinkDown, got %v", err)
+	}
+}
+
+func TestDuplicateFramesDeliveredOnce(t *testing.T) {
+	dup := chaos.Config{Seed: 7, Dup: 1}
+	ea, eb := duplexLink(t, dup, chaos.Config{}, arq.Config{})
+	msg := []byte("exactly once")
+	go ea.Write(msg) //nolint:errcheck
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(eb, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("payload mismatch")
+	}
+	// Allow the duplicate to land before checking.
+	deadline := time.Now().Add(time.Second)
+	for eb.Stats().Duplicates == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := eb.Stats()
+	if st.Duplicates == 0 {
+		t.Fatalf("duplicated frames not detected: %+v", st)
+	}
+	if st.PayloadIn != len(msg) {
+		t.Fatalf("duplicate delivered twice: %+v", st)
+	}
+}
+
+func TestCorruptionDetectedByCRC(t *testing.T) {
+	noisy := chaos.Config{Seed: 8, BER: 2e-4} // ~30% of ~250-byte frames corrupted
+	cfg := arq.Config{RetransmitTimeout: 3 * time.Millisecond, MaxRetries: 60}
+	ea, eb := duplexLink(t, noisy, chaos.Config{}, cfg)
+	msg := bytes.Repeat([]byte{0x5A}, 4<<10)
+	go ea.Write(msg) //nolint:errcheck
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(eb, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("CRC let corruption through")
+	}
+	if st := eb.Stats(); st.CRCErrors == 0 {
+		t.Fatalf("BER 2e-3 produced no CRC rejects: %+v", st)
+	}
+}
+
+func TestEnergyHooksSeeEveryWireFrame(t *testing.T) {
+	var mu sync.Mutex
+	txBytes, retxBytes, rxBytes := 0, 0, 0
+	cfg := arq.Config{
+		RetransmitTimeout: 5 * time.Millisecond,
+		MaxRetries:        40,
+		OnTransmit: func(n int, retx bool) {
+			mu.Lock()
+			txBytes += n
+			if retx {
+				retxBytes += n
+			}
+			mu.Unlock()
+		},
+		OnReceive: func(n int) {
+			mu.Lock()
+			rxBytes += n
+			mu.Unlock()
+		},
+	}
+	// Build the link by hand: the hooks must observe ea's wire activity
+	// only, so eb runs an unhooked config.
+	a, b := stack.Pipe()
+	ta, err := chaos.New(a, chaos.Config{Seed: 3, Drop: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := chaos.New(b, chaos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := arq.New(ta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := arq.New(tb, arq.Config{RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ea.Close(); eb.Close() })
+	msg := bytes.Repeat([]byte{1}, 4<<10)
+	go func() {
+		buf := make([]byte, len(msg))
+		io.ReadFull(eb, buf) //nolint:errcheck
+	}()
+	if _, err := ea.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	st := ea.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	if txBytes != st.BytesOut {
+		t.Fatalf("OnTransmit saw %d bytes, stats say %d", txBytes, st.BytesOut)
+	}
+	if retxBytes != st.RetransmitBytes {
+		t.Fatalf("OnTransmit retx saw %d bytes, stats say %d", retxBytes, st.RetransmitBytes)
+	}
+	if retxBytes == 0 {
+		t.Fatal("20% drop produced no retransmit energy")
+	}
+	if rxBytes != st.BytesIn {
+		t.Fatalf("OnReceive saw %d bytes, stats say %d", rxBytes, st.BytesIn)
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	ea, _ := duplexLink(t, chaos.Config{}, chaos.Config{}, arq.Config{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ea.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := ea.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+			t.Fatalf("want EOF-ish, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Read still blocked after Close")
+	}
+}
+
+func TestPeerCloseSurfacesEOF(t *testing.T) {
+	ea, eb := duplexLink(t, chaos.Config{}, chaos.Config{}, arq.Config{})
+	msg := []byte("last words")
+	if err := func() error {
+		done := make(chan error, 1)
+		go func() {
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(eb, buf); err != nil {
+				done <- err
+				return
+			}
+			done <- nil
+		}()
+		if _, err := ea.Write(msg); err != nil {
+			return err
+		}
+		return <-done
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ea.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eb.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("want EOF after peer close, got %v", err)
+	}
+}
+
+func TestConcurrentBidirectionalTraffic(t *testing.T) {
+	lossy := func(seed int64) chaos.Config {
+		return chaos.Config{Seed: seed, Drop: 0.05, BER: 1e-5}
+	}
+	cfg := arq.Config{Window: 4, RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 40}
+	ea, eb := duplexLink(t, lossy(11), lossy(12), cfg)
+
+	aMsg := bytes.Repeat([]byte{0xAA}, 4<<10)
+	bMsg := bytes.Repeat([]byte{0xBB}, 4<<10)
+	var wg sync.WaitGroup
+	fail := make(chan error, 4)
+	wg.Add(4)
+	go func() { defer wg.Done(); _, err := ea.Write(aMsg); fail <- err }()
+	go func() { defer wg.Done(); _, err := eb.Write(bMsg); fail <- err }()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(bMsg))
+		_, err := io.ReadFull(ea, buf)
+		if err == nil && !bytes.Equal(buf, bMsg) {
+			err = errors.New("a received garbage")
+		}
+		fail <- err
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(aMsg))
+		_, err := io.ReadFull(eb, buf)
+		if err == nil && !bytes.Equal(buf, aMsg) {
+			err = errors.New("b received garbage")
+		}
+		fail <- err
+	}()
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNilTransportRejected(t *testing.T) {
+	if _, err := arq.New(nil, arq.Config{}); err == nil {
+		t.Fatal("accepted nil transport")
+	}
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/stack"
+)
+
+// link builds a unidirectional lossy channel: frames written to tx come
+// out of rx.
+func link(t *testing.T, cfg Config) (tx, rx *FaultyTransport) {
+	t.Helper()
+	a, b := stack.Pipe()
+	tx, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err = New(b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, rx
+}
+
+func TestPerfectChannelRoundtrip(t *testing.T) {
+	tx, rx := link(t, Config{})
+	frames := [][]byte{[]byte("alpha"), []byte("beta"), {0}, bytes.Repeat([]byte{7}, 300)}
+	for _, f := range frames {
+		if _, err := tx.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 512)
+	for i, want := range frames {
+		n, err := rx.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:n], want) {
+			t.Fatalf("frame %d: got %q want %q", i, buf[:n], want)
+		}
+	}
+	st := tx.Stats()
+	if st.Frames != 4 || st.Delivered != 4 || st.Dropped+st.Corrupted+st.Duplicated+st.Reordered != 0 {
+		t.Fatalf("perfect channel stats: %+v", st)
+	}
+}
+
+func TestDropRateApproximatesConfig(t *testing.T) {
+	tx, rx := link(t, Config{Seed: 1, Drop: 0.3})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := tx.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tx.Stats()
+	if st.Dropped < n*20/100 || st.Dropped > n*40/100 {
+		t.Fatalf("drop rate off: %d/%d", st.Dropped, n)
+	}
+	// The survivors arrive intact and in order.
+	buf := make([]byte, 8)
+	for i := 0; i < st.Delivered; i++ {
+		if _, err := rx.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBERFlipsBits(t *testing.T) {
+	tx, rx := link(t, Config{Seed: 2, BER: 1e-3})
+	payload := bytes.Repeat([]byte{0xAA}, 256) // 2048 bits/frame
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := tx.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tx.Stats()
+	if st.Corrupted == 0 || st.BitsFlipped == 0 {
+		t.Fatalf("BER 1e-3 over %d bits flipped nothing: %+v", n*len(payload)*8, st)
+	}
+	corrupt := 0
+	buf := make([]byte, 512)
+	for i := 0; i < n; i++ {
+		m, err := rx.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:m], payload) {
+			corrupt++
+		}
+	}
+	if corrupt != st.Corrupted {
+		t.Fatalf("observed %d corrupt frames, stats say %d", corrupt, st.Corrupted)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (Stats, []byte) {
+		tx, rx := link(t, Config{Seed: 42, Drop: 0.1, BER: 1e-4, Dup: 0.05, Reorder: 0.05})
+		for i := 0; i < 500; i++ {
+			frame := bytes.Repeat([]byte{byte(i)}, 32)
+			if _, err := tx.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := tx.Stats()
+		var got []byte
+		buf := make([]byte, 64)
+		for i := 0; i < st.Delivered; i++ {
+			m, err := rx.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, buf[:m]...)
+		}
+		return st, got
+	}
+	st1, seq1 := run()
+	st2, seq2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", st1, st2)
+	}
+	if !bytes.Equal(seq1, seq2) {
+		t.Fatal("delivered byte sequences differ across identical runs")
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 || st1.Reordered == 0 {
+		t.Fatalf("schedule never exercised some fault: %+v", st1)
+	}
+}
+
+func TestReorderSwapsAdjacentFrames(t *testing.T) {
+	// Reorder=1 with Dup=Drop=0: frame 0 is held, frame 1 goes first,
+	// then frame 0 (emitting a held frame clears the hold).
+	tx, rx := link(t, Config{Seed: 3, Reorder: 1})
+	for _, f := range []string{"first", "second", "third", "fourth"} {
+		if _, err := tx.Write([]byte(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	buf := make([]byte, 16)
+	for i := 0; i < tx.Stats().Delivered; i++ {
+		n, err := rx.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(buf[:n]))
+	}
+	want := []string{"second", "first", "fourth", "third"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestBurstLossesCluster(t *testing.T) {
+	cfg := Config{Seed: 4, Burst: &Burst{PGoodToBad: 0.02, PBadToGood: 0.25, LossGood: 0, LossBad: 0.9}}
+	tx, _ := link(t, cfg)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, err := tx.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tx.Stats()
+	if st.BadState == 0 || st.Dropped == 0 {
+		t.Fatalf("burst model never engaged: %+v", st)
+	}
+	// Loss is confined to bad-state residency: the overall drop count
+	// cannot exceed the bad-state frame count (LossGood is zero).
+	if st.Dropped > st.BadState {
+		t.Fatalf("dropped %d > bad-state frames %d", st.Dropped, st.BadState)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	tx, rx := link(t, Config{Seed: 5, Dup: 1})
+	if _, err := tx.Write([]byte("echo")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < 2; i++ {
+		n, err := rx.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:n]) != "echo" {
+			t.Fatalf("copy %d: got %q", i, buf[:n])
+		}
+	}
+	if tx.Stats().Duplicated != 1 {
+		t.Fatalf("stats: %+v", tx.Stats())
+	}
+}
+
+func TestCloseFlushesHeldFrame(t *testing.T) {
+	tx, rx := link(t, Config{Seed: 6, Reorder: 1})
+	if _, err := tx.Write([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := rx.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "held" {
+		t.Fatalf("got %q", buf[:n])
+	}
+}
+
+func TestShortReadBufferKeepsSync(t *testing.T) {
+	tx, rx := link(t, Config{})
+	if _, err := tx.Write(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Write([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 10)
+	if _, err := rx.Read(small); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+	// The stream stays frame-aligned: the next read sees the next frame.
+	n, err := rx.Read(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(small[:n]) != "next" {
+		t.Fatalf("desynchronized: got %q", small[:n])
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a, _ := stack.Pipe()
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("accepted nil transport")
+	}
+	if _, err := New(a, Config{Drop: 1.5}); err == nil {
+		t.Error("accepted Drop > 1")
+	}
+	if _, err := New(a, Config{BER: -0.1}); err == nil {
+		t.Error("accepted negative BER")
+	}
+	if _, err := New(a, Config{Burst: &Burst{LossBad: 2}}); err == nil {
+		t.Error("accepted burst loss > 1")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	tx, _ := link(t, Config{})
+	if _, err := tx.Write(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadAfterPeerClose(t *testing.T) {
+	tx, rx := link(t, Config{})
+	if _, err := tx.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := rx.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeLossFigureMonotonic(t *testing.T) {
+	fig, err := ComputeLossFigure(0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != len(DefaultLossBERs) {
+		t.Fatalf("got %d points", len(fig.Points))
+	}
+	for i, p := range fig.Points {
+		if p.LinkDown {
+			if p.Transactions != 0 {
+				t.Fatalf("link-down point %d reports %d transactions", i, p.Transactions)
+			}
+			continue
+		}
+		if p.Transactions <= 0 {
+			t.Fatalf("point %d degenerate: %+v", i, p)
+		}
+		if i > 0 && !fig.Points[i-1].LinkDown {
+			prev := fig.Points[i-1]
+			if p.Transactions > prev.Transactions {
+				t.Fatalf("transactions rose with BER: %d @ %g -> %d @ %g",
+					prev.Transactions, prev.BER, p.Transactions, p.BER)
+			}
+			if p.PerTxJoules <= prev.PerTxJoules {
+				t.Fatalf("per-tx energy did not rise with BER")
+			}
+			if p.RetxJoules < prev.RetxJoules {
+				t.Fatalf("retransmit energy fell with BER")
+			}
+		}
+	}
+	first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	if !last.LinkDown {
+		t.Fatal("highest default BER should exhaust the retry budget")
+	}
+	if first.Transactions == 0 || first.TxPerFrame > 1.2 {
+		t.Fatalf("near-clean channel mispriced: %+v", first)
+	}
+}
+
+func TestComputeLossFigureCleanChannelHasNoRetransmitCost(t *testing.T) {
+	fig, err := ComputeLossFigure(0, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fig.Points[0]
+	if p.RetxJoules != 0 || p.TxPerFrame != 1 || p.FrameErrorRate != 0 {
+		t.Fatalf("clean channel charged for repairs: %+v", p)
+	}
+	// Sanity against Figure 4's scale: 1 KB each way plus ARQ overhead
+	// must cost slightly more than the raw 35.8 mJ transaction.
+	raw := (21.5 + 14.3) / 1e3
+	if p.PerTxJoules < raw || p.PerTxJoules > raw*1.1 {
+		t.Fatalf("clean per-tx %.5f J out of range vs raw %.5f J", p.PerTxJoules, raw)
+	}
+}
+
+func TestComputeLossFigureRejectsBadRates(t *testing.T) {
+	if _, err := ComputeLossFigure(1.0, nil); err == nil {
+		t.Fatal("drop=1 accepted")
+	}
+	if _, err := ComputeLossFigure(0, []float64{2}); err == nil {
+		t.Fatal("BER=2 accepted")
+	}
+}
+
+func TestSimulateLossFigure(t *testing.T) {
+	fig, err := SimulateLossFigure(0.05, []float64{0, 5e-4}, 42, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 2 || len(fig.RetxJ) != 2 {
+		t.Fatalf("unexpected shape: %+v", fig)
+	}
+	for i, p := range fig.Points {
+		if p.LinkDown || p.Transactions <= 0 {
+			t.Fatalf("point %d did not complete: %+v", i, p)
+		}
+		// The 5% drop rate alone forces repairs at both points.
+		if p.RetxJoules <= 0 || fig.RetxJ[i] <= 0 {
+			t.Fatalf("point %d has no itemized retransmission energy", i)
+		}
+		if got := fig.TxJ[i] + fig.RxJ[i] + fig.RetxJ[i]; got <= 0 || got > p.PerTxJoules*1.0001 {
+			t.Fatalf("ledger does not add up: %v vs %v", got, p.PerTxJoules)
+		}
+	}
+	r := fig.Render()
+	if !strings.Contains(r, "radio-retx") {
+		t.Fatal("render missing ledger itemization")
+	}
+}
+
+func TestSimulateLossFigureLinkDown(t *testing.T) {
+	fig, err := SimulateLossFigure(0.9, []float64{0}, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fig.Points[0]
+	if !p.LinkDown || p.Transactions != 0 {
+		t.Fatalf("90%% drop should kill the link: %+v", p)
+	}
+}
+
+func TestLossFigureCSV(t *testing.T) {
+	fig, err := ComputeLossFigure(0.01, []float64{0, 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "ber,") || strings.Count(csv, "\n") != 3 {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}

@@ -67,8 +67,11 @@ type duplexEnd struct {
 func (e *duplexEnd) Read(p []byte) (int, error)  { return e.r.read(p) }
 func (e *duplexEnd) Write(p []byte) (int, error) { return e.w.write(p) }
 
-// Close ends the write direction; the peer's reads drain then see EOF.
+// Close closes both halves of this end: the peer's reads drain buffered
+// data then see EOF, this end's own blocked reads unblock the same way,
+// and writes into either closed half fail with io.ErrClosedPipe.
 func (e *duplexEnd) Close() error {
 	e.w.close()
+	e.r.close()
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/arq"
 	"repro/internal/esp"
 )
 
@@ -26,8 +27,21 @@ type Protector interface {
 	Open(frame []byte) ([]byte, error)
 }
 
-// maxFrame bounds a single framed payload.
-const maxFrame = 1 << 15
+// MaxWireFrame is the single bound on a framed unit as it crosses the
+// wire, enforced identically on both sides: writeFrame refuses to emit a
+// larger frame and readFrame refuses to accept one. (The 2-byte length
+// header could describe up to 0xffff bytes; anything above MaxWireFrame
+// is treated as a framing error, not a frame.)
+const MaxWireFrame = 1 << 15
+
+// maxSealOverhead is the worst-case expansion a Protector.Seal may add
+// (IVs, SPIs, sequence numbers, padding, ICVs — WEP adds 7 bytes, ESP at
+// most ~40). Write chunks payloads at maxFrame so sealed frames always
+// fit MaxWireFrame.
+const maxSealOverhead = 64
+
+// maxFrame bounds a single framed payload chunk.
+const maxFrame = MaxWireFrame - maxSealOverhead
 
 // Layer is one framed protection layer over a lower transport.
 type Layer struct {
@@ -119,8 +133,8 @@ func (l *Layer) Stats() Stats {
 }
 
 func writeFrame(w io.Writer, frame []byte) error {
-	if len(frame) > 0xffff {
-		return errors.New("stack: frame too large")
+	if len(frame) > MaxWireFrame {
+		return fmt.Errorf("stack: outbound frame %d bytes exceeds MaxWireFrame %d", len(frame), MaxWireFrame)
 	}
 	hdr := []byte{byte(len(frame) >> 8), byte(len(frame))}
 	if _, err := w.Write(hdr); err != nil {
@@ -136,6 +150,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := int(hdr[0])<<8 | int(hdr[1])
+	if n > MaxWireFrame {
+		return nil, fmt.Errorf("stack: inbound frame %d bytes exceeds MaxWireFrame %d", n, MaxWireFrame)
+	}
 	frame := make([]byte, n)
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, err
@@ -154,10 +171,18 @@ func (p *ESPPair) Seal(payload []byte) ([]byte, error) { return p.Out.Seal(paylo
 // Open opens on the inbound SA.
 func (p *ESPPair) Open(frame []byte) ([]byte, error) { return p.In.Open(frame) }
 
+// sublayer is one rung of the stack: a byte transport with accounting.
+// Both framed Protector layers and the ARQ reliability layer satisfy it.
+type sublayer interface {
+	io.ReadWriter
+	Name() string
+	Stats() Stats
+}
+
 // Stack is a bottom-up composition of protection layers over a transport.
 type Stack struct {
 	transport io.ReadWriter
-	layers    []*Layer
+	layers    []sublayer
 }
 
 // New creates a stack over the raw transport.
@@ -173,6 +198,42 @@ func (s *Stack) Push(name string, p Protector, perByteInstr float64) error {
 	}
 	s.layers = append(s.layers, l)
 	return nil
+}
+
+// arqLayer adapts an arq.Endpoint to the stack's accounting interface.
+type arqLayer struct {
+	name         string
+	e            *arq.Endpoint
+	perByteInstr float64
+}
+
+func (l *arqLayer) Read(p []byte) (int, error)  { return l.e.Read(p) }
+func (l *arqLayer) Write(p []byte) (int, error) { return l.e.Write(p) }
+func (l *arqLayer) Name() string                { return l.name }
+
+func (l *arqLayer) Stats() Stats {
+	st := l.e.Stats()
+	return Stats{
+		Name:       l.name,
+		PayloadOut: st.PayloadOut, PayloadIn: st.PayloadIn,
+		FrameOut: st.BytesOut, FrameIn: st.BytesIn,
+		Instr: float64(st.PayloadOut+st.PayloadIn) * l.perByteInstr,
+	}
+}
+
+// PushARQ adds an ARQ reliability layer on top of the current stack —
+// normally pushed first, directly over a lossy frame-oriented transport
+// such as chaos.FaultyTransport (each lower Read must return one whole
+// frame; a raw byte pipe will not do). perByteInstr models the CRC and
+// header processing cost per payload byte. The returned endpoint exposes
+// retransmit statistics and must be Closed to stop its receive loop.
+func (s *Stack) PushARQ(name string, cfg arq.Config, perByteInstr float64) (*arq.Endpoint, error) {
+	e, err := arq.New(s.Top(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.layers = append(s.layers, &arqLayer{name: name, e: e, perByteInstr: perByteInstr})
+	return e, nil
 }
 
 // Top returns the highest layer (or the raw transport when empty); run
@@ -197,16 +258,17 @@ func (s *Stack) Report() []Stats {
 func (s *Stack) TotalInstr() float64 {
 	t := 0.0
 	for _, l := range s.layers {
-		t += l.instr
+		t += l.Stats().Instr
 	}
 	return t
 }
 
 // WireBytesOut returns the bytes the bottom layer put on the wire — the
-// figure the radio energy model charges for.
+// figure the radio energy model charges for. With an ARQ bottom layer
+// this includes acks and retransmissions.
 func (s *Stack) WireBytesOut() int {
 	if len(s.layers) == 0 {
 		return 0
 	}
-	return s.layers[0].frameOut
+	return s.layers[0].Stats().FrameOut
 }

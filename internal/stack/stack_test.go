@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"hash"
 	"io"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/arq"
+	"repro/internal/chaos"
 	"repro/internal/cost"
 	"repro/internal/crypto/des"
 	"repro/internal/crypto/prng"
@@ -306,5 +310,165 @@ func TestReadFrameErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeFrame(&buf, make([]byte, 0x10000)); err == nil {
 		t.Fatal("accepted oversized frame")
+	}
+}
+
+// TestFrameBoundSymmetric: MaxWireFrame is enforced identically outbound
+// and inbound — a header advertising more than MaxWireFrame is rejected
+// before any allocation, with an error naming the bound.
+func TestFrameBoundSymmetric(t *testing.T) {
+	// Outbound: exactly MaxWireFrame is fine, one more is not.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxWireFrame)); err != nil {
+		t.Fatalf("rejected frame at the bound: %v", err)
+	}
+	if err := writeFrame(&buf, make([]byte, MaxWireFrame+1)); err == nil ||
+		!strings.Contains(err.Error(), "MaxWireFrame") {
+		t.Fatalf("oversized outbound frame: %v", err)
+	}
+	// Inbound: the frame written at the bound reads back.
+	frame, err := readFrame(&buf)
+	if err != nil || len(frame) != MaxWireFrame {
+		t.Fatalf("frame at bound did not read back: %d, %v", len(frame), err)
+	}
+	// Inbound: a header claiming MaxWireFrame+1 (encodable in the 2-byte
+	// length but over the documented bound) is a framing error.
+	over := MaxWireFrame + 1
+	hdr := []byte{byte(over >> 8), byte(over)}
+	if _, err := readFrame(bytes.NewReader(append(hdr, make([]byte, over)...))); err == nil ||
+		!strings.Contains(err.Error(), "MaxWireFrame") {
+		t.Fatalf("oversized inbound frame: %v", err)
+	}
+	// A sealed maximum-size payload chunk stays within the wire bound for
+	// the stack's own layers (seal overhead < maxSealOverhead).
+	if maxFrame+maxSealOverhead != MaxWireFrame {
+		t.Fatalf("chunk bound %d + overhead %d != wire bound %d", maxFrame, maxSealOverhead, MaxWireFrame)
+	}
+}
+
+// TestPipeCloseUnblocksOwnReader is the regression test for the hang
+// where Close only closed the write half: a Read blocked on the same
+// endpoint stayed blocked forever.
+func TestPipeCloseUnblocksOwnReader(t *testing.T) {
+	a, _ := Pipe()
+	errCh := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, err := a.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the reader block
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != io.EOF {
+			t.Fatalf("want io.EOF from own closed end, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Read still blocked after local Close")
+	}
+}
+
+// TestPipeCloseDrainsOwnReader: data buffered before a local Close is
+// still readable; EOF comes after the drain.
+func TestPipeCloseDrainsOwnReader(t *testing.T) {
+	a, b := Pipe()
+	if _, err := b.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(a, buf); err != nil || !bytes.Equal(buf, []byte("tail")) {
+		t.Fatalf("drain failed: %q, %v", buf, err)
+	}
+	if _, err := a.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+	// The peer's writes into the closed end now fail rather than
+	// accumulating into a buffer nobody will read.
+	if _, err := b.Write([]byte("x")); err != io.ErrClosedPipe {
+		t.Fatalf("want ErrClosedPipe for peer write, got %v", err)
+	}
+}
+
+// TestStackOverARQOverChaos runs the full layered hierarchy over a lossy
+// link: WEP+ESP protection above an ARQ reliability layer above a
+// fault-injecting channel. The protection layers never see the loss.
+func TestStackOverARQOverChaos(t *testing.T) {
+	a, b := Pipe()
+	linkA, err := chaos.New(a, chaos.Config{Seed: 21, Drop: 0.1, BER: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkB, err := chaos.New(b, chaos.Config{Seed: 22, Drop: 0.1, BER: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := arq.Config{RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 40}
+	build := func(link *chaos.FaultyTransport, txSeed, rxSeed string) (*Stack, *arq.Endpoint) {
+		s := New(link)
+		ep, err := s.PushARQ("arq", acfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wepEP, err := wep.NewEndpoint([]byte{1, 2, 3, 4, 5}, wep.IVSequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push("wep", wepEP, cost.InstrPerByte(cost.RC4)+4); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push("esp", newESPPair(t, txSeed, rxSeed), cost.BulkInstrPerByte(cost.DES3, cost.SHA1)); err != nil {
+			t.Fatal(err)
+		}
+		return s, ep
+	}
+	alice, epA := build(linkA, "a2b", "b2a")
+	bob, epB := build(linkB, "b2a", "a2b")
+	defer epA.Close()
+	defer epB.Close()
+
+	msg := bytes.Repeat([]byte("lossy-link datagram "), 200) // 4 KB
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		if _, err := io.ReadFull(bob.Top(), buf); err != nil {
+			done <- err
+			return
+		}
+		if !bytes.Equal(buf, msg) {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		done <- nil
+	}()
+	if _, err := alice.Top().Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	rep := alice.Report()
+	if len(rep) != 3 || rep[0].Name != "arq" || rep[1].Name != "wep" || rep[2].Name != "esp" {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	st := epA.Stats()
+	if st.Retransmits == 0 {
+		t.Fatalf("10%% loss produced no retransmits: %+v", st)
+	}
+	// The wire figure the radio would be charged for includes the
+	// retransmissions: it must exceed the first-transmission bytes.
+	if alice.WireBytesOut() != st.BytesOut {
+		t.Fatalf("WireBytesOut %d != arq bytes out %d", alice.WireBytesOut(), st.BytesOut)
+	}
+	if st.BytesOut <= st.PayloadOut {
+		t.Fatal("wire bytes should exceed accepted payload")
 	}
 }

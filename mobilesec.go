@@ -30,8 +30,10 @@
 package mobilesec
 
 import (
+	"repro/internal/arq"
 	"repro/internal/bearer"
 	"repro/internal/biometric"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/crypto/dh"
@@ -69,6 +71,10 @@ type (
 	GapSurface = core.GapSurface
 	// BatteryFigure is the Figure 4 result.
 	BatteryFigure = core.BatteryFigure
+	// LossFigure is the transactions-vs-BER result on a lossy link.
+	LossFigure = core.LossFigure
+	// LossPoint is one BER column of a LossFigure.
+	LossPoint = core.LossPoint
 	// ArchitectureGapRow is one rung of the accelerator ablation (B1).
 	ArchitectureGapRow = core.ArchitectureGapRow
 	// Revision is one protocol revision on the Figure 2 timeline.
@@ -135,6 +141,21 @@ type (
 	APDUCommand = smartcard.Command
 	// APDUResponse is a card response.
 	APDUResponse = smartcard.Response
+	// FaultyTransport is a deterministic lossy-link fault injector.
+	FaultyTransport = chaos.FaultyTransport
+	// FaultConfig sets loss, corruption, duplication, reordering and
+	// burst parameters for a FaultyTransport.
+	FaultConfig = chaos.Config
+	// BurstModel is the Gilbert-Elliott two-state burst-loss channel.
+	BurstModel = chaos.Burst
+	// FaultStats counts the faults a FaultyTransport injected.
+	FaultStats = chaos.Stats
+	// ARQEndpoint is one end of the retransmission reliability layer.
+	ARQEndpoint = arq.Endpoint
+	// ARQConfig tunes the ARQ window, timers and energy hooks.
+	ARQConfig = arq.Config
+	// ARQStats counts ARQ traffic, retransmissions and errors.
+	ARQStats = arq.Stats
 	// PacketServer is a serial packet processor (software or engine).
 	PacketServer = proc.Server
 	// PacketQueueStats summarizes a packet-queue simulation.
@@ -203,6 +224,14 @@ var (
 	ComputeBatteryFigure = core.ComputeBatteryFigure
 	// SimulateBatteryFigure regenerates Figure 4 by simulation.
 	SimulateBatteryFigure = core.SimulateBatteryFigure
+	// ComputeLossFigure prices 1 KB transactions against channel BER
+	// analytically (Figure 4 on a lossy link).
+	ComputeLossFigure = core.ComputeLossFigure
+	// SimulateLossFigure cross-checks the loss figure over a real
+	// chaos+ARQ link, itemizing retransmission energy in the ledger.
+	SimulateLossFigure = core.SimulateLossFigure
+	// DefaultLossBERs is the loss figure's bit-error-rate axis.
+	DefaultLossBERs = core.DefaultLossBERs
 	// EvolutionTimeline regenerates Figure 2's data.
 	EvolutionTimeline = core.EvolutionTimeline
 	// RenderTimeline renders Figure 2 as text.
@@ -235,6 +264,13 @@ var (
 	NewDuplexPipe = stack.Pipe
 	// NewWEPEndpoint creates a WEP link endpoint.
 	NewWEPEndpoint = wep.NewEndpoint
+	// NewFaultyTransport wraps a transport with fault injection.
+	NewFaultyTransport = chaos.New
+	// NewARQEndpoint runs an ARQ reliability layer over a frame
+	// transport (stacks usually use Stack.PushARQ instead).
+	NewARQEndpoint = arq.New
+	// ErrLinkDown is returned when ARQ gives up after max retries.
+	ErrLinkDown = arq.ErrLinkDown
 	// GenerateRSAKey generates an RSA key pair.
 	GenerateRSAKey = rsa.GenerateKey
 	// Oakley2 returns the 1024-bit MODP DH group.
