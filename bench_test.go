@@ -347,6 +347,7 @@ func BenchmarkRecordProtection(b *testing.B) {
 	}()
 	msg := make([]byte, 1024)
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Write(msg); err != nil {
@@ -390,6 +391,7 @@ func BenchmarkSPAAttack(b *testing.B) {
 func BenchmarkBearerA5Throughput(b *testing.B) {
 	key := [8]byte{0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF}
 	b.SetBytes(2 * bearer.FrameBytes)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bearer.A5Frame(key, uint32(i)&0x3fffff)
 	}
@@ -428,6 +430,7 @@ func BenchmarkCipherThroughput(b *testing.B) {
 		}
 		iv := make([]byte, 8)
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := modes.EncryptCBC(c, iv, buf); err != nil {
 				b.Fatal(err)
@@ -441,6 +444,7 @@ func BenchmarkCipherThroughput(b *testing.B) {
 		}
 		iv := make([]byte, 8)
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := modes.EncryptCBC(c, iv, buf); err != nil {
 				b.Fatal(err)
@@ -454,6 +458,7 @@ func BenchmarkCipherThroughput(b *testing.B) {
 		}
 		iv := make([]byte, 16)
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := modes.EncryptCBC(c, iv, buf); err != nil {
 				b.Fatal(err)
@@ -466,18 +471,21 @@ func BenchmarkCipherThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			c.XORKeyStream(buf, buf)
 		}
 	})
 	b.Run("sha1", func(b *testing.B) {
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sha1.Sum(buf)
 		}
 	})
 	b.Run("md5", func(b *testing.B) {
 		b.SetBytes(4096)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			md5.Sum(buf)
 		}

@@ -1,0 +1,241 @@
+// Command benchreg is the bench-regression harness: it runs the
+// repository's Benchmark* suite under `go test -bench`, records ns/op,
+// B/op and allocs/op per benchmark into a dated JSON snapshot, and —
+// given a baseline snapshot — fails when any benchmark's ns/op regresses
+// past a configurable threshold. CI runs it against the committed
+// baseline; developers refresh the baseline with -out after intentional
+// performance changes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's recorded costs.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Snapshot is the JSON file layout.
+type Snapshot struct {
+	Date      string            `json:"date"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	BenchTime string            `json:"benchtime"`
+	Results   map[string]Result `json:"results"`
+}
+
+func main() {
+	benchRe := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark budget passed to go test -benchtime")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
+	out := flag.String("out", "", "write the snapshot JSON here (default bench/BENCH_<date>.json; '-' for stdout only)")
+	baseline := flag.String("baseline", "", "baseline snapshot to compare against (empty: record only)")
+	threshold := flag.Float64("threshold", 0.30, "fail when ns/op grows more than this fraction over baseline")
+	count := flag.Int("count", 1, "go test -count, for noise averaging")
+	flag.Parse()
+
+	snap, raw, err := run(*benchRe, *benchtime, *pkg, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreg: no benchmarks matched %q\n", *benchRe)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("bench/BENCH_%s.json", snap.Date)
+	}
+	if path != "-" {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		blob, _ := json.MarshalIndent(snap, "", "  ")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d benchmarks -> %s\n", len(snap.Results), path)
+	}
+
+	if *baseline == "" {
+		printSnapshot(snap)
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if failed := compare(base, snap, *threshold); failed {
+		os.Exit(1)
+	}
+}
+
+// run executes the benchmark suite and parses its output.
+func run(benchRe, benchtime, pkg string, count int) (*Snapshot, string, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe,
+		"-benchtime", benchtime, "-benchmem", "-count", strconv.Itoa(count), pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+	snap := &Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		BenchTime: benchtime,
+		Results:   map[string]Result{},
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			// -count > 1 repeats lines; keep the fastest (least noisy) run.
+			if prev, dup := snap.Results[name]; !dup || r.NsPerOp < prev.NsPerOp {
+				snap.Results[name] = r
+			}
+		}
+	}
+	if runErr != nil {
+		return nil, buf.String(), fmt.Errorf("go test -bench: %w", runErr)
+	}
+	return snap, buf.String(), nil
+}
+
+// parseLine parses a `go test -bench` result line such as
+//
+//	BenchmarkFoo/bar-8   1000   1234 ns/op   9.0 MB/s   12 B/op   3 allocs/op
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			r.MBPerSec = v
+		}
+	}
+	return name, r, seen
+}
+
+func load(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func printSnapshot(s *Snapshot) {
+	names := make([]string, 0, len(s.Results))
+	for n := range s.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := s.Results[n]
+		fmt.Printf("  %-50s %14.1f ns/op %10.0f B/op %8.0f allocs/op\n",
+			n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+// compare reports each benchmark's delta against the baseline and returns
+// true when any ns/op regression exceeds the threshold.
+func compare(base, cur *Snapshot, threshold float64) bool {
+	names := make([]string, 0, len(base.Results))
+	for n := range base.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failed := false
+	fmt.Printf("comparison vs baseline (%s, fail over +%.0f%%):\n", base.Date, threshold*100)
+	for _, n := range names {
+		b := base.Results[n]
+		c, ok := cur.Results[n]
+		if !ok {
+			fmt.Printf("  %-50s MISSING from current run\n", n)
+			failed = true
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-50s %14.1f -> %14.1f ns/op  %+6.1f%%  %s\n",
+			n, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	extra := 0
+	for n := range cur.Results {
+		if _, ok := base.Results[n]; !ok {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Printf("  (%d benchmarks not in baseline; record a new baseline to track them)\n", extra)
+	}
+	if failed {
+		fmt.Println("benchreg: FAIL")
+	} else {
+		fmt.Println("benchreg: PASS")
+	}
+	return failed
+}

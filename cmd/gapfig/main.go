@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	mobilesec "repro"
 	"repro/internal/cost"
+	"repro/internal/par"
 )
 
 func main() {
@@ -20,7 +22,10 @@ func main() {
 	handshake := flag.String("handshake", "rsa1024", "connection set-up: rsa1024, rsa768, rsa512, dh1024, resume")
 	ablate := flag.Bool("ablation", true, "also print the accelerator ablation (experiment B1)")
 	csv := flag.Bool("csv", false, "emit the surface as CSV for external plotting and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep worker count; output is identical at any value, 1 runs sequentially")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	s, err := mobilesec.ComputeGapSurfaceFor(
 		mobilesec.DefaultLatencies(), mobilesec.DefaultRates(), *plane,

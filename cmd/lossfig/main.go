@@ -9,10 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	mobilesec "repro"
+	"repro/internal/par"
 )
 
 func main() {
@@ -22,7 +24,10 @@ func main() {
 	perPoint := flag.Int("n", 10, "transactions simulated per BER point")
 	seed := flag.Int64("seed", 1, "fault-schedule seed for the simulation")
 	csv := flag.Bool("csv", false, "emit the analytic figure as CSV and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep worker count; output is identical at any value, 1 runs sequentially")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	var axis []float64
 	if *bers != "" {

@@ -12,6 +12,7 @@
 package dpa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/crypto/bitutil"
 	"repro/internal/crypto/des"
 	"repro/internal/crypto/prng"
+	"repro/internal/par"
 )
 
 // TraceSet is a collection of simulated power traces with their inputs.
@@ -43,23 +45,46 @@ func CollectAES(key []byte, n int, noiseStd float64, rng *prng.DRBG, masked bool
 		Plaintexts: make([][]byte, n),
 		Traces:     make([][]float64, n),
 	}
+	// The DRBG is stateful, so all randomness is drawn up front in the
+	// exact per-byte interleaving the sequential loop used (mask byte then
+	// noise sample); the trace math itself is pure and fans out across the
+	// worker pool. Trace sets are byte-identical to the sequential path.
+	masks := make([][]byte, n)
+	noise := make([][]float64, n)
 	for t := 0; t < n; t++ {
-		pt := rng.Bytes(16)
+		ts.Plaintexts[t] = rng.Bytes(16)
+		if masked {
+			masks[t] = make([]byte, 16)
+		}
+		if noiseStd > 0 {
+			noise[t] = make([]float64, 16)
+		}
+		for j := 0; j < 16; j++ {
+			if masked {
+				masks[t][j] = rng.Bytes(1)[0]
+			}
+			if noiseStd > 0 {
+				noise[t][j] = rng.NormFloat64()
+			}
+		}
+	}
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), n, func(t int) error {
+		pt := ts.Plaintexts[t]
 		trace := make([]float64, 16)
 		for j := 0; j < 16; j++ {
 			v := aes.SBox(pt[j] ^ key[j])
 			if masked {
-				v ^= rng.Bytes(1)[0]
+				v ^= masks[t][j]
 			}
 			leak := float64(bitutil.HammingWeight8(v))
 			if noiseStd > 0 {
-				leak += rng.NormFloat64() * noiseStd
+				leak += noise[t][j] * noiseStd
 			}
 			trace[j] = leak
 		}
-		ts.Plaintexts[t] = pt
 		ts.Traces[t] = trace
-	}
+		return nil
+	})
 	return ts, nil
 }
 
@@ -73,9 +98,11 @@ func AttackAES(ts *TraceSet) ([]byte, []float64, error) {
 	n := len(ts.Plaintexts)
 	key := make([]byte, 16)
 	corrs := make([]float64, 16)
-	hyp := make([]float64, n)
-	obs := make([]float64, n)
-	for j := 0; j < 16; j++ {
+	// Each key byte's 256-guess scan is independent; workers keep private
+	// hypothesis/observation buffers and write only their own slot.
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), 16, func(j int) error {
+		hyp := make([]float64, n)
+		obs := make([]float64, n)
 		best, bestCorr := 0, math.Inf(-1)
 		for i := 0; i < n; i++ {
 			obs[i] = ts.Traces[i][j]
@@ -92,7 +119,8 @@ func AttackAES(ts *TraceSet) ([]byte, []float64, error) {
 		}
 		key[j] = byte(best)
 		corrs[j] = bestCorr
-	}
+		return nil
+	})
 	return key, corrs, nil
 }
 
@@ -111,8 +139,29 @@ func CollectDES(key []byte, n int, noiseStd float64, rng *prng.DRBG, masked bool
 		Plaintexts: make([][]byte, n),
 		Traces:     make([][]float64, n),
 	}
+	// Same pre-draw discipline as CollectAES: the DRBG stream is consumed
+	// in the sequential order, the pure trace math runs on the pool.
+	masks := make([][]byte, n)
+	noise := make([][]float64, n)
 	for t := 0; t < n; t++ {
-		pt := rng.Bytes(8)
+		ts.Plaintexts[t] = rng.Bytes(8)
+		if masked {
+			masks[t] = make([]byte, 8)
+		}
+		if noiseStd > 0 {
+			noise[t] = make([]float64, 8)
+		}
+		for box := 0; box < 8; box++ {
+			if masked {
+				masks[t][box] = rng.Bytes(1)[0]
+			}
+			if noiseStd > 0 {
+				noise[t][box] = rng.NormFloat64()
+			}
+		}
+	}
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), n, func(t int) error {
+		pt := ts.Plaintexts[t]
 		// First-round state: IP splits the block; the Feistel function
 		// expands R0 and XORs subkey 1.
 		b := bitutil.Load64(pt)
@@ -124,17 +173,17 @@ func CollectDES(key []byte, n int, noiseStd float64, rng *prng.DRBG, masked bool
 			six := uint8(x >> (uint(7-box) * 6) & 0x3f)
 			out := des.SBox(box, six)
 			if masked {
-				out ^= rng.Bytes(1)[0] & 0x0f
+				out ^= masks[t][box] & 0x0f
 			}
 			leak := float64(bitutil.HammingWeight8(out))
 			if noiseStd > 0 {
-				leak += rng.NormFloat64() * noiseStd
+				leak += noise[t][box] * noiseStd
 			}
 			trace[box] = leak
 		}
-		ts.Plaintexts[t] = pt
 		ts.Traces[t] = trace
-	}
+		return nil
+	})
 	return ts, nil
 }
 
@@ -145,18 +194,20 @@ func AttackDES(ts *TraceSet) (uint64, []float64, error) {
 		return 0, nil, errors.New("dpa: empty or inconsistent trace set")
 	}
 	n := len(ts.Plaintexts)
-	var subkey uint64
 	corrs := make([]float64, 8)
-	hyp := make([]float64, n)
-	obs := make([]float64, n)
+	bests := make([]int, 8)
 	// Precompute each trace's expanded R0.
 	expanded := make([]uint64, n)
 	for i, pt := range ts.Plaintexts {
 		ip := des.InitialPermute(bitutil.Load64(pt))
 		expanded[i] = des.ExpandHalf(uint32(ip))
 	}
-	for box := 0; box < 8; box++ {
+	// The eight S-box scans are independent; the 48-bit subkey is
+	// reassembled from the per-box winners afterwards, in box order.
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), 8, func(box int) error {
 		shift := uint(7-box) * 6
+		hyp := make([]float64, n)
+		obs := make([]float64, n)
 		for i := 0; i < n; i++ {
 			obs[i] = ts.Traces[i][box]
 		}
@@ -172,8 +223,13 @@ func AttackDES(ts *TraceSet) (uint64, []float64, error) {
 				best = guess
 			}
 		}
-		subkey |= uint64(best) << shift
+		bests[box] = best
 		corrs[box] = bestCorr
+		return nil
+	})
+	var subkey uint64
+	for box := 0; box < 8; box++ {
+		subkey |= uint64(bests[box]) << (uint(7-box) * 6)
 	}
 	return subkey, corrs, nil
 }

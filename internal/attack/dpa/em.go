@@ -1,12 +1,14 @@
 package dpa
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"repro/internal/crypto/aes"
 	"repro/internal/crypto/bitutil"
 	"repro/internal/crypto/prng"
+	"repro/internal/par"
 )
 
 // Electromagnetic analysis (the paper's refs [45] Quisquater-Samyde and
@@ -73,9 +75,10 @@ func AttackAESEM(ts *TraceSet) ([]byte, []float64, error) {
 	n := len(ts.Plaintexts)
 	keyOut := make([]byte, 16)
 	corrs := make([]float64, 16)
-	hyp := make([]float64, n)
-	obs := make([]float64, n)
-	for j := 0; j < 16; j++ {
+	// Per-key-byte scans are independent, as in AttackAES.
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), 16, func(j int) error {
+		hyp := make([]float64, n)
+		obs := make([]float64, n)
 		for i := 0; i < n; i++ {
 			obs[i] = ts.Traces[i][j]
 		}
@@ -93,6 +96,7 @@ func AttackAESEM(ts *TraceSet) ([]byte, []float64, error) {
 		}
 		keyOut[j] = byte(best)
 		corrs[j] = bestCorr
-	}
+		return nil
+	})
 	return keyOut, corrs, nil
 }

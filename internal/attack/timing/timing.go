@@ -22,11 +22,13 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 
 	"repro/internal/crypto/mp"
+	"repro/internal/par"
 )
 
 // Oracle models the attacker's measurement access: submit a base, observe
@@ -103,15 +105,21 @@ func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.In
 	times := make([]float64, n)
 	acc := make([]*big.Int, n) // emulated accumulator per message
 	bm := make([]*big.Int, n)  // base in Montgomery form
+	// Oracle queries stay sequential: a noisy oracle draws jitter from a
+	// stateful source, and the sample order defines the experiment. The
+	// attacker's own Montgomery emulation is pure math and fans out.
 	for i, b := range bases {
 		times[i] = oracle(b)
-		bm[i] = ctx.ToMont(b)
+	}
+	_ = par.ForN(context.Background(), par.DefaultWorkers(), n, func(i int) error {
+		bm[i] = ctx.ToMont(bases[i])
 		// Emulate the first iteration (MSB is 1): square of one, then
 		// multiply by the base.
 		a, _ := ctx.MulMont(ctx.One(), ctx.One())
 		a, _ = ctx.MulMont(a, bm[i])
 		acc[i] = a
-	}
+		return nil
+	})
 
 	extraCost := float64(ctx.CostExtraReduction())
 	recovered := new(big.Int).SetBit(new(big.Int), bitLen-1, 1)
@@ -154,7 +162,9 @@ func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.In
 		mulRes := make([]*big.Int, n)
 		extraNextSqH1 := make([]bool, n)
 		extraNextSqH0 := make([]bool, n)
-		for i := range bases {
+		// Four MulMont per base, all independent across bases — this is
+		// the attack's hot loop (bitLen-2 rounds over every sample).
+		_ = par.ForN(context.Background(), par.DefaultWorkers(), n, func(i int) error {
 			s, _ := ctx.MulMont(acc[i], acc[i])
 			sq[i] = s
 			m, _ := ctx.MulMont(s, bm[i])
@@ -163,7 +173,8 @@ func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.In
 			extraNextSqH1[i] = ex1
 			_, ex0 := ctx.MulMont(s, s)
 			extraNextSqH0[i] = ex0
-		}
+			return nil
+		})
 		sepH1 := separation(extraNextSqH1)
 		sepH0 := separation(extraNextSqH0)
 		totalSep += absf(sepH1 - sepH0)

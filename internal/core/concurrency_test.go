@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// The protocol-evolution registry returns fresh slices per call and must
+// be safe to consult from every worker of a parallel sweep. Run under
+// -race.
+
+func TestEvolutionConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	wantLen := len(EvolutionTimeline())
+	wantRate, err := RevisionRate("WTLS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tl := EvolutionTimeline()
+				if len(tl) != wantLen {
+					t.Errorf("timeline length %d, want %d", len(tl), wantLen)
+					return
+				}
+				// Mutating the returned slice must not leak into other
+				// callers: every call hands out fresh storage.
+				tl[0].Family = "mutated"
+				if got, err := RevisionRate("WTLS"); err != nil || got != wantRate {
+					t.Errorf("RevisionRate = %v, %v", got, err)
+					return
+				}
+				for f, revs := range RevisionsByFamily() {
+					if len(revs) == 0 {
+						t.Errorf("family %q empty", f)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ComputeGapSurfaceFor itself runs on the worker pool; several surfaces
+// computed concurrently (as cmd/paperrepro's claims could) must not
+// interfere.
+func TestGapSurfaceConcurrentSweeps(t *testing.T) {
+	t.Parallel()
+	want, err := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s, err := ComputeGapSurface(DefaultLatencies(), DefaultRates(), 300)
+				if err != nil {
+					t.Errorf("ComputeGapSurface: %v", err)
+					return
+				}
+				if s.GapFraction() != want.GapFraction() {
+					t.Errorf("gap fraction %v, want %v", s.GapFraction(), want.GapFraction())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/par"
 	"repro/internal/proc"
 )
 
@@ -53,16 +55,24 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 		Latencies: latencies, Rates: rates, PlaneMIPS: planeMIPS,
 		Handshake: hs, Cipher: cipher, MAC: mac,
 	}
-	for _, l := range latencies {
-		var row []GapPoint
-		for _, r := range rates {
-			d, err := cost.DemandMIPS(l, r, hs, cipher, mac)
+	s.Points = make([][]GapPoint, len(latencies))
+	for i := range s.Points {
+		s.Points[i] = make([]GapPoint, len(rates))
+	}
+	// Every cell is independent, so the grid fans out across the sweep
+	// worker pool; each worker writes its own (latency, rate) slot, which
+	// keeps the surface layout identical to the sequential fill.
+	err := par.Grid(context.Background(), par.DefaultWorkers(), len(latencies), len(rates),
+		func(li, ri int) error {
+			d, err := cost.DemandMIPS(latencies[li], rates[ri], hs, cipher, mac)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row = append(row, GapPoint{LatencySec: l, RateMbps: r, DemandMIPS: d})
-		}
-		s.Points = append(s.Points, row)
+			s.Points[li][ri] = GapPoint{LatencySec: latencies[li], RateMbps: rates[ri], DemandMIPS: d}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -160,23 +170,22 @@ type ArchitectureGapRow struct {
 // AcceleratorAblation evaluates the Section 4.2 architecture ladder on a
 // CPU at the Figure 3 anchor workload.
 func AcceleratorAblation(cpu *proc.Processor) ([]ArchitectureGapRow, error) {
-	var rows []ArchitectureGapRow
-	for _, arch := range proc.Ablation(cpu) {
-		d, err := arch.EffectiveDemandMIPS(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
-		if err != nil {
-			return nil, err
-		}
-		rate, err := arch.MaxRateMbps(0.5, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ArchitectureGapRow{
-			Arch:            arch.Name,
-			DemandMIPS:      d,
-			Feasible:        d <= cpu.MIPS,
-			MaxRateMbps:     rate,
-			EnergyGainTimes: arch.EnergyGainGain,
+	return par.Map(context.Background(), par.DefaultWorkers(), proc.Ablation(cpu),
+		func(_ int, arch *proc.Architecture) (ArchitectureGapRow, error) {
+			d, err := arch.EffectiveDemandMIPS(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+			if err != nil {
+				return ArchitectureGapRow{}, err
+			}
+			rate, err := arch.MaxRateMbps(0.5, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+			if err != nil {
+				return ArchitectureGapRow{}, err
+			}
+			return ArchitectureGapRow{
+				Arch:            arch.Name,
+				DemandMIPS:      d,
+				Feasible:        d <= cpu.MIPS,
+				MaxRateMbps:     rate,
+				EnergyGainTimes: arch.EnergyGainGain,
+			}, nil
 		})
-	}
-	return rows, nil
 }

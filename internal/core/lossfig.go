@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cost"
 	"repro/internal/energy"
+	"repro/internal/par"
 	"repro/internal/radio"
 	"repro/internal/stack"
 )
@@ -163,15 +165,31 @@ func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) 
 		BatteryJ: cost.SensorBatteryJoules, DropRate: drop,
 		MTU: 240, FrameBytes: 240 + arq.FrameOverhead,
 	}
-	for i, ber := range bers {
-		pt, tx, rx, retx, err := simulateLossPoint(drop, ber, seed+int64(i)*7919, perPoint)
-		if err != nil {
-			return nil, err
-		}
-		fig.Points = append(fig.Points, *pt)
-		fig.TxJ = append(fig.TxJ, tx)
-		fig.RxJ = append(fig.RxJ, rx)
-		fig.RetxJ = append(fig.RetxJ, retx)
+	// Each BER point owns its pipe pair, fault schedule (seeded per index),
+	// radio and battery, so the points simulate concurrently; par.Map
+	// returns them in axis order regardless of finish order. This is the
+	// figure's wall-clock hot spot: each point spends real time in ARQ
+	// retransmit timers.
+	type lossCol struct {
+		pt            LossPoint
+		tx, rx, retxJ float64
+	}
+	cols, err := par.Map(context.Background(), par.DefaultWorkers(), bers,
+		func(i int, ber float64) (lossCol, error) {
+			pt, tx, rx, retx, err := simulateLossPoint(drop, ber, seed+int64(i)*7919, perPoint)
+			if err != nil {
+				return lossCol{}, err
+			}
+			return lossCol{pt: *pt, tx: tx, rx: rx, retxJ: retx}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		fig.Points = append(fig.Points, c.pt)
+		fig.TxJ = append(fig.TxJ, c.tx)
+		fig.RxJ = append(fig.RxJ, c.rx)
+		fig.RetxJ = append(fig.RetxJ, c.retxJ)
 	}
 	return fig, nil
 }

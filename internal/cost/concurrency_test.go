@@ -1,0 +1,45 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+)
+
+// The instruction-cost tables are read-only maps consulted from every
+// worker of a parallel sweep; concurrent lookups must be safe and must
+// keep returning the same calibrated numbers. Run under -race.
+
+func TestCostModelConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	wantBulk := BulkInstrPerByte(DES3, SHA1)
+	wantHS, err := HandshakeInstr(HandshakeRSA1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDemand, err := DemandMIPS(0.5, 10, HandshakeRSA1024, DES3, SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if got := BulkInstrPerByte(DES3, SHA1); got != wantBulk {
+					t.Errorf("BulkInstrPerByte = %v, want %v", got, wantBulk)
+					return
+				}
+				if got, err := HandshakeInstr(HandshakeRSA1024); err != nil || got != wantHS {
+					t.Errorf("HandshakeInstr = %v, %v", got, err)
+					return
+				}
+				if got, err := DemandMIPS(0.5, 10, HandshakeRSA1024, DES3, SHA1); err != nil || got != wantDemand {
+					t.Errorf("DemandMIPS = %v, %v", got, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

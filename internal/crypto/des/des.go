@@ -80,20 +80,22 @@ func (c *Cipher) expandKey(key []byte) {
 }
 
 func (c *Cipher) cryptBlock(b uint64, decrypt bool) uint64 {
-	b = bitutil.PermuteBlock(b, initialPermutation, 64)
+	b = permute64(&ipTab, b)
 	left := uint32(b >> 32)
 	right := uint32(b)
-	for round := 0; round < 16; round++ {
-		k := round
-		if decrypt {
-			k = 15 - round
+	if decrypt {
+		for round := 15; round >= 0; round-- {
+			left, right = right, left^feistelFast(right, c.subkeys[round])
 		}
-		left, right = right, left^Feistel(right, c.subkeys[k])
+	} else {
+		for round := 0; round < 16; round++ {
+			left, right = right, left^feistelFast(right, c.subkeys[round])
+		}
 	}
 	// The halves are swapped after the last round (no swap in round 16,
 	// equivalently swap once more here).
 	pre := uint64(right)<<32 | uint64(left)
-	return bitutil.PermuteBlock(pre, finalPermutation, 64)
+	return permute64(&fpTab, pre)
 }
 
 // EncryptWithFault encrypts one block but flips a single bit of the
@@ -104,17 +106,17 @@ func (c *Cipher) cryptBlock(b uint64, decrypt bool) uint64 {
 // internal/attack/dfa.
 func (c *Cipher) EncryptWithFault(dst, src []byte, round int, bit uint) {
 	b := bitutil.Load64(src)
-	b = bitutil.PermuteBlock(b, initialPermutation, 64)
+	b = permute64(&ipTab, b)
 	left := uint32(b >> 32)
 	right := uint32(b)
 	for r := 0; r < 16; r++ {
 		if r == round {
 			right ^= 1 << (bit % 32)
 		}
-		left, right = right, left^Feistel(right, c.subkeys[r])
+		left, right = right, left^feistelFast(right, c.subkeys[r])
 	}
 	pre := uint64(right)<<32 | uint64(left)
-	bitutil.Store64(dst, bitutil.PermuteBlock(pre, finalPermutation, 64))
+	bitutil.Store64(dst, permute64(&fpTab, pre))
 }
 
 // PInverse applies the inverse of the round permutation P — the DFA
@@ -131,16 +133,12 @@ func PInverse(v uint32) uint32 {
 }
 
 // Feistel computes the DES round function f(R, K) for a 32-bit half block
-// and a 48-bit subkey. Exported for the DPA attack model.
+// and a 48-bit subkey. Exported for the DPA attack model; internally it
+// uses the fused SP-box tables, which produce bit-identical output to the
+// reference expand/substitute/permute pipeline (see fast.go and the
+// equivalence test).
 func Feistel(right uint32, subkey uint64) uint32 {
-	expanded := bitutil.PermuteBlock(uint64(right), expansion, 32) // 48 bits
-	x := expanded ^ subkey
-	var out uint32
-	for box := 0; box < 8; box++ {
-		six := uint8(x >> (uint(7-box) * 6) & 0x3f)
-		out = out<<4 | uint32(SBox(box, six))
-	}
-	return uint32(bitutil.PermuteBlock(uint64(out), roundPermutation, 32))
+	return feistelFast(right, subkey)
 }
 
 // SBox performs the lookup of S-box `box` (0-7) on a 6-bit input, where the
@@ -161,7 +159,7 @@ func ExpandHalf(right uint32) uint64 {
 // InitialPermute applies the DES initial permutation to a 64-bit block.
 // Exported for the DPA attack model.
 func InitialPermute(b uint64) uint64 {
-	return bitutil.PermuteBlock(b, initialPermutation, 64)
+	return permute64(&ipTab, b)
 }
 
 // TripleCipher is a 3DES (EDE) cipher instance. With a 24-byte key the

@@ -1,0 +1,72 @@
+package des
+
+import (
+	"math/bits"
+
+	"repro/internal/crypto/bitutil"
+)
+
+// Precomputed fast-path tables. DES's bit-permutation structure is the
+// canonical workload a word-oriented CPU executes poorly (Section 4.2.1);
+// the software answer is the same one hardware takes — fold the
+// permutations into lookup tables once, at start-up:
+//
+//   - spBox fuses each S-box with the round permutation P, so the Feistel
+//     function is eight table lookups ORed together instead of eight
+//     S-box lookups followed by a 32-entry bit scatter;
+//   - ipTab/fpTab evaluate the initial/final permutations one source byte
+//     at a time (8 lookups of 256-entry tables) instead of one source bit
+//     at a time (64 iterations).
+//
+// All tables are derived from the FIPS 46-3 tables in tables.go, so the
+// reference data remains the single source of truth and the slow generic
+// helpers (SBox, PInverse, bitutil.PermuteBlock) stay available to the
+// side-channel attack models, which reason about individual S-boxes.
+
+// spBox[b][v] is P(S_b(v)) placed at S-box b's 4-bit output position.
+var spBox [8][64]uint32
+
+// ipTab and fpTab evaluate the initial and final permutations bytewise:
+// table[i][v] is the permutation of value v placed at source byte i.
+var ipTab, fpTab [8][256]uint64
+
+func init() {
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 64; v++ {
+			out := uint32(SBox(b, uint8(v))) << uint(4*(7-b))
+			spBox[b][v] = uint32(bitutil.PermuteBlock(uint64(out), roundPermutation, 32))
+		}
+	}
+	buildPermTab(&ipTab, initialPermutation)
+	buildPermTab(&fpTab, finalPermutation)
+}
+
+func buildPermTab(tab *[8][256]uint64, perm []uint8) {
+	for i := 0; i < 8; i++ {
+		for v := 0; v < 256; v++ {
+			src := uint64(v) << uint(56-8*i)
+			tab[i][v] = bitutil.PermuteBlock(src, perm, 64)
+		}
+	}
+}
+
+// permute64 applies a bytewise-precomputed 64-bit permutation.
+func permute64(tab *[8][256]uint64, b uint64) uint64 {
+	return tab[0][b>>56] | tab[1][b>>48&0xff] | tab[2][b>>40&0xff] | tab[3][b>>32&0xff] |
+		tab[4][b>>24&0xff] | tab[5][b>>16&0xff] | tab[6][b>>8&0xff] | tab[7][b&0xff]
+}
+
+// feistelFast computes f(R, K) via the fused SP-boxes. The expansion E
+// needs no table at all: S-box b's 6-bit input is the window of R covering
+// 1-based bit positions 4b..4b+5 (wrapping), which a rotation exposes at
+// the top of the word. Identical output to the reference Feistel.
+func feistelFast(r uint32, k uint64) uint32 {
+	return spBox[0][(bits.RotateLeft32(r, 31)>>26^uint32(k>>42))&0x3f] |
+		spBox[1][(bits.RotateLeft32(r, 3)>>26^uint32(k>>36))&0x3f] |
+		spBox[2][(bits.RotateLeft32(r, 7)>>26^uint32(k>>30))&0x3f] |
+		spBox[3][(bits.RotateLeft32(r, 11)>>26^uint32(k>>24))&0x3f] |
+		spBox[4][(bits.RotateLeft32(r, 15)>>26^uint32(k>>18))&0x3f] |
+		spBox[5][(bits.RotateLeft32(r, 19)>>26^uint32(k>>12))&0x3f] |
+		spBox[6][(bits.RotateLeft32(r, 23)>>26^uint32(k>>6))&0x3f] |
+		spBox[7][(bits.RotateLeft32(r, 27)>>26^uint32(k))&0x3f]
+}

@@ -103,7 +103,7 @@ func GenerateKeyPair(g *Group, rng io.Reader, meter *mp.CycleMeter) (*KeyPair, e
 		x := new(big.Int).SetBytes(buf)
 		x.Mod(x, new(big.Int).Sub(g.P, big.NewInt(2)))
 		x.Add(x, big.NewInt(2)) // x in [2, p-1)
-		pub := ctx.ModExp(g.G, x, meter)
+		pub := ctx.ModExpWindow(g.G, x, meter)
 		if validPublic(g, pub) {
 			return &KeyPair{Group: g, Private: x, Public: pub}, nil
 		}
@@ -128,7 +128,7 @@ func (kp *KeyPair) SharedSecret(peerPublic *big.Int, meter *mp.CycleMeter) ([]by
 	if err != nil {
 		return nil, err
 	}
-	s := ctx.ModExp(peerPublic, kp.Private, meter)
+	s := ctx.ModExpWindow(peerPublic, kp.Private, meter)
 	size := (kp.Group.P.BitLen() + 7) / 8
 	out := make([]byte, size)
 	b := s.Bytes()

@@ -121,30 +121,41 @@ var shifts = [64]uint{
 	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
 }
 
+// block runs the compression function with the 64-round loop split into
+// its four 16-round phases, hoisting the round-function switch and the
+// modular message-index arithmetic out of the loop body. Rounds, constants
+// and shifts are unchanged, so digests are bit-identical to the reference
+// loop.
 func (d *Digest) block(p []byte) {
 	var m [16]uint32
 	for i := 0; i < 16; i++ {
 		m[i] = bitutil.Load32LE(p[i*4:])
 	}
 	a, b, c, dd := d.s[0], d.s[1], d.s[2], d.s[3]
-	for i := 0; i < 64; i++ {
-		var f uint32
-		var g int
-		switch {
-		case i < 16:
-			f = (b & c) | (^b & dd)
-			g = i
-		case i < 32:
-			f = (dd & b) | (^dd & c)
-			g = (5*i + 1) % 16
-		case i < 48:
-			f = b ^ c ^ dd
-			g = (3*i + 5) % 16
-		default:
-			f = c ^ (b | ^dd)
-			g = (7 * i) % 16
-		}
+	for i := 0; i < 16; i++ {
+		f := (b & c) | (^b & dd)
+		t := a + f + kTable[i] + m[i]
+		a, dd, c, b = dd, c, b, b+(t<<shifts[i]|t>>(32-shifts[i]))
+	}
+	g := 1
+	for i := 16; i < 32; i++ {
+		f := (dd & b) | (^dd & c)
 		t := a + f + kTable[i] + m[g]
+		g = (g + 5) & 15
+		a, dd, c, b = dd, c, b, b+(t<<shifts[i]|t>>(32-shifts[i]))
+	}
+	g = 5
+	for i := 32; i < 48; i++ {
+		f := b ^ c ^ dd
+		t := a + f + kTable[i] + m[g]
+		g = (g + 3) & 15
+		a, dd, c, b = dd, c, b, b+(t<<shifts[i]|t>>(32-shifts[i]))
+	}
+	g = 0
+	for i := 48; i < 64; i++ {
+		f := c ^ (b | ^dd)
+		t := a + f + kTable[i] + m[g]
+		g = (g + 7) & 15
 		a, dd, c, b = dd, c, b, b+(t<<shifts[i]|t>>(32-shifts[i]))
 	}
 	d.s[0] += a

@@ -84,46 +84,86 @@ func DecryptECB(b Block, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// maxBlockSize bounds the on-stack scratch used by the CBC Into variants;
+// every cipher in this repository has 8- or 16-byte blocks.
+const maxBlockSize = 16
+
 // EncryptCBC encrypts src (block-aligned) in CBC mode with the given IV.
 func EncryptCBC(b Block, iv, src []byte) ([]byte, error) {
-	bs := b.BlockSize()
-	if len(iv) != bs {
-		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
-	}
-	if len(src)%bs != 0 {
-		return nil, ErrNotBlockAligned
-	}
 	dst := make([]byte, len(src))
-	prev := make([]byte, bs)
-	copy(prev, iv)
-	block := make([]byte, bs)
-	for i := 0; i < len(src); i += bs {
-		bitutil.XORBytes(block, src[i:i+bs], prev)
-		b.Encrypt(dst[i:i+bs], block)
-		copy(prev, dst[i:i+bs])
+	if err := EncryptCBCInto(b, iv, src, dst); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// DecryptCBC decrypts src (block-aligned) in CBC mode with the given IV.
-func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
+// EncryptCBCInto is EncryptCBC writing into a caller-provided dst, which
+// must be at least len(src) bytes and may alias src exactly (in-place
+// encryption). It allocates nothing for block sizes up to 16 bytes; the
+// record layers use it with reusable seal buffers.
+func EncryptCBCInto(b Block, iv, src, dst []byte) error {
 	bs := b.BlockSize()
 	if len(iv) != bs {
-		return nil, fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+		return fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
 	}
 	if len(src)%bs != 0 {
-		return nil, ErrNotBlockAligned
+		return ErrNotBlockAligned
 	}
-	dst := make([]byte, len(src))
-	prev := make([]byte, bs)
-	copy(prev, iv)
-	tmp := make([]byte, bs)
+	if len(dst) < len(src) {
+		return fmt.Errorf("modes: dst length %d < src length %d", len(dst), len(src))
+	}
+	var scratch [maxBlockSize]byte
+	tmp := scratch[:]
+	if bs > maxBlockSize {
+		tmp = make([]byte, bs)
+	}
+	tmp = tmp[:bs]
+	prev := iv
 	for i := 0; i < len(src); i += bs {
-		b.Decrypt(tmp, src[i:i+bs])
-		bitutil.XORBytes(dst[i:i+bs], tmp, prev)
-		copy(prev, src[i:i+bs])
+		bitutil.XORBytes(tmp, src[i:i+bs], prev)
+		b.Encrypt(dst[i:i+bs], tmp)
+		prev = dst[i : i+bs]
+	}
+	return nil
+}
+
+// DecryptCBC decrypts src (block-aligned) in CBC mode with the given IV.
+func DecryptCBC(b Block, iv, src []byte) ([]byte, error) {
+	dst := make([]byte, len(src))
+	if err := DecryptCBCInto(b, iv, src, dst); err != nil {
+		return nil, err
 	}
 	return dst, nil
+}
+
+// DecryptCBCInto is DecryptCBC writing into a caller-provided dst, which
+// must be at least len(src) bytes and may alias src exactly (in-place
+// decryption — the ciphertext block is saved before dst is written).
+func DecryptCBCInto(b Block, iv, src, dst []byte) error {
+	bs := b.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(src)%bs != 0 {
+		return ErrNotBlockAligned
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("modes: dst length %d < src length %d", len(dst), len(src))
+	}
+	var scratchT, scratchP, scratchC [maxBlockSize]byte
+	tmp, prev, ct := scratchT[:], scratchP[:], scratchC[:]
+	if bs > maxBlockSize {
+		tmp, prev, ct = make([]byte, bs), make([]byte, bs), make([]byte, bs)
+	}
+	tmp, prev, ct = tmp[:bs], prev[:bs], ct[:bs]
+	copy(prev, iv)
+	for i := 0; i < len(src); i += bs {
+		copy(ct, src[i:i+bs])
+		b.Decrypt(tmp, src[i:i+bs])
+		bitutil.XORBytes(dst[i:i+bs], tmp, prev)
+		prev, ct = ct, prev
+	}
+	return nil
 }
 
 // CTR is a counter-mode stream built over a block cipher. It implements

@@ -139,6 +139,73 @@ func TestCBCWithDES(t *testing.T) {
 	}
 }
 
+func TestCBCIntoMatchesAllocatingAndInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	key := make([]byte, 16)
+	iv := make([]byte, 16)
+	rng.Read(key)
+	rng.Read(iv)
+	c := mustAES(t, key)
+	for _, blocks := range []int{1, 2, 7} {
+		src := make([]byte, 16*blocks)
+		rng.Read(src)
+		want, err := EncryptCBC(c, iv, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, len(src))
+		if err := EncryptCBCInto(c, iv, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("EncryptCBCInto differs from EncryptCBC (%d blocks)", blocks)
+		}
+		// In-place encryption.
+		inplace := append([]byte{}, src...)
+		if err := EncryptCBCInto(c, iv, inplace, inplace); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(inplace, want) {
+			t.Fatalf("in-place EncryptCBCInto differs (%d blocks)", blocks)
+		}
+		// Decrypt back, allocating, Into, and in-place.
+		back, err := DecryptCBC(c, iv, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatal("DecryptCBC did not invert EncryptCBC")
+		}
+		dback := make([]byte, len(want))
+		if err := DecryptCBCInto(c, iv, want, dback); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dback, src) {
+			t.Fatalf("DecryptCBCInto differs (%d blocks)", blocks)
+		}
+		ip := append([]byte{}, want...)
+		if err := DecryptCBCInto(c, iv, ip, ip); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ip, src) {
+			t.Fatalf("in-place DecryptCBCInto differs (%d blocks)", blocks)
+		}
+	}
+}
+
+func TestCBCIntoShortDst(t *testing.T) {
+	key := make([]byte, 16)
+	c := mustAES(t, key)
+	iv := make([]byte, 16)
+	src := make([]byte, 32)
+	if err := EncryptCBCInto(c, iv, src, make([]byte, 16)); err == nil {
+		t.Fatal("EncryptCBCInto accepted short dst")
+	}
+	if err := DecryptCBCInto(c, iv, src, make([]byte, 16)); err == nil {
+		t.Fatal("DecryptCBCInto accepted short dst")
+	}
+}
+
 func TestCBCErrors(t *testing.T) {
 	c := mustAES(t, make([]byte, 16))
 	if _, err := EncryptCBC(c, make([]byte, 8), make([]byte, 16)); err == nil {

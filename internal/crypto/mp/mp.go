@@ -201,6 +201,56 @@ func (c *MontCtx) ModExpConstTime(base, exp *big.Int, meter *CycleMeter) *big.In
 	return c.FromMont(r0)
 }
 
+// windowBits is the fixed window width used by ModExpWindow.
+const windowBits = 4
+
+// ModExpWindow computes base^exp mod N with a 4-bit fixed-window
+// exponentiation over Montgomery arithmetic. Every window performs exactly
+// four squares and one table multiply (multiplying by the Montgomery 1 for
+// a zero window), so the square/multiply sequence depends only on the
+// exponent bit-length, not on its bits. It trades sixteen table entries
+// for roughly one multiply per four bits saved against square-and-multiply
+// on dense exponents; the RSA private path and Diffie-Hellman use it.
+// ModExp remains the deliberately leaky variant the side-channel attacks
+// consume — its operation sequence must not change.
+func (c *MontCtx) ModExpWindow(base, exp *big.Int, meter *CycleMeter) *big.Int {
+	if exp.Sign() == 0 {
+		return new(big.Int).Mod(big.NewInt(1), c.N)
+	}
+	var table [1 << windowBits]*big.Int
+	table[0] = c.One()
+	table[1] = c.ToMont(base)
+	var extra bool
+	for w := 2; w < len(table); w++ {
+		table[w], extra = c.MulMont(table[w-1], table[1])
+		meter.Add(c.costMul)
+		if extra {
+			meter.Add(c.costExtra)
+		}
+	}
+	windows := (exp.BitLen() + windowBits - 1) / windowBits
+	acc := c.One()
+	for wi := windows - 1; wi >= 0; wi-- {
+		for s := 0; s < windowBits; s++ {
+			acc, extra = c.MulMont(acc, acc)
+			meter.Add(c.costSquare)
+			if extra {
+				meter.Add(c.costExtra)
+			}
+		}
+		w := 0
+		for b := windowBits - 1; b >= 0; b-- {
+			w = w<<1 | int(exp.Bit(wi*windowBits+b))
+		}
+		acc, extra = c.MulMont(acc, table[w])
+		meter.Add(c.costMul)
+		if extra {
+			meter.Add(c.costExtra)
+		}
+	}
+	return c.FromMont(acc)
+}
+
 // ExpCycleCosts reports the simulated (square, multiply, extra) costs so
 // the cost model in internal/cost and the attack threshold can share them.
 func (c *MontCtx) ExpCycleCosts() (square, mul, extra uint64) {

@@ -85,6 +85,55 @@ func TestModExpConstTimeMatchesBigExp(t *testing.T) {
 	}
 }
 
+func TestModExpWindowMatchesBigExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		n := randOddModulus(rng, 160)
+		ctx, _ := NewMontCtx(n)
+		base := new(big.Int).Rand(rng, n)
+		exp := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 64))
+		var meter CycleMeter
+		got := ctx.ModExpWindow(base, exp, &meter)
+		want := new(big.Int).Exp(base, exp, n)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("ModExpWindow mismatch: base %v exp %v mod %v", base, exp, n)
+		}
+		if meter.Cycles() == 0 {
+			t.Fatal("ModExpWindow charged no cycles")
+		}
+	}
+	// Edge exponents around window boundaries.
+	n := randOddModulus(rng, 96)
+	ctx, _ := NewMontCtx(n)
+	base := new(big.Int).Rand(rng, n)
+	for _, e := range []int64{1, 2, 15, 16, 17, 255, 256, 65537} {
+		exp := big.NewInt(e)
+		got := ctx.ModExpWindow(base, exp, nil)
+		want := new(big.Int).Exp(base, exp, n)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("ModExpWindow mismatch at exp %d", e)
+		}
+	}
+}
+
+// TestModExpWindowCheaperThanSquareMultiply pins the point of the window
+// method: on a dense exponent it spends measurably fewer simulated cycles
+// than leaky square-and-multiply.
+func TestModExpWindowCheaperThanSquareMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := randOddModulus(rng, 512)
+	ctx, _ := NewMontCtx(n)
+	base := new(big.Int).Rand(rng, n)
+	// All-ones exponent: worst case for square-and-multiply.
+	exp := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 512), big.NewInt(1))
+	var plain, window CycleMeter
+	ctx.ModExp(base, exp, &plain)
+	ctx.ModExpWindow(base, exp, &window)
+	if window.Cycles() >= plain.Cycles() {
+		t.Fatalf("window method not cheaper: %d >= %d cycles", window.Cycles(), plain.Cycles())
+	}
+}
+
 func TestModExpZeroExponent(t *testing.T) {
 	ctx, _ := NewMontCtx(big.NewInt(101))
 	if got := ctx.ModExp(big.NewInt(7), big.NewInt(0), nil); got.Int64() != 1 {
@@ -92,6 +141,9 @@ func TestModExpZeroExponent(t *testing.T) {
 	}
 	if got := ctx.ModExpConstTime(big.NewInt(7), big.NewInt(0), nil); got.Int64() != 1 {
 		t.Fatalf("const-time x^0 = %v, want 1", got)
+	}
+	if got := ctx.ModExpWindow(big.NewInt(7), big.NewInt(0), nil); got.Int64() != 1 {
+		t.Fatalf("window x^0 = %v, want 1", got)
 	}
 }
 

@@ -41,23 +41,34 @@ func NewCipher(key []byte) (*Cipher, error) {
 }
 
 // XORKeyStream XORs src with the cipher's keystream into dst. dst and src
-// may overlap entirely or not at all.
+// may overlap entirely or not at all. The i/j indices and permutation are
+// worked on as locals so the PRGA inner loop stays free of pointer
+// round-trips and bounds checks (uint8 indices cannot exceed the table).
 func (c *Cipher) XORKeyStream(dst, src []byte) {
+	i, j := c.i, c.j
+	s := &c.s
 	for k, v := range src {
-		c.i++
-		c.j += c.s[c.i]
-		c.s[c.i], c.s[c.j] = c.s[c.j], c.s[c.i]
-		dst[k] = v ^ c.s[c.s[c.i]+c.s[c.j]]
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		dst[k] = v ^ s[s[i]+s[j]]
 	}
+	c.i, c.j = i, j
 }
 
-// Keystream writes n keystream bytes into out (encrypting zeros). It is a
-// convenience for the WEP attacks, which reason about raw keystream.
+// Keystream writes len(out) keystream bytes into out (the encryption of
+// zeros) without the zero-fill-then-XOR double pass. It is a convenience
+// for the WEP attacks, which reason about raw keystream.
 func (c *Cipher) Keystream(out []byte) {
-	for i := range out {
-		out[i] = 0
+	i, j := c.i, c.j
+	s := &c.s
+	for k := range out {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		out[k] = s[s[i]+s[j]]
 	}
-	c.XORKeyStream(out, out)
+	c.i, c.j = i, j
 }
 
 // State returns a copy of the current permutation state and the i/j

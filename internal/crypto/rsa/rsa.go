@@ -222,7 +222,10 @@ func (priv *PrivateKey) exp(ctx *mp.MontCtx, base, e *big.Int, opts *Options) *b
 	if opts.ConstantTime {
 		return ctx.ModExpConstTime(base, e, opts.Meter)
 	}
-	return ctx.ModExp(base, e, opts.Meter)
+	// Private exponents are long and dense, where the 4-bit fixed window
+	// beats square-and-multiply. The deliberately leaky ModExp lives on in
+	// internal/crypto/mp for the side-channel experiments.
+	return ctx.ModExpWindow(base, e, opts.Meter)
 }
 
 func (priv *PrivateKey) blindingPair(rng io.Reader) (r, rInv *big.Int, err error) {

@@ -94,6 +94,18 @@ func (d *Digest) checkSum() [Size]byte {
 	return out
 }
 
+// Round constants (FIPS 180-1 section 5).
+const (
+	k0 = 0x5A827999
+	k1 = 0x6ED9EBA1
+	k2 = 0x8F1BBCDC
+	k3 = 0xCA62C1D6
+)
+
+// block runs the compression function with the 80-round loop split into
+// its four 20-round phases, hoisting the per-round round-function switch
+// out of the loop body. The schedule and additions are unchanged, so the
+// digests are bit-identical to the reference loop.
 func (d *Digest) block(p []byte) {
 	var w [80]uint32
 	for i := 0; i < 16; i++ {
@@ -104,23 +116,24 @@ func (d *Digest) block(p []byte) {
 		w[i] = t<<1 | t>>31
 	}
 	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
-	for i := 0; i < 80; i++ {
-		var f, k uint32
-		switch {
-		case i < 20:
-			f = (b & c) | (^b & dd)
-			k = 0x5A827999
-		case i < 40:
-			f = b ^ c ^ dd
-			k = 0x6ED9EBA1
-		case i < 60:
-			f = (b & c) | (b & dd) | (c & dd)
-			k = 0x8F1BBCDC
-		default:
-			f = b ^ c ^ dd
-			k = 0xCA62C1D6
-		}
-		t := (a<<5 | a>>27) + f + e + k + w[i]
+	for i := 0; i < 20; i++ {
+		f := (b & c) | (^b & dd)
+		t := (a<<5 | a>>27) + f + e + k0 + w[i]
+		e, dd, c, b, a = dd, c, (b<<30 | b>>2), a, t
+	}
+	for i := 20; i < 40; i++ {
+		f := b ^ c ^ dd
+		t := (a<<5 | a>>27) + f + e + k1 + w[i]
+		e, dd, c, b, a = dd, c, (b<<30 | b>>2), a, t
+	}
+	for i := 40; i < 60; i++ {
+		f := (b & c) | (b & dd) | (c & dd)
+		t := (a<<5 | a>>27) + f + e + k2 + w[i]
+		e, dd, c, b, a = dd, c, (b<<30 | b>>2), a, t
+	}
+	for i := 60; i < 80; i++ {
+		f := b ^ c ^ dd
+		t := (a<<5 | a>>27) + f + e + k3 + w[i]
 		e, dd, c, b, a = dd, c, (b<<30 | b>>2), a, t
 	}
 	d.h[0] += a

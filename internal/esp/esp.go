@@ -53,6 +53,11 @@ type SA struct {
 	byteLifetime   int
 	packetLifetime uint32
 	bytesSealed    int
+
+	// mac is the keyed HMAC instance, built once and Reset per packet;
+	// icvBuf is its digest scratch.
+	mac    hash.Hash
+	icvBuf []byte
 }
 
 // ErrLifetimeExceeded reports an SA past its negotiated lifetime.
@@ -85,13 +90,18 @@ func NewSA(spi uint32, block modes.Block, newMAC func() hash.Hash, macKey []byte
 	if len(macKey) == 0 {
 		return nil, errors.New("esp: empty MAC key")
 	}
-	return &SA{SPI: spi, block: block, newMAC: newMAC, macKey: append([]byte{}, macKey...), rng: rng}, nil
+	sa := &SA{SPI: spi, block: block, newMAC: newMAC, macKey: append([]byte{}, macKey...), rng: rng}
+	sa.mac = hmac.New(newMAC, sa.macKey)
+	sa.icvBuf = make([]byte, 0, sa.mac.Size())
+	return sa, nil
 }
 
+// icv computes the truncated HMAC into the SA's scratch; the result is
+// valid until the next icv call.
 func (sa *SA) icv(data []byte) []byte {
-	h := hmac.New(sa.newMAC, sa.macKey)
-	h.Write(data)
-	return h.Sum(nil)[:ICVLen]
+	sa.mac.Reset()
+	sa.mac.Write(data)
+	return sa.mac.Sum(sa.icvBuf[:0])[:ICVLen]
 }
 
 // Seal protects a payload into a packet:
@@ -109,21 +119,28 @@ func (sa *SA) Seal(payload []byte) ([]byte, error) {
 	}
 	sa.bytesSealed += len(payload)
 	bs := sa.block.BlockSize()
-	iv := make([]byte, bs)
+	// Build the whole packet in one allocation: the IV is drawn directly
+	// into its slot, the payload is padded in place and encrypted in
+	// place, and the ICV is written from the cached HMAC's scratch.
+	padLen := bs - len(payload)%bs
+	total := 8 + bs + len(payload) + padLen + ICVLen
+	pkt := make([]byte, total)
+	pkt[0], pkt[1], pkt[2], pkt[3] = byte(sa.SPI>>24), byte(sa.SPI>>16), byte(sa.SPI>>8), byte(sa.SPI)
+	pkt[4], pkt[5], pkt[6], pkt[7] = byte(sa.sendSeq>>24), byte(sa.sendSeq>>16), byte(sa.sendSeq>>8), byte(sa.sendSeq)
+	iv := pkt[8 : 8+bs]
 	if _, err := io.ReadFull(sa.rng, iv); err != nil {
 		return nil, fmt.Errorf("esp: drawing IV: %w", err)
 	}
-	ct, err := modes.EncryptCBC(sa.block, iv, modes.Pad(payload, bs))
-	if err != nil {
+	body := pkt[8+bs : total-ICVLen]
+	copy(body, payload)
+	for i := len(payload); i < len(body); i++ {
+		body[i] = byte(padLen)
+	}
+	if err := modes.EncryptCBCInto(sa.block, iv, body, body); err != nil {
 		return nil, err
 	}
-	pkt := make([]byte, 0, 8+bs+len(ct)+ICVLen)
-	pkt = append(pkt,
-		byte(sa.SPI>>24), byte(sa.SPI>>16), byte(sa.SPI>>8), byte(sa.SPI),
-		byte(sa.sendSeq>>24), byte(sa.sendSeq>>16), byte(sa.sendSeq>>8), byte(sa.sendSeq))
-	pkt = append(pkt, iv...)
-	pkt = append(pkt, ct...)
-	return append(pkt, sa.icv(pkt)...), nil
+	copy(pkt[total-ICVLen:], sa.icv(pkt[:total-ICVLen]))
+	return pkt, nil
 }
 
 // Open verifies, replay-checks and decrypts a packet.
@@ -147,8 +164,8 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 	}
 	iv := body[8 : 8+bs]
 	ct := body[8+bs:]
-	pt, err := modes.DecryptCBC(sa.block, iv, ct)
-	if err != nil {
+	pt := make([]byte, len(ct))
+	if err := modes.DecryptCBCInto(sa.block, iv, ct, pt); err != nil {
 		return nil, err
 	}
 	payload, err := modes.Unpad(pt, bs)

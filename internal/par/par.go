@@ -1,0 +1,152 @@
+// Package par is the parallel sweep engine behind the repository's
+// embarrassingly-parallel hot loops: the Figure 3 latency×rate grid, the
+// loss-figure BER sweep, side-channel trace collection and correlation,
+// and the accelerator ablation.
+//
+// Every entry point is a worker pool with deterministic result ordering:
+// item i's result always lands in slot i, so the output is byte-identical
+// whether the sweep runs on one worker or many — a hard requirement, since
+// the calibrated cost model in internal/cost must produce bit-identical
+// figures regardless of the host's core count. Errors are deterministic
+// too: when several items fail, the error of the lowest-indexed item wins,
+// matching what a sequential loop would have returned first.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide default worker count; 0 means
+// "use runtime.GOMAXPROCS(0) at call time".
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used when a
+// sweep is invoked with workers <= 0. Passing n <= 0 restores the
+// GOMAXPROCS default. It is how cmd/gapfig and cmd/lossfig implement their
+// -workers flag without threading a parameter through every API.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers reports the worker count a sweep with workers <= 0 will
+// use: the SetDefaultWorkers override if set, else runtime.GOMAXPROCS(0).
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampWorkers resolves the effective worker count for n items.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// run dispatches n indexed tasks over the pool and returns the error of
+// the lowest-indexed failed task (or ctx.Err if the context was canceled
+// before all tasks completed). Tasks are claimed with an atomic counter,
+// so with one worker they execute strictly in index order, reproducing a
+// sequential loop exactly.
+func run(ctx context.Context, workers, n int, task func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = clampWorkers(workers, n)
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		errIdx   = n
+		failed   atomic.Bool
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					record(n, err) // context error loses to any task error
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := task(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx < n {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ForN runs fn(0..n-1) on the pool. workers <= 0 selects the default.
+func ForN(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return run(ctx, workers, n, fn)
+}
+
+// Map applies fn to every item, returning results in input order. A
+// failed or canceled sweep returns a nil slice along with the error of
+// the lowest-indexed failure.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := run(ctx, workers, len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Grid runs fn over every (row, col) cell of a rows×cols grid in row-major
+// claim order, for the latency×rate surfaces.
+func Grid(ctx context.Context, workers, rows, cols int, fn func(row, col int) error) error {
+	if rows <= 0 || cols <= 0 {
+		return ctx.Err()
+	}
+	return run(ctx, workers, rows*cols, func(i int) error {
+		return fn(i/cols, i%cols)
+	})
+}

@@ -1,0 +1,174 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(context.Background(), workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexedErrorWins(t *testing.T) {
+	items := make([]int, 256)
+	// Both 7 and 31 fail; the sequential semantics demand index 7's error.
+	_, err := Map(context.Background(), 8, items, func(i, _ int) (int, error) {
+		if i == 7 || i == 31 {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return 0, nil
+	})
+	if err == nil || err.Error() != "item 7 failed" {
+		t.Fatalf("err = %v, want item 7's error", err)
+	}
+}
+
+func TestMapSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	_, err := Map(context.Background(), 1, make([]int, 50), func(i, _ int) (int, error) {
+		order = append(order, i)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not sequential", order)
+		}
+	}
+}
+
+func TestForNRunsAll(t *testing.T) {
+	var n atomic.Int64
+	if err := ForN(context.Background(), 4, 333, func(int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 333 {
+		t.Fatalf("ran %d tasks, want 333", n.Load())
+	}
+}
+
+func TestGridCoversEveryCell(t *testing.T) {
+	const rows, cols = 17, 9
+	var hits [rows][cols]atomic.Int64
+	if err := Grid(context.Background(), 6, rows, cols, func(r, c int) error {
+		hits[r][c].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if hits[r][c].Load() != 1 {
+				t.Fatalf("cell (%d,%d) hit %d times", r, c, hits[r][c].Load())
+			}
+		}
+	}
+}
+
+func TestContextCancellationStopsSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForN(ctx, 2, 10000, func(i int) error {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() == 10000 {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+}
+
+func TestTaskErrorBeatsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForN(ctx, 2, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error to win over ctx error", err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	SetDefaultWorkers(0)
+	if got, want := DefaultWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("DefaultWorkers = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetDefaultWorkers(3)
+	if DefaultWorkers() != 3 {
+		t.Fatalf("DefaultWorkers = %d after SetDefaultWorkers(3)", DefaultWorkers())
+	}
+	SetDefaultWorkers(-5)
+	if got, want := DefaultWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("negative SetDefaultWorkers did not restore default: %d != %d", got, want)
+	}
+	SetDefaultWorkers(0)
+}
+
+func TestEmptyInputs(t *testing.T) {
+	out, err := Map(context.Background(), 4, []int(nil), func(i, v int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty Map: out=%v err=%v", out, err)
+	}
+	if err := Grid(context.Background(), 4, 0, 5, func(r, c int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("empty Grid: %v", err)
+	}
+}
+
+func TestMapConcurrentSweeps(t *testing.T) {
+	// Sweeps must be safe to launch from multiple goroutines (a sweep
+	// inside a sweep happens when tests run figures in parallel).
+	t.Parallel()
+	for g := 0; g < 4; g++ {
+		g := g
+		t.Run(fmt.Sprintf("g%d", g), func(t *testing.T) {
+			t.Parallel()
+			items := make([]int, 200)
+			got, err := Map(context.Background(), 3, items, func(i, _ int) (int, error) {
+				return i + g, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != i+g {
+					t.Fatalf("slot %d = %d, want %d", i, got[i], i+g)
+				}
+			}
+		})
+	}
+}

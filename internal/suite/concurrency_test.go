@@ -1,0 +1,59 @@
+package suite
+
+import (
+	"sync"
+	"testing"
+)
+
+// The suite registry is read-only after package init, so any number of
+// goroutines — the parallel sweep engine fans protocol work out across
+// workers — must be able to look suites up concurrently. Run under -race.
+
+func TestRegistryConcurrentReaders(t *testing.T) {
+	t.Parallel()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, s := range All() {
+					got, err := ByID(s.ID)
+					if err != nil || got != s {
+						t.Errorf("ByID(%#04x) = %v, %v", s.ID, got, err)
+						return
+					}
+					if _, err := ByName(s.Name); err != nil {
+						t.Errorf("ByName(%s): %v", s.Name, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNegotiateConcurrent(t *testing.T) {
+	t.Parallel()
+	all := All()
+	offer := make([]uint16, len(all))
+	for i, s := range all {
+		offer[i] = s.ID
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s, err := Negotiate(offer, offer)
+				if err != nil || s == nil {
+					t.Errorf("Negotiate: %v, %v", s, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

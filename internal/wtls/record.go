@@ -3,6 +3,7 @@ package wtls
 import (
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 
 	"repro/internal/crypto/hmac"
@@ -51,6 +52,13 @@ type halfConn struct {
 	cbcIV   []byte       // running CBC residue (SSL 3.0/TLS 1.0 chaining)
 	stream  suite.Stream // stream suites
 	enabled bool
+
+	// Per-record scratch, armed by enable: the keyed HMAC is built once
+	// and Reset between records, and seal/open work happens in reusable
+	// buffers instead of fresh allocations per record.
+	hmac    hash.Hash
+	macBuf  []byte
+	workBuf []byte
 }
 
 // enable arms the half connection with negotiated keys.
@@ -74,14 +82,19 @@ func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
 	default:
 		return errors.New("wtls: suite kind unsupported by record layer")
 	}
+	hc.hmac = hmac.New(s.NewHash, hc.macKey)
+	hc.macBuf = make([]byte, 0, hc.hmac.Size())
 	hc.seq = 0
 	hc.enabled = true
 	return nil
 }
 
-// mac computes the record MAC over seq || type || length || payload.
+// mac computes the record MAC over seq || type || length || payload into
+// the half connection's MAC scratch; the result is valid until the next
+// mac call.
 func (hc *halfConn) mac(recType uint8, payload []byte) []byte {
-	h := hmac.New(hc.suite.NewHash, hc.macKey)
+	h := hc.hmac
+	h.Reset()
 	var hdr [11]byte
 	for i := 0; i < 8; i++ {
 		hdr[i] = byte(hc.seq >> uint(56-8*i))
@@ -91,35 +104,56 @@ func (hc *halfConn) mac(recType uint8, payload []byte) []byte {
 	hdr[10] = byte(len(payload))
 	h.Write(hdr[:])
 	h.Write(payload)
-	return h.Sum(nil)
+	return h.Sum(hc.macBuf[:0])
 }
 
-// protect seals a plaintext fragment.
+// grow resizes the work scratch to n bytes, reallocating only when the
+// record outgrows every previous one.
+func (hc *halfConn) grow(n int) []byte {
+	if cap(hc.workBuf) < n {
+		hc.workBuf = make([]byte, n)
+	}
+	return hc.workBuf[:n]
+}
+
+// protect seals a plaintext fragment. The returned slice aliases the half
+// connection's scratch buffer and is valid until the next protect or
+// unprotect call; callers write it to the wire (or copy it) immediately.
 func (hc *halfConn) protect(recType uint8, payload []byte) ([]byte, error) {
 	if !hc.enabled {
 		return append([]byte{}, payload...), nil
 	}
 	mac := hc.mac(recType, payload)
 	hc.seq++
-	data := append(append([]byte{}, payload...), mac...)
+	n := len(payload) + len(mac)
 	switch hc.suite.Kind {
 	case suite.BlockCipher:
-		padded := modes.Pad(data, hc.suite.BlockSize)
-		ct, err := modes.EncryptCBC(hc.block, hc.cbcIV, padded)
-		if err != nil {
+		bs := hc.suite.BlockSize
+		padLen := bs - n%bs
+		data := hc.grow(n + padLen)
+		copy(data, payload)
+		copy(data[len(payload):], mac)
+		for i := n; i < len(data); i++ {
+			data[i] = byte(padLen)
+		}
+		if err := modes.EncryptCBCInto(hc.block, hc.cbcIV, data, data); err != nil {
 			return nil, err
 		}
-		copy(hc.cbcIV, ct[len(ct)-hc.suite.BlockSize:])
-		return ct, nil
+		copy(hc.cbcIV, data[len(data)-bs:])
+		return data, nil
 	case suite.StreamCipher:
-		out := make([]byte, len(data))
-		hc.stream.XORKeyStream(out, data)
-		return out, nil
+		data := hc.grow(n)
+		copy(data, payload)
+		copy(data[len(payload):], mac)
+		hc.stream.XORKeyStream(data, data)
+		return data, nil
 	}
 	return nil, errors.New("wtls: unreachable suite kind")
 }
 
-// unprotect opens a sealed fragment.
+// unprotect opens a sealed fragment. The returned payload aliases the half
+// connection's scratch buffer and is valid until the next protect or
+// unprotect call; callers append it into their own buffers immediately.
 func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
 	if !hc.enabled {
 		return append([]byte{}, sealed...), nil
@@ -127,19 +161,20 @@ func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
 	var data []byte
 	switch hc.suite.Kind {
 	case suite.BlockCipher:
-		pt, err := modes.DecryptCBC(hc.block, hc.cbcIV, sealed)
-		if err != nil {
+		pt := hc.grow(len(sealed))
+		if err := modes.DecryptCBCInto(hc.block, hc.cbcIV, sealed, pt); err != nil {
 			return nil, err
 		}
 		if len(sealed) >= hc.suite.BlockSize {
 			copy(hc.cbcIV, sealed[len(sealed)-hc.suite.BlockSize:])
 		}
+		var err error
 		data, err = modes.Unpad(pt, hc.suite.BlockSize)
 		if err != nil {
 			return nil, err
 		}
 	case suite.StreamCipher:
-		data = make([]byte, len(sealed))
+		data = hc.grow(len(sealed))
 		hc.stream.XORKeyStream(data, sealed)
 	default:
 		return nil, errors.New("wtls: unreachable suite kind")
