@@ -23,12 +23,19 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
+	"repro/internal/obs"
 	"repro/internal/wep"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single attack: timing, dpa, fault, wep")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "attacklab: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
 
 	attacks := []struct {
 		name string
@@ -47,8 +54,12 @@ func main() {
 			continue
 		}
 		fmt.Printf("=== %s ===\n", a.name)
-		if err := a.run(); err != nil {
+		sp := obs.StartSpan("attack", a.name)
+		err := a.run()
+		sp.End()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "attacklab: %s: %v\n", a.name, err)
+			o.Close()
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -9,13 +9,20 @@ import (
 	"os"
 
 	mobilesec "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	simulate := flag.Bool("simulate", true, "cross-check by draining the battery model")
 	step := flag.Int("step", 100, "simulation batching (1 = exact, slower)")
 	csv := flag.Bool("csv", false, "emit the figure as CSV and exit")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "batteryfig: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
 
 	fig, err := mobilesec.ComputeBatteryFigure()
 	if err != nil {

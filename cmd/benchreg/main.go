@@ -193,22 +193,35 @@ func printSnapshot(s *Snapshot) {
 	}
 }
 
+// regression is one over-threshold (or missing) benchmark for the
+// failure table.
+type regression struct {
+	name     string
+	baseNs   float64
+	curNs    float64
+	delta    float64 // fraction over baseline; NaN-free, missing uses +Inf
+	missing  bool
+	baseDate string
+}
+
 // compare reports each benchmark's delta against the baseline and returns
-// true when any ns/op regression exceeds the threshold.
+// true when any ns/op regression exceeds the threshold. On failure it
+// prints a dedicated regression table (worst first) so CI logs name the
+// offenders without scrolling the full comparison.
 func compare(base, cur *Snapshot, threshold float64) bool {
 	names := make([]string, 0, len(base.Results))
 	for n := range base.Results {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	failed := false
+	var regs []regression
 	fmt.Printf("comparison vs baseline (%s, fail over +%.0f%%):\n", base.Date, threshold*100)
 	for _, n := range names {
 		b := base.Results[n]
 		c, ok := cur.Results[n]
 		if !ok {
 			fmt.Printf("  %-50s MISSING from current run\n", n)
-			failed = true
+			regs = append(regs, regression{name: n, baseNs: b.NsPerOp, missing: true, baseDate: base.Date})
 			continue
 		}
 		if b.NsPerOp <= 0 {
@@ -218,7 +231,7 @@ func compare(base, cur *Snapshot, threshold float64) bool {
 		verdict := "ok"
 		if delta > threshold {
 			verdict = "REGRESSION"
-			failed = true
+			regs = append(regs, regression{name: n, baseNs: b.NsPerOp, curNs: c.NsPerOp, delta: delta, baseDate: base.Date})
 		}
 		fmt.Printf("  %-50s %14.1f -> %14.1f ns/op  %+6.1f%%  %s\n",
 			n, b.NsPerOp, c.NsPerOp, delta*100, verdict)
@@ -232,10 +245,33 @@ func compare(base, cur *Snapshot, threshold float64) bool {
 	if extra > 0 {
 		fmt.Printf("  (%d benchmarks not in baseline; record a new baseline to track them)\n", extra)
 	}
-	if failed {
-		fmt.Println("benchreg: FAIL")
-	} else {
+	if len(regs) == 0 {
 		fmt.Println("benchreg: PASS")
+		return false
 	}
-	return failed
+	printRegressionTable(regs, threshold)
+	return true
+}
+
+// printRegressionTable summarizes only the failing benchmarks, sorted by
+// how far past the threshold each one landed.
+func printRegressionTable(regs []regression, threshold float64) {
+	sort.Slice(regs, func(i, j int) bool {
+		// Missing benchmarks sort first — they are the hardest failures.
+		if regs[i].missing != regs[j].missing {
+			return regs[i].missing
+		}
+		return regs[i].delta > regs[j].delta
+	})
+	fmt.Printf("\nbenchreg: FAIL — %d benchmark(s) regressed past +%.0f%% (baseline %s):\n",
+		len(regs), threshold*100, regs[0].baseDate)
+	fmt.Printf("  %-50s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, r := range regs {
+		if r.missing {
+			fmt.Printf("  %-50s %14.1f %14s %9s\n", r.name, r.baseNs, "MISSING", "-")
+			continue
+		}
+		fmt.Printf("  %-50s %14.1f %14.1f %+8.1f%%\n", r.name, r.baseNs, r.curNs, r.delta*100)
+	}
+	fmt.Println("  refresh with: go run ./cmd/benchreg -out bench/BENCH_baseline.json (after justifying the slowdown)")
 }

@@ -12,6 +12,7 @@ import (
 
 	mobilesec "repro"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -24,8 +25,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the surface as CSV for external plotting and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"sweep worker count; output is identical at any value, 1 runs sequentially")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gapfig: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
 
 	s, err := mobilesec.ComputeGapSurfaceFor(
 		mobilesec.DefaultLatencies(), mobilesec.DefaultRates(), *plane,

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	mobilesec "repro"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -26,8 +27,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the analytic figure as CSV and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"sweep worker count; output is identical at any value, 1 runs sequentially")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "lossfig: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
 
 	var axis []float64
 	if *bers != "" {

@@ -8,10 +8,12 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"math"
 	"math/big"
 	"os"
+	"runtime"
 
 	mobilesec "repro"
 	"repro/internal/attack/dpa"
@@ -24,6 +26,8 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/wep"
 )
 
@@ -36,9 +40,22 @@ type check struct {
 }
 
 func main() {
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"sweep worker count; output is identical at any value, 1 runs sequentially")
+	o := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+	par.SetDefaultWorkers(*workers)
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
+
 	var checks []check
+	sp := obs.StartSpan("repro", "all_checks")
 	add := func(id, claim, expected, measured string, pass bool) {
 		checks = append(checks, check{id, claim, expected, measured, pass})
+		obs.Emit("repro", "check_"+id, int64(len(checks)))
 	}
 
 	// ---- F2: protocol evolution --------------------------------------
@@ -233,6 +250,8 @@ func main() {
 	}
 
 	// ---- report -----------------------------------------------------------
+	sp.SetN(int64(len(checks)))
+	sp.End()
 	fmt.Println("paper reproduction self-check")
 	fmt.Println("=============================")
 	failures := 0
@@ -247,6 +266,7 @@ func main() {
 	}
 	fmt.Printf("\n%d/%d checks passed\n", len(checks)-failures, len(checks))
 	if failures > 0 {
+		o.Close()
 		os.Exit(1)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/sha1"
 	"repro/internal/esp"
+	"repro/internal/obs"
 	"repro/internal/see"
 	"repro/internal/stack"
 	"repro/internal/wep"
@@ -32,7 +33,13 @@ func main() {
 	cpuName := flag.String("cpu", "ARM7-cell-phone", "handset processor from the catalog")
 	accel := flag.String("arch", "sw-only", "architecture: sw-only, isa-ext, crypto-accel, protocol-engine")
 	kbytes := flag.Int("kb", 16, "application kilobytes to transfer")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "secsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
 
 	if *concerns {
 		fmt.Println("Figure 1 — security concerns in a mobile appliance")

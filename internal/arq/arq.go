@@ -25,6 +25,26 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Static metric handles mirroring the per-endpoint Stats as process
+// totals, so a -metrics run attributes wire traffic and repair work to
+// the reliability layer without touching any endpoint. Disarmed by
+// default.
+var (
+	mDataSent    = obs.C("arq.data_sent")
+	mRetransmits = obs.C("arq.retransmits")
+	mAcksSent    = obs.C("arq.acks_sent")
+	mAcksRcvd    = obs.C("arq.acks_rcvd")
+	mCRCErrors   = obs.C("arq.crc_errors")
+	mDuplicates  = obs.C("arq.duplicates")
+	mOutOfOrder  = obs.C("arq.out_of_order")
+	mBytesOut    = obs.C("arq.bytes_out")
+	mBytesIn     = obs.C("arq.bytes_in")
+	mRetxBytes   = obs.C("arq.retransmit_bytes")
+	mLinkDowns   = obs.C("arq.link_downs")
 )
 
 // ErrLinkDown reports that the retransmit budget was exhausted without an
@@ -157,6 +177,7 @@ func (e *Endpoint) recvLoop() {
 		e.mu.Lock()
 		e.stats.BytesIn += n
 		e.mu.Unlock()
+		mBytesIn.Add(int64(n))
 		e.handleFrame(buf[:n])
 	}
 }
@@ -169,10 +190,12 @@ func (e *Endpoint) handleFrame(raw []byte) {
 		e.mu.Lock()
 		e.stats.CRCErrors++
 		e.mu.Unlock()
+		mCRCErrors.Inc()
 		return
 	}
 	switch typ {
 	case frameAck:
+		mAcksRcvd.Inc()
 		e.mu.Lock()
 		e.stats.AcksRcvd++
 		if seqLess(e.nextSeq, seq) {
@@ -202,8 +225,10 @@ func (e *Endpoint) handleFrame(raw []byte) {
 			e.readable.Broadcast()
 		case seqLess(seq, e.rcvNext):
 			e.stats.Duplicates++
+			mDuplicates.Inc()
 		default:
 			e.stats.OutOfOrder++
+			mOutOfOrder.Inc()
 		}
 		ack := e.rcvNext
 		e.mu.Unlock()
@@ -246,6 +271,12 @@ func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
 		e.stats.RetransmitBytes += len(frame)
 	}
 	e.mu.Unlock()
+	mBytesOut.Add(int64(len(frame)))
+	if retransmit {
+		mRetransmits.Inc()
+		mRetxBytes.Add(int64(len(frame)))
+		obs.Emit("arq", "retransmit", int64(len(frame)))
+	}
 	if e.cfg.OnTransmit != nil {
 		e.cfg.OnTransmit(len(frame), retransmit)
 	}
@@ -258,6 +289,7 @@ func (e *Endpoint) sendAck(seq uint16) {
 	e.mu.Lock()
 	e.stats.AcksSent++
 	e.mu.Unlock()
+	mAcksSent.Inc()
 	_ = e.transmit(frame, false) // an unsendable ack surfaces via e.err
 }
 
@@ -309,6 +341,8 @@ func (e *Endpoint) awaitAck(ok func() bool) error {
 			if retries > e.cfg.MaxRetries {
 				err := fmt.Errorf("%w: seq %d unacknowledged after %d attempts",
 					ErrLinkDown, seq, retries)
+				mLinkDowns.Inc()
+				obs.Emit("arq", "link_down", int64(seq))
 				e.fail(err)
 				return err
 			}
@@ -344,6 +378,7 @@ func (e *Endpoint) Write(p []byte) (int, error) {
 		e.stats.DataSent++
 		e.stats.PayloadOut += n
 		e.mu.Unlock()
+		mDataSent.Inc()
 		if err := e.transmit(frame, false); err != nil {
 			return total, err
 		}

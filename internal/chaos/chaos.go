@@ -28,6 +28,20 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Static fault-injection metric handles, process totals across all
+// transports; disarmed by default.
+var (
+	mFrames     = obs.C("chaos.frames")
+	mDropped    = obs.C("chaos.dropped")
+	mCorrupted  = obs.C("chaos.corrupted")
+	mBitsFlip   = obs.C("chaos.bits_flipped")
+	mDuplicated = obs.C("chaos.duplicated")
+	mReordered  = obs.C("chaos.reordered")
+	mBadState   = obs.C("chaos.bad_state_frames")
 )
 
 // phyHeaderLen is the length prefix the PHY framing adds on the wire.
@@ -160,6 +174,7 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	t.stats.Frames++
+	mFrames.Inc()
 
 	// Burst-state transition happens once per offered frame.
 	lossP := t.cfg.Drop
@@ -174,6 +189,7 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 		stateLoss := b.LossGood
 		if t.bad {
 			t.stats.BadState++
+			mBadState.Inc()
 			stateLoss = b.LossBad
 		}
 		// Independent drop and burst loss compose.
@@ -181,6 +197,8 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 	}
 	if t.rng.Float64() < lossP {
 		t.stats.Dropped++
+		mDropped.Inc()
+		obs.Emit("chaos", "drop", int64(len(p)))
 		return len(p), nil
 	}
 
@@ -195,11 +213,15 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 	if flipped > 0 {
 		t.stats.Corrupted++
 		t.stats.BitsFlipped += flipped
+		mCorrupted.Inc()
+		mBitsFlip.Add(int64(flipped))
+		obs.Emit("chaos", "corrupt", int64(flipped))
 	}
 
 	if t.held == nil && t.rng.Float64() < t.cfg.Reorder {
 		// Hold this frame; it goes out after the next one.
 		t.stats.Reordered++
+		mReordered.Inc()
 		t.held = frame
 		return len(p), nil
 	}
@@ -208,6 +230,7 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 	}
 	if t.rng.Float64() < t.cfg.Dup {
 		t.stats.Duplicated++
+		mDuplicated.Inc()
 		if err := t.emit(frame); err != nil {
 			return 0, err
 		}

@@ -6,8 +6,19 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/proc"
+)
+
+// Figure-level metric handles; disarmed by default.
+var (
+	mGapCells      = obs.C("core.gap_cells")
+	mAblationRows  = obs.C("core.ablation_rows")
+	mLossPoints    = obs.C("core.loss_points")
+	mLossSimTx     = obs.C("core.loss_sim_transactions")
+	mLossSimJ      = obs.C("core.loss_sim_drained_uj")
+	mLossLinkDowns = obs.C("core.loss_link_downs")
 )
 
 // GapPoint is one cell of the Figure 3 surface.
@@ -62,12 +73,16 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 	// Every cell is independent, so the grid fans out across the sweep
 	// worker pool; each worker writes its own (latency, rate) slot, which
 	// keeps the surface layout identical to the sequential fill.
+	sp := obs.StartSpan("core", "gap_surface")
+	sp.SetN(int64(len(latencies) * len(rates)))
+	defer sp.End()
 	err := par.Grid(context.Background(), par.DefaultWorkers(), len(latencies), len(rates),
 		func(li, ri int) error {
 			d, err := cost.DemandMIPS(latencies[li], rates[ri], hs, cipher, mac)
 			if err != nil {
 				return err
 			}
+			mGapCells.Inc()
 			s.Points[li][ri] = GapPoint{LatencySec: latencies[li], RateMbps: rates[ri], DemandMIPS: d}
 			return nil
 		})
@@ -170,8 +185,11 @@ type ArchitectureGapRow struct {
 // AcceleratorAblation evaluates the Section 4.2 architecture ladder on a
 // CPU at the Figure 3 anchor workload.
 func AcceleratorAblation(cpu *proc.Processor) ([]ArchitectureGapRow, error) {
+	sp := obs.StartSpan("core", "accelerator_ablation")
+	defer sp.End()
 	return par.Map(context.Background(), par.DefaultWorkers(), proc.Ablation(cpu),
 		func(_ int, arch *proc.Architecture) (ArchitectureGapRow, error) {
+			mAblationRows.Inc()
 			d, err := arch.EffectiveDemandMIPS(0.5, 10, cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
 			if err != nil {
 				return ArchitectureGapRow{}, err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cost"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/radio"
 	"repro/internal/stack"
@@ -106,6 +107,9 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 	txJ := func(b float64) float64 { return b / 1024 * rad.TxMJPerKB / 1e3 }
 	rxJ := func(b float64) float64 { return b / 1024 * rad.RxMJPerKB / 1e3 }
 
+	sp := obs.StartSpan("core", "loss_figure_analytic")
+	sp.SetN(int64(len(bers)))
+	defer sp.End()
 	fig := &LossFigure{
 		BatteryJ: bat.CapacityJ(), DropRate: drop,
 		MTU: mtu, FrameBytes: chunks[0],
@@ -140,6 +144,7 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 		pt.RetxJoules = txJ(retxB)
 		pt.Transactions = bat.TransactionsPossible(pt.PerTxJoules)
 		fig.Points = append(fig.Points, pt)
+		mLossPoints.Inc()
 	}
 	return fig, nil
 }
@@ -174,11 +179,20 @@ func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) 
 		pt            LossPoint
 		tx, rx, retxJ float64
 	}
+	sp := obs.StartSpan("core", "loss_figure_simulated")
+	sp.SetN(int64(len(bers)))
+	defer sp.End()
 	cols, err := par.Map(context.Background(), par.DefaultWorkers(), bers,
 		func(i int, ber float64) (lossCol, error) {
+			psp := obs.StartSpan("core", "loss_point")
 			pt, tx, rx, retx, err := simulateLossPoint(drop, ber, seed+int64(i)*7919, perPoint)
+			psp.End()
 			if err != nil {
 				return lossCol{}, err
+			}
+			mLossPoints.Inc()
+			if pt.LinkDown {
+				mLossLinkDowns.Inc()
 			}
 			return lossCol{pt: *pt, tx: tx, rx: rx, retxJ: retx}, nil
 		})
@@ -310,6 +324,8 @@ func simulateLossPoint(drop, ber float64, seed int64, perPoint int) (*LossPoint,
 		return pt, 0, 0, 0, nil
 	}
 	n := float64(completed)
+	mLossSimTx.Add(int64(completed))
+	mLossSimJ.Add(int64((bat.CapacityJ() - bat.RemainingJ()) * 1e6))
 	tx, rx, retx := bat.Drained("radio-tx")/n, bat.Drained("radio-rx")/n, bat.Drained("radio-retx")/n
 	pt.PerTxJoules = (bat.CapacityJ() - bat.RemainingJ()) / n
 	pt.RetxJoules = retx

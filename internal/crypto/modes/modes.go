@@ -11,6 +11,23 @@ import (
 	"fmt"
 
 	"repro/internal/crypto/bitutil"
+	"repro/internal/obs"
+)
+
+// Static metric handles: one counter pair (ops, bytes) per mode and
+// direction. Disarmed (the default) each update is a flag check.
+var (
+	mECBEncOps   = obs.C("crypto.modes.ecb_encrypt_ops")
+	mECBEncBytes = obs.C("crypto.modes.ecb_encrypt_bytes")
+	mECBDecOps   = obs.C("crypto.modes.ecb_decrypt_ops")
+	mECBDecBytes = obs.C("crypto.modes.ecb_decrypt_bytes")
+	mCBCEncOps   = obs.C("crypto.modes.cbc_encrypt_ops")
+	mCBCEncBytes = obs.C("crypto.modes.cbc_encrypt_bytes")
+	mCBCDecOps   = obs.C("crypto.modes.cbc_decrypt_ops")
+	mCBCDecBytes = obs.C("crypto.modes.cbc_decrypt_bytes")
+	mCTROps      = obs.C("crypto.modes.ctr_ops")
+	mCTRBytes    = obs.C("crypto.modes.ctr_bytes")
+	mPadErrors   = obs.C("crypto.modes.pad_errors")
 )
 
 // Block is the block-cipher interface shared by des, aes and rc2. It is
@@ -43,14 +60,17 @@ func Pad(data []byte, blockSize int) []byte {
 // Unpad strips and validates PKCS#7 padding.
 func Unpad(data []byte, blockSize int) ([]byte, error) {
 	if len(data) == 0 || len(data)%blockSize != 0 {
+		mPadErrors.Inc()
 		return nil, ErrBadPadding
 	}
 	n := int(data[len(data)-1])
 	if n == 0 || n > blockSize || n > len(data) {
+		mPadErrors.Inc()
 		return nil, ErrBadPadding
 	}
 	for _, b := range data[len(data)-n:] {
 		if int(b) != n {
+			mPadErrors.Inc()
 			return nil, ErrBadPadding
 		}
 	}
@@ -68,6 +88,8 @@ func EncryptECB(b Block, src []byte) ([]byte, error) {
 	for i := 0; i < len(src); i += bs {
 		b.Encrypt(dst[i:i+bs], src[i:i+bs])
 	}
+	mECBEncOps.Inc()
+	mECBEncBytes.Add(int64(len(src)))
 	return dst, nil
 }
 
@@ -81,6 +103,8 @@ func DecryptECB(b Block, src []byte) ([]byte, error) {
 	for i := 0; i < len(src); i += bs {
 		b.Decrypt(dst[i:i+bs], src[i:i+bs])
 	}
+	mECBDecOps.Inc()
+	mECBDecBytes.Add(int64(len(src)))
 	return dst, nil
 }
 
@@ -124,6 +148,8 @@ func EncryptCBCInto(b Block, iv, src, dst []byte) error {
 		b.Encrypt(dst[i:i+bs], tmp)
 		prev = dst[i : i+bs]
 	}
+	mCBCEncOps.Inc()
+	mCBCEncBytes.Add(int64(len(src)))
 	return nil
 }
 
@@ -163,6 +189,8 @@ func DecryptCBCInto(b Block, iv, src, dst []byte) error {
 		bitutil.XORBytes(dst[i:i+bs], tmp, prev)
 		prev, ct = ct, prev
 	}
+	mCBCDecOps.Inc()
+	mCBCDecBytes.Add(int64(len(src)))
 	return nil
 }
 
@@ -192,6 +220,8 @@ func NewCTR(b Block, iv []byte) (*CTR, error) {
 
 // XORKeyStream XORs src with the counter-mode keystream into dst.
 func (c *CTR) XORKeyStream(dst, src []byte) {
+	mCTROps.Inc()
+	mCTRBytes.Add(int64(len(src)))
 	for i := range src {
 		if c.used == len(c.stream) {
 			c.b.Encrypt(c.stream, c.counter)

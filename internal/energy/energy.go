@@ -11,7 +11,32 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
+
+// Process-wide drain accounting in integer microjoules (counters are
+// integers; µJ keeps sub-millijoule radio drains visible). Per-category
+// counters are cached in a sync.Map so the steady-state cost of an
+// armed drain is one lock-free load plus two atomic adds.
+var (
+	mDrains    = obs.C("energy.drains")
+	mDrainedUJ = obs.C("energy.drained_uj")
+	mExhausted = obs.C("energy.exhausted")
+
+	catCounters sync.Map // category string -> *obs.Counter
+)
+
+// drainCounter returns the per-category drain counter, creating and
+// caching it on first use.
+func drainCounter(category string) *obs.Counter {
+	if c, ok := catCounters.Load(category); ok {
+		return c.(*obs.Counter)
+	}
+	c := obs.C("energy.drained_uj." + category)
+	actual, _ := catCounters.LoadOrStore(category, c)
+	return actual.(*obs.Counter)
+}
 
 // ErrBatteryExhausted reports a drain exceeding the remaining charge.
 var ErrBatteryExhausted = errors.New("energy: battery exhausted")
@@ -51,10 +76,17 @@ func (b *Battery) Drain(category string, joules float64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.drainedJ+joules > b.capacityJ {
+		mExhausted.Inc()
 		return ErrBatteryExhausted
 	}
 	b.drainedJ += joules
 	b.ledger[category] += joules
+	if obs.Enabled() {
+		uj := int64(joules * 1e6)
+		mDrains.Inc()
+		mDrainedUJ.Add(uj)
+		drainCounter(category).Add(uj)
+	}
 	return nil
 }
 

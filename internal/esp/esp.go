@@ -18,6 +18,17 @@ import (
 
 	"repro/internal/crypto/hmac"
 	"repro/internal/crypto/modes"
+	"repro/internal/obs"
+)
+
+// Static per-packet metric handles; disarmed by default.
+var (
+	mPacketsSealed = obs.C("esp.packets_sealed")
+	mPacketsOpened = obs.C("esp.packets_opened")
+	mSealBytes     = obs.C("esp.seal_bytes")
+	mOpenBytes     = obs.C("esp.open_bytes")
+	mAuthFailures  = obs.C("esp.auth_failures")
+	mReplaysSeen   = obs.C("esp.replays_dropped")
 )
 
 // ICVLen is the truncated HMAC length (96 bits, as in HMAC-SHA1-96).
@@ -140,6 +151,8 @@ func (sa *SA) Seal(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	copy(pkt[total-ICVLen:], sa.icv(pkt[:total-ICVLen]))
+	mPacketsSealed.Inc()
+	mSealBytes.Add(int64(len(payload)))
 	return pkt, nil
 }
 
@@ -157,9 +170,11 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 
 	body, icv := pkt[:len(pkt)-ICVLen], pkt[len(pkt)-ICVLen:]
 	if !hmac.Equal(icv, sa.icv(body)) {
+		mAuthFailures.Inc()
 		return nil, ErrAuth
 	}
 	if err := sa.checkReplay(seq); err != nil {
+		mReplaysSeen.Inc()
 		return nil, err
 	}
 	iv := body[8 : 8+bs]
@@ -173,6 +188,8 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 		return nil, err
 	}
 	sa.markSeen(seq)
+	mPacketsOpened.Inc()
+	mOpenBytes.Add(int64(len(payload)))
 	return payload, nil
 }
 

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI binds the shared observability flags every cmd exposes:
+//
+//	-metrics <file>  arm the default registry; write its JSON snapshot
+//	                 to <file> on Close
+//	-trace <file>    arm the default tracer; write its events to <file>
+//	                 (.csv selects CSV, anything else JSON) on Close
+//	-pprof <addr>    serve pprof/expvar/metrics on addr until exit
+//
+// Usage in a cmd:
+//
+//	o := obs.BindFlags(flag.CommandLine)
+//	flag.Parse()
+//	defer o.Close()
+//	if err := o.Activate(); err != nil { ... }
+//
+// All three are opt-in; with none set, Activate and Close do nothing
+// and the instrumented layers stay on their disarmed fast path.
+type CLI struct {
+	metricsPath string
+	tracePath   string
+	pprofAddr   string
+	shutdown    func() error
+}
+
+// BindFlags registers the observability flags on fs.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
+	fs.StringVar(&c.tracePath, "trace", "", "write the event trace to this file on exit (.csv for CSV)")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof/expvar/metrics HTTP endpoints on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Activate arms the default registry/tracer and starts the pprof server
+// according to the parsed flags. Call after flag.Parse. Output paths are
+// created here so an unwritable path fails the run up front instead of
+// silently losing the snapshot at Close.
+func (c *CLI) Activate() error {
+	if c.metricsPath != "" || c.pprofAddr != "" {
+		if err := touch(c.metricsPath); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		Default.SetEnabled(true)
+	}
+	if c.tracePath != "" {
+		if err := touch(c.tracePath); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		DefaultTracer.SetEnabled(true)
+	}
+	if c.pprofAddr != "" {
+		addr, shutdown, err := Serve(c.pprofAddr, Default, DefaultTracer)
+		if err != nil {
+			return err
+		}
+		c.shutdown = shutdown
+		fmt.Fprintf(os.Stderr, "obs: pprof/expvar/metrics on http://%s/debug/pprof/\n", addr)
+	}
+	return nil
+}
+
+// Close writes the requested metrics/trace files and stops the pprof
+// server. Safe to call when no flags were set, and idempotent enough to
+// both defer and call explicitly before os.Exit.
+func (c *CLI) Close() error {
+	var first error
+	if c.metricsPath != "" {
+		if err := Default.WriteFile(c.metricsPath); err != nil && first == nil {
+			first = err
+		}
+		c.metricsPath = ""
+	}
+	if c.tracePath != "" {
+		if err := DefaultTracer.WriteFile(c.tracePath); err != nil && first == nil {
+			first = err
+		}
+		c.tracePath = ""
+	}
+	if c.shutdown != nil {
+		if err := c.shutdown(); err != nil && first == nil {
+			first = err
+		}
+		c.shutdown = nil
+	}
+	return first
+}
+
+// touch creates (or truncates) path so permission/path errors surface at
+// Activate time. Empty paths are ignored.
+func touch(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("hits").Add(3)
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	tr.Emit("test", "ping", 1)
+
+	addr, shutdown, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Fatalf("/metrics content wrong: %+v", snap)
+	}
+	var tf struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(get("/trace"), &tf); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(tf.Events) != 1 {
+		t.Fatalf("/trace events = %d, want 1", len(tf.Events))
+	}
+	get("/debug/vars")
+	get("/debug/pprof/cmdline")
+}
+
+func TestCLIWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.json")
+	tpath := filepath.Join(dir, "trace.csv")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{"-metrics", mpath, "-trace", tpath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		Default.SetEnabled(false)
+		DefaultTracer.SetEnabled(false)
+	}()
+	if !Enabled() || !TraceEnabled() {
+		t.Fatal("Activate did not arm the default registry/tracer")
+	}
+	C("cli.test").Inc()
+	Emit("cli", "test", 1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("metrics file not JSON: %v", err)
+	}
+	if _, err := os.Stat(tpath); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	// Close again must be harmless.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterDisarmedIgnoresUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disarmed counter accumulated %d", got)
+	}
+	r.SetEnabled(true)
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("armed counter = %d, want 6", got)
+	}
+	r.SetEnabled(false)
+	c.Add(100)
+	if got := c.Value(); got != 6 {
+		t.Fatalf("re-disarmed counter = %d, want 6", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.SetEnabled(true) // must not panic
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1, 2})
+	c.Add(1)
+	c.Inc()
+	g.Set(3.5)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterHandleIsStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name returned different counter handles")
+	}
+	if r.Histogram("h", []int64{1}) != r.Histogram("h", []int64{9, 9, 9}) {
+		t.Fatal("same name returned different histogram handles")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 5+10+11+100+500+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms in snapshot = %d", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	want := []int64{2, 2, 1, 1} // ≤10, ≤100, ≤1000, overflow
+	if len(hv.Counts) != len(want) {
+		t.Fatalf("bucket count slots = %d, want %d", len(hv.Counts), len(want))
+	}
+	for i, w := range want {
+		if hv.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, hv.Counts[i], w)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("sizes", SizeBuckets)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				r.Gauge("last").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("sizes", SizeBuckets).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotDeterministicOrderAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("z").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("m").Set(1)
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a" || snap.Counters[1].Name != "z" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshot JSON not stable across calls")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+}
+
+func TestTracerSpanAndEmit(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Emit("x", "ignored", 1) // disarmed
+	if len(tr.Events()) != 0 {
+		t.Fatal("disarmed tracer recorded events")
+	}
+	tr.SetEnabled(true)
+	sp := tr.Start("crypto", "seal")
+	sp.SetN(1024)
+	sp.End()
+	tr.Emit("arq", "retransmit", 3)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Layer != "crypto" || ev[0].Name != "seal" || ev[0].N != 1024 {
+		t.Fatalf("span event wrong: %+v", ev[0])
+	}
+	if ev[1].Layer != "arq" || ev[1].N != 3 || ev[1].DurUS != 0 {
+		t.Fatalf("point event wrong: %+v", ev[1])
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("sequence numbers wrong: %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	for i := 0; i < 40; i++ {
+		tr.Emit("l", "e", int64(i))
+	}
+	ev := tr.Events()
+	if len(ev) != 16 {
+		t.Fatalf("buffered events = %d, want 16", len(ev))
+	}
+	if tr.Dropped() != 24 {
+		t.Fatalf("dropped = %d, want 24", tr.Dropped())
+	}
+	// Oldest surviving event is #24; order must be preserved.
+	for i, e := range ev {
+		if e.N != int64(24+i) {
+			t.Fatalf("event %d carries N=%d, want %d", i, e.N, 24+i)
+		}
+	}
+}
+
+func TestTracerExports(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	tr.Emit("chaos", "drop", 1)
+	var jbuf, cbuf bytes.Buffer
+	if err := tr.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(tf.Events) != 1 || tf.Events[0].Layer != "chaos" {
+		t.Fatalf("trace JSON content wrong: %+v", tf)
+	}
+	if err := tr.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "seq,start_us") {
+		t.Fatalf("trace CSV wrong:\n%s", cbuf.String())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.SetEnabled(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := tr.Start("l", "s")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Events()) != 800 {
+		t.Fatalf("events = %d, want 800", len(tr.Events()))
+	}
+}
+
+// TestDisabledPathAllocationFree is the hard guarantee behind wiring
+// instruments into the crypto/ARQ hot paths: with the registry and
+// tracer disarmed (the default), updates must not allocate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", DurationBuckets)
+	g := r.Gauge("g")
+	tr := NewTracer(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(1)
+		h.Observe(17)
+		tr.Emit("l", "e", 1)
+		sp := tr.Start("l", "s")
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled instruments allocate %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledCounterAllocationFree keeps the armed path honest too: an
+// armed counter/histogram update is a pure atomic operation.
+func TestEnabledCounterAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	h := r.Histogram("h", DurationBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("enabled counter/histogram allocate %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkDisabledCounter proves the disarmed hot path is free of
+// allocations and cheap enough to leave compiled into every layer.
+func BenchmarkDisabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkDisabledHistogram measures the disarmed Observe path.
+func BenchmarkDisabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkEnabledCounter measures the armed atomic-add path.
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledHistogram measures the armed Observe path.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("bench", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 2_000_000))
+	}
+}

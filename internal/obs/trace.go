@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace record: a point event (Emit) or a completed span
+// (StartSpan/End). Times are offsets from the tracer's start so traces
+// from one run line up without wall-clock noise in the file format.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	StartUS int64  `json:"start_us"`         // µs since tracer start
+	DurUS   int64  `json:"dur_us,omitempty"` // span duration; 0 for point events
+	Layer   string `json:"layer"`            // subsystem: crypto, arq, chaos, core, ...
+	Name    string `json:"name"`             // event or span name
+	N       int64  `json:"n,omitempty"`      // optional magnitude (bytes, count)
+}
+
+// Tracer is a bounded ring buffer of events. When the buffer is full
+// the oldest events are overwritten; Dropped reports how many. A nil
+// tracer is valid and ignores everything, and a disarmed tracer does
+// not even read the clock, so tracing costs nothing unless opted into.
+type Tracer struct {
+	armed  atomic.Bool
+	start  time.Time
+	mu     sync.Mutex
+	buf    []Event
+	next   uint64 // total events ever recorded
+	filled bool
+}
+
+// NewTracer creates a disarmed tracer holding at most capacity events
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// SetEnabled arms or disarms the tracer; arming (re)starts its clock
+// if it has never run.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	if on {
+		t.mu.Lock()
+		if t.start.IsZero() {
+			t.start = time.Now()
+		}
+		t.mu.Unlock()
+	}
+	t.armed.Store(on)
+}
+
+// Enabled reports whether the tracer is armed.
+func (t *Tracer) Enabled() bool { return t != nil && t.armed.Load() }
+
+// record appends one event to the ring.
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	e.Seq = t.next
+	t.next++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[int(e.Seq)%cap(t.buf)] = e
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Emit records a point event when the tracer is armed.
+func (t *Tracer) Emit(layer, name string, n int64) {
+	if !t.Enabled() {
+		return
+	}
+	t.record(Event{StartUS: time.Since(t.start).Microseconds(), Layer: layer, Name: name, N: n})
+}
+
+// Span is an in-flight timed region. The zero Span (from a disarmed
+// tracer) is valid: End is a no-op.
+type Span struct {
+	t     *Tracer
+	t0    time.Time
+	layer string
+	name  string
+	n     int64
+}
+
+// Start begins a span when the tracer is armed; otherwise it returns a
+// zero Span without reading the clock.
+func (t *Tracer) Start(layer, name string) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{t: t, t0: time.Now(), layer: layer, name: name}
+}
+
+// SetN attaches a magnitude (bytes, cells, transactions) to the span.
+func (s *Span) SetN(n int64) {
+	if s.t != nil {
+		s.n = n
+	}
+}
+
+// End completes the span and records it.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.record(Event{
+		StartUS: s.t0.Sub(s.t.start).Microseconds(),
+		DurUS:   now.Sub(s.t0).Microseconds(),
+		Layer:   s.layer, Name: s.name, N: s.n,
+	})
+}
+
+// Events returns the buffered events in record order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]Event{}, t.buf...)
+	}
+	// Ring wrapped: oldest entry is at next % cap.
+	out := make([]Event, 0, cap(t.buf))
+	head := int(t.next) % cap(t.buf)
+	out = append(out, t.buf[head:]...)
+	out = append(out, t.buf[:head]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return 0
+	}
+	return t.next - uint64(cap(t.buf))
+}
+
+// traceFile is the JSON trace file layout.
+type traceFile struct {
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON exports the buffered events as one JSON document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	tf := traceFile{Dropped: t.Dropped(), Events: t.Events()}
+	if tf.Events == nil {
+		tf.Events = []Event{}
+	}
+	blob, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// WriteCSV exports the buffered events as CSV with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "seq,start_us,dur_us,layer,name,n\n"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%s,%d\n",
+			e.Seq, e.StartUS, e.DurUS, e.Layer, e.Name, e.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the trace to path: CSV when the path ends in .csv,
+// JSON otherwise.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	var werr error
+	if len(path) > 4 && path[len(path)-4:] == ".csv" {
+		werr = t.WriteCSV(f)
+	} else {
+		werr = t.WriteJSON(f)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// DefaultTracer is the process-wide tracer, disarmed until a cmd opts
+// in with -trace.
+var DefaultTracer = NewTracer(16384)
+
+// Emit records a point event on the default tracer.
+func Emit(layer, name string, n int64) { DefaultTracer.Emit(layer, name, n) }
+
+// StartSpan begins a span on the default tracer.
+func StartSpan(layer, name string) Span { return DefaultTracer.Start(layer, name) }
+
+// TraceEnabled reports whether the default tracer is armed.
+func TraceEnabled() bool { return DefaultTracer.Enabled() }

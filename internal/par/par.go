@@ -17,6 +17,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Sweep-cell metric handles. Per-task timing reads the clock only when
+// the registry is armed, so a disarmed sweep pays one flag check per
+// task claim.
+var (
+	mSweeps   = obs.C("par.sweeps")
+	mTasks    = obs.C("par.tasks")
+	mTaskNS   = obs.H("par.task_ns", obs.DurationBuckets)
+	mWorkers  = obs.G("par.last_sweep_workers")
+	mSweepLen = obs.G("par.last_sweep_tasks")
 )
 
 // defaultWorkers holds the process-wide default worker count; 0 means
@@ -67,6 +81,10 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 		return ctx.Err()
 	}
 	workers = clampWorkers(workers, n)
+	mSweeps.Inc()
+	mWorkers.Set(float64(workers))
+	mSweepLen.Set(float64(n))
+	measure := obs.Enabled()
 	var (
 		next     atomic.Int64
 		errMu    sync.Mutex
@@ -99,7 +117,16 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := task(i); err != nil {
+				var t0 time.Time
+				if measure {
+					t0 = time.Now()
+				}
+				err := task(i)
+				if measure {
+					mTasks.Inc()
+					mTaskNS.Observe(time.Since(t0).Nanoseconds())
+				}
+				if err != nil {
 					record(i, err)
 					return
 				}

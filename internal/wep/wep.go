@@ -16,6 +16,17 @@ import (
 	"hash/crc32"
 
 	"repro/internal/crypto/rc4"
+	"repro/internal/obs"
+)
+
+// Static per-frame metric handles; disarmed by default.
+var (
+	mFramesSealed = obs.C("wep.frames_sealed")
+	mFramesOpened = obs.C("wep.frames_opened")
+	mSealBytes    = obs.C("wep.seal_bytes")
+	mOpenBytes    = obs.C("wep.open_bytes")
+	mICVFailures  = obs.C("wep.icv_failures")
+	mWeakIVs      = obs.C("wep.weak_ivs_sealed")
 )
 
 // IV length in bytes (24 bits, as in 802.11).
@@ -96,6 +107,11 @@ func SealWithIV(secret []byte, iv [IVLen]byte, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	mFramesSealed.Inc()
+	mSealBytes.Add(int64(len(payload)))
+	if IsWeakIV(iv, len(secret)) {
+		mWeakIVs.Inc()
+	}
 	icv := crc32.ChecksumIEEE(payload)
 	clear := make([]byte, len(payload)+ICVLen)
 	copy(clear, payload)
@@ -133,8 +149,11 @@ func Open(secret, frame []byte) ([]byte, error) {
 	icvBytes := clear[len(clear)-ICVLen:]
 	got := uint32(icvBytes[0]) | uint32(icvBytes[1])<<8 | uint32(icvBytes[2])<<16 | uint32(icvBytes[3])<<24
 	if got != crc32.ChecksumIEEE(payload) {
+		mICVFailures.Inc()
 		return nil, ErrBadICV
 	}
+	mFramesOpened.Inc()
+	mOpenBytes.Add(int64(len(payload)))
 	return append([]byte{}, payload...), nil
 }
 

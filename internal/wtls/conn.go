@@ -12,7 +12,15 @@ import (
 	"repro/internal/crypto/prng"
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
+	"repro/internal/obs"
 	"repro/internal/suite"
+)
+
+// Handshake-level metric handles (record-level ones live in record.go).
+var (
+	mHandshakesFull    = obs.C("wtls.handshakes_full")
+	mHandshakesResumed = obs.C("wtls.handshakes_resumed")
+	mHandshakeFailures = obs.C("wtls.handshake_failures")
 )
 
 // Config configures a Conn endpoint.
@@ -275,13 +283,20 @@ func (c *Conn) Handshake() error {
 	if c.cfg == nil || c.cfg.Rand == nil {
 		return errors.New("wtls: config with Rand required")
 	}
+	role := "server"
+	if c.isClient {
+		role = "client"
+	}
+	sp := obs.StartSpan("wtls", "handshake_"+role)
 	var err error
 	if c.isClient {
 		err = c.clientHandshake()
 	} else {
 		err = c.serverHandshake()
 	}
+	sp.End()
 	if err != nil {
+		mHandshakeFailures.Inc()
 		return err
 	}
 	c.handshakeDone = true
@@ -289,8 +304,10 @@ func (c *Conn) Handshake() error {
 	if c.resumed {
 		kind = cost.HandshakeResume
 		c.metrics.ResumedHandshakes++
+		mHandshakesResumed.Inc()
 	} else {
 		c.metrics.FullHandshakes++
+		mHandshakesFull.Inc()
 	}
 	instr, err := cost.HandshakeInstr(kind)
 	if err != nil {

@@ -8,7 +8,19 @@ import (
 
 	"repro/internal/crypto/hmac"
 	"repro/internal/crypto/modes"
+	"repro/internal/obs"
 	"repro/internal/suite"
+)
+
+// Static per-record metric handles; no-ops until a cmd arms the
+// default registry with -metrics.
+var (
+	mRecordsSealed = obs.C("wtls.records_sealed")
+	mRecordsOpened = obs.C("wtls.records_opened")
+	mSealBytes     = obs.C("wtls.seal_bytes")
+	mOpenBytes     = obs.C("wtls.open_bytes")
+	mMACFailures   = obs.C("wtls.mac_failures")
+	mRecordSizes   = obs.H("wtls.record_bytes", obs.SizeBuckets)
 )
 
 // Record content types.
@@ -123,6 +135,9 @@ func (hc *halfConn) protect(recType uint8, payload []byte) ([]byte, error) {
 	if !hc.enabled {
 		return append([]byte{}, payload...), nil
 	}
+	mRecordsSealed.Inc()
+	mSealBytes.Add(int64(len(payload)))
+	mRecordSizes.Observe(int64(len(payload)))
 	mac := hc.mac(recType, payload)
 	hc.seq++
 	n := len(payload) + len(mac)
@@ -187,8 +202,11 @@ func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
 	want := hc.mac(recType, payload)
 	hc.seq++
 	if !hmac.Equal(gotMAC, want) {
+		mMACFailures.Inc()
 		return nil, errors.New("wtls: bad record MAC")
 	}
+	mRecordsOpened.Inc()
+	mOpenBytes.Add(int64(len(payload)))
 	return payload, nil
 }
 
