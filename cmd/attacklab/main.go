@@ -24,6 +24,7 @@ import (
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/wep"
 )
 
@@ -84,14 +85,27 @@ func timingDemo() error {
 		bases[i] = x.Mod(x, n)
 	}
 	fmt.Printf("victim: leaky square-and-multiply modexp, 32-bit secret exponent, %d timed queries\n", len(bases))
-	res, err := timing.RecoverExponent(ctx, timing.LeakyOracle(ctx, secret, nil), 32, bases)
+	// An oracle observation *is* the victim's simulated cycle count, so
+	// profiling the attack workload is a matter of accumulating what the
+	// attacker measures (metered frames are no-ops unless -profile).
+	meter := func(o timing.Oracle, frame string) timing.Oracle {
+		sp := prof.Frame(frame)
+		return func(base *big.Int) float64 {
+			t := o(base)
+			sp.AddCycles(int64(t))
+			return t
+		}
+	}
+	leaky := meter(timing.LeakyOracle(ctx, secret, nil), "attacklab.timing/mp.ModExp")
+	res, err := timing.RecoverExponent(ctx, leaky, 32, bases)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  recovered %#x (truth %#x) — match=%v, confidence %.2f\n",
 		res.Recovered, secret, res.Recovered.Cmp(secret) == 0, res.Confidence)
 
-	resCT, err := timing.RecoverExponent(ctx, timing.ConstTimeOracle(ctx, secret, nil), 32, bases)
+	ct := meter(timing.ConstTimeOracle(ctx, secret, nil), "attacklab.timing/mp.ModExpConstTime")
+	resCT, err := timing.RecoverExponent(ctx, ct, 32, bases)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs/history"
 )
 
 // Result is one benchmark's recorded costs.
@@ -32,14 +34,19 @@ type Result struct {
 	Iterations  int64   `json:"iterations"`
 }
 
-// Snapshot is the JSON file layout.
+// Snapshot is the JSON file layout. Commit and Fingerprint tie the
+// numbers back to the code and configuration that produced them, so a
+// snapshot (or the bench/history.jsonl entry derived from it) is
+// traceable long after the working tree moves on.
 type Snapshot struct {
-	Date      string            `json:"date"`
-	GoVersion string            `json:"go_version"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	BenchTime string            `json:"benchtime"`
-	Results   map[string]Result `json:"results"`
+	Date        string            `json:"date"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	BenchTime   string            `json:"benchtime"`
+	Commit      string            `json:"commit"`
+	Fingerprint string            `json:"config_fingerprint"`
+	Results     map[string]Result `json:"results"`
 }
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline snapshot to compare against (empty: record only)")
 	threshold := flag.Float64("threshold", 0.30, "fail when ns/op grows more than this fraction over baseline")
 	count := flag.Int("count", 1, "go test -count, for noise averaging")
+	historyPath := flag.String("history", "bench/history.jsonl", "append a run record to this JSONL history ('' to skip)")
 	flag.Parse()
 
 	snap, raw, err := run(*benchRe, *benchtime, *pkg, *count)
@@ -80,6 +88,12 @@ func main() {
 		}
 		fmt.Printf("recorded %d benchmarks -> %s\n", len(snap.Results), path)
 	}
+	if *historyPath != "" {
+		if err := history.Append(*historyPath, historyRecord(snap)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: history: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *baseline == "" {
 		printSnapshot(snap)
@@ -105,12 +119,14 @@ func run(benchRe, benchtime, pkg string, count int) (*Snapshot, string, error) {
 	cmd.Stderr = &buf
 	runErr := cmd.Run()
 	snap := &Snapshot{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		BenchTime: benchtime,
-		Results:   map[string]Result{},
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		BenchTime:   benchtime,
+		Commit:      history.Commit(),
+		Fingerprint: history.Fingerprint(benchRe, benchtime, pkg, strconv.Itoa(count), runtime.GOOS, runtime.GOARCH),
+		Results:     map[string]Result{},
 	}
 	sc := bufio.NewScanner(&buf)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -166,6 +182,24 @@ func parseLine(line string) (string, Result, bool) {
 		}
 	}
 	return name, r, seen
+}
+
+// historyRecord condenses a snapshot for the cross-run record book:
+// per-benchmark ns/op as headline figures, keyed without the
+// "Benchmark" prefix.
+func historyRecord(s *Snapshot) history.Record {
+	head := make(map[string]float64, len(s.Results))
+	for name, r := range s.Results {
+		head[strings.TrimPrefix(name, "Benchmark")+"_ns_per_op"] = r.NsPerOp
+	}
+	return history.Record{
+		Date:        s.Date,
+		Source:      "benchreg",
+		Commit:      s.Commit,
+		GoVersion:   s.GoVersion,
+		Fingerprint: s.Fingerprint,
+		Headline:    head,
+	}
 }
 
 func load(path string) (*Snapshot, error) {

@@ -10,11 +10,18 @@ import (
 
 	mobilesec "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "list every revision with its note")
+	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	defer o.Close()
+	if err := o.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "protoevo: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Print(mobilesec.RenderTimeline())
 	fmt.Println()

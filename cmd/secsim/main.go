@@ -227,8 +227,13 @@ func buildStack(transport io.ReadWriter, txSeed, rxSeed string) (*mobilesec.Stac
 		if err != nil {
 			return nil, err
 		}
-		return esp.NewSA(0x5afe, block, func() hash.Hash { return sha1.New() },
+		sa, err := esp.NewSA(0x5afe, block, func() hash.Hash { return sha1.New() },
 			[]byte("esp-integrity-key"), prng.NewDRBG([]byte(seed)))
+		if err != nil {
+			return nil, err
+		}
+		sa.SetCostModel(cost.DES3, cost.SHA1)
+		return sa, nil
 	}
 	out, err := mkSA(txSeed)
 	if err != nil {

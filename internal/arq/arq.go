@@ -26,7 +26,18 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
+)
+
+// Static energy/cycle profile frames: the link layer's per-frame CRC
+// work, with repair traffic (go-back-N resends) attributed separately
+// from first transmissions so retransmission overhead shows up as its
+// own flame.
+var (
+	pTxCRC   = prof.Frame("arq.Transmit/crc32")
+	pRetxCRC = prof.Frame("arq.Retransmit/crc32")
 )
 
 // Static metric handles mirroring the per-endpoint Stats as process
@@ -276,6 +287,14 @@ func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
 		mRetransmits.Inc()
 		mRetxBytes.Add(int64(len(frame)))
 		obs.Emit("arq", "retransmit", int64(len(frame)))
+	}
+	if prof.Enabled() {
+		instr := int64(cost.InstrPerByte(cost.CRC32) * float64(len(frame)))
+		if retransmit {
+			pRetxCRC.AddCycles(instr)
+		} else {
+			pTxCRC.AddCycles(instr)
+		}
 	}
 	if e.cfg.OnTransmit != nil {
 		e.cfg.OnTransmit(len(frame), retransmit)

@@ -6,7 +6,18 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/energy"
+	"repro/internal/obs/prof"
 	"repro/internal/radio"
+)
+
+// Static energy profile frames for the Figure 4 workload. The radio
+// stays one combined tx+rx leaf and the RSA overhead is attributed
+// straight to the modular-exponentiation kernel that causes it, so the
+// flame graph answers the paper's question — where do the microjoules
+// go — in two frames.
+var (
+	pBatRadio  = prof.Frame("core.BatteryFigure/radio.txrx")
+	pBatModexp = prof.Frame("core.BatteryFigure/mp.ModExpWindow")
 )
 
 // BatteryMode is one bar of Figure 4.
@@ -45,6 +56,12 @@ func ComputeBatteryFigure() (*BatteryFigure, error) {
 		{"secure (RSA)", securePerTx},
 	} {
 		tx := b.TransactionsPossible(m.perTx)
+		if prof.Enabled() {
+			pBatRadio.AddEnergyJ(plainPerTx * float64(tx))
+			if extra := m.perTx - plainPerTx; extra > 0 {
+				pBatModexp.AddEnergyJ(extra * float64(tx))
+			}
+		}
 		fig.Modes = append(fig.Modes, BatteryMode{
 			Name:            m.name,
 			PerTxJoules:     m.perTx,
@@ -73,12 +90,19 @@ func SimulateBatteryFigure(step int) (*BatteryFigure, error) {
 		r := radio.NewSensorRadio()
 		count := 0
 		for {
-			perTx := r.TxEnergyJ(1024) + r.RxEnergyJ(1024)
+			radioPerTx := r.TxEnergyJ(1024) + r.RxEnergyJ(1024)
+			perTx := radioPerTx
 			if secure {
 				perTx += cost.RSASecureModeExtraMilliJoulePerKB / 1e3
 			}
 			if err := b.Drain("transactions", perTx*float64(step)); err != nil {
 				break
+			}
+			if prof.Enabled() {
+				pBatRadio.AddEnergyJ(radioPerTx * float64(step))
+				if secure {
+					pBatModexp.AddEnergyJ(cost.RSASecureModeExtraMilliJoulePerKB / 1e3 * float64(step))
+				}
 			}
 			count += step
 		}

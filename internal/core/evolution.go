@@ -9,6 +9,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
+)
+
+// Figure 2 metric handles; disarmed by default.
+var (
+	mRevisionRates   = obs.C("core.revision_rates")
+	mTimelineRenders = obs.C("core.timeline_renders")
 )
 
 // Revision is one protocol standard revision on the Figure 2 timeline.
@@ -77,6 +85,7 @@ func RevisionRate(family string) (float64, error) {
 	if span <= 0 {
 		return 0, fmt.Errorf("core: family %q has zero time span", family)
 	}
+	mRevisionRates.Inc()
 	return float64(len(revs)) / span, nil
 }
 
@@ -84,6 +93,7 @@ func RevisionRate(family string) (float64, error) {
 // column per year, '*' at each revision.
 func RenderTimeline() string {
 	const startYear, endYear = 1994, 2003
+	mTimelineRenders.Inc()
 	var sb strings.Builder
 	sb.WriteString("Figure 2 — evolution of security protocols (reconstruction)\n")
 	sb.WriteString(fmt.Sprintf("%-8s ", ""))

@@ -7,9 +7,14 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/proc"
 )
+
+// pGapRoot anchors the Figure 3 cycle attribution; per-workload child
+// frames are entered once per surface evaluation.
+var pGapRoot = prof.Frame("core.GapSurface")
 
 // Figure-level metric handles; disarmed by default.
 var (
@@ -70,6 +75,19 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 	for i := range s.Points {
 		s.Points[i] = make([]GapPoint, len(rates))
 	}
+	// Cycle attribution per cell: one connection set-up plus one second
+	// of bulk traffic at the cell's rate, split by kernel. Entered once
+	// per surface so the grid workers only do atomic adds — the sums are
+	// order-independent, keeping exports byte-identical at any worker
+	// count.
+	var pHS, pBulkCipher, pBulkMAC prof.Span
+	var hsInstr float64
+	if prof.Enabled() {
+		pHS = pGapRoot.Enter("handshake/" + cost.HandshakeKernel(hs))
+		pBulkCipher = pGapRoot.Enter("bulk/" + string(cipher))
+		pBulkMAC = pGapRoot.Enter("bulk/" + string(mac))
+		hsInstr, _ = cost.HandshakeInstr(hs)
+	}
 	// Every cell is independent, so the grid fans out across the sweep
 	// worker pool; each worker writes its own (latency, rate) slot, which
 	// keeps the surface layout identical to the sequential fill.
@@ -83,6 +101,12 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 				return err
 			}
 			mGapCells.Inc()
+			if pHS.Active() {
+				bytesPerSec := rates[ri] * 1e6 / 8
+				pHS.AddCycles(int64(hsInstr))
+				pBulkCipher.AddCycles(int64(bytesPerSec * cost.InstrPerByte(cipher)))
+				pBulkMAC.AddCycles(int64(bytesPerSec * cost.InstrPerByte(mac)))
+			}
 			s.Points[li][ri] = GapPoint{LatencySec: latencies[li], RateMbps: rates[ri], DemandMIPS: d}
 			return nil
 		})

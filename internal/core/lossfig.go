@@ -16,6 +16,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/energy"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/radio"
 	"repro/internal/stack"
@@ -31,6 +32,18 @@ import (
 // lossTxBytes is the payload each direction of a transaction carries,
 // matching Figure 4's 1 KB transactions.
 const lossTxBytes = 1024
+
+// Static energy profile frames for the loss figure: first-copy radio
+// traffic split from the ARQ repair traffic, so the retransmission
+// energy tax is its own flame. The simulated path reuses the same
+// parent frame via Battery.AttachProfile, whose ledger categories
+// match these leaf names.
+var (
+	pLossRoot = prof.Frame("core.LossFigure")
+	pLossTx   = prof.Frame("core.LossFigure/radio-tx")
+	pLossRx   = prof.Frame("core.LossFigure/radio-rx")
+	pLossRetx = prof.Frame("core.LossFigure/radio-retx")
+)
 
 // lossMaxRetries bounds the ARQ retransmit budget in both the analytic
 // model and the simulation; past it the link is declared down.
@@ -140,6 +153,11 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 			fig.Points = append(fig.Points, pt)
 			continue
 		}
+		if prof.Enabled() {
+			pLossTx.AddEnergyJ(txJ(txB - retxB))
+			pLossRx.AddEnergyJ(rxJ(rxB))
+			pLossRetx.AddEnergyJ(txJ(retxB))
+		}
 		pt.PerTxJoules = txJ(txB) + rxJ(rxB)
 		pt.RetxJoules = txJ(retxB)
 		pt.Transactions = bat.TransactionsPossible(pt.PerTxJoules)
@@ -222,6 +240,9 @@ func simulateLossPoint(drop, ber float64, seed int64, perPoint int) (*LossPoint,
 	bat, err := energy.NewBattery(cost.SensorBatteryJoules)
 	if err != nil {
 		return nil, 0, 0, 0, err
+	}
+	if prof.Enabled() {
+		bat.AttachProfile(pLossRoot)
 	}
 	// The hooks fire from both the writer and the ack path of the
 	// receive loop; the radio model is not locked, so guard it here.

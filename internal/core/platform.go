@@ -6,10 +6,21 @@ import (
 
 	"repro/internal/crypto/prng"
 	"repro/internal/energy"
+	"repro/internal/obs/prof"
 	"repro/internal/proc"
 	"repro/internal/radio"
 	"repro/internal/see"
 	"repro/internal/wtls"
+)
+
+// Static energy/cycle profile frames for session accounting: the CPU's
+// handshake vs record work (cycles + energy) and the radio's two
+// directions (energy).
+var (
+	pSessHS     = prof.Frame("core.AccountSession/cpu/handshake")
+	pSessRecord = prof.Frame("core.AccountSession/cpu/record")
+	pSessTx     = prof.Frame("core.AccountSession/radio/tx")
+	pSessRx     = prof.Frame("core.AccountSession/radio/rx")
 )
 
 // Platform is the modular base architecture of the paper's Figure 6: an
@@ -144,6 +155,20 @@ func (p *Platform) AccountSession(m wtls.Metrics, wireOut, wireIn int) (*Session
 	p.Radio.Transmit(wireOut)
 	p.Radio.Receive(wireIn)
 	rep.BatteryLeftJ = p.Battery.RemainingJ()
+	if prof.Enabled() {
+		// Split the CPU bill between handshake and record work in
+		// proportion to their effective instruction shares.
+		hsInstr := m.HandshakeInstr / gains(p.Arch.PublicKeyGain) / gains(p.Arch.ProtocolGain)
+		recInstr := instr - hsInstr
+		pSessHS.AddCycles(int64(hsInstr))
+		pSessRecord.AddCycles(int64(recInstr))
+		if instr > 0 {
+			pSessHS.AddEnergyJ(rep.CPUEnergyJ * hsInstr / instr)
+			pSessRecord.AddEnergyJ(rep.CPUEnergyJ * recInstr / instr)
+		}
+		pSessTx.AddEnergyJ(p.Radio.TxEnergyJ(wireOut))
+		pSessRx.AddEnergyJ(p.Radio.RxEnergyJ(wireIn))
+	}
 	return rep, nil
 }
 

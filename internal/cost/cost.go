@@ -28,14 +28,15 @@ type Algorithm string
 
 // Algorithms with modeled costs.
 const (
-	DES3 Algorithm = "3des"
-	DES  Algorithm = "des"
-	AES  Algorithm = "aes128"
-	RC4  Algorithm = "rc4"
-	RC2  Algorithm = "rc2"
-	SHA1 Algorithm = "sha1"
-	MD5  Algorithm = "md5"
-	None Algorithm = "null"
+	DES3  Algorithm = "3des"
+	DES   Algorithm = "des"
+	AES   Algorithm = "aes128"
+	RC4   Algorithm = "rc4"
+	RC2   Algorithm = "rc2"
+	SHA1  Algorithm = "sha1"
+	MD5   Algorithm = "md5"
+	CRC32 Algorithm = "crc32"
+	None  Algorithm = "null"
 )
 
 // instrPerByte gives the per-byte instruction cost of each algorithm on
@@ -47,14 +48,15 @@ const (
 // AES in software is ≈4.5x cheaper than 3DES; RC4 and MD5 are the
 // lightweight pair; RC2's mixing rounds land between DES and 3DES.
 var instrPerByte = map[Algorithm]float64{
-	DES3: 450.04,
-	DES:  150.0,
-	AES:  100.0,
-	RC4:  12.0,
-	RC2:  180.0,
-	SHA1: 71.0,
-	MD5:  25.0,
-	None: 0.0,
+	DES3:  450.04,
+	DES:   150.0,
+	AES:   100.0,
+	RC4:   12.0,
+	RC2:   180.0,
+	SHA1:  71.0,
+	MD5:   25.0,
+	CRC32: 6.0, // table-driven CRC: one lookup + xor + shift per byte
+	None:  0.0,
 }
 
 // InstrPerByte returns the per-byte instruction cost of the algorithm.
@@ -103,6 +105,17 @@ func HandshakeInstr(k HandshakeKind) (float64, error) {
 		return 0, fmt.Errorf("cost: unknown handshake kind %q", k)
 	}
 	return v, nil
+}
+
+// HandshakeKernel names the crypto kernel that dominates a handshake
+// kind, as an energy/cycle profile frame name: the windowed modular
+// exponentiation for the public-key kinds, the PRF for an abbreviated
+// resume.
+func HandshakeKernel(k HandshakeKind) string {
+	if k == HandshakeResume {
+		return "prf.sha1"
+	}
+	return "mp.ModExpWindow"
 }
 
 // DemandMIPS returns the sustained MIPS a security protocol demands when

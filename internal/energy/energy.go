@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // Process-wide drain accounting in integer microjoules (counters are
@@ -47,6 +48,11 @@ type Battery struct {
 	capacityJ float64
 	drainedJ  float64
 	ledger    map[string]float64
+
+	// Energy/cycle profile attribution, opt-in via AttachProfile: each
+	// ledger category becomes a child frame of the attached span.
+	profSpan prof.Span
+	profCats map[string]prof.Span
 }
 
 // NewBattery creates a battery with the given capacity in joules.
@@ -87,7 +93,27 @@ func (b *Battery) Drain(category string, joules float64) error {
 		mDrainedUJ.Add(uj)
 		drainCounter(category).Add(uj)
 	}
+	if b.profCats != nil && b.profSpan.Active() {
+		sp, ok := b.profCats[category]
+		if !ok {
+			sp = b.profSpan.Enter(category)
+			b.profCats[category] = sp
+		}
+		sp.AddEnergyUJ(int64(joules * 1e6))
+	}
 	return nil
+}
+
+// AttachProfile routes this battery's drains into the energy/cycle
+// profiler: every ledger category becomes a child frame of sp, weighted
+// by drained microjoules. Callers that want finer attribution than the
+// ledger's categories should instead profile at their own drain sites
+// and leave the battery unattached.
+func (b *Battery) AttachProfile(sp prof.Span) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.profSpan = sp
+	b.profCats = make(map[string]prof.Span)
 }
 
 // Drained returns the joules drained under a category.

@@ -16,9 +16,11 @@ import (
 	"hash"
 	"io"
 
+	"repro/internal/cost"
 	"repro/internal/crypto/hmac"
 	"repro/internal/crypto/modes"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // Static per-packet metric handles; disarmed by default.
@@ -69,6 +71,24 @@ type SA struct {
 	// icvBuf is its digest scratch.
 	mac    hash.Hash
 	icvBuf []byte
+
+	// Cached energy/cycle profile frames and per-byte costs, set by
+	// SetCostModel; zero Spans (no-ops) until then.
+	pCipher     prof.Span
+	pMAC        prof.Span
+	cipherCost  float64
+	macInstCost float64
+}
+
+// SetCostModel names the SA's cipher and MAC in the calibrated cost
+// tables, enabling per-packet cycle attribution in the energy/cycle
+// profiler (frames esp.Protect/<cipher>/cbc and esp.Protect/<mac>).
+// Without it the SA still works but contributes no profile frames.
+func (sa *SA) SetCostModel(cipher, mac cost.Algorithm) {
+	sa.pCipher = prof.Frame("esp.Protect/" + string(cipher) + "/cbc")
+	sa.pMAC = prof.Frame("esp.Protect/" + string(mac))
+	sa.cipherCost = cost.InstrPerByte(cipher)
+	sa.macInstCost = cost.InstrPerByte(mac)
 }
 
 // ErrLifetimeExceeded reports an SA past its negotiated lifetime.
@@ -153,6 +173,10 @@ func (sa *SA) Seal(payload []byte) ([]byte, error) {
 	copy(pkt[total-ICVLen:], sa.icv(pkt[:total-ICVLen]))
 	mPacketsSealed.Inc()
 	mSealBytes.Add(int64(len(payload)))
+	if prof.Enabled() {
+		sa.pCipher.AddCycles(int64(sa.cipherCost * float64(len(body))))
+		sa.pMAC.AddCycles(int64(sa.macInstCost * float64(total-ICVLen)))
+	}
 	return pkt, nil
 }
 
@@ -190,6 +214,10 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 	sa.markSeen(seq)
 	mPacketsOpened.Inc()
 	mOpenBytes.Add(int64(len(payload)))
+	if prof.Enabled() {
+		sa.pCipher.AddCycles(int64(sa.cipherCost * float64(len(ct))))
+		sa.pMAC.AddCycles(int64(sa.macInstCost * float64(len(body))))
+	}
 	return payload, nil
 }
 

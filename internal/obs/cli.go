@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/obs/prof"
 )
 
 // CLI binds the shared observability flags every cmd exposes:
@@ -12,6 +14,8 @@ import (
 //	                 to <file> on Close
 //	-trace <file>    arm the default tracer; write its events to <file>
 //	                 (.csv selects CSV, anything else JSON) on Close
+//	-profile <file>  arm the default energy/cycle profiler; write its
+//	                 JSON call tree to <file> on Close
 //	-pprof <addr>    serve pprof/expvar/metrics on addr until exit
 //
 // Usage in a cmd:
@@ -21,11 +25,12 @@ import (
 //	defer o.Close()
 //	if err := o.Activate(); err != nil { ... }
 //
-// All three are opt-in; with none set, Activate and Close do nothing
+// All four are opt-in; with none set, Activate and Close do nothing
 // and the instrumented layers stay on their disarmed fast path.
 type CLI struct {
 	metricsPath string
 	tracePath   string
+	profilePath string
 	pprofAddr   string
 	shutdown    func() error
 }
@@ -35,6 +40,7 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
 	fs.StringVar(&c.tracePath, "trace", "", "write the event trace to this file on exit (.csv for CSV)")
+	fs.StringVar(&c.profilePath, "profile", "", "write the energy/cycle profile (JSON call tree) to this file on exit")
 	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof/expvar/metrics HTTP endpoints on this address (e.g. localhost:6060)")
 	return c
 }
@@ -56,6 +62,12 @@ func (c *CLI) Activate() error {
 		}
 		DefaultTracer.SetEnabled(true)
 	}
+	if c.profilePath != "" {
+		if err := touch(c.profilePath); err != nil {
+			return fmt.Errorf("-profile: %w", err)
+		}
+		prof.Default.SetEnabled(true)
+	}
 	if c.pprofAddr != "" {
 		addr, shutdown, err := Serve(c.pprofAddr, Default, DefaultTracer)
 		if err != nil {
@@ -73,7 +85,12 @@ func (c *CLI) Activate() error {
 func (c *CLI) Close() error {
 	var first error
 	if c.metricsPath != "" {
-		if err := Default.WriteFile(c.metricsPath); err != nil && first == nil {
+		s := Default.Snapshot()
+		if DefaultTracer.Enabled() {
+			st := DefaultTracer.Stats()
+			s.Trace = &st
+		}
+		if err := s.WriteFile(c.metricsPath); err != nil && first == nil {
 			first = err
 		}
 		c.metricsPath = ""
@@ -83,6 +100,12 @@ func (c *CLI) Close() error {
 			first = err
 		}
 		c.tracePath = ""
+	}
+	if c.profilePath != "" {
+		if err := prof.Default.WriteFile(c.profilePath); err != nil && first == nil {
+			first = err
+		}
+		c.profilePath = ""
 	}
 	if c.shutdown != nil {
 		if err := c.shutdown(); err != nil && first == nil {

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/prof"
+)
+
+// disarmDefaults restores the process-wide observability state the CLI
+// mutates, so tests stay independent.
+func disarmDefaults(t *testing.T) {
+	t.Cleanup(func() {
+		Default.SetEnabled(false)
+		DefaultTracer.SetEnabled(false)
+		prof.Default.SetEnabled(false)
+		prof.Default.Reset()
+	})
+}
+
+func TestBindFlagsRegistersAll(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	BindFlags(fs)
+	for _, name := range []string{"metrics", "trace", "profile", "pprof"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestActivateNoFlagsIsInert(t *testing.T) {
+	disarmDefaults(t)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if Default.Enabled() || DefaultTracer.Enabled() || prof.Default.Enabled() {
+		t.Fatal("Activate armed a default with no flags set")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivateUnwritablePathFails(t *testing.T) {
+	disarmDefaults(t)
+	for _, flagName := range []string{"metrics", "trace", "profile"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		c := BindFlags(fs)
+		bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+		if err := fs.Parse([]string{"-" + flagName, bad}); err != nil {
+			t.Fatal(err)
+		}
+		err := c.Activate()
+		if err == nil {
+			t.Fatalf("-%s with unwritable path: Activate succeeded, want error", flagName)
+		}
+		if !strings.Contains(err.Error(), "-"+flagName) {
+			t.Errorf("-%s error %q does not name the flag", flagName, err)
+		}
+	}
+}
+
+func TestSnapshotsWrittenOnClose(t *testing.T) {
+	disarmDefaults(t)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	profilePath := filepath.Join(dir, "profile.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{
+		"-metrics", metricsPath, "-trace", tracePath, "-profile", profilePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Default.Enabled() || !DefaultTracer.Enabled() || !prof.Default.Enabled() {
+		t.Fatal("Activate left a requested default disarmed")
+	}
+
+	// Generate some signal on each surface.
+	C("cli_test.counter").Inc()
+	DefaultTracer.Emit("cli_test", "event", 1)
+	prof.Frame("cli_test/frame").AddCycles(42)
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap Snapshot
+	mustUnmarshal(t, metricsPath, &snap)
+	found := false
+	for _, cv := range snap.Counters {
+		if cv.Name == "cli_test.counter" && cv.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics snapshot missing cli_test.counter: %+v", snap.Counters)
+	}
+	if snap.Trace == nil {
+		t.Error("metrics snapshot missing trace ring stats while tracing enabled")
+	} else if snap.Trace.Recorded == 0 {
+		t.Errorf("trace stats recorded = 0: %+v", snap.Trace)
+	}
+
+	var traced struct {
+		Events []Event `json:"events"`
+	}
+	mustUnmarshal(t, tracePath, &traced)
+	if len(traced.Events) == 0 {
+		t.Error("trace file has no events")
+	}
+
+	profile, err := prof.Load(profilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, f := range profile.Frames {
+		if f.Path == "cli_test/frame" && f.Cycles >= 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("profile missing cli_test/frame: %+v", profile.Frames)
+	}
+
+	// Close is idempotent: a second call must not rewrite files.
+	if err := os.Remove(metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(metricsPath); !os.IsNotExist(err) {
+		t.Error("second Close rewrote the metrics snapshot")
+	}
+}
+
+func mustUnmarshal(t *testing.T, path string, v any) {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		t.Fatalf("%s: %v\n%s", path, err, blob)
+	}
+}

@@ -242,6 +242,15 @@ type HistogramValue struct {
 	Counts []int64 `json:"counts"`
 }
 
+// TraceStats is the trace ring's health summary, embedded in metric
+// snapshots when tracing is active so a truncated trace is visible in
+// the same artifact as the metrics it accompanies.
+type TraceStats struct {
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+	Capacity int    `json:"capacity"`
+}
+
 // Snapshot is a deterministic point-in-time export of a registry:
 // every metric class sorted by name.
 type Snapshot struct {
@@ -249,6 +258,31 @@ type Snapshot struct {
 	Counters   []CounterValue   `json:"counters"`
 	Gauges     []GaugeValue     `json:"gauges"`
 	Histograms []HistogramValue `json:"histograms"`
+	Trace      *TraceStats      `json:"trace,omitempty"`
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// WriteFile writes the snapshot JSON to path.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Snapshot exports the registry's current state with all metric names
@@ -286,26 +320,14 @@ func (r *Registry) Snapshot() Snapshot {
 
 // WriteJSON serializes the snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	blob, err := json.MarshalIndent(r.Snapshot(), "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	_, err = w.Write(blob)
-	return err
+	s := r.Snapshot()
+	return s.WriteJSON(w)
 }
 
 // WriteFile writes the snapshot JSON to path.
 func (r *Registry) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("obs: %w", err)
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	s := r.Snapshot()
+	return s.WriteFile(path)
 }
 
 // Default is the process-wide registry the instrumented layers bind

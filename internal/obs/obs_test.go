@@ -314,3 +314,26 @@ func BenchmarkEnabledHistogram(b *testing.B) {
 		h.Observe(int64(i % 2_000_000))
 	}
 }
+
+func TestTracerStatsAndTruncationComment(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	for i := 0; i < 28; i++ {
+		tr.Emit("l", "e", int64(i))
+	}
+	st := tr.Stats()
+	if st.Recorded != 28 || st.Dropped != 12 || st.Capacity != 16 {
+		t.Fatalf("Stats = %+v, want {28 12 16}", st)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# truncated: 12 events dropped") {
+		t.Fatalf("truncated CSV lacks warning comment:\n%s", buf.String())
+	}
+	var nilTr *Tracer
+	if st := nilTr.Stats(); st != (TraceStats{}) {
+		t.Fatalf("nil tracer Stats = %+v", st)
+	}
+}

@@ -1,0 +1,186 @@
+// Package prof is the simulated-time hierarchical profiler of the
+// observability layer: a call-tree of named frames where every frame
+// accumulates two weights — modeled processor work in instructions
+// ("cycles", from the internal/cost and internal/proc models) and
+// modeled energy in integer microjoules (from internal/energy). It
+// answers the attribution question behind the paper's headline figures:
+// which protocol layer and which crypto kernel consumed the MIPS and
+// the microjoules of a run.
+//
+// Unlike the span tracer (internal/obs), nothing here reads a clock:
+// weights are the *model's* outputs, so a profile is exactly as
+// deterministic as the simulation that produced it. Two runs of the
+// same seeded workload — at any sweep worker count — export
+// byte-identical profiles, because weights are integers accumulated
+// with order-independent atomic adds and exports sort by path.
+//
+// Design constraints mirror internal/obs:
+//
+//  1. Disabled must be almost free. Instrumented layers hold Span
+//     handles (package-level or cached per endpoint) created via
+//     Frame/Enter; when the profiler is disarmed, Add and the Enabled
+//     gate are one atomic load and a branch — no allocation, no map
+//     lookup, no float math.
+//  2. Enabled must be deterministic. Weights are int64; additions
+//     commute; snapshots sort frames by path.
+//  3. No dependencies beyond the standard library (internal/obs itself
+//     imports this package for CLI wiring, so prof must not import
+//     obs).
+package prof
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// node is one frame of the call tree. Weights are the frame's *self*
+// values; a frame's cumulative weight is self plus all descendants,
+// computed at export time.
+type node struct {
+	name     string
+	mu       sync.Mutex // guards children
+	children map[string]*node
+	cycles   atomic.Int64
+	energyUJ atomic.Int64
+}
+
+func (n *node) child(name string) *node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.children[name]
+	if !ok {
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		c = &node{name: name}
+		n.children[name] = c
+	}
+	return c
+}
+
+// Profiler owns one call tree. The zero value is not usable; create
+// with New. A nil *Profiler is valid everywhere and hands out zero
+// Spans whose methods are no-ops.
+type Profiler struct {
+	armed atomic.Bool
+	root  node
+}
+
+// New creates an empty, disarmed profiler.
+func New() *Profiler { return &Profiler{} }
+
+// SetEnabled arms or disarms the profiler. Spans of a disarmed
+// profiler ignore Add calls; the tree and snapshots still work.
+func (p *Profiler) SetEnabled(on bool) {
+	if p != nil {
+		p.armed.Store(on)
+	}
+}
+
+// Enabled reports whether the profiler is armed — the fast gate
+// instrumented layers use before computing weights.
+func (p *Profiler) Enabled() bool { return p != nil && p.armed.Load() }
+
+// Frame materializes the frame at path (components separated by '/')
+// and returns its Span. Intended for static handles and per-endpoint
+// caches: the tree walk happens once, and the returned Span stays
+// valid (and cheap to Add through) whether or not the profiler is
+// armed now or later. A nil profiler returns the zero Span.
+func (p *Profiler) Frame(path string) Span {
+	if p == nil {
+		return Span{}
+	}
+	return Span{armed: &p.armed, n: &p.root}.Enter(path)
+}
+
+// Reset discards all frames and weights, keeping the armed state.
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	p.root.mu.Lock()
+	p.root.children = nil
+	p.root.mu.Unlock()
+	p.root.cycles.Store(0)
+	p.root.energyUJ.Store(0)
+}
+
+// Span is a handle on one frame of a profiler's call tree. The zero
+// Span is valid and ignores everything, so callers can thread "no
+// profiling" without branching. Spans are plain values: copy freely,
+// share across goroutines.
+type Span struct {
+	armed *atomic.Bool
+	n     *node
+}
+
+// Enter materializes (or finds) the descendant frame at the given
+// '/'-separated relative path and returns its Span. Unlike Add, Enter
+// works on a disarmed profiler — it is the setup half of the lazy
+// arming pattern and belongs outside hot loops.
+func (s Span) Enter(path string) Span {
+	if s.n == nil {
+		return Span{}
+	}
+	n := s.n
+	for path != "" {
+		var part string
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			part, path = path[:i], path[i+1:]
+		} else {
+			part, path = path, ""
+		}
+		if part == "" {
+			continue
+		}
+		n = n.child(part)
+	}
+	return Span{armed: s.armed, n: n}
+}
+
+// Add accumulates cycles (modeled instructions) and energy (µJ) into
+// the frame when its profiler is armed. Safe on the zero Span;
+// allocation-free in both states.
+func (s Span) Add(cycles, energyUJ int64) {
+	if s.n == nil || !s.armed.Load() {
+		return
+	}
+	if cycles != 0 {
+		s.n.cycles.Add(cycles)
+	}
+	if energyUJ != 0 {
+		s.n.energyUJ.Add(energyUJ)
+	}
+}
+
+// AddCycles accumulates modeled instructions only.
+func (s Span) AddCycles(cycles int64) { s.Add(cycles, 0) }
+
+// AddEnergyUJ accumulates modeled microjoules only.
+func (s Span) AddEnergyUJ(uj int64) { s.Add(0, uj) }
+
+// AddEnergyJ converts joules to integer microjoules and accumulates
+// them. The conversion happens only when armed.
+func (s Span) AddEnergyJ(joules float64) {
+	if s.n == nil || !s.armed.Load() {
+		return
+	}
+	s.n.energyUJ.Add(int64(joules * 1e6))
+}
+
+// Active reports whether Add calls on this span would record — the
+// per-span equivalent of Profiler.Enabled.
+func (s Span) Active() bool { return s.n != nil && s.armed.Load() }
+
+// Default is the process-wide profiler the instrumented layers bind
+// their static frames to at package init. It stays disarmed until a
+// cmd opts in with -profile (see internal/obs CLI), so hot paths pay
+// only the armed-flag check by default.
+var Default = New()
+
+// Enabled reports whether the default profiler is armed.
+func Enabled() bool { return Default.Enabled() }
+
+// Frame returns a Span on the default profiler (for static handles).
+func Frame(path string) Span { return Default.Frame(path) }

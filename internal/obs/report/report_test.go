@@ -1,0 +1,135 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/history"
+	"repro/internal/obs/prof"
+)
+
+func fullData() Data {
+	return Data{
+		Title: "fig4 run",
+		Profile: &prof.Profile{Frames: []prof.FrameValue{
+			{Path: "core.BatteryFigure/mp.ModExpWindow", EnergyUJ: 14_000_000_000, Cycles: 47_000_000},
+			{Path: "core.BatteryFigure/radio.txrx", EnergyUJ: 38_000_000_000},
+		}},
+		Metrics: &obs.Snapshot{
+			Counters:   []obs.CounterValue{{Name: "wtls.handshakes", Value: 3}},
+			Gauges:     []obs.GaugeValue{{Name: "core.battery_j", Value: 26_000}},
+			Histograms: []obs.HistogramValue{{Name: "arq.frame_bytes", Count: 2, Sum: 3000}},
+			Trace:      &obs.TraceStats{Recorded: 10, Dropped: 4, Capacity: 8},
+		},
+		TraceEvents: []obs.Event{
+			{Seq: 1, Layer: "wtls", Name: "handshake", DurUS: 120},
+			{Seq: 2, Layer: "wtls", Name: "record", DurUS: 30},
+			{Seq: 3, Layer: "arq", Name: "retx"},
+		},
+		TraceDropped: 4,
+		History: []history.Record{
+			{Date: "2026-08-01", Source: "msreport", Commit: "aaa", GoVersion: "go1.22",
+				Headline:      map[string]float64{"profile_energy_uj": 50e9},
+				LayerEnergyUJ: map[string]int64{"core.BatteryFigure": 50_000_000_000}},
+			{Date: "2026-08-06", Source: "msreport", Commit: "bbb", GoVersion: "go1.22",
+				Headline:      map[string]float64{"profile_energy_uj": 52e9},
+				LayerEnergyUJ: map[string]int64{"core.BatteryFigure": 52_000_000_000}},
+		},
+	}
+}
+
+func TestHTMLAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HTML(&buf, fullData()); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"fig4 run",
+		"Energy / cycle profile",
+		"mp.ModExpWindow",
+		"radio.txrx",
+		"<svg class=\"flame\"",
+		"Metric snapshot",
+		"wtls.handshakes",
+		"trace ring: 10 recorded, 4 dropped (capacity 8)",
+		"Trace summary",
+		"Trace is truncated",
+		"Cross-run history",
+		"profile_energy_uj",
+		"<polyline",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Self-contained: no external fetches, no scripts.
+	for _, banned := range []string{"<script", "http://", "https://", "<link", "src="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("report is not self-contained: found %q", banned)
+		}
+	}
+}
+
+func TestHTMLDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := HTML(&a, fullData()); err != nil {
+		t.Fatal(err)
+	}
+	if err := HTML(&b, fullData()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same data differ")
+	}
+}
+
+func TestHTMLEmptySectionsOmitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HTML(&buf, Data{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, absent := range []string{"Energy / cycle profile", "Metric snapshot", "Trace summary", "Cross-run history"} {
+		if strings.Contains(doc, absent) {
+			t.Errorf("empty report contains section %q", absent)
+		}
+	}
+	if !strings.Contains(doc, "mobilesec run report") {
+		t.Error("default title missing")
+	}
+}
+
+func TestHTMLEscapesTitles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HTML(&buf, Data{Title: "<b>evil</b>"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<b>evil</b>") {
+		t.Fatal("title not HTML-escaped")
+	}
+}
+
+func TestFlameWidthsProportional(t *testing.T) {
+	p := &prof.Profile{Frames: []prof.FrameValue{
+		{Path: "root/a", EnergyUJ: 75},
+		{Path: "root/b", EnergyUJ: 25},
+	}}
+	svg := flameSVG(buildTree(p), prof.Energy)
+	// a occupies 75% of 1180 = 885, b 25% = 295.
+	if !strings.Contains(svg, "width=\"885.00\"") || !strings.Contains(svg, "width=\"295.00\"") {
+		t.Fatalf("flame widths not proportional:\n%s", svg)
+	}
+}
+
+func TestSparklineSinglePoint(t *testing.T) {
+	if s := sparkline([]float64{1}); !strings.Contains(s, "<circle") || strings.Contains(s, "<polyline") {
+		t.Fatalf("single-point sparkline = %q", s)
+	}
+	if s := sparkline(nil); s != "" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+}

@@ -27,12 +27,13 @@ type Event struct {
 // tracer is valid and ignores everything, and a disarmed tracer does
 // not even read the clock, so tracing costs nothing unless opted into.
 type Tracer struct {
-	armed  atomic.Bool
-	start  time.Time
-	mu     sync.Mutex
-	buf    []Event
-	next   uint64 // total events ever recorded
-	filled bool
+	armed   atomic.Bool
+	start   time.Time
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events ever recorded
+	dropped uint64 // events overwritten by ring wraparound
+	filled  bool
 }
 
 // NewTracer creates a disarmed tracer holding at most capacity events
@@ -72,6 +73,7 @@ func (t *Tracer) record(e Event) {
 		t.buf = append(t.buf, e)
 	} else {
 		t.buf[int(e.Seq)%cap(t.buf)] = e
+		t.dropped++
 		t.filled = true
 	}
 	t.mu.Unlock()
@@ -143,16 +145,27 @@ func (t *Tracer) Events() []Event {
 }
 
 // Dropped reports how many events were overwritten by ring wraparound.
+// The counter is explicit (incremented on every overwrite), so a
+// truncated trace is detectable even after the ring has been drained.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if !t.filled {
-		return 0
+	return t.dropped
+}
+
+// Stats summarizes the ring's health for metric snapshots: how many
+// events were ever recorded, how many the ring overwrote, and its
+// capacity.
+func (t *Tracer) Stats() TraceStats {
+	if t == nil {
+		return TraceStats{}
 	}
-	return t.next - uint64(cap(t.buf))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceStats{Recorded: t.next, Dropped: t.dropped, Capacity: cap(t.buf)}
 }
 
 // traceFile is the JSON trace file layout.
@@ -176,8 +189,15 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// WriteCSV exports the buffered events as CSV with a header row.
+// WriteCSV exports the buffered events as CSV with a header row. A
+// truncated trace (ring wraparound) is flagged with a leading comment
+// line so downstream tooling never mistakes it for a complete run.
 func (t *Tracer) WriteCSV(w io.Writer) error {
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "# truncated: %d events dropped to ring wraparound\n", d); err != nil {
+			return err
+		}
+	}
 	if _, err := io.WriteString(w, "seq,start_us,dur_us,layer,name,n\n"); err != nil {
 		return err
 	}

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"repro/internal/cost"
 	"repro/internal/crypto/rc4"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // Static per-frame metric handles; disarmed by default.
@@ -27,6 +29,15 @@ var (
 	mOpenBytes    = obs.C("wep.open_bytes")
 	mICVFailures  = obs.C("wep.icv_failures")
 	mWeakIVs      = obs.C("wep.weak_ivs_sealed")
+)
+
+// Static energy/cycle profile frames, weighted with the calibrated
+// per-byte kernel costs; disarmed by default.
+var (
+	pSealRC4 = prof.Frame("wep.Seal/rc4")
+	pSealCRC = prof.Frame("wep.Seal/crc32")
+	pOpenRC4 = prof.Frame("wep.Open/rc4")
+	pOpenCRC = prof.Frame("wep.Open/crc32")
 )
 
 // IV length in bytes (24 bits, as in 802.11).
@@ -112,6 +123,10 @@ func SealWithIV(secret []byte, iv [IVLen]byte, payload []byte) ([]byte, error) {
 	if IsWeakIV(iv, len(secret)) {
 		mWeakIVs.Inc()
 	}
+	if prof.Enabled() {
+		pSealRC4.AddCycles(int64(cost.InstrPerByte(cost.RC4) * float64(len(payload)+ICVLen)))
+		pSealCRC.AddCycles(int64(cost.InstrPerByte(cost.CRC32) * float64(len(payload))))
+	}
 	icv := crc32.ChecksumIEEE(payload)
 	clear := make([]byte, len(payload)+ICVLen)
 	copy(clear, payload)
@@ -146,6 +161,10 @@ func Open(secret, frame []byte) ([]byte, error) {
 	clear := make([]byte, len(frame)-IVLen-1)
 	c.XORKeyStream(clear, frame[IVLen+1:])
 	payload := clear[:len(clear)-ICVLen]
+	if prof.Enabled() {
+		pOpenRC4.AddCycles(int64(cost.InstrPerByte(cost.RC4) * float64(len(clear))))
+		pOpenCRC.AddCycles(int64(cost.InstrPerByte(cost.CRC32) * float64(len(payload))))
+	}
 	icvBytes := clear[len(clear)-ICVLen:]
 	got := uint32(icvBytes[0]) | uint32(icvBytes[1])<<8 | uint32(icvBytes[2])<<16 | uint32(icvBytes[3])<<24
 	if got != crc32.ChecksumIEEE(payload) {

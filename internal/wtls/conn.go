@@ -13,6 +13,7 @@ import (
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/suite"
 )
 
@@ -22,6 +23,20 @@ var (
 	mHandshakesResumed = obs.C("wtls.handshakes_resumed")
 	mHandshakeFailures = obs.C("wtls.handshake_failures")
 )
+
+// Static energy/cycle profile frames: one per handshake kind, naming
+// the kernel that dominates it (modular exponentiation for the
+// public-key kinds, the PRF for a resume).
+var hsProfSpans = func() map[cost.HandshakeKind]prof.Span {
+	m := make(map[cost.HandshakeKind]prof.Span)
+	for _, k := range []cost.HandshakeKind{
+		cost.HandshakeRSA1024, cost.HandshakeRSA768, cost.HandshakeRSA512,
+		cost.HandshakeDH1024, cost.HandshakeResume,
+	} {
+		m[k] = prof.Frame("wtls.Handshake/" + string(k) + "/" + cost.HandshakeKernel(k))
+	}
+	return m
+}()
 
 // Config configures a Conn endpoint.
 type Config struct {
@@ -314,6 +329,9 @@ func (c *Conn) Handshake() error {
 		return err
 	}
 	c.metrics.HandshakeInstr += instr
+	if prof.Enabled() {
+		hsProfSpans[kind].AddCycles(int64(instr))
+	}
 	return nil
 }
 

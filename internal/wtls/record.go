@@ -6,9 +6,11 @@ import (
 	"hash"
 	"io"
 
+	"repro/internal/cost"
 	"repro/internal/crypto/hmac"
 	"repro/internal/crypto/modes"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/suite"
 )
 
@@ -71,6 +73,11 @@ type halfConn struct {
 	hmac    hash.Hash
 	macBuf  []byte
 	workBuf []byte
+
+	// Cached energy/cycle profile frames for the suite's kernels (set by
+	// enable, so the tree walk is off the per-record path).
+	pCipher prof.Span
+	pMAC    prof.Span
 }
 
 // enable arms the half connection with negotiated keys.
@@ -96,6 +103,8 @@ func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
 	}
 	hc.hmac = hmac.New(s.NewHash, hc.macKey)
 	hc.macBuf = make([]byte, 0, hc.hmac.Size())
+	hc.pCipher = prof.Frame("wtls.Record/" + string(s.Cipher))
+	hc.pMAC = prof.Frame("wtls.Record/" + string(s.MAC))
 	hc.seq = 0
 	hc.enabled = true
 	return nil
@@ -138,6 +147,10 @@ func (hc *halfConn) protect(recType uint8, payload []byte) ([]byte, error) {
 	mRecordsSealed.Inc()
 	mSealBytes.Add(int64(len(payload)))
 	mRecordSizes.Observe(int64(len(payload)))
+	if prof.Enabled() {
+		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(len(payload))))
+		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(len(payload))))
+	}
 	mac := hc.mac(recType, payload)
 	hc.seq++
 	n := len(payload) + len(mac)
@@ -207,6 +220,10 @@ func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
 	}
 	mRecordsOpened.Inc()
 	mOpenBytes.Add(int64(len(payload)))
+	if prof.Enabled() {
+		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(len(payload))))
+		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(len(payload))))
+	}
 	return payload, nil
 }
 
