@@ -65,6 +65,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	o.Finish("attacklab")
 }
 
 func timingDemo() error {

@@ -31,6 +31,7 @@ func main() {
 	}
 	if *csv {
 		fmt.Print(fig.CSV())
+		o.Finish("batteryfig")
 		return
 	}
 	fmt.Print(fig.Render())
@@ -49,4 +50,5 @@ func main() {
 	}
 	fmt.Printf("\npaper claim: secure-mode transactions are less than half of plain mode — measured %.2fx\n",
 		fig.Modes[1].RelativeToPlain)
+	o.Finish("batteryfig")
 }

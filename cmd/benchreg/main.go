@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/obs/history"
+	"repro/internal/obs/journal"
 )
 
 // Result is one benchmark's recorded costs.
@@ -39,14 +40,18 @@ type Result struct {
 // snapshot (or the bench/history.jsonl entry derived from it) is
 // traceable long after the working tree moves on.
 type Snapshot struct {
-	Date        string            `json:"date"`
-	GoVersion   string            `json:"go_version"`
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	BenchTime   string            `json:"benchtime"`
-	Commit      string            `json:"commit"`
-	Fingerprint string            `json:"config_fingerprint"`
-	Results     map[string]Result `json:"results"`
+	Date        string `json:"date"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	BenchTime   string `json:"benchtime"`
+	Commit      string `json:"commit"`
+	Fingerprint string `json:"config_fingerprint"`
+	// SLOFired counts the slo_fired events in the run journal given via
+	// -journal (0 when none was given), so a snapshot records not just
+	// how fast the run was but whether it stayed inside its budgets.
+	SLOFired int               `json:"slo_fired"`
+	Results  map[string]Result `json:"results"`
 }
 
 func main() {
@@ -58,6 +63,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.30, "fail when ns/op grows more than this fraction over baseline")
 	count := flag.Int("count", 1, "go test -count, for noise averaging")
 	historyPath := flag.String("history", "bench/history.jsonl", "append a run record to this JSONL history ('' to skip)")
+	journalPath := flag.String("journal", "", "run journal JSONL whose fired-SLO count the snapshot records")
 	flag.Parse()
 
 	snap, raw, err := run(*benchRe, *benchtime, *pkg, *count)
@@ -68,6 +74,14 @@ func main() {
 	if len(snap.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "benchreg: no benchmarks matched %q\n", *benchRe)
 		os.Exit(1)
+	}
+	if *journalPath != "" {
+		n, err := countSLOFired(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+		snap.SLOFired = n
 	}
 
 	path := *out
@@ -184,14 +198,30 @@ func parseLine(line string) (string, Result, bool) {
 	return name, r, seen
 }
 
+// countSLOFired counts the slo_fired events in a run journal.
+func countSLOFired(path string) (int, error) {
+	events, _, err := journal.LoadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range events {
+		if e.Layer == "slo" && e.Name == "slo_fired" {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // historyRecord condenses a snapshot for the cross-run record book:
 // per-benchmark ns/op as headline figures, keyed without the
-// "Benchmark" prefix.
+// "Benchmark" prefix, plus the fired-SLO count.
 func historyRecord(s *Snapshot) history.Record {
-	head := make(map[string]float64, len(s.Results))
+	head := make(map[string]float64, len(s.Results)+1)
 	for name, r := range s.Results {
 		head[strings.TrimPrefix(name, "Benchmark")+"_ns_per_op"] = r.NsPerOp
 	}
+	head["slo_fired"] = float64(s.SLOFired)
 	return history.Record{
 		Date:        s.Date,
 		Source:      "benchreg",
@@ -278,6 +308,15 @@ func compare(base, cur *Snapshot, threshold float64) bool {
 	}
 	if extra > 0 {
 		fmt.Printf("  (%d benchmarks not in baseline; record a new baseline to track them)\n", extra)
+	}
+	// The SLO budget is part of the regression contract: a run that fires
+	// more rules than its baseline regressed even if every ns/op held.
+	if cur.SLOFired > base.SLOFired {
+		fmt.Printf("  %-50s %14d -> %14d fired  REGRESSION\n", "SLO rules", base.SLOFired, cur.SLOFired)
+		regs = append(regs, regression{name: "SLO rules fired", baseNs: float64(base.SLOFired),
+			curNs: float64(cur.SLOFired), delta: float64(cur.SLOFired - base.SLOFired), baseDate: base.Date})
+	} else if base.SLOFired > 0 || cur.SLOFired > 0 {
+		fmt.Printf("  %-50s %14d -> %14d fired  ok\n", "SLO rules", base.SLOFired, cur.SLOFired)
 	}
 	if len(regs) == 0 {
 		fmt.Println("benchreg: PASS")

@@ -43,6 +43,7 @@ func main() {
 	}
 	if *csv {
 		fmt.Print(s.CSV())
+		o.Finish("gapfig")
 		return
 	}
 	fmt.Print(s.Render())
@@ -76,4 +77,5 @@ func main() {
 			fmt.Printf("  %-16s %14.1f %9v %14.1f\n", r.Arch, r.DemandMIPS, r.Feasible, r.MaxRateMbps)
 		}
 	}
+	o.Finish("gapfig")
 }

@@ -55,6 +55,7 @@ func main() {
 	}
 	if *csv {
 		fmt.Print(fig.CSV())
+		o.Finish("lossfig")
 		return
 	}
 	fmt.Print(fig.Render())
@@ -71,4 +72,5 @@ func main() {
 
 	fmt.Println("\ntakeaway: channel noise taxes the battery before it breaks the crypto —")
 	fmt.Println("every decade of BER costs transactions, until the retry budget declares the link down")
+	o.Finish("lossfig")
 }

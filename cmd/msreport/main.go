@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/history"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/obs/report"
 )
@@ -47,6 +48,7 @@ func main() {
 	flag.Var(&profiles, "profile", "energy/cycle profile JSON to include (repeatable; multiple merge)")
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to include")
 	tracePath := flag.String("trace", "", "event trace JSON to include")
+	journalPath := flag.String("journal", "", "structured event journal JSONL to include (SLO alert table, per-layer counts)")
 	historyPath := flag.String("history", "", "cross-run history JSONL to render trends from (e.g. bench/history.jsonl)")
 	htmlPath := flag.String("html", "", "write the self-contained HTML report here")
 	foldedPath := flag.String("folded", "", "write folded stacks (flamegraph.pl/speedscope input) here")
@@ -58,17 +60,17 @@ func main() {
 	commit := flag.String("commit", "", "commit recorded in the history entry (default: git HEAD)")
 	flag.Parse()
 
-	if err := run(profiles, *metricsPath, *tracePath, *historyPath, *htmlPath,
+	if err := run(profiles, *metricsPath, *tracePath, *journalPath, *historyPath, *htmlPath,
 		*foldedPath, *weight, *topN, *title, *appendHistory, *seed, *commit); err != nil {
 		fmt.Fprintln(os.Stderr, "msreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profilePaths []string, metricsPath, tracePath, historyPath, htmlPath,
+func run(profilePaths []string, metricsPath, tracePath, journalPath, historyPath, htmlPath,
 	foldedPath, weight string, topN int, title string, appendHistory bool, seed, commit string) error {
-	if len(profilePaths) == 0 && metricsPath == "" && tracePath == "" && historyPath == "" {
-		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -history")
+	if len(profilePaths) == 0 && metricsPath == "" && tracePath == "" && journalPath == "" && historyPath == "" {
+		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -journal, -history")
 	}
 
 	var merged *prof.Profile
@@ -110,6 +112,19 @@ func run(profilePaths []string, metricsPath, tracePath, historyPath, htmlPath,
 		events, dropped = td.Events, td.Dropped
 	}
 
+	var jevents []journal.Event
+	jskipped := 0
+	if journalPath != "" {
+		var err error
+		jevents, jskipped, err = journal.LoadFile(journalPath)
+		if err != nil {
+			return err
+		}
+		if jskipped > 0 {
+			fmt.Fprintf(os.Stderr, "msreport: %s: skipped %d malformed journal line(s)\n", journalPath, jskipped)
+		}
+	}
+
 	if appendHistory {
 		if historyPath == "" {
 			return fmt.Errorf("-append-history needs -history")
@@ -120,7 +135,7 @@ func run(profilePaths []string, metricsPath, tracePath, historyPath, htmlPath,
 		if commit == "" {
 			commit = history.Commit()
 		}
-		if err := history.Append(historyPath, historyRecord(merged, profilePaths, seed, commit)); err != nil {
+		if err := history.AppendUnique(historyPath, historyRecord(merged, profilePaths, seed, commit)); err != nil {
 			return err
 		}
 	}
@@ -128,9 +143,13 @@ func run(profilePaths []string, metricsPath, tracePath, historyPath, htmlPath,
 	var records []history.Record
 	if historyPath != "" {
 		var err error
-		records, err = history.Load(historyPath)
+		var skipped int
+		records, skipped, err = history.Load(historyPath)
 		if err != nil {
 			return err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "msreport: %s: skipped %d malformed history record(s)\n", historyPath, skipped)
 		}
 	}
 
@@ -149,13 +168,15 @@ func run(profilePaths []string, metricsPath, tracePath, historyPath, htmlPath,
 			return err
 		}
 		werr := report.HTML(f, report.Data{
-			Title:        title,
-			Profile:      merged,
-			Metrics:      snap,
-			TraceEvents:  events,
-			TraceDropped: dropped,
-			History:      records,
-			TopN:         topN,
+			Title:          title,
+			Profile:        merged,
+			Metrics:        snap,
+			TraceEvents:    events,
+			TraceDropped:   dropped,
+			Journal:        jevents,
+			JournalSkipped: jskipped,
+			History:        records,
+			TopN:           topN,
 		})
 		if cerr := f.Close(); werr == nil {
 			werr = cerr

@@ -1,0 +1,83 @@
+// Command mswatch follows a running tool's observability server (the
+// -pprof endpoint any cmd in this repo exposes) from another terminal:
+// it streams the /events SSE feed — journal events and SLO alerts — and
+// polls /progress for live sweep status, rendering both as plain lines
+// so it works over a pipe as well as a terminal.
+//
+// Typical use:
+//
+//	lossfig -simulate -pprof localhost:6060 &
+//	mswatch -addr localhost:6060
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs/journal"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "obs server address (host:port) of the tool to watch")
+	level := flag.String("level", "info", "minimum journal level to print: debug, info, warn or crit")
+	progEvery := flag.Duration("progress-interval", 500*time.Millisecond, "sweep progress poll period (0 disables)")
+	verbose := flag.Bool("v", false, "also print metric deltas and the connection handshake")
+	flag.Parse()
+
+	min, err := journal.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mswatch: -level: %v\n", err)
+		os.Exit(2)
+	}
+	v := &view{w: os.Stdout, min: min, verbose: *verbose}
+
+	base := "http://" + *addr
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mswatch: connecting to %s: %v\n", base, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "mswatch: %s/events: %s\n", base, resp.Status)
+		os.Exit(1)
+	}
+
+	if *progEvery > 0 {
+		go pollProgress(base, *progEvery, v)
+	}
+
+	if err := readSSE(resp.Body, v.handle); err != nil && err != io.EOF {
+		fmt.Fprintf(os.Stderr, "mswatch: stream: %v\n", err)
+		os.Exit(1)
+	}
+	// The watched tool exited (server closed the stream) — normal end.
+}
+
+// pollProgress fetches /progress on a fixed period and hands payloads to
+// the view, which deduplicates unchanged states. A 404 means the watched
+// tool registered no sweep progress source; polling stops quietly.
+func pollProgress(base string, every time.Duration, v *view) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for range tick.C {
+		resp, err := http.Get(base + "/progress")
+		if err != nil {
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return
+		}
+		v.progress(payload)
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs/journal"
+)
+
+// sseEvent is one parsed Server-Sent-Events frame.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses SSE frames from r and invokes fn for each one. Frames
+// are `event:`/`data:` line groups separated by blank lines; multi-line
+// data concatenates with newlines, comment lines (leading ':') are
+// ignored. Returns nil on EOF.
+func readSSE(r io.Reader, fn func(sseEvent)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev sseEvent
+	var data []string
+	flush := func() {
+		if ev.name == "" && len(data) == 0 {
+			return
+		}
+		ev.data = strings.Join(data, "\n")
+		fn(ev)
+		ev = sseEvent{}
+		data = nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			flush()
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		case strings.HasPrefix(line, "event:"):
+			ev.name = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(line[len("data:"):]))
+		}
+	}
+	flush()
+	return sc.Err()
+}
+
+// view renders the watched tool's event stream as terminal lines: one
+// line per journal event at or above the minimum level, ALERT lines for
+// fired SLO rules, and a refreshing sweep-progress line.
+type view struct {
+	w       io.Writer
+	min     journal.Level
+	verbose bool
+
+	lastProgress string
+}
+
+// handle dispatches one SSE frame.
+func (v *view) handle(ev sseEvent) {
+	switch ev.name {
+	case "journal":
+		e, err := journal.ParseLine([]byte(ev.data))
+		if err != nil {
+			fmt.Fprintf(v.w, "mswatch: bad journal line: %v\n", err)
+			return
+		}
+		if line := v.formatJournal(e); line != "" {
+			fmt.Fprintln(v.w, line)
+		}
+	case "metrics":
+		if v.verbose {
+			fmt.Fprintf(v.w, "metrics %s\n", ev.data)
+		}
+	case "hello":
+		if v.verbose {
+			fmt.Fprintf(v.w, "connected %s\n", ev.data)
+		}
+	}
+}
+
+// formatJournal renders one journal event, or "" when it is below the
+// view's minimum level. SLO firings always render, as ALERT lines.
+func (v *view) formatJournal(e journal.Event) string {
+	if e.Layer == "slo" && e.Name == "slo_fired" {
+		return formatAlert(e)
+	}
+	if e.Level < v.min {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%-5s] %s/%s t=%d", e.Level, e.Layer, e.Name, e.TSim)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.K)
+		b.WriteByte('=')
+		b.WriteString(e.Get(f.K))
+	}
+	return b.String()
+}
+
+// formatAlert renders a fired SLO rule.
+func formatAlert(e journal.Event) string {
+	line := fmt.Sprintf("ALERT [%s] rule=%s %s = %s %s %s",
+		strings.ToUpper(e.Get("severity")), e.Get("rule"),
+		e.Get("metric"), e.Get("value"), e.Get("op"), e.Get("threshold"))
+	if r := e.Get("reason"); r != "" {
+		line += " (" + r + ")"
+	}
+	return line
+}
+
+// progress renders one /progress payload; repeated identical states are
+// suppressed so an idle tool doesn't scroll the terminal.
+func (v *view) progress(payload []byte) {
+	line, err := formatProgress(payload)
+	if err != nil || line == "" || line == v.lastProgress {
+		return
+	}
+	v.lastProgress = line
+	fmt.Fprintln(v.w, line)
+}
+
+// formatProgress turns the /progress JSON into a one-line status, or ""
+// when no sweep has started yet.
+func formatProgress(payload []byte) (string, error) {
+	get := func(key string) (float64, bool) { return jsonNumber(payload, key) }
+	total, ok := get("total")
+	if !ok {
+		return "", fmt.Errorf("mswatch: progress payload missing total")
+	}
+	if total == 0 {
+		return "", nil
+	}
+	done, _ := get("done")
+	sweep, _ := get("sweep")
+	workers, _ := get("workers")
+	rate, _ := get("tasks_per_sec")
+	eta, _ := get("eta_ms")
+	active, _ := jsonBool(payload, "active")
+
+	pct := 100 * done / total
+	line := fmt.Sprintf("sweep %d: %d/%d tasks (%.1f%%), %d workers",
+		int64(sweep), int64(done), int64(total), pct, int64(workers))
+	if rate > 0 {
+		line += fmt.Sprintf(", %.0f tasks/s", rate)
+	}
+	if active && eta >= 0 {
+		line += fmt.Sprintf(", eta %.1fs", eta/1000)
+	}
+	if !active {
+		line += " [done]"
+	}
+	return line, nil
+}
+
+// jsonNumber pulls a top-level numeric field out of a flat JSON object
+// without decoding the whole document (the progress payload is flat and
+// machine-generated, so a scan is safe and allocation-free).
+func jsonNumber(payload []byte, key string) (float64, bool) {
+	raw, ok := jsonRaw(payload, key)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// jsonBool pulls a top-level boolean field out of a flat JSON object.
+func jsonBool(payload []byte, key string) (bool, bool) {
+	raw, ok := jsonRaw(payload, key)
+	if !ok {
+		return false, false
+	}
+	return raw == "true", true
+}
+
+// jsonRaw finds the raw value text of a top-level key in a flat JSON
+// object: everything between the key's colon and the next ',' or '}'.
+func jsonRaw(payload []byte, key string) (string, bool) {
+	needle := `"` + key + `":`
+	i := strings.Index(string(payload), needle)
+	if i < 0 {
+		return "", false
+	}
+	rest := string(payload[i+len(needle):])
+	end := strings.IndexAny(rest, ",}")
+	if end < 0 {
+		end = len(rest)
+	}
+	return strings.TrimSpace(rest[:end]), true
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs/journal"
+)
+
+func TestReadSSE(t *testing.T) {
+	stream := "event: hello\ndata: {\"metric_interval_ms\":1000}\n\n" +
+		": keep-alive comment\n" +
+		"event: journal\ndata: {\"t_sim\":3,\"level\":\"warn\",\"layer\":\"wep\",\"event\":\"icv_failure\"}\n\n" +
+		"event: metrics\ndata: {\"counters\":{\"arq.retransmits\":2},\"gauges\":{}}\n\n"
+	var got []sseEvent
+	if err := readSSE(strings.NewReader(stream), func(ev sseEvent) { got = append(got, ev) }); err != nil {
+		t.Fatalf("readSSE: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d frames, want 3: %+v", len(got), got)
+	}
+	wantNames := []string{"hello", "journal", "metrics"}
+	for i, w := range wantNames {
+		if got[i].name != w {
+			t.Errorf("frame %d name = %q, want %q", i, got[i].name, w)
+		}
+	}
+	if !strings.Contains(got[1].data, `"icv_failure"`) {
+		t.Errorf("journal frame data = %q", got[1].data)
+	}
+}
+
+func TestReadSSEMultiLineData(t *testing.T) {
+	stream := "event: x\ndata: line1\ndata: line2\n\n"
+	var got []sseEvent
+	if err := readSSE(strings.NewReader(stream), func(ev sseEvent) { got = append(got, ev) }); err != nil {
+		t.Fatalf("readSSE: %v", err)
+	}
+	if len(got) != 1 || got[0].data != "line1\nline2" {
+		t.Fatalf("got %+v, want one frame with joined data", got)
+	}
+}
+
+func TestViewJournalFormatting(t *testing.T) {
+	var sb strings.Builder
+	v := &view{w: &sb, min: journal.LevelInfo}
+
+	// Below min level: suppressed.
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":1,"level":"debug","layer":"par","event":"task_start"}`})
+	// At level: rendered with fields.
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":50,"level":"info","layer":"energy","event":"battery_milestone","kv":{"pct":50,"drained_j":13000.5}}`})
+	// SLO firing: ALERT line regardless of level.
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":-1,"level":"warn","layer":"slo","event":"slo_fired","kv":{"rule":"battery-gap","severity":"warn","metric":"core.battery_relative.secure_rsa","value":0.73,"op":"<","threshold":0.8,"reason":"Fig 4 gap"}}`})
+
+	out := sb.String()
+	if strings.Contains(out, "task_start") {
+		t.Errorf("debug event should be suppressed at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "[info ] energy/battery_milestone t=50 pct=50 drained_j=13000.5") {
+		t.Errorf("milestone line missing or malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "ALERT [WARN] rule=battery-gap core.battery_relative.secure_rsa = 0.73 < 0.8 (Fig 4 gap)") {
+		t.Errorf("alert line missing or malformed:\n%s", out)
+	}
+}
+
+func TestFormatProgress(t *testing.T) {
+	line, err := formatProgress([]byte(`{"active":true,"sweep":2,"total":128,"done":37,"workers":4,"per_worker":[10,9,9,9],"elapsed_ms":120,"eta_ms":295,"tasks_per_sec":308.3}`))
+	if err != nil {
+		t.Fatalf("formatProgress: %v", err)
+	}
+	for _, want := range []string{"sweep 2:", "37/128", "28.9%", "4 workers", "308 tasks/s", "eta 0.3s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+
+	line, err = formatProgress([]byte(`{"active":false,"sweep":2,"total":128,"done":128,"workers":4,"per_worker":[32,32,32,32],"elapsed_ms":400,"eta_ms":0,"tasks_per_sec":320}`))
+	if err != nil {
+		t.Fatalf("formatProgress: %v", err)
+	}
+	if !strings.Contains(line, "[done]") {
+		t.Errorf("finished sweep line %q missing [done]", line)
+	}
+
+	// No sweep yet: nothing to show.
+	line, err = formatProgress([]byte(`{"active":false,"total":0,"done":0}`))
+	if err != nil || line != "" {
+		t.Errorf("idle payload: line=%q err=%v, want empty/nil", line, err)
+	}
+}
+
+func TestViewProgressDedup(t *testing.T) {
+	var sb strings.Builder
+	v := &view{w: &sb, min: journal.LevelInfo}
+	payload := []byte(`{"active":true,"sweep":1,"total":10,"done":5,"workers":2,"per_worker":[3,2],"elapsed_ms":10,"eta_ms":10,"tasks_per_sec":500}`)
+	v.progress(payload)
+	v.progress(payload)
+	if n := strings.Count(sb.String(), "sweep 1:"); n != 1 {
+		t.Errorf("identical progress printed %d times, want 1:\n%s", n, sb.String())
+	}
+}

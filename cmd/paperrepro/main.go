@@ -269,6 +269,7 @@ func main() {
 		o.Close()
 		os.Exit(1)
 	}
+	o.Finish("paperrepro")
 }
 
 func die(err error) {

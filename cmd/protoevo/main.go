@@ -17,11 +17,11 @@ func main() {
 	verbose := flag.Bool("v", false, "list every revision with its note")
 	o := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	defer o.Close()
 	if err := o.Activate(); err != nil {
 		fmt.Fprintf(os.Stderr, "protoevo: %v\n", err)
 		os.Exit(1)
 	}
+	defer o.Close()
 
 	fmt.Print(mobilesec.RenderTimeline())
 	fmt.Println()
@@ -44,4 +44,5 @@ func main() {
 			fmt.Printf("  %7.1f  %-8s %-28s %s\n", r.Year, r.Family, r.Name, r.Note)
 		}
 	}
+	o.Finish("protoevo")
 }

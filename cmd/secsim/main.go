@@ -46,12 +46,14 @@ func main() {
 		for _, c := range mobilesec.Concerns() {
 			fmt.Printf("  %-28s %s\n  %-28s realized by %s\n", c.Name, c.Description, "", c.RealizedBy)
 		}
+		o.Finish("secsim")
 		return
 	}
 	if err := run(*cpuName, *accel, *kbytes); err != nil {
 		fmt.Fprintf(os.Stderr, "secsim: %v\n", err)
 		os.Exit(1)
 	}
+	o.Finish("secsim")
 }
 
 func pickArch(cpu *mobilesec.Processor, name string) (*mobilesec.Architecture, error) {

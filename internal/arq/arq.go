@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -277,9 +278,11 @@ func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
 	}
 	e.mu.Lock()
 	e.stats.BytesOut += len(frame)
+	var retxNo int
 	if retransmit {
 		e.stats.Retransmits++
 		e.stats.RetransmitBytes += len(frame)
+		retxNo = e.stats.Retransmits
 	}
 	e.mu.Unlock()
 	mBytesOut.Add(int64(len(frame)))
@@ -287,6 +290,8 @@ func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
 		mRetransmits.Inc()
 		mRetxBytes.Add(int64(len(frame)))
 		obs.Emit("arq", "retransmit", int64(len(frame)))
+		journal.Emit(int64(retxNo), journal.LevelDebug, "arq", "retransmit",
+			journal.I("frame_bytes", int64(len(frame))))
 	}
 	if prof.Enabled() {
 		instr := int64(cost.InstrPerByte(cost.CRC32) * float64(len(frame)))
@@ -362,6 +367,8 @@ func (e *Endpoint) awaitAck(ok func() bool) error {
 					ErrLinkDown, seq, retries)
 				mLinkDowns.Inc()
 				obs.Emit("arq", "link_down", int64(seq))
+				journal.Emit(int64(seq), journal.LevelWarn, "arq", "link_down",
+					journal.I("seq", int64(seq)), journal.I("attempts", int64(retries)))
 				e.fail(err)
 				return err
 			}

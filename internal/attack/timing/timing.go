@@ -28,6 +28,7 @@ import (
 	"math/big"
 
 	"repro/internal/crypto/mp"
+	"repro/internal/obs/journal"
 	"repro/internal/par"
 )
 
@@ -179,12 +180,19 @@ func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.In
 		sepH0 := separation(extraNextSqH0)
 		totalSep += absf(sepH1 - sepH0)
 		decided++
+		bitVal := int64(0)
 		if sepH1 > sepH0 {
 			recovered.SetBit(recovered, bit, 1)
 			copy(acc, mulRes)
+			bitVal = 1
 		} else {
 			copy(acc, sq)
 		}
+		// Key-bit recovery progress; t_sim counts decided bits MSB-first,
+		// so the journal replays the attack in attack order.
+		journal.Emit(int64(decided), journal.LevelDebug, "attack", "key_bit",
+			journal.I("bit", int64(bit)), journal.I("value", bitVal),
+			journal.F("sep_h1", sepH1), journal.F("sep_h0", sepH0))
 	}
 	// Bit 0: there is no following square to key on, so the attack takes
 	// the standard shortcut — RSA private exponents are odd (d·e ≡ 1 mod
@@ -194,6 +202,9 @@ func RecoverExponent(ctx *mp.MontCtx, oracle Oracle, bitLen int, bases []*big.In
 	if decided > 0 {
 		conf = totalSep / float64(decided)
 	}
+	journal.Emit(int64(bitLen), journal.LevelInfo, "attack", "exponent_recovered",
+		journal.I("bits", int64(bitLen)), journal.I("samples", int64(n)),
+		journal.F("confidence", conf))
 	return &Result{Recovered: recovered, BitLen: bitLen, Samples: n, Confidence: conf}, nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // Static fault-injection metric handles, process totals across all
@@ -199,6 +200,8 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 		t.stats.Dropped++
 		mDropped.Inc()
 		obs.Emit("chaos", "drop", int64(len(p)))
+		journal.Emit(int64(t.stats.Frames), journal.LevelDebug, "chaos", "drop",
+			journal.I("frame_bytes", int64(len(p))))
 		return len(p), nil
 	}
 
@@ -216,6 +219,8 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 		mCorrupted.Inc()
 		mBitsFlip.Add(int64(flipped))
 		obs.Emit("chaos", "corrupt", int64(flipped))
+		journal.Emit(int64(t.stats.Frames), journal.LevelDebug, "chaos", "corrupt",
+			journal.I("bits_flipped", int64(flipped)), journal.I("frame_bytes", int64(len(p))))
 	}
 
 	if t.held == nil && t.rng.Float64() < t.cfg.Reorder {

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/energy"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/radio"
 )
@@ -34,6 +36,43 @@ type BatteryMode struct {
 type BatteryFigure struct {
 	BatteryJ float64
 	Modes    []BatteryMode
+}
+
+// metricSlug turns a figure row label into a metric name segment:
+// lowercased, with non-alphanumeric runs collapsed to single
+// underscores ("secure (RSA)" -> "secure_rsa").
+func metricSlug(name string) string {
+	var b strings.Builder
+	pend := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if pend && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			pend = false
+			b.WriteRune(r)
+		default:
+			pend = true
+		}
+	}
+	return b.String()
+}
+
+// recordBatteryFigure exports the Figure 4 rows as gauges (the inputs of
+// the shipped battery-gap SLO rule) and journal events; source
+// distinguishes the analytic figure from the drain simulation.
+func recordBatteryFigure(fig *BatteryFigure, source string) {
+	for i, m := range fig.Modes {
+		slug := metricSlug(m.Name)
+		obs.G("core.battery_transactions." + slug).Set(float64(m.Transactions))
+		obs.G("core.battery_relative." + slug).Set(m.RelativeToPlain)
+		journal.Emit(int64(i), journal.LevelInfo, "core", "battery_mode",
+			journal.S("figure", source),
+			journal.S("mode", m.Name),
+			journal.I("transactions", int64(m.Transactions)),
+			journal.F("relative_to_plain", m.RelativeToPlain))
+	}
 }
 
 // ComputeBatteryFigure evaluates Figure 4 analytically from the paper's
@@ -69,6 +108,7 @@ func ComputeBatteryFigure() (*BatteryFigure, error) {
 			RelativeToPlain: float64(tx) / float64(plainTx),
 		})
 	}
+	recordBatteryFigure(fig, "analytic")
 	return fig, nil
 }
 
@@ -122,6 +162,7 @@ func SimulateBatteryFigure(step int) (*BatteryFigure, error) {
 			Transactions: count, RelativeToPlain: rel,
 		})
 	}
+	recordBatteryFigure(fig, "simulated")
 	return fig, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/proc"
@@ -94,6 +95,9 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 	sp := obs.StartSpan("core", "gap_surface")
 	sp.SetN(int64(len(latencies) * len(rates)))
 	defer sp.End()
+	// Cell events take t_sim from the row-major cell index the worker
+	// already knows, so the merged journal is worker-count independent.
+	jdebug := journal.On(journal.LevelDebug)
 	err := par.Grid(context.Background(), par.DefaultWorkers(), len(latencies), len(rates),
 		func(li, ri int) error {
 			d, err := cost.DemandMIPS(latencies[li], rates[ri], hs, cipher, mac)
@@ -101,6 +105,12 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 				return err
 			}
 			mGapCells.Inc()
+			if jdebug {
+				journal.Emit(int64(li*len(rates)+ri), journal.LevelDebug, "core", "gap_cell",
+					journal.F("latency_s", latencies[li]),
+					journal.F("rate_mbps", rates[ri]),
+					journal.F("demand_mips", d))
+			}
 			if pHS.Active() {
 				bytesPerSec := rates[ri] * 1e6 / 8
 				pHS.AddCycles(int64(hsInstr))
@@ -113,6 +123,24 @@ func ComputeGapSurfaceFor(latencies, rates []float64, planeMIPS float64,
 	if err != nil {
 		return nil, err
 	}
+	maxDemand := 0.0
+	for _, row := range s.Points {
+		for _, p := range row {
+			if p.DemandMIPS > maxDemand {
+				maxDemand = p.DemandMIPS
+			}
+		}
+	}
+	// The demand/supply gauges are the inputs of the processing-gap SLO
+	// rule; registered lazily here so they only exist in runs that
+	// actually evaluate a surface.
+	obs.G("core.gap_demand_mips_max").Set(maxDemand)
+	obs.G("core.gap_plane_mips").Set(planeMIPS)
+	obs.G("core.gap_fraction").Set(s.GapFraction())
+	journal.Emit(int64(len(latencies)*len(rates)), journal.LevelInfo, "core", "gap_summary",
+		journal.F("max_demand_mips", maxDemand),
+		journal.F("plane_mips", planeMIPS),
+		journal.F("gap_fraction", s.GapFraction()))
 	return s, nil
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/obs/journal"
+	"repro/internal/par"
+)
+
+// journalRun arms the default journal at debug level, runs fn, and
+// returns the deterministic (t_sim, seq) JSONL serialization of the
+// events it emitted. Not t.Parallel: it owns journal.Default for the
+// duration, which is safe because Go never interleaves non-parallel
+// tests.
+func journalRun(t *testing.T, workers int, fn func() error) []byte {
+	t.Helper()
+	prev := par.DefaultWorkers()
+	par.SetDefaultWorkers(workers)
+	defer par.SetDefaultWorkers(prev)
+
+	journal.Default.Reset()
+	journal.Default.SetMinLevel(journal.LevelDebug)
+	journal.Default.SetEnabled(true)
+	defer func() {
+		journal.Default.SetEnabled(false)
+		journal.Default.SetMinLevel(journal.LevelInfo)
+		journal.Default.Reset()
+	}()
+
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := journal.Default.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("run journaled nothing; instrumentation lost?")
+	}
+	return buf.Bytes()
+}
+
+// TestGapSurfaceJournalDeterministic is the golden determinism check of
+// the journal's merge order: the same sweep journaled at 1 and 8 workers
+// must serialize byte-identically, because task events carry the task
+// index as t_sim and never a worker id.
+func TestGapSurfaceJournalDeterministic(t *testing.T) {
+	gap := func() error {
+		_, err := ComputeGapSurfaceFor(DefaultLatencies(), DefaultRates(), 300,
+			cost.HandshakeRSA1024, cost.DES3, cost.SHA1)
+		return err
+	}
+	seq := journalRun(t, 1, gap)
+	for _, workers := range []int{4, 8} {
+		got := journalRun(t, workers, gap)
+		if !bytes.Equal(seq, got) {
+			t.Fatalf("journal differs between 1 and %d workers:\n--- 1 worker (%d bytes)\n%.400s\n--- %d workers (%d bytes)\n%.400s",
+				workers, len(seq), seq, workers, len(got), got)
+		}
+	}
+}
+
+// TestLossFigureJournalDeterministic does the same for the analytic
+// lossy-link figure, whose per-BER points journal at info level.
+func TestLossFigureJournalDeterministic(t *testing.T) {
+	loss := func() error {
+		_, err := ComputeLossFigure(0.01, nil)
+		return err
+	}
+	seq := journalRun(t, 1, loss)
+	got := journalRun(t, 8, loss)
+	if !bytes.Equal(seq, got) {
+		t.Fatalf("loss figure journal differs between 1 and 8 workers:\n--- 1 worker\n%.400s\n--- 8 workers\n%.400s", seq, got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/energy"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/radio"
@@ -127,7 +128,7 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 		BatteryJ: bat.CapacityJ(), DropRate: drop,
 		MTU: mtu, FrameBytes: chunks[0],
 	}
-	for _, ber := range bers {
+	for bi, ber := range bers {
 		if ber < 0 || ber >= 1 {
 			return nil, fmt.Errorf("core: BER %v outside [0,1)", ber)
 		}
@@ -150,6 +151,9 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 		pt.TxPerFrame = expTotal / float64(len(chunks))
 		if pt.TxPerFrame > lossMaxRetries {
 			pt.LinkDown = true
+			journal.Emit(int64(bi), journal.LevelWarn, "core", "loss_link_down",
+				journal.F("ber", ber), journal.F("tx_per_frame", pt.TxPerFrame),
+				journal.I("max_retries", lossMaxRetries))
 			fig.Points = append(fig.Points, pt)
 			continue
 		}
@@ -161,6 +165,11 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 		pt.PerTxJoules = txJ(txB) + rxJ(rxB)
 		pt.RetxJoules = txJ(retxB)
 		pt.Transactions = bat.TransactionsPossible(pt.PerTxJoules)
+		journal.Emit(int64(bi), journal.LevelInfo, "core", "loss_point",
+			journal.F("ber", ber),
+			journal.F("per_tx_j", pt.PerTxJoules),
+			journal.F("retx_j", pt.RetxJoules),
+			journal.I("transactions", int64(pt.Transactions)))
 		fig.Points = append(fig.Points, pt)
 		mLossPoints.Inc()
 	}
@@ -211,6 +220,14 @@ func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) 
 			mLossPoints.Inc()
 			if pt.LinkDown {
 				mLossLinkDowns.Inc()
+				journal.Emit(int64(i), journal.LevelWarn, "core", "loss_link_down",
+					journal.F("ber", ber), journal.F("tx_per_frame", pt.TxPerFrame))
+			} else {
+				journal.Emit(int64(i), journal.LevelInfo, "core", "loss_point",
+					journal.F("ber", ber),
+					journal.F("per_tx_j", pt.PerTxJoules),
+					journal.F("retx_j", pt.RetxJoules),
+					journal.I("transactions", int64(pt.Transactions)))
 			}
 			return lossCol{pt: *pt, tx: tx, rx: rx, retxJ: retx}, nil
 		})

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -48,6 +49,7 @@ type Battery struct {
 	capacityJ float64
 	drainedJ  float64
 	ledger    map[string]float64
+	milestone int // last drain milestone journaled (25/50/75/100 %)
 
 	// Energy/cycle profile attribution, opt-in via AttachProfile: each
 	// ledger category becomes a child frame of the attached span.
@@ -83,10 +85,30 @@ func (b *Battery) Drain(category string, joules float64) error {
 	defer b.mu.Unlock()
 	if b.drainedJ+joules > b.capacityJ {
 		mExhausted.Inc()
+		if b.milestone < 100 && journal.On(journal.LevelWarn) {
+			b.milestone = 100
+			journal.Emit(100, journal.LevelWarn, "energy", "battery_exhausted",
+				journal.F("capacity_j", b.capacityJ),
+				journal.F("refused_j", joules))
+		}
 		return ErrBatteryExhausted
 	}
 	b.drainedJ += joules
 	b.ledger[category] += joules
+	// Journal the 25/50/75% drain milestones (and 100% on a drain that
+	// lands exactly on empty); t_sim is the percentage itself, which keeps
+	// sequential drain loops deterministic.
+	if journal.On(journal.LevelInfo) {
+		for _, pct := range [...]int{25, 50, 75, 100} {
+			if pct > b.milestone && b.drainedJ >= b.capacityJ*float64(pct)/100 {
+				b.milestone = pct
+				journal.Emit(int64(pct), journal.LevelInfo, "energy", "battery_milestone",
+					journal.I("pct", int64(pct)),
+					journal.F("drained_j", b.drainedJ),
+					journal.F("remaining_j", b.capacityJ-b.drainedJ))
+			}
+		}
+	}
 	if obs.Enabled() {
 		uj := int64(joules * 1e6)
 		mDrains.Inc()
@@ -140,6 +162,7 @@ func (b *Battery) Recharge() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.drainedJ = 0
+	b.milestone = 0
 	b.ledger = make(map[string]float64)
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/crypto/hmac"
 	"repro/internal/crypto/modes"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -195,10 +196,14 @@ func (sa *SA) Open(pkt []byte) ([]byte, error) {
 	body, icv := pkt[:len(pkt)-ICVLen], pkt[len(pkt)-ICVLen:]
 	if !hmac.Equal(icv, sa.icv(body)) {
 		mAuthFailures.Inc()
+		journal.Emit(int64(seq), journal.LevelWarn, "esp", "auth_failure",
+			journal.I("seq", int64(seq)), journal.I("packet_bytes", int64(len(pkt))))
 		return nil, ErrAuth
 	}
 	if err := sa.checkReplay(seq); err != nil {
 		mReplaysSeen.Inc()
+		journal.Emit(int64(seq), journal.LevelWarn, "esp", "replay",
+			journal.I("seq", int64(seq)))
 		return nil, err
 	}
 	iv := body[8 : 8+bs]

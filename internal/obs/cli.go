@@ -1,22 +1,37 @@
 package obs
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/slo"
 )
+
+// ErrSLOStrict is returned by Close when -slo-strict is set and a
+// crit-severity SLO rule fired during the run. Cmds translate it into a
+// distinct nonzero exit code (see Finish).
+var ErrSLOStrict = errors.New("critical SLO rule fired (strict mode)")
 
 // CLI binds the shared observability flags every cmd exposes:
 //
-//	-metrics <file>  arm the default registry; write its JSON snapshot
-//	                 to <file> on Close
-//	-trace <file>    arm the default tracer; write its events to <file>
-//	                 (.csv selects CSV, anything else JSON) on Close
-//	-profile <file>  arm the default energy/cycle profiler; write its
-//	                 JSON call tree to <file> on Close
-//	-pprof <addr>    serve pprof/expvar/metrics on addr until exit
+//	-metrics <file>   arm the default registry; write its JSON snapshot
+//	                  to <file> on Close
+//	-trace <file>     arm the default tracer; write its events to <file>
+//	                  (.csv selects CSV, anything else JSON) on Close
+//	-profile <file>   arm the default energy/cycle profiler; write its
+//	                  JSON call tree to <file> on Close
+//	-journal <file>   arm the default event journal; write its merged
+//	                  JSONL (deterministic (t_sim, seq) order) on Close
+//	-journal-level L  minimum journal level (debug, info, warn, crit)
+//	-slo <file>       load SLO rules and evaluate them at run end
+//	-slo-strict       exit nonzero when a crit-severity rule fires
+//	-slo-interval D   also evaluate rules on this wall-clock period
+//	-pprof <addr>     serve pprof/expvar/metrics/events/progress on addr
 //
 // Usage in a cmd:
 //
@@ -24,15 +39,26 @@ import (
 //	flag.Parse()
 //	defer o.Close()
 //	if err := o.Activate(); err != nil { ... }
+//	...
+//	o.Finish("toolname") // last statement: flush + strict exit code
 //
-// All four are opt-in; with none set, Activate and Close do nothing
+// All flags are opt-in; with none set, Activate and Close do nothing
 // and the instrumented layers stay on their disarmed fast path.
 type CLI struct {
-	metricsPath string
-	tracePath   string
-	profilePath string
-	pprofAddr   string
-	shutdown    func() error
+	metricsPath  string
+	tracePath    string
+	profilePath  string
+	journalPath  string
+	journalLevel string
+	sloPath      string
+	sloStrict    bool
+	sloInterval  time.Duration
+	pprofAddr    string
+
+	engine   *slo.Engine
+	sloDone  bool
+	shutdown func() error
+	stopEval chan struct{}
 }
 
 // BindFlags registers the observability flags on fs.
@@ -41,16 +67,22 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
 	fs.StringVar(&c.tracePath, "trace", "", "write the event trace to this file on exit (.csv for CSV)")
 	fs.StringVar(&c.profilePath, "profile", "", "write the energy/cycle profile (JSON call tree) to this file on exit")
-	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof/expvar/metrics HTTP endpoints on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.journalPath, "journal", "", "write the structured event journal (JSONL) to this file on exit")
+	fs.StringVar(&c.journalLevel, "journal-level", "info", "minimum journal level: debug, info, warn or crit")
+	fs.StringVar(&c.sloPath, "slo", "", "evaluate the SLO rules in this JSON file against the run's metrics")
+	fs.BoolVar(&c.sloStrict, "slo-strict", false, "exit nonzero when a crit-severity SLO rule fires")
+	fs.DurationVar(&c.sloInterval, "slo-interval", 0, "also evaluate SLO rules on this wall-clock period (0 = run end only)")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof/expvar/metrics/events/progress HTTP endpoints on this address (e.g. localhost:6060)")
 	return c
 }
 
-// Activate arms the default registry/tracer and starts the pprof server
-// according to the parsed flags. Call after flag.Parse. Output paths are
-// created here so an unwritable path fails the run up front instead of
-// silently losing the snapshot at Close.
+// Activate arms the default registry/tracer/profiler/journal, loads SLO
+// rules, and starts the debug server according to the parsed flags.
+// Call after flag.Parse. Output paths are created here so an unwritable
+// path fails the run up front instead of silently losing the snapshot
+// at Close.
 func (c *CLI) Activate() error {
-	if c.metricsPath != "" || c.pprofAddr != "" {
+	if c.metricsPath != "" || c.pprofAddr != "" || c.sloPath != "" {
 		if err := touch(c.metricsPath); err != nil {
 			return fmt.Errorf("-metrics: %w", err)
 		}
@@ -68,22 +100,112 @@ func (c *CLI) Activate() error {
 		}
 		prof.Default.SetEnabled(true)
 	}
+	if c.journalPath != "" || c.pprofAddr != "" {
+		if err := touch(c.journalPath); err != nil {
+			return fmt.Errorf("-journal: %w", err)
+		}
+		lv, err := journal.ParseLevel(c.journalLevel)
+		if err != nil {
+			return fmt.Errorf("-journal-level: %w", err)
+		}
+		journal.Default.SetMinLevel(lv)
+		journal.Default.SetEnabled(true)
+	}
+	if c.sloPath != "" {
+		rules, err := slo.LoadFile(c.sloPath)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		c.engine = slo.NewEngine(rules)
+		if c.sloInterval > 0 {
+			c.stopEval = make(chan struct{})
+			go c.evalLoop()
+		}
+	}
 	if c.pprofAddr != "" {
-		addr, shutdown, err := Serve(c.pprofAddr, Default, DefaultTracer)
+		cfg := ServerConfig{
+			Registry: Default,
+			Tracer:   DefaultTracer,
+			Journal:  journal.Default,
+			Progress: ProgressSource(),
+		}
+		if c.engine != nil {
+			eng := c.engine
+			cfg.Alerts = func() []byte { return slo.MarshalFirings(eng.Firings()) }
+		}
+		addr, shutdown, err := ServeConfig(c.pprofAddr, cfg)
 		if err != nil {
 			return err
 		}
 		c.shutdown = shutdown
-		fmt.Fprintf(os.Stderr, "obs: pprof/expvar/metrics on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "obs: pprof/metrics/events/progress on http://%s/\n", addr)
 	}
 	return nil
 }
 
-// Close writes the requested metrics/trace files and stops the pprof
-// server. Safe to call when no flags were set, and idempotent enough to
-// both defer and call explicitly before os.Exit.
+// evalLoop periodically evaluates SLO rules against live snapshots so
+// long-running tools surface budget violations while they execute (the
+// firing also reaches /events subscribers through the journal).
+func (c *CLI) evalLoop() {
+	tick := time.NewTicker(c.sloInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopEval:
+			return
+		case <-tick.C:
+			snap := Default.Snapshot()
+			emitFirings(c.engine.Eval(journal.TEnd, snap.Lookup))
+		}
+	}
+}
+
+// emitFirings turns fired rules into journal events so they reach the
+// -journal file, /events subscribers, and the msreport alert table.
+func emitFirings(firings []slo.Firing) {
+	for _, f := range firings {
+		lv := journal.LevelWarn
+		if f.Rule.Severity == slo.Crit {
+			lv = journal.LevelCrit
+		}
+		journal.Emit(f.TSim, lv, "slo", "slo_fired",
+			journal.S("rule", f.Rule.Name),
+			journal.S("severity", string(f.Rule.Severity)),
+			journal.S("metric", f.Rule.Metric),
+			journal.F("value", f.Value),
+			journal.S("op", f.Rule.Op),
+			journal.F("threshold", f.Rule.Threshold),
+			journal.S("reason", f.Rule.Reason),
+		)
+	}
+}
+
+// finishSLO runs the end-of-run rule evaluation exactly once, emits
+// journal events for fresh firings, and prints a summary to stderr.
+func (c *CLI) finishSLO() {
+	if c.engine == nil || c.sloDone {
+		return
+	}
+	c.sloDone = true
+	if c.stopEval != nil {
+		close(c.stopEval)
+		c.stopEval = nil
+	}
+	snap := Default.Snapshot()
+	emitFirings(c.engine.Eval(journal.TEnd, snap.Lookup))
+	if all := c.engine.Firings(); len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "slo: %d rule(s) fired:\n%s", len(all), slo.Summary(all))
+	}
+}
+
+// Close writes the requested metrics/trace/profile/journal files, stops
+// the debug server, and evaluates SLO rules a final time. Safe to call
+// when no flags were set, and idempotent enough to both defer and call
+// explicitly before os.Exit. With -slo-strict it returns ErrSLOStrict
+// (wrapped) if any crit-severity rule fired.
 func (c *CLI) Close() error {
 	var first error
+	c.finishSLO()
 	if c.metricsPath != "" {
 		s := Default.Snapshot()
 		if DefaultTracer.Enabled() {
@@ -107,13 +229,44 @@ func (c *CLI) Close() error {
 		}
 		c.profilePath = ""
 	}
+	if c.journalPath != "" {
+		if n := journal.Default.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "obs: journal capacity reached, %d event(s) dropped\n", n)
+		}
+		if err := journal.Default.WriteFile(c.journalPath); err != nil && first == nil {
+			first = err
+		}
+		c.journalPath = ""
+	}
 	if c.shutdown != nil {
 		if err := c.shutdown(); err != nil && first == nil {
 			first = err
 		}
 		c.shutdown = nil
 	}
+	if c.engine != nil {
+		if c.sloStrict && c.engine.CritCount() > 0 {
+			if first == nil {
+				first = fmt.Errorf("slo: %d crit rule(s): %w", c.engine.CritCount(), ErrSLOStrict)
+			}
+		}
+		c.engine = nil
+	}
 	return first
+}
+
+// Finish is the cmd epilogue: it closes the CLI and exits nonzero if
+// flushing failed or strict SLO mode vetoed the run (exit 3, distinct
+// from general tool failure). Call as the last statement of main; the
+// paired defer o.Close() then has nothing left to do.
+func (c *CLI) Finish(tool string) {
+	if err := c.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		if errors.Is(err, ErrSLOStrict) {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
 }
 
 // touch creates (or truncates) path so permission/path errors surface at

@@ -2,12 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -19,13 +21,19 @@ func disarmDefaults(t *testing.T) {
 		DefaultTracer.SetEnabled(false)
 		prof.Default.SetEnabled(false)
 		prof.Default.Reset()
+		journal.Default.SetEnabled(false)
+		journal.Default.SetMinLevel(journal.LevelInfo)
+		journal.Default.Reset()
 	})
 }
 
 func TestBindFlagsRegistersAll(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	BindFlags(fs)
-	for _, name := range []string{"metrics", "trace", "profile", "pprof"} {
+	for _, name := range []string{
+		"metrics", "trace", "profile", "pprof",
+		"journal", "journal-level", "slo", "slo-strict", "slo-interval",
+	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -147,6 +155,122 @@ func TestSnapshotsWrittenOnClose(t *testing.T) {
 	}
 	if _, err := os.Stat(metricsPath); !os.IsNotExist(err) {
 		t.Error("second Close rewrote the metrics snapshot")
+	}
+}
+
+func TestJournalWrittenOnClose(t *testing.T) {
+	disarmDefaults(t)
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{"-journal", jpath, "-journal-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if !journal.Default.Enabled() || !journal.On(journal.LevelDebug) {
+		t.Fatal("-journal-level debug did not arm the journal at debug")
+	}
+	journal.Emit(5, journal.LevelDebug, "cli_test", "ping", journal.I("n", 1))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, skipped, err := journal.LoadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(events) != 1 || events[0].Layer != "cli_test" || events[0].Name != "ping" {
+		t.Fatalf("journal file content wrong: %d skipped, %+v", skipped, events)
+	}
+}
+
+func TestActivateBadJournalLevel(t *testing.T) {
+	disarmDefaults(t)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := fs.Parse([]string{"-journal", jpath, "-journal-level", "loud"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err == nil || !strings.Contains(err.Error(), "-journal-level") {
+		t.Fatalf("bad -journal-level: Activate err = %v, want flag-naming error", err)
+	}
+}
+
+// sloRule builds a one-rule file body firing when metric > 2. Each test
+// uses a distinct metric name because the default registry's counters
+// are process-global and keep their value across tests.
+func sloRule(metric, severity string) string {
+	return `[{"name":"too-many","metric":"` + metric +
+		`","op":">","threshold":2,"severity":"` + severity + `","reason":"test"}]`
+}
+
+// sloCLI activates a CLI (with the journal armed, so firings are
+// observable) against the given rules, runs arm to set up metric state,
+// then Closes it and returns the error.
+func sloCLI(t *testing.T, rules string, strict bool, arm func()) error {
+	t.Helper()
+	disarmDefaults(t)
+	dir := t.TempDir()
+	rpath := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(rpath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-slo", rpath, "-journal", filepath.Join(dir, "run.jsonl")}
+	if strict {
+		args = append(args, "-slo-strict")
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	arm()
+	return c.Close()
+}
+
+func TestCloseStrictCritFiring(t *testing.T) {
+	err := sloCLI(t, sloRule("cli_test.crit_hit", "crit"), true,
+		func() { C("cli_test.crit_hit").Add(5) })
+	if !errors.Is(err, ErrSLOStrict) {
+		t.Fatalf("strict crit firing: Close err = %v, want ErrSLOStrict", err)
+	}
+	// The firing must also reach the journal for -journal/msreport/SSE.
+	fired := false
+	for _, e := range journal.Default.Events() {
+		if e.Layer == "slo" && e.Name == "slo_fired" && e.Get("rule") == "too-many" {
+			fired = true
+			if e.Level != journal.LevelCrit {
+				t.Errorf("crit firing journaled at level %v", e.Level)
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("crit firing did not reach the journal")
+	}
+}
+
+func TestCloseStrictPassesWithoutCrit(t *testing.T) {
+	// Metric under threshold: no firing, strict Close is clean.
+	if err := sloCLI(t, sloRule("cli_test.crit_miss", "crit"), true,
+		func() { C("cli_test.crit_miss").Inc() }); err != nil {
+		t.Fatalf("strict with no firing: Close err = %v", err)
+	}
+	// Warn-severity firing: visible but never vetoes the run.
+	if err := sloCLI(t, sloRule("cli_test.warn_hit", "warn"), true,
+		func() { C("cli_test.warn_hit").Add(5) }); err != nil {
+		t.Fatalf("strict with warn firing: Close err = %v", err)
+	}
+}
+
+func TestCloseNonStrictCritFiring(t *testing.T) {
+	if err := sloCLI(t, sloRule("cli_test.crit_lax", "crit"), false,
+		func() { C("cli_test.crit_lax").Add(5) }); err != nil {
+		t.Fatalf("non-strict crit firing: Close err = %v, want nil", err)
 	}
 }
 

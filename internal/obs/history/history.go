@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -17,6 +18,10 @@ import (
 	"strings"
 	"time"
 )
+
+// ErrDuplicate reports an AppendUnique refused because the history
+// already holds a record for the same (commit, fingerprint) pair.
+var ErrDuplicate = errors.New("history: record for this commit and configuration already exists")
 
 // Record is one run's entry in the history file.
 type Record struct {
@@ -87,20 +92,26 @@ func Append(path string, r Record) error {
 	return f.Close()
 }
 
-// Load reads every parseable record from the JSONL file at path, in
-// file order. A missing file is an empty history, not an error;
-// malformed lines are skipped so one bad append never poisons the
-// trend view.
-func Load(path string) ([]Record, error) {
+// Valid reports whether a record carries the minimum identifying
+// information a trend view needs: the date and the tool that wrote it.
+func (r Record) Valid() bool { return r.Date != "" && r.Source != "" }
+
+// Load reads every valid record from the JSONL file at path, in file
+// order, and reports how many lines it skipped (unparseable JSON or
+// records failing Valid). A missing file is an empty history, not an
+// error; skipping keeps one bad append from poisoning the trend view,
+// and the count keeps the skipping from being silent.
+func Load(path string) ([]Record, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("history: %w", err)
+		return nil, 0, fmt.Errorf("history: %w", err)
 	}
 	defer f.Close()
 	var out []Record
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -109,10 +120,32 @@ func Load(path string) ([]Record, error) {
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
+		if err := json.Unmarshal([]byte(line), &r); err != nil || !r.Valid() {
+			skipped++
 			continue
 		}
 		out = append(out, r)
 	}
-	return out, sc.Err()
+	return out, skipped, sc.Err()
+}
+
+// AppendUnique appends r unless the history already holds a record with
+// the same (Commit, Fingerprint) pair, in which case it returns
+// ErrDuplicate. Re-running a report on an unchanged checkout therefore
+// cannot inflate the trend tables with identical points. Records with an
+// unknown commit are exempt — outside a git checkout every run would
+// collide.
+func AppendUnique(path string, r Record) error {
+	if r.Commit != "" && r.Commit != "unknown" {
+		existing, _, err := Load(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range existing {
+			if e.Commit == r.Commit && e.Fingerprint == r.Fingerprint {
+				return fmt.Errorf("%w (commit %s, config %s)", ErrDuplicate, r.Commit, r.Fingerprint)
+			}
+		}
+	}
+	return Append(path, r)
 }

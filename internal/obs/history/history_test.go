@@ -1,6 +1,7 @@
 package history
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,12 +25,12 @@ func TestAppendLoadRoundTrip(t *testing.T) {
 	if err := Append(path, r2); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
+	got, skipped, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("loaded %d records, want 2", len(got))
+	if len(got) != 2 || skipped != 0 {
+		t.Fatalf("loaded %d records (%d skipped), want 2 (0 skipped)", len(got), skipped)
 	}
 	if got[0].Source != "benchreg" || got[0].Headline["RC4_ns_per_op"] != 12.5 {
 		t.Fatalf("record 0 = %+v", got[0])
@@ -40,9 +41,9 @@ func TestAppendLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadMissingFileIsEmpty(t *testing.T) {
-	got, err := Load(filepath.Join(t.TempDir(), "nope.jsonl"))
-	if err != nil || got != nil {
-		t.Fatalf("Load(missing) = %v, %v; want nil, nil", got, err)
+	got, skipped, err := Load(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil || skipped != 0 {
+		t.Fatalf("Load(missing) = %v, %d, %v; want nil, 0, nil", got, skipped, err)
 	}
 }
 
@@ -50,17 +51,60 @@ func TestLoadSkipsMalformedLines(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "history.jsonl")
 	blob := `{"date":"2026-08-06","source":"benchreg"}
 this line is not JSON
+{"date":"","source":"benchreg"}
+{"commit":"abc1234"}
 ` + "\n" + `{"date":"2026-08-07","source":"msreport"}
 `
 	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
+	got, skipped, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0].Source != "benchreg" || got[1].Source != "msreport" {
 		t.Fatalf("loaded %+v, want the two valid records", got)
+	}
+	// One unparseable line plus two records failing validation (empty
+	// date, missing source); the blank line is not counted.
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+}
+
+func TestAppendUniqueRefusesDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	r := Record{
+		Date: "2026-08-06", Source: "msreport", Commit: "abc1234",
+		Fingerprint: Fingerprint("fig4"),
+	}
+	if err := AppendUnique(path, r); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err := AppendUnique(path, r)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("second append err = %v, want ErrDuplicate", err)
+	}
+	// Same commit, different configuration: allowed.
+	r2 := r
+	r2.Fingerprint = Fingerprint("fig7")
+	if err := AppendUnique(path, r2); err != nil {
+		t.Fatalf("distinct-config append: %v", err)
+	}
+	// Unknown commit (outside a git checkout): dedup disabled.
+	r3 := Record{Date: "2026-08-06", Source: "msreport", Commit: "unknown"}
+	if err := AppendUnique(path, r3); err != nil {
+		t.Fatalf("unknown-commit append 1: %v", err)
+	}
+	if err := AppendUnique(path, r3); err != nil {
+		t.Fatalf("unknown-commit append 2: %v", err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("history has %d records, want 4", len(got))
 	}
 }
 

@@ -1,13 +1,19 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs/journal"
 )
 
 func TestServeEndpoints(t *testing.T) {
@@ -58,6 +64,121 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	get("/debug/vars")
 	get("/debug/pprof/cmdline")
+}
+
+// readSSEFrame reads one "event:"/"data:" frame from an SSE stream.
+func readSSEFrame(t *testing.T, br *bufio.Reader) (name, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if name != "" || data != "" {
+				return name, data
+			}
+		case strings.HasPrefix(line, "event: "):
+			name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+}
+
+func TestServeEventsStream(t *testing.T) {
+	j := journal.New(64)
+	j.SetMinLevel(journal.LevelDebug)
+	j.SetEnabled(true)
+	addr, shutdown, err := ServeConfig("127.0.0.1:0", ServerConfig{
+		Journal:         j,
+		Progress:        func() []byte { return []byte(`{"active":true,"done":3,"total":9}`) },
+		MetricsInterval: time.Hour, // keep metric ticks out of the stream
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	name, data := readSSEFrame(t, br)
+	if name != "hello" || !strings.Contains(data, "metric_interval_ms") {
+		t.Fatalf("first frame = %q %q, want hello frame", name, data)
+	}
+
+	j.Emit(7, journal.LevelWarn, "wep", "icv_failure", journal.I("frame_bytes", 42))
+	name, data = readSSEFrame(t, br)
+	if name != "journal" {
+		t.Fatalf("second frame = %q %q, want journal", name, data)
+	}
+	e, err := journal.ParseLine([]byte(data))
+	if err != nil {
+		t.Fatalf("journal frame not parseable: %v\n%s", err, data)
+	}
+	if e.TSim != 7 || e.Layer != "wep" || e.Name != "icv_failure" || e.Get("frame_bytes") != "42" {
+		t.Fatalf("journal frame content wrong: %s", data)
+	}
+
+	presp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if !strings.Contains(string(body), `"done":3`) {
+		t.Fatalf("/progress = %s", body)
+	}
+}
+
+// TestServeShutdownUnblocksStreams is the regression test for the
+// shutdown hang: an open /events stream must not keep Shutdown (and its
+// handler goroutine) alive past the 2s drain window.
+func TestServeShutdownUnblocksStreams(t *testing.T) {
+	before := runtime.NumGoroutine()
+	j := journal.New(16)
+	j.SetEnabled(true)
+	addr, shutdown, err := ServeConfig("127.0.0.1:0", ServerConfig{
+		Journal:         j,
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	readSSEFrame(t, br) // hello: the stream is live
+
+	start := time.Now()
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown with open SSE stream: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shutdown took %v; the done channel should unblock streams instantly", d)
+	}
+	resp.Body.Close()
+
+	// The handler, Serve loop and subscriber goroutines must all exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after shutdown: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
 func TestCLIWritesFiles(t *testing.T) {

@@ -1,0 +1,59 @@
+package journal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzJSONLRoundTrip checks both directions of the JSONL codec:
+// events built from arbitrary primitives survive encode→parse→encode
+// with stable canonical bytes, and arbitrary input lines either fail to
+// parse or themselves re-encode canonically. This is the fuzz target the
+// CI smoke job picks up.
+func FuzzJSONLRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint8(1), "core", "row", "mode", "unencrypted", int64(1234), 0.5, true)
+	f.Add(int64(-1), uint8(3), "slo", "slo_fired", "rule", `battery "gap"`, int64(-7), math.MaxFloat64, false)
+	f.Add(int64(53), uint8(0), "par", "task_start", "k\n", "\x00\xff", int64(9), math.Inf(1), true)
+	f.Fuzz(func(t *testing.T, tSim int64, lvRaw uint8, layer, name, k, sv string, iv int64, fv float64, bv bool) {
+		e := Event{
+			TSim:  tSim,
+			Level: Level(lvRaw % 4),
+			Layer: layer,
+			Name:  name,
+			Fields: []Field{
+				S(k, sv), I(k+"_i", iv), F(k+"_f", fv), B(k+"_b", bv),
+			},
+		}
+		line1 := AppendJSON(nil, e)
+		got, err := ParseLine(line1)
+		if err != nil {
+			t.Fatalf("encoder output rejected by ParseLine: %v\nline: %s", err, line1)
+		}
+		line2 := AppendJSON(nil, got)
+		got2, err := ParseLine(line2)
+		if err != nil {
+			t.Fatalf("re-encoded output rejected: %v\nline: %s", err, line2)
+		}
+		line3 := AppendJSON(nil, got2)
+		if !bytes.Equal(line2, line3) {
+			t.Fatalf("canonical encoding unstable:\n%s\n%s", line2, line3)
+		}
+		if got.TSim != tSim || got.Level != Level(lvRaw%4) {
+			t.Fatalf("header mutated: %+v", got)
+		}
+
+		// Second direction: treat the raw string input as a candidate line.
+		if ev, err := ParseLine([]byte(sv)); err == nil {
+			a := AppendJSON(nil, ev)
+			ev2, err := ParseLine(a)
+			if err != nil {
+				t.Fatalf("canonical re-encode of parsed input rejected: %v\nline: %s", err, a)
+			}
+			b := AppendJSON(nil, ev2)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("parsed-input encoding unstable:\n%s\n%s", a, b)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/history"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -27,8 +28,12 @@ type Data struct {
 	Metrics      *obs.Snapshot
 	TraceEvents  []obs.Event
 	TraceDropped uint64
-	History      []history.Record
-	TopN         int // rows per top table (default 15)
+	// Journal is a run's structured event journal (the -journal JSONL);
+	// JournalSkipped counts lines the loader could not parse.
+	Journal        []journal.Event
+	JournalSkipped int
+	History        []history.Record
+	TopN           int // rows per top table (default 15)
 }
 
 // HTML writes the full report document.
@@ -54,6 +59,9 @@ func HTML(w io.Writer, d Data) error {
 	}
 	if d.TraceEvents != nil || d.TraceDropped > 0 {
 		writeTraceSection(&b, d.TraceEvents, d.TraceDropped)
+	}
+	if len(d.Journal) > 0 || d.JournalSkipped > 0 {
+		writeJournalSection(&b, d.Journal, d.JournalSkipped)
 	}
 	if len(d.History) > 0 {
 		writeHistorySection(&b, d.History)
@@ -318,6 +326,99 @@ func writeTraceSection(b *strings.Builder, events []obs.Event, dropped uint64) {
 				html.EscapeString(name), la.events, la.spanUS)
 		}
 		b.WriteString("</table>\n")
+	}
+}
+
+// ---- journal ----------------------------------------------------------
+
+// writeJournalSection renders the structured event journal: the SLO
+// alert table first (the reason most readers open the report), then a
+// per-layer breakdown and an excerpt of the warn-and-above events.
+func writeJournalSection(b *strings.Builder, events []journal.Event, skipped int) {
+	b.WriteString("<h2>Event journal</h2>\n")
+	fmt.Fprintf(b, "<p class=\"note\">%d events.", len(events))
+	if skipped > 0 {
+		fmt.Fprintf(b, " <strong>%d malformed line(s) skipped</strong> while loading.", skipped)
+	}
+	b.WriteString("</p>\n")
+
+	// SLO alert table, from slo_fired events.
+	var fired []journal.Event
+	for _, e := range events {
+		if e.Layer == "slo" && e.Name == "slo_fired" {
+			fired = append(fired, e)
+		}
+	}
+	b.WriteString("<h3>SLO alerts</h3>\n")
+	if len(fired) == 0 {
+		b.WriteString("<p class=\"note\">No SLO rules fired.</p>\n")
+	} else {
+		b.WriteString("<table><tr><th>rule</th><th>severity</th><th>metric</th><th>value</th><th>op</th><th>threshold</th><th>reason</th></tr>\n")
+		for _, e := range fired {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(e.Get("rule")), html.EscapeString(e.Get("severity")),
+				html.EscapeString(e.Get("metric")), html.EscapeString(e.Get("value")),
+				html.EscapeString(e.Get("op")), html.EscapeString(e.Get("threshold")),
+				html.EscapeString(e.Get("reason")))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Per-layer, per-level counts.
+	type layerAgg struct{ counts [4]int }
+	layers := map[string]*layerAgg{}
+	var names []string
+	for _, e := range events {
+		la, ok := layers[e.Layer]
+		if !ok {
+			la = &layerAgg{}
+			layers[e.Layer] = la
+			names = append(names, e.Layer)
+		}
+		if e.Level >= journal.LevelDebug && e.Level <= journal.LevelCrit {
+			la.counts[e.Level]++
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("<h3>Events by layer</h3>\n<table><tr><th>layer</th><th>debug</th><th>info</th><th>warn</th><th>crit</th></tr>\n")
+		for _, name := range names {
+			la := layers[name]
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+				html.EscapeString(name),
+				la.counts[journal.LevelDebug], la.counts[journal.LevelInfo],
+				la.counts[journal.LevelWarn], la.counts[journal.LevelCrit])
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Excerpt: warn-and-above events (already slo-tabled firings included
+	// for context), capped so a noisy run cannot bloat the document.
+	const maxExcerpt = 50
+	var lines []string
+	for _, e := range events {
+		if e.Level < journal.LevelWarn {
+			continue
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "[%s] %s/%s t=%d", e.Level, e.Layer, e.Name, e.TSim)
+		for _, f := range e.Fields {
+			fmt.Fprintf(&sb, " %s=%s", f.K, e.Get(f.K))
+		}
+		lines = append(lines, sb.String())
+		if len(lines) == maxExcerpt {
+			break
+		}
+	}
+	if len(lines) > 0 {
+		b.WriteString("<h3>Warnings and criticals</h3>\n<table><tr><th>event</th></tr>\n")
+		for _, l := range lines {
+			fmt.Fprintf(b, "<tr><td>%s</td></tr>\n", html.EscapeString(l))
+		}
+		b.WriteString("</table>\n")
+		if len(lines) == maxExcerpt {
+			fmt.Fprintf(b, "<p class=\"note\">Excerpt capped at %d events; see the journal file for the rest.</p>\n", maxExcerpt)
+		}
 	}
 }
 

@@ -1,0 +1,152 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTable(t *testing.T) {
+	good := `[{"name":"battery-gap","metric":"core.battery_relative.secure_rsa","op":"<","threshold":0.5,"severity":"warn","reason":"Fig 4"}]`
+	cases := []struct {
+		name    string
+		blob    string
+		wantErr string // substring of the error, "" for success
+	}{
+		{"valid", good, ""},
+		{"empty file", ``, "parsing rules"},
+		{"empty list", `[]`, "declares no rules"},
+		{"not a list", `{"name":"x"}`, "parsing rules"},
+		{"bad comparator", `[{"name":"x","metric":"m","op":"<>","threshold":1,"severity":"warn"}]`, "bad comparator"},
+		{"missing metric", `[{"name":"x","op":"<","threshold":1,"severity":"warn"}]`, "missing metric"},
+		{"missing name", `[{"metric":"m","op":"<","threshold":1,"severity":"warn"}]`, "no name"},
+		{"bad severity", `[{"name":"x","metric":"m","op":"<","threshold":1,"severity":"fatal"}]`, "bad severity"},
+		{"bad aggregation", `[{"name":"x","metric":"m","agg":"p99","op":"<","threshold":1,"severity":"warn"}]`, "bad aggregation"},
+		{"unknown field", `[{"name":"x","metric":"m","op":"<","treshold":1,"severity":"warn"}]`, "parsing rules"},
+		{"duplicate names", `[{"name":"x","metric":"m","op":"<","threshold":1,"severity":"warn"},
+		                     {"name":"x","metric":"m2","op":">","threshold":2,"severity":"crit"}]`, "duplicate rule name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rules, err := Parse([]byte(tc.blob))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Parse: %v", err)
+				}
+				if len(rules) != 1 || rules[0].Name != "battery-gap" {
+					t.Fatalf("got %+v", rules)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.blob)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func mapLookup(m map[string]float64) Lookup {
+	return func(metric, agg string) (float64, bool) {
+		if agg != "" && agg != "value" {
+			metric += "." + agg
+		}
+		v, ok := m[metric]
+		return v, ok
+	}
+}
+
+func TestEvalFiresOncePerRule(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"battery-gap","metric":"rel","op":"<","threshold":0.5,"severity":"warn"},
+	  {"name":"gap-crit","metric":"demand","denom":"supply","op":">","threshold":1,"severity":"crit"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+
+	// First snapshot: only the ratio rule's inputs exist, ratio under limit.
+	fired := e.Eval(10, mapLookup(map[string]float64{"demand": 90, "supply": 100}))
+	if len(fired) != 0 {
+		t.Fatalf("fired early: %+v", fired)
+	}
+
+	// Second snapshot: both violate.
+	fired = e.Eval(20, mapLookup(map[string]float64{"rel": 0.4, "demand": 651, "supply": 300}))
+	if len(fired) != 2 {
+		t.Fatalf("got %d firings, want 2: %+v", len(fired), fired)
+	}
+	if fired[0].Rule.Name != "battery-gap" || fired[0].Value != 0.4 || fired[0].TSim != 20 {
+		t.Fatalf("firing 0: %+v", fired[0])
+	}
+	if fired[1].Rule.Name != "gap-crit" || fired[1].Value != 651.0/300 {
+		t.Fatalf("firing 1: %+v", fired[1])
+	}
+
+	// Third snapshot, still violating: deduped.
+	if again := e.Eval(30, mapLookup(map[string]float64{"rel": 0.1, "demand": 700, "supply": 300})); len(again) != 0 {
+		t.Fatalf("rules fired twice: %+v", again)
+	}
+	if len(e.Firings()) != 2 {
+		t.Fatalf("Firings() = %d, want 2", len(e.Firings()))
+	}
+	if e.CritCount() != 1 {
+		t.Fatalf("CritCount() = %d, want 1", e.CritCount())
+	}
+}
+
+func TestEvalSkipsAbsentAndZeroDenom(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"absent","metric":"never_recorded","op":">","threshold":0,"severity":"crit"},
+	  {"name":"zero-denom","metric":"a","denom":"b","op":">","threshold":0,"severity":"crit"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	if fired := e.Eval(0, mapLookup(map[string]float64{"a": 5, "b": 0})); len(fired) != 0 {
+		t.Fatalf("rules with missing data fired: %+v", fired)
+	}
+}
+
+func TestEvalAggregations(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"mean-latency","metric":"lat","agg":"mean","op":">=","threshold":10,"severity":"warn"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	fired := e.Eval(0, mapLookup(map[string]float64{"lat.mean": 12}))
+	if len(fired) != 1 || fired[0].Value != 12 {
+		t.Fatalf("agg lookup failed: %+v", fired)
+	}
+}
+
+func TestSummaryAndMarshal(t *testing.T) {
+	rules, _ := Parse([]byte(`[
+	  {"name":"retx-energy","metric":"energy.drained_uj.radio-retx","denom":"energy.drained_uj","op":">","threshold":0.3,"severity":"warn","reason":"ARQ overhead"}
+	]`))
+	e := NewEngine(rules)
+	e.Eval(-1, mapLookup(map[string]float64{"energy.drained_uj.radio-retx": 40, "energy.drained_uj": 100}))
+	sum := Summary(e.Firings())
+	for _, frag := range []string{"WARN retx-energy", "/ energy.drained_uj", "> 0.3", "ARQ overhead"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("summary %q missing %q", sum, frag)
+		}
+	}
+	if Summary(nil) != "" {
+		t.Error("Summary(nil) not empty")
+	}
+	blob := string(MarshalFirings(e.Firings()))
+	for _, frag := range []string{`"rule": "retx-energy"`, `"value": 0.4`, `"t_sim": -1`} {
+		if !strings.Contains(blob, frag) {
+			t.Errorf("marshal %s missing %q", blob, frag)
+		}
+	}
+	if string(MarshalFirings(nil)) != "[]" {
+		t.Errorf("MarshalFirings(nil) = %s", MarshalFirings(nil))
+	}
+}

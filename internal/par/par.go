@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // Sweep-cell metric handles. Per-task timing reads the clock only when
@@ -85,6 +86,12 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 	mWorkers.Set(float64(workers))
 	mSweepLen.Set(float64(n))
 	measure := obs.Enabled()
+	tr := beginSweep(workers, n)
+	defer tr.endSweep()
+	// Task events carry t_sim = task index and never the worker id or the
+	// process-local sweep ordinal, so the merged journal is byte-identical
+	// at any -workers count and across runs of the same workload.
+	jdebug := journal.On(journal.LevelDebug)
 	var (
 		next     atomic.Int64
 		errMu    sync.Mutex
@@ -103,7 +110,7 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if failed.Load() {
@@ -117,6 +124,10 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 				if i >= n {
 					return
 				}
+				if jdebug {
+					journal.Emit(int64(i), journal.LevelDebug, "par", "task_start",
+						journal.I("task", int64(i)))
+				}
 				var t0 time.Time
 				if measure {
 					t0 = time.Now()
@@ -126,12 +137,22 @@ func run(ctx context.Context, workers, n int, task func(i int) error) error {
 					mTasks.Inc()
 					mTaskNS.Observe(time.Since(t0).Nanoseconds())
 				}
+				tr.done.Add(1)
+				tr.perW[w].Add(1)
 				if err != nil {
+					if jdebug {
+						journal.Emit(int64(i), journal.LevelDebug, "par", "task_error",
+							journal.I("task", int64(i)), journal.S("err", err.Error()))
+					}
 					record(i, err)
 					return
 				}
+				if jdebug {
+					journal.Emit(int64(i), journal.LevelDebug, "par", "task_finish",
+						journal.I("task", int64(i)))
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if errIdx < n {

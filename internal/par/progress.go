@@ -1,0 +1,107 @@
+package par
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Live sweep progress for the obs /progress endpoint. run() publishes a
+// fresh tracker per sweep; workers bump per-worker atomic counters, so
+// the accounting adds two atomic increments per task. Concurrent sweeps
+// (rare outside tests) follow last-started-wins, which is the right
+// behavior for a monitor: it shows what the process is doing now.
+type tracker struct {
+	sweep   int64
+	total   int64
+	startNS int64
+	done    atomic.Int64
+	perW    []atomic.Int64
+	active  atomic.Bool
+}
+
+var (
+	progMu   sync.Mutex
+	progCur  *tracker
+	sweepSeq atomic.Int64
+)
+
+// beginSweep publishes a tracker for a starting sweep.
+func beginSweep(workers, n int) *tracker {
+	t := &tracker{
+		sweep:   sweepSeq.Add(1),
+		total:   int64(n),
+		startNS: time.Now().UnixNano(),
+		perW:    make([]atomic.Int64, workers),
+	}
+	t.active.Store(true)
+	progMu.Lock()
+	progCur = t
+	progMu.Unlock()
+	return t
+}
+
+// endSweep marks t finished; it stays visible (inactive) until the next
+// sweep replaces it, so /progress keeps reporting the final state.
+func (t *tracker) endSweep() { t.active.Store(false) }
+
+func init() {
+	obs.SetProgressSource(ProgressJSON)
+}
+
+// ProgressJSON renders the current sweep's progress for the /progress
+// endpoint:
+//
+//	{"active":true,"sweep":2,"total":54,"done":31,"workers":8,
+//	 "per_worker":[4,4,...],"elapsed_ms":12,"eta_ms":9,"tasks_per_sec":2583.3}
+//
+// eta_ms extrapolates from completed tasks (-1 before the first task
+// finishes); with no sweep started yet it returns {"active":false}.
+func ProgressJSON() []byte {
+	progMu.Lock()
+	t := progCur
+	progMu.Unlock()
+	if t == nil {
+		return []byte(`{"active":false,"total":0,"done":0}` + "\n")
+	}
+	done := t.done.Load()
+	elapsedMS := (time.Now().UnixNano() - t.startNS) / 1e6
+	etaMS := int64(-1)
+	if done > 0 {
+		etaMS = elapsedMS * (t.total - done) / done
+	}
+	tps := 0.0
+	if elapsedMS > 0 {
+		tps = float64(done) / (float64(elapsedMS) / 1000)
+	}
+	var b strings.Builder
+	b.WriteString(`{"active":`)
+	b.WriteString(strconv.FormatBool(t.active.Load()))
+	b.WriteString(`,"sweep":`)
+	b.WriteString(strconv.FormatInt(t.sweep, 10))
+	b.WriteString(`,"total":`)
+	b.WriteString(strconv.FormatInt(t.total, 10))
+	b.WriteString(`,"done":`)
+	b.WriteString(strconv.FormatInt(done, 10))
+	b.WriteString(`,"workers":`)
+	b.WriteString(strconv.Itoa(len(t.perW)))
+	b.WriteString(`,"per_worker":[`)
+	for i := range t.perW {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(t.perW[i].Load(), 10))
+	}
+	b.WriteString(`],"elapsed_ms":`)
+	b.WriteString(strconv.FormatInt(elapsedMS, 10))
+	b.WriteString(`,"eta_ms":`)
+	b.WriteString(strconv.FormatInt(etaMS, 10))
+	b.WriteString(`,"tasks_per_sec":`)
+	b.WriteString(strconv.FormatFloat(tps, 'f', 1, 64))
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

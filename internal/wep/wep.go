@@ -18,6 +18,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/crypto/rc4"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 )
 
@@ -169,6 +170,8 @@ func Open(secret, frame []byte) ([]byte, error) {
 	got := uint32(icvBytes[0]) | uint32(icvBytes[1])<<8 | uint32(icvBytes[2])<<16 | uint32(icvBytes[3])<<24
 	if got != crc32.ChecksumIEEE(payload) {
 		mICVFailures.Inc()
+		journal.Emit(0, journal.LevelWarn, "wep", "icv_failure",
+			journal.I("frame_bytes", int64(len(frame))))
 		return nil, ErrBadICV
 	}
 	mFramesOpened.Inc()

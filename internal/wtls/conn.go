@@ -13,6 +13,7 @@ import (
 	"repro/internal/crypto/rsa"
 	"repro/internal/crypto/sha1"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/suite"
 )
@@ -144,6 +145,10 @@ type Conn struct {
 	master    []byte
 
 	metrics Metrics
+
+	// jphase numbers this connection's journaled handshake phases so the
+	// event stream orders by protocol progress, not wall clock.
+	jphase int64
 }
 
 // Client wraps conn as the client side of a WTLS connection.
@@ -177,6 +182,32 @@ func (c *Conn) State() ConnectionState {
 // Metrics returns the accumulated cost metrics.
 func (c *Conn) Metrics() Metrics { return c.metrics }
 
+// jrole names the endpoint's role in journal events.
+func (c *Conn) jrole() string {
+	if c.isClient {
+		return "client"
+	}
+	return "server"
+}
+
+// jhs journals one handshake phase at debug level; t_sim is the phase
+// ordinal within this connection's handshake.
+func (c *Conn) jhs(phase string) {
+	if journal.On(journal.LevelDebug) {
+		c.jphase++
+		journal.Emit(c.jphase, journal.LevelDebug, "wtls", "handshake_phase",
+			journal.S("role", c.jrole()), journal.S("phase", phase))
+	}
+}
+
+// alertRecv journals and returns a fatal alert received from the peer.
+func (c *Conn) alertRecv(level, desc uint8) error {
+	journal.Emit(c.jphase, journal.LevelWarn, "wtls", "alert_received",
+		journal.S("role", c.jrole()),
+		journal.I("level", int64(level)), journal.I("desc", int64(desc)))
+	return &AlertError{Level: level, Description: desc}
+}
+
 // sendAlert writes an alert record (best effort).
 func (c *Conn) sendAlert(level, desc uint8) {
 	frag, err := c.out.protect(recordAlert, []byte{level, desc})
@@ -187,6 +218,9 @@ func (c *Conn) sendAlert(level, desc uint8) {
 }
 
 func (c *Conn) fail(desc uint8, err error) error {
+	journal.Emit(c.jphase, journal.LevelWarn, "wtls", "alert_abort",
+		journal.S("role", c.jrole()), journal.I("desc", int64(desc)),
+		journal.S("err", err.Error()))
 	c.sendAlert(alertLevelFatal, desc)
 	return err
 }
@@ -232,7 +266,7 @@ func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
 			if len(payload) != 2 {
 				return 0, nil, errors.New("wtls: malformed alert")
 			}
-			return 0, nil, &AlertError{Level: payload[0], Description: payload[1]}
+			return 0, nil, c.alertRecv(payload[0], payload[1])
 		default:
 			return 0, nil, fmt.Errorf("wtls: unexpected record type %d during handshake", recType)
 		}
@@ -279,7 +313,7 @@ func (c *Conn) recvChangeCipherSpec(km *keyMaterial) error {
 		return err
 	}
 	if recType == recordAlert && len(payload) == 2 {
-		return &AlertError{Level: payload[0], Description: payload[1]}
+		return c.alertRecv(payload[0], payload[1])
 	}
 	if recType != recordChangeCipherSpec || len(payload) != 1 || payload[0] != 1 {
 		return errors.New("wtls: expected change cipher spec")
@@ -303,6 +337,7 @@ func (c *Conn) Handshake() error {
 		role = "client"
 	}
 	sp := obs.StartSpan("wtls", "handshake_"+role)
+	c.jhs("start")
 	var err error
 	if c.isClient {
 		err = c.clientHandshake()
@@ -312,9 +347,16 @@ func (c *Conn) Handshake() error {
 	sp.End()
 	if err != nil {
 		mHandshakeFailures.Inc()
+		journal.Emit(c.jphase, journal.LevelWarn, "wtls", "handshake_failed",
+			journal.S("role", role), journal.S("err", err.Error()))
 		return err
 	}
 	c.handshakeDone = true
+	if journal.On(journal.LevelInfo) {
+		journal.Emit(c.jphase, journal.LevelInfo, "wtls", "handshake_done",
+			journal.S("role", role), journal.S("suite", c.suite.Name),
+			journal.B("resumed", c.resumed))
+	}
 	kind := c.suite.KeyExchange
 	if c.resumed {
 		kind = cost.HandshakeResume
@@ -351,6 +393,7 @@ func (c *Conn) clientHandshake() error {
 	if err := c.writeHandshake(hello.marshal()); err != nil {
 		return err
 	}
+	c.jhs("client_hello_sent")
 
 	body, err := c.expectHandshake(typeServerHello)
 	if err != nil {
@@ -376,8 +419,10 @@ func (c *Conn) clientHandshake() error {
 	}
 	c.suite = st
 	c.sessionID = sh.sessionID
+	c.jhs("server_hello_recv")
 
 	if sh.resumed {
+		c.jhs("resume")
 		if cached == nil || cached.suiteID != sh.suite || string(cached.id) != string(sh.sessionID) {
 			return c.fail(AlertHandshakeFailed, errors.New("wtls: bogus resumption"))
 		}
@@ -422,6 +467,7 @@ func (c *Conn) clientHandshake() error {
 	if err := cert.Verify(c.cfg.RootCA, c.cfg.ServerName); err != nil {
 		return c.fail(AlertBadCertificate, err)
 	}
+	c.jhs("certificate_verified")
 
 	var premaster []byte
 	var ckx *clientKeyExchange
@@ -481,6 +527,7 @@ func (c *Conn) clientHandshake() error {
 	if err := c.writeHandshake(ckx.marshal()); err != nil {
 		return err
 	}
+	c.jhs("key_exchange_sent")
 	c.master = deriveMaster(premaster, clientRandom, sh.random)
 	km := deriveKeys(c.master, clientRandom, sh.random, st.MACKeyLen, st.KeyLen, st.IVLen)
 
@@ -502,6 +549,7 @@ func (c *Conn) clientHandshake() error {
 	if err := c.checkFinished(fbody, false, serverTranscript); err != nil {
 		return err
 	}
+	c.jhs("finished")
 	if c.cfg.SessionCache != nil && c.cfg.ServerName != "" && len(c.sessionID) > 0 {
 		c.cfg.SessionCache.put("client:"+c.cfg.ServerName, &session{
 			id: c.sessionID, master: c.master, suiteID: st.ID,
@@ -519,6 +567,7 @@ func (c *Conn) serverHandshake() error {
 	if err != nil {
 		return c.fail(AlertHandshakeFailed, err)
 	}
+	c.jhs("client_hello_recv")
 	serverRandom := c.cfg.Rand.Bytes(randomLen)
 
 	// Resumption path.
@@ -563,6 +612,7 @@ func (c *Conn) serverHandshake() error {
 	if err := c.writeHandshake(sh.marshal()); err != nil {
 		return err
 	}
+	c.jhs("server_hello_sent")
 	if err := c.writeHandshake((&certificateMsg{cert: c.cfg.Certificate.Marshal()}).marshal()); err != nil {
 		return err
 	}
@@ -596,6 +646,7 @@ func (c *Conn) serverHandshake() error {
 	if err != nil {
 		return c.fail(AlertHandshakeFailed, err)
 	}
+	c.jhs("key_exchange_recv")
 
 	var premaster []byte
 	switch st.KexName {
@@ -635,6 +686,7 @@ func (c *Conn) serverHandshake() error {
 	if err := c.writeHandshake(fin.marshal()); err != nil {
 		return err
 	}
+	c.jhs("finished")
 	if c.cfg.SessionCache != nil {
 		c.cfg.SessionCache.put("server:"+string(c.sessionID), &session{
 			id: c.sessionID, master: c.master, suiteID: st.ID,
@@ -644,6 +696,7 @@ func (c *Conn) serverHandshake() error {
 }
 
 func (c *Conn) serverResume(ch *clientHello, s *session, serverRandom []byte) error {
+	c.jhs("resume")
 	st, err := suite.ByID(s.suiteID)
 	if err != nil {
 		return c.fail(AlertHandshakeFailed, err)
@@ -755,7 +808,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 				c.closed = true
 				return 0, io.EOF
 			}
-			return 0, &AlertError{Level: payload[0], Description: payload[1]}
+			return 0, c.alertRecv(payload[0], payload[1])
 		default:
 			return 0, fmt.Errorf("wtls: unexpected record type %d", recType)
 		}
