@@ -4,9 +4,15 @@
 // polls /progress for live sweep status, rendering both as plain lines
 // so it works over a pipe as well as a terminal.
 //
+// When the stream drops (the watched tool restarted, the network
+// blipped), mswatch reconnects with capped exponential backoff instead
+// of dying — the natural behavior for a monitor pointed at a gateway
+// that is itself being chaos-tested. It gives up after -reconnect
+// consecutive failures; exit status is 0 if it ever connected.
+//
 // Typical use:
 //
-//	lossfig -simulate -pprof localhost:6060 &
+//	msgateway -pprof localhost:6060 &
 //	mswatch -addr localhost:6060
 package main
 
@@ -18,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/obs/journal"
 )
 
@@ -25,6 +32,7 @@ func main() {
 	addr := flag.String("addr", "localhost:6060", "obs server address (host:port) of the tool to watch")
 	level := flag.String("level", "info", "minimum journal level to print: debug, info, warn or crit")
 	progEvery := flag.Duration("progress-interval", 500*time.Millisecond, "sweep progress poll period (0 disables)")
+	reconnect := flag.Int("reconnect", 10, "consecutive connection failures before giving up (0 = exit when the stream first ends)")
 	verbose := flag.Bool("v", false, "also print metric deltas and the connection handshake")
 	flag.Parse()
 
@@ -36,47 +44,107 @@ func main() {
 	v := &view{w: os.Stdout, min: min, verbose: *verbose}
 
 	base := "http://" + *addr
+	stopProgress := make(chan struct{})
+	if *progEvery > 0 {
+		go pollProgress(base, *progEvery, v, stopProgress)
+	}
+
+	ever := streamLoop(
+		func() (io.ReadCloser, error) { return dialEvents(base) },
+		v.handle,
+		*reconnect,
+		backoff.Policy{Base: 200 * time.Millisecond, Max: 10 * time.Second, Seed: time.Now().UnixNano()},
+		nil,
+		func(msg string) { fmt.Fprintf(os.Stderr, "mswatch: %s\n", msg) },
+	)
+	close(stopProgress)
+	if !ever {
+		os.Exit(1)
+	}
+	// The watched tool went away for good — normal end.
+}
+
+// dialEvents opens the /events SSE stream.
+func dialEvents(base string) (io.ReadCloser, error) {
 	resp, err := http.Get(base + "/events")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mswatch: connecting to %s: %v\n", base, err)
-		os.Exit(1)
+		return nil, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "mswatch: %s/events: %s\n", base, resp.Status)
-		os.Exit(1)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s/events: %s", base, resp.Status)
 	}
+	return resp.Body, nil
+}
 
-	if *progEvery > 0 {
-		go pollProgress(base, *progEvery, v)
+// streamLoop reads SSE events from successive connections established
+// by dial, reconnecting with pol's capped exponential backoff. A
+// successful connection resets the failure budget; maxFails
+// consecutive failures (or, with maxFails 0, the first stream end)
+// stop the loop. sleep may be nil (time.Sleep) — tests inject a
+// recorder to pin the reconnect schedule. Returns whether any
+// connection ever succeeded.
+func streamLoop(dial func() (io.ReadCloser, error), handle func(sseEvent),
+	maxFails int, pol backoff.Policy, sleep func(time.Duration), logf func(string)) bool {
+	if sleep == nil {
+		sleep = time.Sleep
 	}
-
-	if err := readSSE(resp.Body, v.handle); err != nil && err != io.EOF {
-		fmt.Fprintf(os.Stderr, "mswatch: stream: %v\n", err)
-		os.Exit(1)
+	ever := false
+	fails := 0
+	for attempt := 0; ; attempt++ {
+		body, err := dial()
+		if err == nil {
+			ever = true
+			fails = 0
+			attempt = -1 // next delay (if any) restarts the schedule
+			if rerr := readSSE(body, handle); rerr != nil && rerr != io.EOF && logf != nil {
+				logf("stream: " + rerr.Error())
+			}
+			body.Close()
+			if maxFails <= 0 {
+				return ever // reconnecting disabled: first stream end is final
+			}
+			if logf != nil {
+				logf("stream ended — reconnecting")
+			}
+			continue
+		}
+		fails++
+		if logf != nil {
+			logf(fmt.Sprintf("connect (%d/%d): %v", fails, maxFails, err))
+		}
+		if maxFails <= 0 || fails >= maxFails {
+			return ever
+		}
+		sleep(pol.Delay(attempt))
 	}
-	// The watched tool exited (server closed the stream) — normal end.
 }
 
 // pollProgress fetches /progress on a fixed period and hands payloads to
-// the view, which deduplicates unchanged states. A 404 means the watched
-// tool registered no sweep progress source; polling stops quietly.
-func pollProgress(base string, every time.Duration, v *view) {
+// the view, which deduplicates unchanged states. Connection errors and
+// non-200s are tolerated (the watched tool may be between restarts);
+// polling runs until stop closes.
+func pollProgress(base string, every time.Duration, v *view, stop <-chan struct{}) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
-	for range tick.C {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
 		resp, err := http.Get(base + "/progress")
 		if err != nil {
-			return
+			continue
 		}
 		if resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
-			return
+			continue
 		}
 		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		if err != nil {
-			return
+			continue
 		}
 		v.progress(payload)
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// scriptedDial fails `failures` times, then returns streams from
+// `streams` in order, then fails forever.
+type scriptedDial struct {
+	failures int
+	streams  []string
+	calls    int
+}
+
+func (d *scriptedDial) dial() (io.ReadCloser, error) {
+	d.calls++
+	if d.failures > 0 {
+		d.failures--
+		return nil, errors.New("connection refused")
+	}
+	if len(d.streams) == 0 {
+		return nil, errors.New("connection refused")
+	}
+	s := d.streams[0]
+	d.streams = d.streams[1:]
+	return io.NopCloser(strings.NewReader(s)), nil
+}
+
+// TestStreamLoopScheduleExact pins the reconnect backoff: with a
+// zero-jitter policy, consecutive failures sleep exactly Base·2^attempt
+// and a successful connection restarts the schedule from Base.
+func TestStreamLoopScheduleExact(t *testing.T) {
+	pol := backoff.Policy{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2}
+	var slept []time.Duration
+	sleep := func(d time.Duration) { slept = append(slept, d) }
+
+	// Script: fail, fail, stream, fail, fail, fail → give up (maxFails 3
+	// reached after the stream). Expected sleeps: 100, 200 (before the
+	// stream, attempts 0 and 1), then 100, 200 again (schedule reset
+	// after the successful stream), then none (3rd failure = budget).
+	d := &scriptedDial{failures: 2, streams: []string{"event: x\ndata: {}\n\n"}}
+	ever := streamLoop(d.dial, func(sseEvent) {}, 3, pol, sleep, nil)
+	if !ever {
+		t.Fatal("ever=false despite a successful stream")
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("sleep schedule %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v (full: %v)", i, slept[i], want[i], slept)
+		}
+	}
+	// 2 failures + 1 stream + 3 failures = 6 dials.
+	if d.calls != 6 {
+		t.Fatalf("dial calls = %d, want 6", d.calls)
+	}
+}
+
+// TestStreamLoopCapsDelay verifies the exponential schedule saturates
+// at Max rather than growing without bound.
+func TestStreamLoopCapsDelay(t *testing.T) {
+	pol := backoff.Policy{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2}
+	var slept []time.Duration
+	d := &scriptedDial{failures: 100}
+	ever := streamLoop(d.dial, func(sseEvent) {}, 6, pol,
+		func(dl time.Duration) { slept = append(slept, dl) }, nil)
+	if ever {
+		t.Fatal("never connected but ever=true")
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("sleep schedule %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestStreamLoopNoReconnectMode: maxFails 0 restores the old behavior —
+// the first stream end is final and no sleeps happen.
+func TestStreamLoopNoReconnectMode(t *testing.T) {
+	d := &scriptedDial{streams: []string{"event: x\ndata: {}\n\n", "event: y\ndata: {}\n\n"}}
+	slept := 0
+	ever := streamLoop(d.dial, func(sseEvent) {}, 0, backoff.Policy{},
+		func(time.Duration) { slept++ }, nil)
+	if !ever || d.calls != 1 || slept != 0 {
+		t.Fatalf("ever=%v calls=%d slept=%d, want true/1/0", ever, d.calls, slept)
+	}
+}
+
+// TestStreamLoopDeliversEvents confirms reconnection is transparent to
+// the event consumer: frames from both connections arrive in order.
+func TestStreamLoopDeliversEvents(t *testing.T) {
+	d := &scriptedDial{streams: []string{
+		"event: journal\ndata: one\n\n",
+		"event: journal\ndata: two\n\n",
+	}}
+	var got []string
+	streamLoop(d.dial, func(ev sseEvent) { got = append(got, ev.data) }, 2,
+		backoff.Policy{Base: time.Millisecond}, func(time.Duration) {}, nil)
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("events across reconnect: %v", got)
+	}
+}

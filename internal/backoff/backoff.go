@@ -1,0 +1,113 @@
+// Package backoff computes capped exponential retry delays with
+// deterministic jitter.
+//
+// Mobile links fail in bursts: a retry storm from thousands of
+// appliances hitting a recovering gateway at the same instant is itself
+// a denial of service. Exponential backoff spreads recovery attempts
+// out; jitter decorrelates clients that failed together. The jitter
+// here is a pure function of (Seed, attempt), so a given client replays
+// the exact same schedule on every run — load tests stay reproducible
+// and the schedule itself is unit-testable, unlike rand-based jitter.
+package backoff
+
+import (
+	"math"
+	"time"
+)
+
+// Defaults used for zero-valued Policy fields.
+const (
+	DefaultBase   = 100 * time.Millisecond
+	DefaultMax    = 30 * time.Second
+	DefaultFactor = 2.0
+)
+
+// Policy describes a capped exponential backoff schedule. The zero
+// value is usable: 100ms base, 30s cap, doubling, no jitter.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps every delay, before and after jitter.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier.
+	Factor float64
+	// Jitter is the fractional spread around the nominal delay: with
+	// Jitter 0.2 a delay d becomes a deterministic value in
+	// [0.9d, 1.1d]. Must be in [0, 1].
+	Jitter float64
+	// Seed decorrelates the jitter of independent retriers. Two
+	// policies differing only in Seed produce different (but each
+	// individually reproducible) schedules.
+	Seed int64
+}
+
+// Delay returns the pause before retry number attempt (0-based). It is
+// a pure function: same policy, same attempt, same result.
+func (p Policy) Delay(attempt int) time.Duration {
+	base, max, factor := p.Base, p.Max, p.Factor
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if factor < 1 {
+		factor = DefaultFactor
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(base) * math.Pow(factor, float64(attempt))
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 - j/2 + j*unit(p.Seed, attempt)
+		if d > float64(max) {
+			d = float64(max)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Retry runs f until it returns nil or maxAttempts attempts have been
+// made, sleeping p.Delay(i) between attempt i and attempt i+1. sleep
+// may be nil (time.Sleep); tests inject a recorder instead. It returns
+// nil on success or the last error.
+func Retry(maxAttempts int, p Policy, sleep func(time.Duration), f func(attempt int) error) error {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err = f(attempt); err == nil {
+			return nil
+		}
+		if attempt < maxAttempts-1 {
+			sleep(p.Delay(attempt))
+		}
+	}
+	return err
+}
+
+// unit hashes (seed, attempt) into [0, 1) with a splitmix64 finalizer —
+// stateless, so schedules are independent of evaluation order.
+func unit(seed int64, attempt int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(attempt+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,116 @@
+package backoff
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayDeterministicJitter(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.4, Seed: 7}
+	for i := 0; i < 10; i++ {
+		a, b := p.Delay(i), p.Delay(i)
+		if a != b {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", i, a, b)
+		}
+		nominal := float64(100*time.Millisecond) * float64(int(1)<<uint(i))
+		if nominal > float64(10*time.Second) {
+			nominal = float64(10 * time.Second)
+		}
+		lo, hi := time.Duration(0.8*nominal), time.Duration(1.2*nominal)
+		if a < lo || a > hi {
+			t.Fatalf("Delay(%d) = %v outside jitter band [%v, %v]", i, a, lo, hi)
+		}
+	}
+}
+
+func TestJitterSeedsDecorrelate(t *testing.T) {
+	a := Policy{Jitter: 0.5, Seed: 1}
+	b := Policy{Jitter: 0.5, Seed: 2}
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Delay(i) == b.Delay(i) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDelayNeverExceedsMaxWithJitter(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 4 * time.Second, Factor: 2, Jitter: 1, Seed: 3}
+	for i := 0; i < 20; i++ {
+		if d := p.Delay(i); d > 4*time.Second {
+			t.Fatalf("Delay(%d) = %v exceeds cap", i, d)
+		}
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0); got != DefaultBase {
+		t.Fatalf("zero policy Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000); got != DefaultMax {
+		t.Fatalf("zero policy Delay(1000) = %v, want cap %v", got, DefaultMax)
+	}
+	if got := p.Delay(-1); got != DefaultBase {
+		t.Fatalf("negative attempt = %v, want %v", got, DefaultBase)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	var slept []time.Duration
+	calls := 0
+	err := Retry(5, p, func(d time.Duration) { slept = append(slept, d) }, func(attempt int) error {
+		calls++
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryExhaustsAndReturnsLastError(t *testing.T) {
+	boom := errors.New("boom")
+	slept := 0
+	err := Retry(3, Policy{Base: time.Millisecond}, func(time.Duration) { slept++ }, func(int) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry = %v, want %v", err, boom)
+	}
+	if slept != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after final attempt)", slept)
+	}
+}

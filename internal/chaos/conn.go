@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Socket-level fault metric handles, process totals across all wrapped
+// connections; disarmed by default like every other chaos counter.
+var (
+	mConnChunks    = obs.C("chaos.conn_chunks")
+	mConnDropped   = obs.C("chaos.conn_dropped")
+	mConnCorrupted = obs.C("chaos.conn_corrupted")
+	mConnStalls    = obs.C("chaos.conn_stalls")
+	mConnBadState  = obs.C("chaos.conn_bad_state")
+)
+
+// ConnConfig parameterizes socket-level fault injection. All
+// probabilities are per Write call ("chunk"): a TCP stream has no frame
+// boundaries, so the chunk — what one protocol layer hands the socket
+// at once — is the natural fault unit. The zero value is a clean
+// passthrough.
+//
+// The failure modes map onto what real mobile links do to a TCP
+// connection: Corrupt flips bits in flight (the record MAC catches it
+// and the session dies with an alert), Drop silently discards a chunk
+// (the byte stream desynchronizes and the peer stalls until its
+// deadline fires — the half-dead connection of a handset crossing a
+// coverage boundary), and Stall injects latency spikes. A Gilbert–
+// Elliott Burst makes all three cluster the way fading channels do.
+type ConnConfig struct {
+	// Seed drives the fault PRNG; a fixed seed gives a reproducible
+	// fault schedule for a given chunk sequence.
+	Seed int64
+	// Corrupt is the per-chunk probability of flipping one random bit.
+	Corrupt float64
+	// Drop is the per-chunk probability of silently discarding the
+	// chunk while reporting success — the peer must save itself with a
+	// deadline.
+	Drop float64
+	// StallProb is the per-chunk probability of sleeping Stall before
+	// the write proceeds.
+	StallProb float64
+	// Stall is the injected delay for stalled chunks.
+	Stall time.Duration
+	// Burst optionally clusters faults: in the bad state the drop
+	// probability becomes max(Drop, LossBad) and corruption doubles.
+	Burst *Burst
+}
+
+func (c *ConnConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Corrupt", c.Corrupt}, {"Drop", c.Drop}, {"StallProb", c.StallProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return errors.New("chaos: conn " + p.name + " outside [0,1]")
+		}
+	}
+	if c.Stall < 0 {
+		return errors.New("chaos: negative Stall")
+	}
+	if b := c.Burst; b != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"PGoodToBad", b.PGoodToBad}, {"PBadToGood", b.PBadToGood},
+			{"LossGood", b.LossGood}, {"LossBad", b.LossBad},
+		} {
+			if p.v < 0 || p.v > 1 {
+				return errors.New("chaos: conn burst " + p.name + " outside [0,1]")
+			}
+		}
+	}
+	return nil
+}
+
+// ConnStats counts faults injected into one wrapped connection.
+type ConnStats struct {
+	Chunks    int // Write calls offered
+	Dropped   int
+	Corrupted int
+	Stalled   int
+	BadState  int // chunks offered while the channel was in the bad state
+}
+
+// Conn wraps a real net.Conn and subjects its writes to the configured
+// faults, so socket-backed protocol stacks can be soaked against
+// OS-level failure modes. Reads, deadlines and addresses pass through
+// untouched (wrap both ends to impair both directions). It is safe for
+// concurrent use to the extent the underlying connection is.
+type Conn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu    sync.Mutex // guards rng, bad, stats
+	rng   *rand.Rand
+	bad   bool // Gilbert–Elliott state
+	stats ConnStats
+}
+
+// WrapConn wraps c with seeded socket-level fault injection.
+func WrapConn(c net.Conn, cfg ConnConfig) (*Conn, error) {
+	if c == nil {
+		return nil, errors.New("chaos: nil conn")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Write applies the fault schedule to one chunk and forwards the
+// survivors. Dropped chunks report full success — loss is silent,
+// exactly as on air; the peer discovers it by deadline.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.stats.Chunks++
+	mConnChunks.Inc()
+
+	drop, corrupt := c.cfg.Drop, c.cfg.Corrupt
+	if b := c.cfg.Burst; b != nil {
+		if c.bad {
+			if c.rng.Float64() < b.PBadToGood {
+				c.bad = false
+			}
+		} else if c.rng.Float64() < b.PGoodToBad {
+			c.bad = true
+		}
+		if c.bad {
+			c.stats.BadState++
+			mConnBadState.Inc()
+			if b.LossBad > drop {
+				drop = b.LossBad
+			}
+			corrupt *= 2
+			if corrupt > 1 {
+				corrupt = 1
+			}
+		} else if b.LossGood > drop {
+			drop = b.LossGood
+		}
+	}
+
+	stall := c.cfg.Stall > 0 && c.rng.Float64() < c.cfg.StallProb
+	if c.rng.Float64() < drop {
+		c.stats.Dropped++
+		mConnDropped.Inc()
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	var out []byte
+	if len(p) > 0 && c.rng.Float64() < corrupt {
+		out = append([]byte(nil), p...)
+		out[c.rng.Intn(len(out))] ^= 1 << c.rng.Intn(8)
+		c.stats.Corrupted++
+		mConnCorrupted.Inc()
+	}
+	if stall {
+		c.stats.Stalled++
+		mConnStalls.Inc()
+	}
+	c.mu.Unlock()
+
+	// Sleep and write outside the lock so a stalled writer does not
+	// block the fault accounting of a concurrent one.
+	if stall {
+		time.Sleep(c.cfg.Stall)
+	}
+	if out != nil {
+		n, err := c.Conn.Write(out)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Stats returns a snapshot of the fault counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

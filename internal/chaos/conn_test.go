@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// connPair returns two ends of an in-process socket pair. net.Pipe is
+// synchronous, which is fine here: every test write has a concurrent
+// reader draining the peer.
+func connPair() (net.Conn, net.Conn) { return net.Pipe() }
+
+// drain collects everything readable from c until it is closed.
+func drain(c net.Conn, wg *sync.WaitGroup, out *bytes.Buffer, mu *sync.Mutex) {
+	defer wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.Read(buf)
+		if n > 0 {
+			mu.Lock()
+			out.Write(buf[:n])
+			mu.Unlock()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func TestWrapConnValidates(t *testing.T) {
+	a, b := connPair()
+	defer a.Close()
+	defer b.Close()
+	if _, err := WrapConn(nil, ConnConfig{}); err == nil {
+		t.Fatal("nil conn accepted")
+	}
+	if _, err := WrapConn(a, ConnConfig{Drop: 1.5}); err == nil {
+		t.Fatal("Drop 1.5 accepted")
+	}
+	if _, err := WrapConn(a, ConnConfig{Stall: -time.Second}); err == nil {
+		t.Fatal("negative Stall accepted")
+	}
+	if _, err := WrapConn(a, ConnConfig{Burst: &Burst{LossBad: 2}}); err == nil {
+		t.Fatal("burst LossBad 2 accepted")
+	}
+}
+
+func TestCleanPassthrough(t *testing.T) {
+	a, b := connPair()
+	defer b.Close()
+	fc, err := WrapConn(a, ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(b, &wg, &got, &mu)
+	want := []byte("sixteen crisp bytes and then some")
+	if _, err := fc.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	wg.Wait()
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("clean channel mangled data: got %q want %q", got.Bytes(), want)
+	}
+	st := fc.Stats()
+	if st.Chunks != 1 || st.Dropped+st.Corrupted+st.Stalled != 0 {
+		t.Fatalf("clean channel stats: %+v", st)
+	}
+}
+
+func TestDropIsSilentAndCounted(t *testing.T) {
+	a, b := connPair()
+	defer b.Close()
+	fc, err := WrapConn(a, ConnConfig{Seed: 42, Drop: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(b, &wg, &got, &mu)
+	chunk := bytes.Repeat([]byte{0xAB}, 64)
+	const chunks = 200
+	for i := 0; i < chunks; i++ {
+		n, err := fc.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("write %d: n=%d err=%v (drops must be silent)", i, n, err)
+		}
+	}
+	fc.Close()
+	wg.Wait()
+	st := fc.Stats()
+	if st.Dropped == 0 || st.Dropped == chunks {
+		t.Fatalf("Drop 0.5 over %d chunks dropped %d", chunks, st.Dropped)
+	}
+	if got.Len() != (chunks-st.Dropped)*len(chunk) {
+		t.Fatalf("delivered %d bytes, want %d", got.Len(), (chunks-st.Dropped)*len(chunk))
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	a, b := connPair()
+	defer b.Close()
+	fc, err := WrapConn(a, ConnConfig{Seed: 7, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(b, &wg, &got, &mu)
+	want := bytes.Repeat([]byte{0x00}, 128)
+	if _, err := fc.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	wg.Wait()
+	diff := 0
+	for _, x := range got.Bytes() {
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Corrupt=1 flipped %d bits, want exactly 1", diff)
+	}
+	if st := fc.Stats(); st.Corrupted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestConnDeterministicSchedule(t *testing.T) {
+	run := func() ConnStats {
+		a, b := connPair()
+		defer b.Close()
+		fc, err := WrapConn(a, ConnConfig{Seed: 99, Drop: 0.3, Corrupt: 0.3,
+			Burst: &Burst{PGoodToBad: 0.2, PBadToGood: 0.5, LossBad: 0.9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go drain(b, &wg, &got, &mu)
+		for i := 0; i < 100; i++ {
+			if _, err := fc.Write([]byte("chunk")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fc.Close()
+		wg.Wait()
+		return fc.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", s1, s2)
+	}
+	if s1.BadState == 0 || s1.Dropped == 0 {
+		t.Fatalf("burst model never engaged: %+v", s1)
+	}
+}
+
+func TestStallDelaysWrite(t *testing.T) {
+	a, b := connPair()
+	defer b.Close()
+	fc, err := WrapConn(a, ConnConfig{Seed: 1, StallProb: 1, Stall: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(b, &wg, &got, &mu)
+	start := time.Now()
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("stalled write returned in %v, want ≥ ~50ms", d)
+	}
+	fc.Close()
+	wg.Wait()
+	if st := fc.Stats(); st.Stalled != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDeadlinesPassThrough(t *testing.T) {
+	a, b := connPair()
+	defer b.Close()
+	fc, err := WrapConn(a, ConnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_, err = fc.Read(buf)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("Read after deadline = %v, want net.Error timeout", err)
+	}
+}

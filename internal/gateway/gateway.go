@@ -1,0 +1,472 @@
+// Package gateway is a concurrent WTLS-over-TCP session server: the
+// first piece of this repo that serves real sockets instead of
+// in-memory pipes.
+//
+// The paper's system-level claim is that a mobile appliance's secure
+// transport must survive the operating conditions, not just compute the
+// crypto: peers stall mid-handshake, links corrupt records, load spikes
+// past capacity, and the box must still drain cleanly on shutdown. The
+// server here is built around those failure modes — a bounded
+// worker-pool accept loop with a connection cap and accept-backpressure,
+// per-connection handshake/idle deadlines so no stalled peer pins a
+// worker, per-connection panic recovery, pooled echo buffers, and a
+// signal-driven graceful drain (stop accepting, let in-flight sessions
+// finish under a deadline, force-close stragglers) that leaks no
+// goroutines.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/crypto/rsa"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/wtls"
+)
+
+// Static metric handles; disarmed until a cmd arms the registry.
+var (
+	mAccepted   = obs.C("gateway.accepted")
+	mHandshakes = obs.C("gateway.handshakes")
+	mHSFailures = obs.C("gateway.handshake_failures")
+	mSessions   = obs.C("gateway.sessions_done")
+	mEchoBytes  = obs.C("gateway.echo_bytes")
+	mPanics     = obs.C("gateway.panics_recovered")
+	mForced     = obs.C("gateway.forced_closes")
+	gActive     = obs.G("gateway.active_conns")
+	hHandshake  = obs.H("gateway.handshake_ns", obs.DurationBuckets)
+)
+
+// Config parameterizes a Server. WTLS is a template: the server copies
+// it per connection and installs a connection-specific DRBG derived
+// from RandSeed, because a DRBG is not safe for concurrent handshakes.
+type Config struct {
+	// WTLS must carry at least Certificate and PrivateKey. SessionCache,
+	// Suites, DHGroup and RSAOptions are honored when set.
+	WTLS *wtls.Config
+	// RandSeed is the base seed for per-connection randomness.
+	RandSeed []byte
+
+	// MaxConns caps concurrently accepted connections; the accept loop
+	// stops pulling from the listener when the cap is reached, pushing
+	// backpressure into the TCP backlog. Default 1024.
+	MaxConns int
+	// Workers is the session worker-pool size — the bound on
+	// concurrently progressing sessions. Default 128.
+	Workers int
+
+	// HandshakeTimeout bounds the whole handshake. Default 10s.
+	HandshakeTimeout time.Duration
+	// IdleTimeout bounds the wait for the next inbound record in an
+	// established session. Default 30s.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: sessions still alive this
+	// long after Shutdown begins are force-closed. Default 5s.
+	DrainTimeout time.Duration
+
+	// EchoBufBytes sizes the pooled per-session echo buffers.
+	// Default 16 KiB.
+	EchoBufBytes int
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.MaxConns <= 0 {
+		d.MaxConns = 1024
+	}
+	if d.Workers <= 0 {
+		d.Workers = 128
+	}
+	if d.HandshakeTimeout <= 0 {
+		d.HandshakeTimeout = 10 * time.Second
+	}
+	if d.IdleTimeout <= 0 {
+		d.IdleTimeout = 30 * time.Second
+	}
+	if d.DrainTimeout <= 0 {
+		d.DrainTimeout = 5 * time.Second
+	}
+	if d.EchoBufBytes <= 0 {
+		d.EchoBufBytes = 16 * 1024
+	}
+	return d
+}
+
+// Stats is a snapshot of the server's lifetime counters.
+type Stats struct {
+	Accepted          int64
+	Handshakes        int64
+	HandshakeFailures int64
+	SessionsDone      int64
+	EchoBytes         int64
+	PanicsRecovered   int64
+	ForcedCloses      int64
+	PeakActive        int64
+}
+
+// testHookSession, when non-nil, runs inside every session handler
+// right after a successful handshake — the panic-recovery regression
+// test injects a crash here.
+var testHookSession func(id int64)
+
+// Server accepts and serves WTLS sessions until Shutdown.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	sem    chan struct{} // connection-cap semaphore
+	connCh chan net.Conn // accept loop -> worker pool
+	stop   chan struct{} // closed once by Shutdown
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	active   map[net.Conn]struct{}
+	draining bool
+	drainBy  time.Time
+
+	connSeq  atomic.Int64
+	nActive  atomic.Int64
+	started  time.Time
+	stopOnce sync.Once
+
+	accepted   atomic.Int64
+	handshakes atomic.Int64
+	hsFailures atomic.Int64
+	sessions   atomic.Int64
+	echoBytes  atomic.Int64
+	panics     atomic.Int64
+	forced     atomic.Int64
+	peakActive atomic.Int64
+
+	bufPool sync.Pool
+}
+
+// Serve starts serving WTLS sessions on ln. It returns immediately;
+// the accept loop and worker pool run until Shutdown.
+func Serve(ln net.Listener, cfg Config) (*Server, error) {
+	if ln == nil {
+		return nil, errors.New("gateway: nil listener")
+	}
+	if cfg.WTLS == nil || cfg.WTLS.Certificate == nil || cfg.WTLS.PrivateKey == nil {
+		return nil, errors.New("gateway: WTLS config with certificate and key required")
+	}
+	if len(cfg.RandSeed) == 0 {
+		return nil, errors.New("gateway: RandSeed required")
+	}
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		ln:      ln,
+		sem:     make(chan struct{}, c.MaxConns),
+		connCh:  make(chan net.Conn),
+		stop:    make(chan struct{}),
+		active:  make(map[net.Conn]struct{}, c.MaxConns),
+		started: time.Now(),
+	}
+	s.bufPool.New = func() any { return make([]byte, c.EchoBufBytes) }
+	journal.Emit(0, journal.LevelInfo, "gateway", "listening",
+		journal.S("addr", ln.Addr().String()),
+		journal.I("max_conns", int64(c.MaxConns)), journal.I("workers", int64(c.Workers)))
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for i := 0; i < c.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats returns a snapshot of the lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:          s.accepted.Load(),
+		Handshakes:        s.handshakes.Load(),
+		HandshakeFailures: s.hsFailures.Load(),
+		SessionsDone:      s.sessions.Load(),
+		EchoBytes:         s.echoBytes.Load(),
+		PanicsRecovered:   s.panics.Load(),
+		ForcedCloses:      s.forced.Load(),
+		PeakActive:        s.peakActive.Load(),
+	}
+}
+
+// ProgressJSON renders a flat /progress payload (the shape mswatch
+// renders): total = accepted, done = finished sessions.
+func (s *Server) ProgressJSON() []byte {
+	done := s.sessions.Load()
+	rate := float64(done) / time.Since(s.started).Seconds()
+	s.mu.Lock()
+	active := !s.draining
+	s.mu.Unlock()
+	return []byte(fmt.Sprintf(
+		`{"sweep":0,"total":%d,"done":%d,"workers":%d,"tasks_per_sec":%.1f,"eta_ms":-1,"active":%v}`,
+		s.accepted.Load(), done, s.cfg.Workers, rate, active))
+}
+
+// acceptLoop pulls connections while capacity remains, backing off on
+// temporary accept errors instead of hot-looping a full FD table.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	defer close(s.connCh)
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
+	for {
+		// A semaphore slot is held from before Accept until the worker
+		// finishes the session, so at most MaxConns connections are in
+		// flight and the listener itself is the overflow queue.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.stop:
+			return
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				// EMFILE/ENFILE-style pressure: back off and retry.
+				journal.Emit(0, journal.LevelWarn, "gateway", "accept_backoff",
+					journal.S("err", err.Error()), journal.I("backoff_ms", int64(backoff/time.Millisecond)))
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
+			return // listener is gone
+		}
+		backoff = 5 * time.Millisecond
+		s.accepted.Add(1)
+		mAccepted.Inc()
+		s.track(conn)
+		select {
+		case s.connCh <- conn:
+		case <-s.stop:
+			s.untrack(conn)
+			conn.Close()
+			<-s.sem
+			return
+		}
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.active[conn] = struct{}{}
+	if s.draining {
+		// Joined during drain: inherit the drain deadline immediately.
+		_ = conn.SetDeadline(s.drainBy)
+	}
+	s.mu.Unlock()
+	n := s.nActive.Add(1)
+	for {
+		peak := s.peakActive.Load()
+		if n <= peak || s.peakActive.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	gActive.Set(float64(n))
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
+	gActive.Set(float64(s.nActive.Add(-1)))
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for conn := range s.connCh {
+		s.serveConn(conn)
+		s.untrack(conn)
+		s.sessions.Add(1)
+		mSessions.Inc()
+		<-s.sem
+	}
+}
+
+// readDeadline is the next record deadline: the idle timeout, clipped
+// to the drain deadline once shutdown has begun.
+func (s *Server) readDeadline() time.Time {
+	d := time.Now().Add(s.cfg.IdleTimeout)
+	s.mu.Lock()
+	if s.draining && d.After(s.drainBy) {
+		d = s.drainBy
+	}
+	s.mu.Unlock()
+	return d
+}
+
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// serveConn runs one session: handshake under deadline, then an echo
+// loop until EOF, error, idle timeout or drain. A panicking session
+// must not take the worker (or the process) down with it.
+func (s *Server) serveConn(conn net.Conn) {
+	id := s.connSeq.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			mPanics.Inc()
+			journal.Emit(id, journal.LevelCrit, "gateway", "session_panic",
+				journal.S("panic", fmt.Sprint(r)))
+		}
+		conn.Close()
+	}()
+
+	wcfg := *s.cfg.WTLS
+	wcfg.Rand = prng.NewDRBG(append(append([]byte{}, s.cfg.RandSeed...), fmt.Sprintf("/conn/%d", id)...))
+	tc := wtls.Server(conn, &wcfg)
+
+	start := time.Now()
+	_ = tc.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	if err := tc.Handshake(); err != nil {
+		s.hsFailures.Add(1)
+		mHSFailures.Inc()
+		journal.Emit(id, journal.LevelWarn, "gateway", "conn_handshake_failed",
+			journal.S("err", err.Error()))
+		return
+	}
+	hsNS := time.Since(start).Nanoseconds()
+	s.handshakes.Add(1)
+	mHandshakes.Inc()
+	hHandshake.Observe(hsNS)
+	if journal.On(journal.LevelDebug) {
+		journal.Emit(id, journal.LevelDebug, "gateway", "conn_established",
+			journal.S("peer", conn.RemoteAddr().String()),
+			journal.B("resumed", tc.State().Resumed),
+			journal.I("handshake_us", hsNS/1000))
+	}
+	if testHookSession != nil {
+		testHookSession(id)
+	}
+
+	buf := s.bufPool.Get().([]byte)
+	defer s.bufPool.Put(buf) //nolint:staticcheck // fixed-size []byte reuse
+
+	for {
+		_ = tc.SetReadDeadline(s.readDeadline())
+		n, err := tc.Read(buf)
+		if err != nil {
+			if err != io.EOF && journal.On(journal.LevelDebug) {
+				journal.Emit(id, journal.LevelDebug, "gateway", "conn_read_end",
+					journal.S("err", err.Error()))
+			}
+			return
+		}
+		_ = tc.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if _, err := tc.Write(buf[:n]); err != nil {
+			return
+		}
+		s.echoBytes.Add(int64(n))
+		mEchoBytes.Add(int64(n))
+		if s.drainingNow() {
+			// Finish the in-flight request, then leave politely.
+			tc.Close()
+			return
+		}
+	}
+}
+
+// Shutdown drains the server: stop accepting, give in-flight sessions
+// until the drain deadline to finish, then force-close stragglers. It
+// returns once every worker has exited — zero goroutines outlive it.
+// The returned error reports forced closes (the drain was not fully
+// graceful); ctx can abort the wait early, forcing immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.ln.Close()
+
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	s.mu.Lock()
+	s.draining = true
+	s.drainBy = deadline
+	open := int64(len(s.active))
+	// Unblock every session currently parked in a read: stalled peers
+	// get exactly until the drain deadline, not one tick more.
+	for conn := range s.active {
+		_ = conn.SetDeadline(deadline)
+	}
+	s.mu.Unlock()
+	journal.Emit(journal.TEnd, journal.LevelInfo, "gateway", "drain_start",
+		journal.I("open_conns", open),
+		journal.I("drain_ms", int64(s.cfg.DrainTimeout/time.Millisecond)))
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	// Grace beyond the deadline covers the instant between a deadline
+	// firing and the worker observing it.
+	force := time.NewTimer(time.Until(deadline) + time.Second)
+	defer force.Stop()
+	graceful := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		graceful = false
+	case <-force.C:
+		graceful = false
+	}
+	if !graceful {
+		s.mu.Lock()
+		for conn := range s.active {
+			conn.Close()
+			s.forced.Add(1)
+			mForced.Inc()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	journal.Emit(journal.TEnd, journal.LevelInfo, "gateway", "drain_done",
+		journal.B("graceful", graceful), journal.I("forced", s.forced.Load()))
+	if n := s.forced.Load(); n > 0 {
+		return fmt.Errorf("gateway: force-closed %d connection(s) at drain deadline", n)
+	}
+	return nil
+}
+
+// DevPKI deterministically derives a CA, server key and certificate
+// from a seed string. Gateway and load generator derive the identical
+// PKI from the same seed, so a soak test needs no key distribution.
+func DevPKI(seed, serverName string, bits int) (*wtls.CA, *rsa.PrivateKey, *wtls.Certificate, error) {
+	ca, err := wtls.NewCA("mobilesec-dev-ca", prng.NewDRBG([]byte(seed+"/ca")), bits)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gateway: dev CA: %w", err)
+	}
+	key, err := rsa.GenerateKey(prng.NewDRBG([]byte(seed+"/server")), bits)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("gateway: dev server key: %w", err)
+	}
+	cert, err := ca.Issue(serverName, 1, &key.PublicKey)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ca, key, cert, nil
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/prng"
+	"repro/internal/wtls"
+)
+
+const testBits = 512 // fast; security is not under test here
+
+type testEnv struct {
+	srv    *Server
+	client *wtls.Config
+}
+
+// startGateway boots a server on a loopback socket with a deterministic
+// dev PKI and returns it plus a ready client config template.
+func startGateway(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	ca, key, cert, err := DevPKI("gateway-test", "gw.local", testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WTLS == nil {
+		cfg.WTLS = &wtls.Config{}
+	}
+	cfg.WTLS.Certificate = cert
+	cfg.WTLS.PrivateKey = key
+	if cfg.RandSeed == nil {
+		cfg.RandSeed = []byte("gateway-test-rand")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, cfg)
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	return &testEnv{
+		srv: srv,
+		client: &wtls.Config{
+			RootCA:     &ca.Key.PublicKey,
+			ServerName: "gw.local",
+		},
+	}
+}
+
+// dial opens a WTLS client session against the test gateway.
+func (e *testEnv) dial(t *testing.T, tag string) (*wtls.Conn, error) {
+	t.Helper()
+	raw, err := net.Dial("tcp", e.srv.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	cfg := *e.client
+	cfg.Rand = prng.NewDRBG([]byte("client/" + tag))
+	tc := wtls.Client(raw, &cfg)
+	_ = tc.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	_ = tc.SetDeadline(time.Time{})
+	return tc, nil
+}
+
+func echoOnce(t *testing.T, tc *wtls.Conn, msg string) {
+	t.Helper()
+	_ = tc.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := tc.Write([]byte(msg)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	got := 0
+	for got < len(msg) {
+		n, err := tc.Read(buf[got:])
+		if err != nil {
+			t.Fatalf("read echo: %v", err)
+		}
+		got += n
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo mismatch: got %q want %q", buf, msg)
+	}
+}
+
+func TestGatewayEchoAndGracefulShutdown(t *testing.T) {
+	env := startGateway(t, Config{Workers: 4, MaxConns: 8, DrainTimeout: 3 * time.Second})
+	tc, err := env.dial(t, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoOnce(t, tc, "over the air, for real this time")
+	tc.Close()
+
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	st := env.srv.Stats()
+	if st.Handshakes != 1 || st.HandshakeFailures != 0 || st.ForcedCloses != 0 {
+		t.Fatalf("stats after clean run: %+v", st)
+	}
+	if st.EchoBytes == 0 {
+		t.Fatalf("no bytes echoed: %+v", st)
+	}
+}
+
+// TestGatewayShutdownLeaksNoGoroutines drives concurrent sessions and
+// verifies Shutdown returns the process to its baseline goroutine
+// count: no worker, accept-loop, or per-conn goroutine survives.
+func TestGatewayShutdownLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := startGateway(t, Config{Workers: 8, MaxConns: 16, DrainTimeout: 3 * time.Second})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tc, err := env.dial(t, "leak"+string(rune('a'+i)))
+			if err != nil {
+				return
+			}
+			defer tc.Close()
+			msg := strings.Repeat("x", 512)
+			_ = tc.SetDeadline(time.Now().Add(10 * time.Second))
+			if _, err := tc.Write([]byte(msg)); err != nil {
+				return
+			}
+			buf := make([]byte, len(msg))
+			got := 0
+			for got < len(msg) {
+				n, err := tc.Read(buf[got:])
+				if err != nil {
+					return
+				}
+				got += n
+			}
+			okCount.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if okCount.Load() == 0 {
+		t.Fatal("no client completed an echo")
+	}
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Client-side conns are closed; give the runtime a moment to retire
+	// netpoll goroutines before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGatewayStalledClientCannotBlockDrain parks a client that
+// completes the handshake and then goes silent. Shutdown must not wait
+// past the drain deadline for it.
+func TestGatewayStalledClientCannotBlockDrain(t *testing.T) {
+	env := startGateway(t, Config{
+		Workers: 2, MaxConns: 4,
+		IdleTimeout:  time.Hour, // only the drain deadline can save us
+		DrainTimeout: 300 * time.Millisecond,
+	})
+	tc, err := env.dial(t, "staller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	// The session is established server-side and parked in Read.
+
+	start := time.Now()
+	err = env.srv.Shutdown(context.Background())
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled client held shutdown for %v", elapsed)
+	}
+	// Whether the read deadline fired (graceful, no error) or the
+	// force-closer swept it, the server must be fully down; a stalled
+	// peer never yields an error-free *and* force-free drain guarantee,
+	// so just assert termination and that stats add up.
+	st := env.srv.Stats()
+	if st.Handshakes != 1 {
+		t.Fatalf("stats: %+v (err=%v)", st, err)
+	}
+}
+
+// TestGatewayConnCapBackpressure verifies MaxConns bounds concurrent
+// sessions: with a cap of 2 and 6 slow clients, peak concurrency
+// server-side never exceeds the cap, yet every client is eventually
+// served.
+func TestGatewayConnCapBackpressure(t *testing.T) {
+	env := startGateway(t, Config{Workers: 4, MaxConns: 2, DrainTimeout: 3 * time.Second})
+	const clients = 6
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tc, err := env.dial(t, "cap"+string(rune('0'+i)))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer tc.Close()
+			echoOnce(t, tc, "held open")
+			time.Sleep(50 * time.Millisecond) // hold the slot briefly
+			served.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	st := env.srv.Stats()
+	if served.Load() != clients || st.Handshakes != clients {
+		t.Fatalf("served %d/%d, stats %+v", served.Load(), clients, st)
+	}
+	if st.PeakActive > 2 {
+		t.Fatalf("cap 2 breached: peak active %d", st.PeakActive)
+	}
+}
+
+// TestGatewayPanicRecovery crashes one session inside the handler and
+// verifies the worker survives to serve the next connection.
+func TestGatewayPanicRecovery(t *testing.T) {
+	var fired atomic.Bool
+	testHookSession = func(id int64) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected session crash")
+		}
+	}
+	defer func() { testHookSession = nil }()
+
+	env := startGateway(t, Config{Workers: 1, MaxConns: 2, DrainTimeout: 3 * time.Second})
+
+	// First session panics server-side right after the handshake; the
+	// client just sees its connection die.
+	tc1, err := env.dial(t, "boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_ = tc1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := tc1.Read(buf); err == nil {
+		t.Fatal("expected the panicked session's conn to drop")
+	}
+	tc1.Close()
+
+	// Same (sole) worker must still serve a healthy session.
+	tc2, err := env.dial(t, "after")
+	if err != nil {
+		t.Fatalf("dial after panic: %v", err)
+	}
+	echoOnce(t, tc2, "still standing")
+	tc2.Close()
+
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := env.srv.Stats(); st.PanicsRecovered != 1 {
+		t.Fatalf("panics recovered = %d, want 1 (stats %+v)", st.PanicsRecovered, st)
+	}
+}

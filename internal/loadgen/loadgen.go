@@ -1,0 +1,338 @@
+// Package loadgen is a closed-loop WTLS load generator: a fixed pool
+// of workers drives a target number of sessions against a gateway,
+// each session being connect → handshake → N echoed records → close.
+//
+// Two properties matter more than raw throughput. First, determinism:
+// every random decision (client randoms, fault schedules, retry
+// jitter) derives from the top-level seed plus stable indices, so a
+// soak run is reproducible. Second, persistence under faults: connect
+// and handshake failures are retried with capped exponential backoff,
+// because the whole point of soaking through a chaos.Conn is that
+// individual attempts die.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/chaos"
+	"repro/internal/crypto/prng"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/wtls"
+)
+
+var (
+	mClientsOK     = obs.C("load.clients_ok")
+	mClientsFailed = obs.C("load.clients_failed")
+	mRetries       = obs.C("load.retries")
+	mRecords       = obs.C("load.records_echoed")
+	hHandshake     = obs.H("load.handshake_ns", obs.DurationBuckets)
+	hRecordRTT     = obs.H("load.record_rtt_ns", obs.DurationBuckets)
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Addr is the gateway's TCP address.
+	Addr string
+	// WTLS is the client config template (RootCA, ServerName,
+	// SessionCache); Rand is overwritten per attempt.
+	WTLS *wtls.Config
+
+	// Conns is the total number of sessions to complete. Default 100.
+	Conns int
+	// Concurrency is the closed-loop worker count. Default 16.
+	Concurrency int
+	// Records is the number of echo round-trips per session. Default 4.
+	Records int
+	// Payload is the bytes per record. Default 256.
+	Payload int
+
+	// Seed drives all client-side randomness.
+	Seed int64
+	// Chaos, when non-nil, wraps every dialed socket with fault
+	// injection (the Seed field inside it is overridden per attempt).
+	Chaos *chaos.ConnConfig
+
+	// Attempts bounds tries per session (connect+handshake). Default 5.
+	Attempts int
+	// Backoff shapes the retry schedule; zero fields take the package
+	// defaults, and Seed is overridden per session.
+	Backoff backoff.Policy
+
+	// DialTimeout bounds connect. Default 5s. IOTimeout bounds each
+	// handshake and each record round-trip. Default 10s.
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	d := *c
+	if d.Addr == "" {
+		return d, errors.New("loadgen: Addr required")
+	}
+	if d.WTLS == nil || d.WTLS.RootCA == nil {
+		return d, errors.New("loadgen: WTLS config with RootCA required")
+	}
+	if d.Conns <= 0 {
+		d.Conns = 100
+	}
+	if d.Concurrency <= 0 {
+		d.Concurrency = 16
+	}
+	if d.Records <= 0 {
+		d.Records = 4
+	}
+	if d.Payload <= 0 {
+		d.Payload = 256
+	}
+	if d.Attempts <= 0 {
+		d.Attempts = 5
+	}
+	if d.DialTimeout <= 0 {
+		d.DialTimeout = 5 * time.Second
+	}
+	if d.IOTimeout <= 0 {
+		d.IOTimeout = 10 * time.Second
+	}
+	if d.Chaos != nil {
+		cc := *d.Chaos
+		d.Chaos = &cc
+	}
+	return d, nil
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Conns   int
+	OK      int64
+	Failed  int64
+	Retries int64
+	Records int64
+	Elapsed time.Duration
+
+	HandshakesPerSec float64
+	RecordsPerSec    float64
+	// Handshake latency percentiles over successful sessions.
+	HSp50, HSp99 time.Duration
+	// Record echo round-trip percentiles.
+	RTTp50, RTTp99 time.Duration
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"conns=%d ok=%d failed=%d retries=%d records=%d elapsed=%v hs/s=%.1f rec/s=%.1f hs_p50=%v hs_p99=%v rtt_p50=%v rtt_p99=%v",
+		r.Conns, r.OK, r.Failed, r.Retries, r.Records, r.Elapsed.Round(time.Millisecond),
+		r.HandshakesPerSec, r.RecordsPerSec, r.HSp50, r.HSp99, r.RTTp50, r.RTTp99)
+}
+
+// Percentile returns the q-quantile (0..1) of samples by
+// nearest-rank; 0 for an empty set.
+func Percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}
+
+// Runner executes a load run and exposes live progress.
+type Runner struct {
+	cfg     Config
+	done    atomic.Int64
+	failed  atomic.Int64
+	retries atomic.Int64
+	records atomic.Int64
+	started time.Time
+	active  atomic.Bool
+
+	mu      sync.Mutex
+	hsLat   []time.Duration
+	rttLat  []time.Duration
+	lastErr error
+}
+
+// New validates cfg and prepares a Runner.
+func New(cfg Config) (*Runner, error) {
+	d, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: d}, nil
+}
+
+// ProgressJSON renders the flat /progress payload mswatch displays.
+func (r *Runner) ProgressJSON() []byte {
+	done := r.done.Load() + r.failed.Load()
+	elapsed := time.Since(r.started).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	etaMS := int64(-1)
+	if rate > 0 {
+		etaMS = int64(float64(r.cfg.Conns-int(done)) / rate * 1000)
+	}
+	return []byte(fmt.Sprintf(
+		`{"sweep":0,"total":%d,"done":%d,"workers":%d,"tasks_per_sec":%.1f,"eta_ms":%d,"active":%v}`,
+		r.cfg.Conns, done, r.cfg.Concurrency, rate, etaMS, r.active.Load()))
+}
+
+// Run drives the configured number of sessions to completion and
+// returns the aggregate report. It blocks until all sessions have
+// either succeeded or exhausted their retry budget.
+func (r *Runner) Run() Report {
+	r.started = time.Now()
+	r.active.Store(true)
+	defer r.active.Store(false)
+
+	ids := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				r.runSession(id)
+			}
+		}()
+	}
+	for id := 0; id < r.cfg.Conns; id++ {
+		ids <- id
+	}
+	close(ids)
+	wg.Wait()
+
+	elapsed := time.Since(r.started)
+	rep := Report{
+		Conns:   r.cfg.Conns,
+		OK:      r.done.Load(),
+		Failed:  r.failed.Load(),
+		Retries: r.retries.Load(),
+		Records: r.records.Load(),
+		Elapsed: elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.HandshakesPerSec = float64(rep.OK) / s
+		rep.RecordsPerSec = float64(rep.Records) / s
+	}
+	r.mu.Lock()
+	rep.HSp50 = Percentile(r.hsLat, 0.50)
+	rep.HSp99 = Percentile(r.hsLat, 0.99)
+	rep.RTTp50 = Percentile(r.rttLat, 0.50)
+	rep.RTTp99 = Percentile(r.rttLat, 0.99)
+	r.mu.Unlock()
+	return rep
+}
+
+// LastErr returns the most recent session failure, for diagnostics.
+func (r *Runner) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// runSession completes one session, retrying connect/handshake with
+// backoff. Echo failures after establishment also count as attempt
+// failures: under chaos the stream can die at any record.
+func (r *Runner) runSession(id int) {
+	pol := r.cfg.Backoff
+	pol.Seed = r.cfg.Seed ^ int64(id)*0x9e3779b9
+	err := backoff.Retry(r.cfg.Attempts, pol, nil, func(attempt int) error {
+		if attempt > 0 {
+			r.retries.Add(1)
+			mRetries.Inc()
+		}
+		return r.attempt(id, attempt)
+	})
+	if err != nil {
+		r.failed.Add(1)
+		mClientsFailed.Inc()
+		r.mu.Lock()
+		r.lastErr = fmt.Errorf("session %d: %w", id, err)
+		r.mu.Unlock()
+		journal.Emit(int64(id), journal.LevelWarn, "load", "session_failed",
+			journal.S("err", err.Error()))
+		return
+	}
+	r.done.Add(1)
+	mClientsOK.Inc()
+}
+
+func (r *Runner) attempt(id, attempt int) error {
+	raw, err := net.DialTimeout("tcp", r.cfg.Addr, r.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	var conn net.Conn = raw
+	if r.cfg.Chaos != nil {
+		cc := *r.cfg.Chaos
+		// Decorrelate fault schedules across sessions and attempts
+		// while keeping the whole run a pure function of the seed.
+		cc.Seed = r.cfg.Seed ^ int64(id)*0x100000001b3 ^ int64(attempt)<<32
+		fc, err := chaos.WrapConn(raw, cc)
+		if err != nil {
+			raw.Close()
+			return fmt.Errorf("chaos: %w", err)
+		}
+		conn = fc
+	}
+
+	wcfg := *r.cfg.WTLS
+	wcfg.Rand = prng.NewDRBG([]byte(fmt.Sprintf("load/%d/%d/%d", r.cfg.Seed, id, attempt)))
+	tc := wtls.Client(conn, &wcfg)
+	defer tc.Close()
+
+	start := time.Now()
+	_ = tc.SetDeadline(time.Now().Add(r.cfg.IOTimeout))
+	if err := tc.Handshake(); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	hs := time.Since(start)
+	hHandshake.Observe(hs.Nanoseconds())
+	r.mu.Lock()
+	r.hsLat = append(r.hsLat, hs)
+	r.mu.Unlock()
+
+	payload := make([]byte, r.cfg.Payload)
+	wcfg.Rand.Read(payload)
+	buf := make([]byte, r.cfg.Payload)
+	for rec := 0; rec < r.cfg.Records; rec++ {
+		t0 := time.Now()
+		_ = tc.SetDeadline(time.Now().Add(r.cfg.IOTimeout))
+		if _, err := tc.Write(payload); err != nil {
+			return fmt.Errorf("record %d write: %w", rec, err)
+		}
+		got := 0
+		for got < len(buf) {
+			n, err := tc.Read(buf[got:])
+			if err != nil {
+				return fmt.Errorf("record %d read: %w", rec, err)
+			}
+			got += n
+		}
+		rtt := time.Since(t0)
+		hRecordRTT.Observe(rtt.Nanoseconds())
+		r.records.Add(1)
+		mRecords.Inc()
+		r.mu.Lock()
+		r.rttLat = append(r.rttLat, rtt)
+		r.mu.Unlock()
+	}
+	return nil
+}

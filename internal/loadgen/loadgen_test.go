@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/crypto/rsa"
+	"repro/internal/gateway"
+	"repro/internal/wtls"
+)
+
+// testRootCA is a placeholder key for tests that never reach a
+// handshake (config validation only checks presence).
+var testRootCA rsa.PublicKey
+
+const testBits = 512
+
+// startGateway boots a loopback gateway and returns it with a matching
+// client template.
+func startGateway(t *testing.T) (*gateway.Server, *wtls.Config) {
+	t.Helper()
+	ca, key, cert, err := gateway.DevPKI("loadgen-test", "gw.local", testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := gateway.Serve(ln, gateway.Config{
+		WTLS:         &wtls.Config{Certificate: cert, PrivateKey: key},
+		RandSeed:     []byte("loadgen-test-rand"),
+		Workers:      8,
+		MaxConns:     32,
+		DrainTimeout: 3 * time.Second,
+	})
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	return srv, &wtls.Config{RootCA: &ca.Key.PublicKey, ServerName: "gw.local"}
+}
+
+func TestRunCleanChannel(t *testing.T) {
+	srv, client := startGateway(t)
+	r, err := New(Config{
+		Addr: srv.Addr().String(), WTLS: client,
+		Conns: 20, Concurrency: 4, Records: 2, Payload: 128,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run()
+	if rep.OK != 20 || rep.Failed != 0 {
+		t.Fatalf("clean run: %s (lastErr=%v)", rep, r.LastErr())
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("clean channel needed %d retries", rep.Retries)
+	}
+	if rep.Records != 40 {
+		t.Fatalf("records echoed = %d, want 40", rep.Records)
+	}
+	if rep.HandshakesPerSec <= 0 || rep.HSp50 <= 0 || rep.HSp99 < rep.HSp50 {
+		t.Fatalf("implausible latency stats: %s", rep)
+	}
+}
+
+// TestRunRetriesThroughChaos pushes sessions through a corrupting
+// socket: individual attempts die on MAC failures and the retry layer
+// must still land every session. The schedule is a pure function of
+// the seed — chaos faults depend only on the (deterministic) chunk
+// sequence — so this does not flake.
+func TestRunRetriesThroughChaos(t *testing.T) {
+	srv, client := startGateway(t)
+	r, err := New(Config{
+		Addr: srv.Addr().String(), WTLS: client,
+		Conns: 10, Concurrency: 4, Records: 1, Payload: 64,
+		Seed:      7,
+		Chaos:     &chaos.ConnConfig{Corrupt: 0.05},
+		Attempts:  10,
+		IOTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run()
+	if rep.Failed != 0 {
+		t.Fatalf("sessions failed despite retry budget: %s (lastErr=%v)", rep, r.LastErr())
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("chaos channel produced zero retries: %s", rep)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Addr: "x"}); err == nil {
+		t.Fatal("config without RootCA accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty set percentile not 0")
+	}
+	s := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	if p := Percentile(s, 0.5); p != 3 {
+		t.Fatalf("p50 = %v, want 3", p)
+	}
+	if p := Percentile(s, 0.99); p != 5 {
+		t.Fatalf("p99 = %v, want 5", p)
+	}
+	if p := Percentile(s, 0); p != 1 {
+		t.Fatalf("p0 = %v, want 1", p)
+	}
+}
+
+func TestProgressJSONShape(t *testing.T) {
+	r, err := New(Config{Addr: "127.0.0.1:1", WTLS: &wtls.Config{RootCA: &testRootCA}, Conns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Total   int64   `json:"total"`
+		Done    int64   `json:"done"`
+		Workers int64   `json:"workers"`
+		Rate    float64 `json:"tasks_per_sec"`
+		ETA     int64   `json:"eta_ms"`
+		Active  bool    `json:"active"`
+	}
+	if err := json.Unmarshal(r.ProgressJSON(), &v); err != nil {
+		t.Fatalf("progress payload not valid JSON: %v", err)
+	}
+	if v.Total != 5 || v.Done != 0 || v.Active {
+		t.Fatalf("progress payload: %+v", v)
+	}
+}

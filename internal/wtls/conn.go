@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/crypto/dh"
@@ -125,17 +129,43 @@ type Metrics struct {
 	RecordsSent, RecordsRcv int
 }
 
-// Conn is one endpoint of a WTLS connection.
+// Conn is one endpoint of a WTLS connection. It implements net.Conn:
+// Read, Write and Close are safe for concurrent use, the first of any
+// concurrent Read/Write runs the handshake exactly once, and when the
+// underlying transport is itself a net.Conn the deadline methods plumb
+// straight through to it (so a timed-out Read or Write surfaces the
+// transport's own net.Error). Over a plain io.ReadWriter (the in-memory
+// pipes of the simulations) deadlines report os.ErrNoDeadline.
 type Conn struct {
 	conn     io.ReadWriter
+	nc       net.Conn // non-nil when conn supports deadlines/addrs
 	isClient bool
 	cfg      *Config
 
-	in, out       halfConn
-	suite         *suite.Suite
-	resumed       bool
-	handshakeDone bool
-	closed        bool
+	// hsMu serializes handshake attempts; hsDone flips (with
+	// release/acquire semantics) once the handshake has succeeded, and
+	// hsErr pins the first fatal handshake error so later calls fail
+	// fast instead of re-reading a desynchronized wire.
+	hsMu   sync.Mutex
+	hsDone atomic.Bool
+	hsErr  error
+
+	// writeMu guards the outbound half connection and the wire writes
+	// through it: protect() returns scratch that must reach the wire
+	// before the next seal, and records from concurrent writers must
+	// not interleave mid-record.
+	writeMu sync.Mutex
+	out     halfConn
+
+	// readMu guards the inbound half connection, the reassembly
+	// buffers, and post-handshake wire reads.
+	readMu sync.Mutex
+	in     halfConn
+
+	suite     *suite.Suite
+	resumed   bool
+	closed    atomic.Bool
+	closeOnce sync.Once
 
 	transcript   *sha1.Digest
 	handshakeBuf []byte
@@ -144,6 +174,8 @@ type Conn struct {
 	sessionID []byte
 	master    []byte
 
+	// mmu guards metrics, which both directions update.
+	mmu     sync.Mutex
 	metrics Metrics
 
 	// jphase numbers this connection's journaled handshake phases so the
@@ -151,14 +183,70 @@ type Conn struct {
 	jphase int64
 }
 
+// Conn must satisfy net.Conn so gateways can treat a secured session
+// exactly like the TCP connection underneath it.
+var _ net.Conn = (*Conn)(nil)
+
 // Client wraps conn as the client side of a WTLS connection.
 func Client(conn io.ReadWriter, cfg *Config) *Conn {
-	return &Conn{conn: conn, isClient: true, cfg: cfg, transcript: sha1.New()}
+	nc, _ := conn.(net.Conn)
+	return &Conn{conn: conn, nc: nc, isClient: true, cfg: cfg, transcript: sha1.New()}
 }
 
 // Server wraps conn as the server side of a WTLS connection.
 func Server(conn io.ReadWriter, cfg *Config) *Conn {
-	return &Conn{conn: conn, isClient: false, cfg: cfg, transcript: sha1.New()}
+	nc, _ := conn.(net.Conn)
+	return &Conn{conn: conn, nc: nc, isClient: false, cfg: cfg, transcript: sha1.New()}
+}
+
+// pipeAddr is the placeholder address of a Conn over an in-memory pipe.
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "wtls" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// LocalAddr returns the underlying transport's local address, or a
+// placeholder for in-memory transports.
+func (c *Conn) LocalAddr() net.Addr {
+	if c.nc != nil {
+		return c.nc.LocalAddr()
+	}
+	return pipeAddr{}
+}
+
+// RemoteAddr returns the underlying transport's remote address, or a
+// placeholder for in-memory transports.
+func (c *Conn) RemoteAddr() net.Addr {
+	if c.nc != nil {
+		return c.nc.RemoteAddr()
+	}
+	return pipeAddr{}
+}
+
+// SetDeadline sets both read and write deadlines on the underlying
+// transport. Over a transport without deadline support it returns
+// os.ErrNoDeadline, matching net.Conn conventions.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if c.nc == nil {
+		return os.ErrNoDeadline
+	}
+	return c.nc.SetDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline on the underlying transport.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if c.nc == nil {
+		return os.ErrNoDeadline
+	}
+	return c.nc.SetReadDeadline(t)
+}
+
+// SetWriteDeadline sets the write deadline on the underlying transport.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if c.nc == nil {
+		return os.ErrNoDeadline
+	}
+	return c.nc.SetWriteDeadline(t)
 }
 
 // ConnectionState reports the negotiated parameters.
@@ -171,8 +259,10 @@ type ConnectionState struct {
 
 // State returns the connection state.
 func (c *Conn) State() ConnectionState {
+	c.hsMu.Lock()
+	defer c.hsMu.Unlock()
 	return ConnectionState{
-		HandshakeDone: c.handshakeDone,
+		HandshakeDone: c.hsDone.Load(),
 		Suite:         c.suite,
 		Resumed:       c.resumed,
 		SessionID:     append([]byte{}, c.sessionID...),
@@ -180,7 +270,11 @@ func (c *Conn) State() ConnectionState {
 }
 
 // Metrics returns the accumulated cost metrics.
-func (c *Conn) Metrics() Metrics { return c.metrics }
+func (c *Conn) Metrics() Metrics {
+	c.mmu.Lock()
+	defer c.mmu.Unlock()
+	return c.metrics
+}
 
 // jrole names the endpoint's role in journal events.
 func (c *Conn) jrole() string {
@@ -208,13 +302,22 @@ func (c *Conn) alertRecv(level, desc uint8) error {
 	return &AlertError{Level: level, Description: desc}
 }
 
+// writeRecordOut seals and writes one record under the write lock.
+// protect's scratch must reach the wire inside the same critical
+// section, and concurrent writers' records must not interleave.
+func (c *Conn) writeRecordOut(recType uint8, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	frag, err := c.out.protect(recType, payload)
+	if err != nil {
+		return err
+	}
+	return writeRecord(c.conn, recType, frag)
+}
+
 // sendAlert writes an alert record (best effort).
 func (c *Conn) sendAlert(level, desc uint8) {
-	frag, err := c.out.protect(recordAlert, []byte{level, desc})
-	if err != nil {
-		return
-	}
-	_ = writeRecord(c.conn, recordAlert, frag)
+	_ = c.writeRecordOut(recordAlert, []byte{level, desc})
 }
 
 func (c *Conn) fail(desc uint8, err error) error {
@@ -228,12 +331,10 @@ func (c *Conn) fail(desc uint8, err error) error {
 // writeHandshake protects, frames and transcripts one handshake message.
 func (c *Conn) writeHandshake(msg []byte) error {
 	c.transcript.Write(msg)
-	frag, err := c.out.protect(recordHandshake, msg)
-	if err != nil {
-		return err
-	}
+	c.mmu.Lock()
 	c.metrics.RecordsSent++
-	return writeRecord(c.conn, recordHandshake, frag)
+	c.mmu.Unlock()
+	return c.writeRecordOut(recordHandshake, msg)
 }
 
 // readHandshakeMsg returns the next handshake message (type, body),
@@ -242,6 +343,12 @@ func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
 	for {
 		if len(c.handshakeBuf) >= 4 {
 			n := int(c.handshakeBuf[1])<<16 | int(c.handshakeBuf[2])<<8 | int(c.handshakeBuf[3])
+			if n > maxHandshakeMsg {
+				// Refuse before buffering toward an attacker-chosen
+				// 16 MB reassembly target.
+				return 0, nil, c.fail(AlertHandshakeFailed,
+					fmt.Errorf("wtls: handshake message length %d exceeds %d", n, maxHandshakeMsg))
+			}
 			if len(c.handshakeBuf) >= 4+n {
 				msg := c.handshakeBuf[:4+n]
 				c.handshakeBuf = c.handshakeBuf[4+n:]
@@ -254,7 +361,9 @@ func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
+		c.mmu.Lock()
 		c.metrics.RecordsRcv++
+		c.mmu.Unlock()
 		payload, err := c.in.unprotect(recType, frag)
 		if err != nil {
 			return 0, nil, c.fail(AlertBadRecordMAC, err)
@@ -287,7 +396,11 @@ func (c *Conn) expectHandshake(want uint8) ([]byte, error) {
 }
 
 // sendChangeCipherSpec emits the CCS record and arms the outbound keys.
+// Sealing the CCS and arming the new keys happen under one write-lock
+// hold so a concurrent alert cannot slip between them with stale keys.
 func (c *Conn) sendChangeCipherSpec(km *keyMaterial) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	frag, err := c.out.protect(recordChangeCipherSpec, []byte{1})
 	if err != nil {
 		return err
@@ -307,7 +420,9 @@ func (c *Conn) recvChangeCipherSpec(km *keyMaterial) error {
 	if err != nil {
 		return err
 	}
+	c.mmu.Lock()
 	c.metrics.RecordsRcv++
+	c.mmu.Unlock()
 	payload, err := c.in.unprotect(recType, frag)
 	if err != nil {
 		return err
@@ -324,13 +439,26 @@ func (c *Conn) recvChangeCipherSpec(km *keyMaterial) error {
 	return c.in.enable(c.suite, km.clientMAC, km.clientKey, km.clientIV)
 }
 
-// Handshake runs the protocol handshake. It is idempotent.
+// Handshake runs the protocol handshake. It is idempotent and safe for
+// concurrent use: any number of goroutines calling Read, Write or
+// Handshake trigger exactly one handshake, with the losers blocking
+// until it settles. A fatal handshake error is sticky — the wire is
+// desynchronized beyond repair, so later calls return the same error.
 func (c *Conn) Handshake() error {
-	if c.handshakeDone {
+	if c.hsDone.Load() {
 		return nil
 	}
+	c.hsMu.Lock()
+	defer c.hsMu.Unlock()
+	if c.hsDone.Load() {
+		return nil
+	}
+	if c.hsErr != nil {
+		return c.hsErr
+	}
 	if c.cfg == nil || c.cfg.Rand == nil {
-		return errors.New("wtls: config with Rand required")
+		c.hsErr = errors.New("wtls: config with Rand required")
+		return c.hsErr
 	}
 	role := "server"
 	if c.isClient {
@@ -349,15 +477,16 @@ func (c *Conn) Handshake() error {
 		mHandshakeFailures.Inc()
 		journal.Emit(c.jphase, journal.LevelWarn, "wtls", "handshake_failed",
 			journal.S("role", role), journal.S("err", err.Error()))
+		c.hsErr = err
 		return err
 	}
-	c.handshakeDone = true
 	if journal.On(journal.LevelInfo) {
 		journal.Emit(c.jphase, journal.LevelInfo, "wtls", "handshake_done",
 			journal.S("role", role), journal.S("suite", c.suite.Name),
 			journal.B("resumed", c.resumed))
 	}
 	kind := c.suite.KeyExchange
+	c.mmu.Lock()
 	if c.resumed {
 		kind = cost.HandshakeResume
 		c.metrics.ResumedHandshakes++
@@ -366,14 +495,19 @@ func (c *Conn) Handshake() error {
 		c.metrics.FullHandshakes++
 		mHandshakesFull.Inc()
 	}
+	c.mmu.Unlock()
 	instr, err := cost.HandshakeInstr(kind)
 	if err != nil {
+		c.hsErr = err
 		return err
 	}
+	c.mmu.Lock()
 	c.metrics.HandshakeInstr += instr
+	c.mmu.Unlock()
 	if prof.Enabled() {
 		hsProfSpans[kind].AddCycles(int64(instr))
 	}
+	c.hsDone.Store(true)
 	return nil
 }
 
@@ -748,11 +882,13 @@ func (c *Conn) checkFinished(body []byte, fromClient bool, transcriptHash []byte
 }
 
 // Write sends application data, fragmenting into records as needed.
+// Safe for concurrent use; concurrent writers interleave at record
+// granularity.
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.Handshake(); err != nil {
 		return 0, err
 	}
-	if c.closed {
+	if c.closed.Load() {
 		return 0, errors.New("wtls: connection closed")
 	}
 	total := 0
@@ -761,36 +897,39 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if n > maxRecordPayload {
 			n = maxRecordPayload
 		}
-		frag, err := c.out.protect(recordApplicationData, p[:n])
-		if err != nil {
+		if err := c.writeRecordOut(recordApplicationData, p[:n]); err != nil {
 			return total, err
 		}
-		if err := writeRecord(c.conn, recordApplicationData, frag); err != nil {
-			return total, err
-		}
+		c.mmu.Lock()
 		c.metrics.RecordsSent++
 		c.metrics.AppBytesOut += n
 		c.metrics.BulkInstr += float64(n) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
+		c.mmu.Unlock()
 		total += n
 		p = p[n:]
 	}
 	return total, nil
 }
 
-// Read returns application data, running the handshake if needed.
+// Read returns application data, running the handshake if needed. Safe
+// for concurrent use; concurrent readers are served one at a time.
 func (c *Conn) Read(p []byte) (int, error) {
 	if err := c.Handshake(); err != nil {
 		return 0, err
 	}
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
 	for len(c.readBuf) == 0 {
-		if c.closed {
+		if c.closed.Load() {
 			return 0, io.EOF
 		}
 		recType, frag, err := readRecord(c.conn)
 		if err != nil {
 			return 0, err
 		}
+		c.mmu.Lock()
 		c.metrics.RecordsRcv++
+		c.mmu.Unlock()
 		payload, err := c.in.unprotect(recType, frag)
 		if err != nil {
 			return 0, c.fail(AlertBadRecordMAC, err)
@@ -798,14 +937,16 @@ func (c *Conn) Read(p []byte) (int, error) {
 		switch recType {
 		case recordApplicationData:
 			c.readBuf = append(c.readBuf, payload...)
+			c.mmu.Lock()
 			c.metrics.AppBytesIn += len(payload)
 			c.metrics.BulkInstr += float64(len(payload)) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
+			c.mmu.Unlock()
 		case recordAlert:
 			if len(payload) != 2 {
 				return 0, errors.New("wtls: malformed alert")
 			}
 			if payload[1] == AlertCloseNotify {
-				c.closed = true
+				c.closed.Store(true)
 				return 0, io.EOF
 			}
 			return 0, c.alertRecv(payload[0], payload[1])
@@ -818,14 +959,20 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Close sends a close_notify alert.
+// Close sends a close_notify alert (when a handshake completed and the
+// peer has not already closed first) and closes the underlying
+// transport if it is closable. Idempotent and safe to call concurrently
+// with Read and Write: a blocked Read on a real socket is unblocked by
+// the transport close.
 func (c *Conn) Close() error {
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.handshakeDone {
-		c.sendAlert(alertLevelWarning, AlertCloseNotify)
-	}
-	return nil
+	var err error
+	c.closeOnce.Do(func() {
+		if c.closed.CompareAndSwap(false, true) && c.hsDone.Load() {
+			c.sendAlert(alertLevelWarning, AlertCloseNotify)
+		}
+		if cl, ok := c.conn.(io.Closer); ok {
+			err = cl.Close()
+		}
+	})
+	return err
 }

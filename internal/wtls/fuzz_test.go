@@ -86,7 +86,35 @@ func FuzzUnmarshalCertificate(f *testing.F) {
 func FuzzReadRecord(f *testing.F) {
 	f.Add([]byte{recordHandshake, 0x03, 0x01, 0x00, 0x01, 0xAA})
 	f.Add([]byte{})
+	// Oversized length field: the header claims 0xFFFF fragment bytes,
+	// far past maxRecordFragment. The parser must reject on the header
+	// alone — an attacker-controlled length may never size an
+	// allocation.
+	f.Add([]byte{recordHandshake, 0x03, 0x01, 0xFF, 0xFF})
+	f.Add(append([]byte{recordApplicationData, 0x03, 0x01, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0x41}, 1024)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		readRecord(bytes.NewReader(data)) //nolint:errcheck // must not panic
+	})
+}
+
+func FuzzSplitHandshake(f *testing.F) {
+	f.Add(wrapHandshake(typeClientHello, []byte{1, 2, 3}))
+	f.Add([]byte{})
+	// Oversized 24-bit length field (16 MiB claim in a 4-byte message):
+	// must error out before buffering, not attempt to read it.
+	f.Add([]byte{typeClientHello, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := splitHandshake(data)
+		if err != nil {
+			return
+		}
+		if len(body) > maxHandshakeMsg {
+			t.Fatalf("accepted %d-byte handshake body past the %d cap", len(body), maxHandshakeMsg)
+		}
+		// Anything accepted must re-frame to the identical bytes.
+		if !bytes.Equal(wrapHandshake(typ, body), data) {
+			t.Fatal("split/wrap roundtrip not stable")
+		}
 	})
 }

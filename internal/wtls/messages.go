@@ -218,6 +218,9 @@ func splitHandshake(msg []byte) (uint8, []byte, error) {
 	if !p.readUint8(&t) || !p.readUint24(&n) {
 		return 0, nil, errors.New("wtls: truncated handshake header")
 	}
+	if n > maxHandshakeMsg {
+		return 0, nil, fmt.Errorf("wtls: handshake message length %d exceeds %d", n, maxHandshakeMsg)
+	}
 	var body []byte
 	if !p.readRaw(n, &body) || !p.empty() {
 		return 0, nil, fmt.Errorf("wtls: handshake length mismatch (type %d)", t)

@@ -36,6 +36,19 @@ const (
 // maxRecordPayload bounds a single record's plaintext.
 const maxRecordPayload = 16384
 
+// maxRecordFragment is the hard cap on one sealed fragment, in both
+// directions: plaintext plus MAC plus block padding. readRecord refuses
+// to allocate past it, so a hostile length field cannot consume
+// unbounded memory on a 32 MB appliance.
+const maxRecordFragment = maxRecordPayload + 1024
+
+// maxHandshakeMsg bounds one handshake message body. The 24-bit wire
+// length reaches 16 MB; every legitimate message in this protocol
+// (hellos, compact WTLS certificates, key exchanges) is far under 64 KB,
+// so anything larger is treated as an attack on the reassembly buffer
+// and rejected before any record is buffered toward it.
+const maxHandshakeMsg = 1 << 16
+
 // Alert levels and descriptions (the subset this stack emits).
 const (
 	alertLevelWarning uint8 = 1
@@ -227,18 +240,37 @@ func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// writeRecord frames and writes one record.
+// writeRecord frames and writes one record. Both the header and the
+// fragment are written with writeFull: the in-memory pipes never
+// short-write, but real sockets (and deliberately chunking test
+// writers) can, and a torn record desynchronizes the peer forever.
 func writeRecord(w io.Writer, recType uint8, fragment []byte) error {
-	if len(fragment) > maxRecordPayload+1024 {
+	if len(fragment) > maxRecordFragment {
 		return errors.New("wtls: oversized record")
 	}
 	hdr := []byte{recType, byte(protocolVersion >> 8), byte(protocolVersion & 0xff),
 		byte(len(fragment) >> 8), byte(len(fragment))}
-	if _, err := w.Write(hdr); err != nil {
+	if err := writeFull(w, hdr); err != nil {
 		return err
 	}
-	_, err := w.Write(fragment)
-	return err
+	return writeFull(w, fragment)
+}
+
+// writeFull writes all of p, looping on short writes. A writer that
+// makes no progress without reporting an error is broken; surface it as
+// io.ErrShortWrite instead of spinning.
+func writeFull(w io.Writer, p []byte) error {
+	for len(p) > 0 {
+		n, err := w.Write(p)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return io.ErrShortWrite
+		}
+		p = p[n:]
+	}
+	return nil
 }
 
 // readRecord reads one record, returning its type and raw fragment.
@@ -252,7 +284,7 @@ func readRecord(r io.Reader) (uint8, []byte, error) {
 		return 0, nil, fmt.Errorf("wtls: record version %#04x", ver)
 	}
 	n := int(hdr[3])<<8 | int(hdr[4])
-	if n > maxRecordPayload+1024 {
+	if n > maxRecordFragment {
 		return 0, nil, errors.New("wtls: oversized record")
 	}
 	frag := make([]byte, n)
