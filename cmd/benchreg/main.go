@@ -26,13 +26,16 @@ import (
 	"repro/internal/obs/journal"
 )
 
-// Result is one benchmark's recorded costs.
+// Result is one benchmark's recorded costs. Extra holds custom
+// b.ReportMetric units (e.g. the aggregate benchmark's records/s) keyed
+// by their unit string.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+	Iterations  int64              `json:"iterations"`
 }
 
 // Snapshot is the JSON file layout. Commit and Fingerprint tie the
@@ -193,6 +196,11 @@ func parseLine(line string) (string, Result, bool) {
 			r.AllocsPerOp = v
 		case "MB/s":
 			r.MBPerSec = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return name, r, seen
@@ -258,9 +266,11 @@ func printSnapshot(s *Snapshot) {
 }
 
 // regression is one over-threshold (or missing) benchmark for the
-// failure table.
+// failure table. unit names the gated metric (ns/op, allocs/op, MB/s,
+// records/s, ...).
 type regression struct {
 	name     string
+	unit     string
 	baseNs   float64
 	curNs    float64
 	delta    float64 // fraction over baseline; NaN-free, missing uses +Inf
@@ -295,10 +305,41 @@ func compare(base, cur *Snapshot, threshold float64) bool {
 		verdict := "ok"
 		if delta > threshold {
 			verdict = "REGRESSION"
-			regs = append(regs, regression{name: n, baseNs: b.NsPerOp, curNs: c.NsPerOp, delta: delta, baseDate: base.Date})
+			regs = append(regs, regression{name: n, unit: "ns/op", baseNs: b.NsPerOp, curNs: c.NsPerOp, delta: delta, baseDate: base.Date})
 		}
 		fmt.Printf("  %-50s %14.1f -> %14.1f ns/op  %+6.1f%%  %s\n",
 			n, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+		// allocs/op gates at zero tolerance: a benchmark that allocated
+		// more than its baseline — in particular the record path's pinned
+		// 0 allocs/op — fails regardless of how small the increase is.
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Printf("  %-50s %14.0f -> %14.0f allocs/op  REGRESSION (zero tolerance)\n",
+				n, b.AllocsPerOp, c.AllocsPerOp)
+			regs = append(regs, regression{name: n, unit: "allocs/op", baseNs: b.AllocsPerOp,
+				curNs: c.AllocsPerOp, delta: c.AllocsPerOp - b.AllocsPerOp, baseDate: base.Date})
+		}
+		// Throughput metrics (MB/s and custom rates such as records/s)
+		// gate as drops at the same threshold.
+		if b.MBPerSec > 0 && c.MBPerSec < b.MBPerSec*(1-threshold) {
+			drop := (b.MBPerSec - c.MBPerSec) / b.MBPerSec
+			fmt.Printf("  %-50s %14.2f -> %14.2f MB/s  %+6.1f%%  REGRESSION\n",
+				n, b.MBPerSec, c.MBPerSec, -drop*100)
+			regs = append(regs, regression{name: n, unit: "MB/s", baseNs: b.MBPerSec,
+				curNs: c.MBPerSec, delta: drop, baseDate: base.Date})
+		}
+		for unit, bv := range b.Extra {
+			if !strings.HasSuffix(unit, "/s") || bv <= 0 {
+				continue
+			}
+			cv := c.Extra[unit]
+			if cv < bv*(1-threshold) {
+				drop := (bv - cv) / bv
+				fmt.Printf("  %-50s %14.1f -> %14.1f %s  %+6.1f%%  REGRESSION\n",
+					n, bv, cv, unit, -drop*100)
+				regs = append(regs, regression{name: n, unit: unit, baseNs: bv,
+					curNs: cv, delta: drop, baseDate: base.Date})
+			}
+		}
 	}
 	extra := 0
 	for n := range cur.Results {
@@ -313,7 +354,7 @@ func compare(base, cur *Snapshot, threshold float64) bool {
 	// more rules than its baseline regressed even if every ns/op held.
 	if cur.SLOFired > base.SLOFired {
 		fmt.Printf("  %-50s %14d -> %14d fired  REGRESSION\n", "SLO rules", base.SLOFired, cur.SLOFired)
-		regs = append(regs, regression{name: "SLO rules fired", baseNs: float64(base.SLOFired),
+		regs = append(regs, regression{name: "SLO rules fired", unit: "fired", baseNs: float64(base.SLOFired),
 			curNs: float64(cur.SLOFired), delta: float64(cur.SLOFired - base.SLOFired), baseDate: base.Date})
 	} else if base.SLOFired > 0 || cur.SLOFired > 0 {
 		fmt.Printf("  %-50s %14d -> %14d fired  ok\n", "SLO rules", base.SLOFired, cur.SLOFired)
@@ -336,15 +377,15 @@ func printRegressionTable(regs []regression, threshold float64) {
 		}
 		return regs[i].delta > regs[j].delta
 	})
-	fmt.Printf("\nbenchreg: FAIL — %d benchmark(s) regressed past +%.0f%% (baseline %s):\n",
-		len(regs), threshold*100, regs[0].baseDate)
-	fmt.Printf("  %-50s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	fmt.Printf("\nbenchreg: FAIL — %d metric(s) regressed past their gate (baseline %s, ns/op gate +%.0f%%):\n",
+		len(regs), regs[0].baseDate, threshold*100)
+	fmt.Printf("  %-50s %12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta")
 	for _, r := range regs {
 		if r.missing {
-			fmt.Printf("  %-50s %14.1f %14s %9s\n", r.name, r.baseNs, "MISSING", "-")
+			fmt.Printf("  %-50s %12s %14.1f %14s %9s\n", r.name, "ns/op", r.baseNs, "MISSING", "-")
 			continue
 		}
-		fmt.Printf("  %-50s %14.1f %14.1f %+8.1f%%\n", r.name, r.baseNs, r.curNs, r.delta*100)
+		fmt.Printf("  %-50s %12s %14.1f %14.1f %+8.1f%%\n", r.name, r.unit, r.baseNs, r.curNs, r.delta*100)
 	}
 	fmt.Println("  refresh with: go run ./cmd/benchreg -out bench/BENCH_baseline.json (after justifying the slowdown)")
 }

@@ -30,6 +30,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 16, "closed-loop worker count")
 	records := flag.Int("records", 4, "echo round-trips per session")
 	payload := flag.Int("payload", 256, "bytes per record")
+	burst := flag.Int("burst", 1, "records written back-to-back per round-trip (engages the batched record path)")
 	seed := flag.Int64("seed", 1, "master seed for all client-side randomness")
 	attempts := flag.Int("attempts", 5, "max tries per session (connect+handshake+echo)")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect deadline")
@@ -78,7 +79,7 @@ func main() {
 	r, err := loadgen.New(loadgen.Config{
 		Addr: *addr, WTLS: wcfg,
 		Conns: *conns, Concurrency: *concurrency,
-		Records: *records, Payload: *payload,
+		Records: *records, Payload: *payload, Burst: *burst,
 		Seed: *seed, Chaos: cc, Attempts: *attempts,
 		DialTimeout: *dialTimeout, IOTimeout: *ioTimeout,
 	})

@@ -54,6 +54,22 @@ const lossMaxRetries = 25
 // clean channel up past the point where ARQ gives up.
 var DefaultLossBERs = []float64{0, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3}
 
+// DefaultARQPipeline is the simulated endpoints' transmit-pipeline depth:
+// frame k's crypto/framing overlaps frame k-1's radio transmit. Depth 2
+// keeps one frame in flight behind the one being prepared; the single
+// transmit goroutine preserves wire order, so per-seed fault schedules —
+// and therefore figure outputs — are unchanged from the synchronous path.
+const DefaultARQPipeline = 2
+
+// LossSimOptions tunes SimulateLossFigure's simulated endpoints without
+// touching the analytic model.
+type LossSimOptions struct {
+	// ARQPipeline is the transmit-pipeline depth for both simulated
+	// endpoints; < 0 forces the synchronous (unpipelined) path, 0 means
+	// DefaultARQPipeline.
+	ARQPipeline int
+}
+
 // LossPoint is one column of the loss figure.
 type LossPoint struct {
 	BER            float64
@@ -183,7 +199,18 @@ func ComputeLossFigure(drop float64, bers []float64) (*LossFigure, error) {
 // "radio-tx", "radio-rx" or "radio-retx"; perPoint transactions are
 // simulated per BER and the battery total extrapolated. The seed fixes
 // the fault schedule.
-func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) (*LossFigure, error) {
+func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int, opts ...LossSimOptions) (*LossFigure, error) {
+	var opt LossSimOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	pipeline := opt.ARQPipeline
+	switch {
+	case pipeline == 0:
+		pipeline = DefaultARQPipeline
+	case pipeline < 0:
+		pipeline = 0 // synchronous transmit
+	}
 	if drop < 0 || drop >= 1 {
 		return nil, fmt.Errorf("core: drop rate %v outside [0,1)", drop)
 	}
@@ -212,7 +239,7 @@ func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) 
 	cols, err := par.Map(context.Background(), par.DefaultWorkers(), bers,
 		func(i int, ber float64) (lossCol, error) {
 			psp := obs.StartSpan("core", "loss_point")
-			pt, tx, rx, retx, err := simulateLossPoint(drop, ber, seed+int64(i)*7919, perPoint)
+			pt, tx, rx, retx, err := simulateLossPoint(drop, ber, seed+int64(i)*7919, perPoint, pipeline)
 			psp.End()
 			if err != nil {
 				return lossCol{}, err
@@ -243,7 +270,7 @@ func SimulateLossFigure(drop float64, bers []float64, seed int64, perPoint int) 
 	return fig, nil
 }
 
-func simulateLossPoint(drop, ber float64, seed int64, perPoint int) (*LossPoint, float64, float64, float64, error) {
+func simulateLossPoint(drop, ber float64, seed int64, perPoint, pipeline int) (*LossPoint, float64, float64, float64, error) {
 	devLink, gwLink := stack.Pipe()
 	devFT, err := chaos.New(devLink, chaos.Config{Seed: seed, Drop: drop, BER: ber})
 	if err != nil {
@@ -266,7 +293,7 @@ func simulateLossPoint(drop, ber float64, seed int64, perPoint int) (*LossPoint,
 	var radMu sync.Mutex
 	acfg := arq.Config{
 		Window: 1, RetransmitTimeout: 2 * time.Millisecond,
-		Backoff: 1, MaxRetries: lossMaxRetries,
+		Backoff: 1, MaxRetries: lossMaxRetries, Pipeline: pipeline,
 		OnTransmit: func(n int, retransmit bool) {
 			radMu.Lock()
 			j := rad.Transmit(n)
@@ -291,7 +318,7 @@ func simulateLossPoint(drop, ber float64, seed int64, perPoint int) (*LossPoint,
 	defer dev.Close()
 	gw, err := arq.New(gwFT, arq.Config{
 		Window: 1, RetransmitTimeout: 2 * time.Millisecond,
-		Backoff: 1, MaxRetries: lossMaxRetries,
+		Backoff: 1, MaxRetries: lossMaxRetries, Pipeline: pipeline,
 	})
 	if err != nil {
 		return nil, 0, 0, 0, err

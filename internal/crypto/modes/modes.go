@@ -194,6 +194,81 @@ func DecryptCBCInto(b Block, iv, src, dst []byte) error {
 	return nil
 }
 
+// CBCCrypter carries per-connection CBC scratch for repeated operations
+// over one Block. The package-level Into variants keep their scratch on
+// the stack, but those slices are passed through the Block interface and
+// escape-analysis conservatively heap-allocates them on every call; a
+// record path that seals millions of records holds a CBCCrypter so the
+// scratch is paid once per connection direction instead.
+//
+// A CBCCrypter is not safe for concurrent use.
+type CBCCrypter struct {
+	b              Block
+	tmp, prev, ct2 []byte
+}
+
+// NewCBCCrypter creates reusable CBC scratch for b.
+func NewCBCCrypter(b Block) *CBCCrypter {
+	bs := b.BlockSize()
+	return &CBCCrypter{
+		b:    b,
+		tmp:  make([]byte, bs),
+		prev: make([]byte, bs),
+		ct2:  make([]byte, bs),
+	}
+}
+
+// EncryptInto is EncryptCBCInto against the crypter's block cipher,
+// allocation-free for every block size. dst may alias src exactly.
+func (c *CBCCrypter) EncryptInto(iv, src, dst []byte) error {
+	bs := c.b.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(src)%bs != 0 {
+		return ErrNotBlockAligned
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("modes: dst length %d < src length %d", len(dst), len(src))
+	}
+	tmp := c.tmp
+	prev := iv
+	for i := 0; i < len(src); i += bs {
+		bitutil.XORBytes(tmp, src[i:i+bs], prev)
+		c.b.Encrypt(dst[i:i+bs], tmp)
+		prev = dst[i : i+bs]
+	}
+	mCBCEncOps.Inc()
+	mCBCEncBytes.Add(int64(len(src)))
+	return nil
+}
+
+// DecryptInto is DecryptCBCInto against the crypter's block cipher,
+// allocation-free for every block size. dst may alias src exactly.
+func (c *CBCCrypter) DecryptInto(iv, src, dst []byte) error {
+	bs := c.b.BlockSize()
+	if len(iv) != bs {
+		return fmt.Errorf("modes: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(src)%bs != 0 {
+		return ErrNotBlockAligned
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("modes: dst length %d < src length %d", len(dst), len(src))
+	}
+	tmp, prev, ct := c.tmp, c.prev, c.ct2
+	copy(prev, iv)
+	for i := 0; i < len(src); i += bs {
+		copy(ct, src[i:i+bs])
+		c.b.Decrypt(tmp, src[i:i+bs])
+		bitutil.XORBytes(dst[i:i+bs], tmp, prev)
+		prev, ct = ct, prev
+	}
+	mCBCDecOps.Inc()
+	mCBCDecBytes.Add(int64(len(src)))
+	return nil
+}
+
 // CTR is a counter-mode stream built over a block cipher. It implements
 // XORKeyStream like a stream cipher and may process data of any length.
 type CTR struct {

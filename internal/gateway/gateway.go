@@ -72,8 +72,10 @@ type Config struct {
 	// long after Shutdown begins are force-closed. Default 5s.
 	DrainTimeout time.Duration
 
-	// EchoBufBytes sizes the pooled per-session echo buffers.
-	// Default 16 KiB.
+	// EchoBufBytes sizes the pooled per-session echo buffers. Default
+	// 64 KiB — four max-size records, so one Read can drain a full
+	// batch from the record layer and the echo Write reseals it as one
+	// batch instead of record-at-a-time.
 	EchoBufBytes int
 }
 
@@ -95,7 +97,7 @@ func (c *Config) withDefaults() Config {
 		d.DrainTimeout = 5 * time.Second
 	}
 	if d.EchoBufBytes <= 0 {
-		d.EchoBufBytes = 16 * 1024
+		d.EchoBufBytes = 64 * 1024
 	}
 	return d
 }

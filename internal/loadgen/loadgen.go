@@ -54,6 +54,12 @@ type Config struct {
 	Records int
 	// Payload is the bytes per record. Default 256.
 	Payload int
+	// Burst is how many records each round-trip writes back-to-back
+	// before draining their echoes. Bursts > 1 keep several records in
+	// flight, so the gateway's reader sees them buffered together and
+	// the batched record path (OpenBatch/SealBatch) engages instead of
+	// record-at-a-time lockstep. Default 1 (classic echo RTT).
+	Burst int
 
 	// Seed drives all client-side randomness.
 	Seed int64
@@ -92,6 +98,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if d.Payload <= 0 {
 		d.Payload = 256
+	}
+	if d.Burst <= 0 {
+		d.Burst = 1
 	}
 	if d.Attempts <= 0 {
 		d.Attempts = 5
@@ -312,27 +321,36 @@ func (r *Runner) attempt(id, attempt int) error {
 	payload := make([]byte, r.cfg.Payload)
 	wcfg.Rand.Read(payload)
 	buf := make([]byte, r.cfg.Payload)
-	for rec := 0; rec < r.cfg.Records; rec++ {
+	for rec := 0; rec < r.cfg.Records; {
+		burst := r.cfg.Burst
+		if left := r.cfg.Records - rec; burst > left {
+			burst = left
+		}
 		t0 := time.Now()
 		_ = tc.SetDeadline(time.Now().Add(r.cfg.IOTimeout))
-		if _, err := tc.Write(payload); err != nil {
-			return fmt.Errorf("record %d write: %w", rec, err)
-		}
-		got := 0
-		for got < len(buf) {
-			n, err := tc.Read(buf[got:])
-			if err != nil {
-				return fmt.Errorf("record %d read: %w", rec, err)
+		for i := 0; i < burst; i++ {
+			if _, err := tc.Write(payload); err != nil {
+				return fmt.Errorf("record %d write: %w", rec+i, err)
 			}
-			got += n
+		}
+		for i := 0; i < burst; i++ {
+			got := 0
+			for got < len(buf) {
+				n, err := tc.Read(buf[got:])
+				if err != nil {
+					return fmt.Errorf("record %d read: %w", rec+i, err)
+				}
+				got += n
+			}
 		}
 		rtt := time.Since(t0)
 		hRecordRTT.Observe(rtt.Nanoseconds())
-		r.records.Add(1)
-		mRecords.Inc()
+		r.records.Add(int64(burst))
+		mRecords.Add(int64(burst))
 		r.mu.Lock()
 		r.rttLat = append(r.rttLat, rtt)
 		r.mu.Unlock()
+		rec += burst
 	}
 	return nil
 }

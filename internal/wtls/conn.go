@@ -77,41 +77,12 @@ func (c *Config) suitesOrDefault() []uint16 {
 	return suite.DefaultServerPreference()
 }
 
-// SessionCache stores resumable sessions, keyed by server name on clients
-// and by session ID on servers.
-type SessionCache struct {
-	mu sync.Mutex
-	m  map[string]*session
-}
-
+// session is one resumable session's state (see session.go for the
+// sharded cache that stores them).
 type session struct {
 	id      []byte
 	master  []byte
 	suiteID uint16
-}
-
-// NewSessionCache creates an empty session cache.
-func NewSessionCache() *SessionCache {
-	return &SessionCache{m: make(map[string]*session)}
-}
-
-func (sc *SessionCache) put(key string, s *session) {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	sc.m[key] = s
-}
-
-func (sc *SessionCache) get(key string) *session {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.m[key]
-}
-
-// Len reports the number of cached sessions.
-func (sc *SessionCache) Len() int {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return len(sc.m)
 }
 
 // Metrics accumulates the modeled security-processing work of a
@@ -151,16 +122,22 @@ type Conn struct {
 	hsErr  error
 
 	// writeMu guards the outbound half connection and the wire writes
-	// through it: protect() returns scratch that must reach the wire
+	// through it: sealed records alias scratch that must reach the wire
 	// before the next seal, and records from concurrent writers must
-	// not interleave mid-record.
+	// not interleave mid-record. wfrags is the fragment-list scratch
+	// Write uses to batch large payloads into one SealBatch call.
 	writeMu sync.Mutex
 	out     halfConn
+	wfrags  [][]byte
 
-	// readMu guards the inbound half connection, the reassembly
-	// buffers, and post-handshake wire reads.
+	// readMu guards the inbound half connection, the record reader, the
+	// reassembly buffers, and post-handshake wire reads. rfrags is the
+	// fragment-list scratch Read uses to drain buffered records as one
+	// OpenBatch call.
 	readMu sync.Mutex
 	in     halfConn
+	rr     *recordReader
+	rfrags [][]byte
 
 	suite     *suite.Suite
 	resumed   bool
@@ -169,7 +146,12 @@ type Conn struct {
 
 	transcript   *sha1.Digest
 	handshakeBuf []byte
-	readBuf      []byte
+
+	// readBuf holds decrypted-but-undelivered application data; readOff
+	// is the delivery cursor into it, so draining a buffered batch does
+	// not reslice away the buffer's reusable capacity.
+	readBuf []byte
+	readOff int
 
 	sessionID []byte
 	master    []byte
@@ -190,13 +172,15 @@ var _ net.Conn = (*Conn)(nil)
 // Client wraps conn as the client side of a WTLS connection.
 func Client(conn io.ReadWriter, cfg *Config) *Conn {
 	nc, _ := conn.(net.Conn)
-	return &Conn{conn: conn, nc: nc, isClient: true, cfg: cfg, transcript: sha1.New()}
+	return &Conn{conn: conn, nc: nc, isClient: true, cfg: cfg,
+		transcript: sha1.New(), rr: newRecordReader(conn)}
 }
 
 // Server wraps conn as the server side of a WTLS connection.
 func Server(conn io.ReadWriter, cfg *Config) *Conn {
 	nc, _ := conn.(net.Conn)
-	return &Conn{conn: conn, nc: nc, isClient: false, cfg: cfg, transcript: sha1.New()}
+	return &Conn{conn: conn, nc: nc, isClient: false, cfg: cfg,
+		transcript: sha1.New(), rr: newRecordReader(conn)}
 }
 
 // pipeAddr is the placeholder address of a Conn over an in-memory pipe.
@@ -303,16 +287,17 @@ func (c *Conn) alertRecv(level, desc uint8) error {
 }
 
 // writeRecordOut seals and writes one record under the write lock.
-// protect's scratch must reach the wire inside the same critical
-// section, and concurrent writers' records must not interleave.
+// The sealed wire bytes alias the half connection's scratch and must
+// reach the wire inside the same critical section, and concurrent
+// writers' records must not interleave.
 func (c *Conn) writeRecordOut(recType uint8, payload []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	frag, err := c.out.protect(recType, payload)
+	wire, err := c.out.sealOne(recType, payload)
 	if err != nil {
 		return err
 	}
-	return writeRecord(c.conn, recType, frag)
+	return writeFull(c.conn, wire)
 }
 
 // sendAlert writes an alert record (best effort).
@@ -357,7 +342,7 @@ func (c *Conn) readHandshakeMsg() (uint8, []byte, error) {
 				return t, body, err
 			}
 		}
-		recType, frag, err := readRecord(c.conn)
+		recType, frag, err := c.rr.next()
 		if err != nil {
 			return 0, nil, err
 		}
@@ -401,11 +386,11 @@ func (c *Conn) expectHandshake(want uint8) ([]byte, error) {
 func (c *Conn) sendChangeCipherSpec(km *keyMaterial) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	frag, err := c.out.protect(recordChangeCipherSpec, []byte{1})
+	wire, err := c.out.sealOne(recordChangeCipherSpec, []byte{1})
 	if err != nil {
 		return err
 	}
-	if err := writeRecord(c.conn, recordChangeCipherSpec, frag); err != nil {
+	if err := writeFull(c.conn, wire); err != nil {
 		return err
 	}
 	if c.isClient {
@@ -416,7 +401,7 @@ func (c *Conn) sendChangeCipherSpec(km *keyMaterial) error {
 
 // recvChangeCipherSpec consumes the peer CCS and arms the inbound keys.
 func (c *Conn) recvChangeCipherSpec(km *keyMaterial) error {
-	recType, frag, err := readRecord(c.conn)
+	recType, frag, err := c.rr.next()
 	if err != nil {
 		return err
 	}
@@ -881,9 +866,12 @@ func (c *Conn) checkFinished(body []byte, fromClient bool, transcriptHash []byte
 	return nil
 }
 
-// Write sends application data, fragmenting into records as needed.
-// Safe for concurrent use; concurrent writers interleave at record
-// granularity.
+// Write sends application data, fragmenting into records as needed. A
+// large payload is fragmented into one SealBatch call — sealed back to
+// back into a single wire buffer and flushed with one transport write —
+// so per-record overhead (HMAC staging, metric updates, syscalls) is
+// amortized across the batch. Safe for concurrent use; concurrent
+// writers interleave at batch granularity.
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.Handshake(); err != nil {
 		return 0, err
@@ -893,25 +881,43 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	total := 0
 	for len(p) > 0 {
-		n := len(p)
-		if n > maxRecordPayload {
-			n = maxRecordPayload
+		c.writeMu.Lock()
+		frags := c.wfrags[:0]
+		batchBytes := 0
+		for len(p) > 0 && len(frags) < maxRecordsPerBatch {
+			n := len(p)
+			if n > maxRecordPayload {
+				n = maxRecordPayload
+			}
+			frags = append(frags, p[:n])
+			batchBytes += n
+			p = p[n:]
 		}
-		if err := c.writeRecordOut(recordApplicationData, p[:n]); err != nil {
+		c.wfrags = frags
+		wire, err := c.out.SealBatch(recordApplicationData, frags)
+		if err != nil {
+			c.writeMu.Unlock()
+			return total, err
+		}
+		err = writeFull(c.conn, wire)
+		c.writeMu.Unlock()
+		if err != nil {
 			return total, err
 		}
 		c.mmu.Lock()
-		c.metrics.RecordsSent++
-		c.metrics.AppBytesOut += n
-		c.metrics.BulkInstr += float64(n) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
+		c.metrics.RecordsSent += len(frags)
+		c.metrics.AppBytesOut += batchBytes
+		c.metrics.BulkInstr += float64(batchBytes) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
 		c.mmu.Unlock()
-		total += n
-		p = p[n:]
+		total += batchBytes
 	}
 	return total, nil
 }
 
-// Read returns application data, running the handshake if needed. Safe
+// Read returns application data, running the handshake if needed. When a
+// burst of application records is already buffered (one transport read
+// pulled in several), they are decrypted as one OpenBatch call with a
+// single metrics update; the batch never waits for more wire data. Safe
 // for concurrent use; concurrent readers are served one at a time.
 func (c *Conn) Read(p []byte) (int, error) {
 	if err := c.Handshake(); err != nil {
@@ -919,29 +925,50 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
-	for len(c.readBuf) == 0 {
+	for c.readOff == len(c.readBuf) {
+		c.readBuf = c.readBuf[:0]
+		c.readOff = 0
 		if c.closed.Load() {
 			return 0, io.EOF
 		}
-		recType, frag, err := readRecord(c.conn)
+		recType, frag, err := c.rr.next()
 		if err != nil {
 			return 0, err
 		}
-		c.mmu.Lock()
-		c.metrics.RecordsRcv++
-		c.mmu.Unlock()
-		payload, err := c.in.unprotect(recType, frag)
-		if err != nil {
-			return 0, c.fail(AlertBadRecordMAC, err)
-		}
 		switch recType {
 		case recordApplicationData:
+			// Collect consecutive already-buffered application records.
+			// peek never refills the reader, so frag and its successors
+			// stay alias-stable across the collection loop.
+			frags := append(c.rfrags[:0], frag)
+			for len(frags) < maxRecordsPerBatch {
+				t, ok := c.rr.peek()
+				if !ok || t != recordApplicationData {
+					break
+				}
+				if _, f, err := c.rr.next(); err == nil {
+					frags = append(frags, f)
+				}
+			}
+			c.rfrags = frags
+			payload, err := c.in.OpenBatch(recordApplicationData, frags)
+			if err != nil {
+				return 0, c.fail(AlertBadRecordMAC, err)
+			}
 			c.readBuf = append(c.readBuf, payload...)
 			c.mmu.Lock()
+			c.metrics.RecordsRcv += len(frags)
 			c.metrics.AppBytesIn += len(payload)
 			c.metrics.BulkInstr += float64(len(payload)) * cost.BulkInstrPerByte(c.suite.Cipher, c.suite.MAC)
 			c.mmu.Unlock()
 		case recordAlert:
+			c.mmu.Lock()
+			c.metrics.RecordsRcv++
+			c.mmu.Unlock()
+			payload, err := c.in.unprotect(recType, frag)
+			if err != nil {
+				return 0, c.fail(AlertBadRecordMAC, err)
+			}
 			if len(payload) != 2 {
 				return 0, errors.New("wtls: malformed alert")
 			}
@@ -951,11 +978,21 @@ func (c *Conn) Read(p []byte) (int, error) {
 			}
 			return 0, c.alertRecv(payload[0], payload[1])
 		default:
+			c.mmu.Lock()
+			c.metrics.RecordsRcv++
+			c.mmu.Unlock()
+			if _, err := c.in.unprotect(recType, frag); err != nil {
+				return 0, c.fail(AlertBadRecordMAC, err)
+			}
 			return 0, fmt.Errorf("wtls: unexpected record type %d", recType)
 		}
 	}
-	n := copy(p, c.readBuf)
-	c.readBuf = c.readBuf[n:]
+	n := copy(p, c.readBuf[c.readOff:])
+	c.readOff += n
+	if c.readOff == len(c.readBuf) {
+		c.readBuf = c.readBuf[:0]
+		c.readOff = 0
+	}
 	return n, nil
 }
 

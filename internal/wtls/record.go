@@ -33,14 +33,22 @@ const (
 	recordApplicationData  uint8 = 23
 )
 
+// recordHeaderLen is the framed record header: type, version, length.
+const recordHeaderLen = 5
+
 // maxRecordPayload bounds a single record's plaintext.
 const maxRecordPayload = 16384
 
 // maxRecordFragment is the hard cap on one sealed fragment, in both
-// directions: plaintext plus MAC plus block padding. readRecord refuses
-// to allocate past it, so a hostile length field cannot consume
+// directions: plaintext plus MAC plus block padding. The record reader
+// refuses to buffer past it, so a hostile length field cannot consume
 // unbounded memory on a 32 MB appliance.
 const maxRecordFragment = maxRecordPayload + 1024
+
+// maxRecordsPerBatch bounds one SealBatch/OpenBatch call, and with it the
+// wire and open scratch a connection can pin (~8 full records per
+// direction).
+const maxRecordsPerBatch = 8
 
 // maxHandshakeMsg bounds one handshake message body. The 24-bit wire
 // length reaches 16 MB; every legitimate message in this protocol
@@ -75,17 +83,23 @@ type halfConn struct {
 	seq     uint64
 	suite   *suite.Suite
 	macKey  []byte
-	block   modes.Block  // block suites
-	cbcIV   []byte       // running CBC residue (SSL 3.0/TLS 1.0 chaining)
-	stream  suite.Stream // stream suites
+	block   modes.Block       // block suites
+	cbc     *modes.CBCCrypter // reusable CBC scratch for block suites
+	cbcIV   []byte            // running CBC residue (SSL 3.0/TLS 1.0 chaining)
+	stream  suite.Stream      // stream suites
 	enabled bool
+	macLen  int // cached hc.hmac.Size(): Suite.MACLen constructs a hash per call
 
 	// Per-record scratch, armed by enable: the keyed HMAC is built once
-	// and Reset between records, and seal/open work happens in reusable
-	// buffers instead of fresh allocations per record.
+	// and Reset between records, and all seal/open work happens in
+	// reusable buffers instead of fresh allocations per record. macHdr
+	// stages the 11-byte MAC header on the heap once — an on-stack array
+	// would escape through the hash.Hash interface on every record.
 	hmac    hash.Hash
 	macBuf  []byte
-	workBuf []byte
+	macHdr  []byte
+	wireBuf []byte // seal side: framed records [hdr|fragment]...
+	openBuf []byte // open side: decrypted plaintext payloads
 
 	// Cached energy/cycle profile frames for the suite's kernels (set by
 	// enable, so the tree walk is off the per-record path).
@@ -104,6 +118,7 @@ func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
 			return err
 		}
 		hc.block = b
+		hc.cbc = modes.NewCBCCrypter(b)
 		hc.cbcIV = append([]byte{}, iv...)
 	case suite.StreamCipher:
 		st, err := s.NewStream(key)
@@ -115,7 +130,9 @@ func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
 		return errors.New("wtls: suite kind unsupported by record layer")
 	}
 	hc.hmac = hmac.New(s.NewHash, hc.macKey)
-	hc.macBuf = make([]byte, 0, hc.hmac.Size())
+	hc.macLen = hc.hmac.Size()
+	hc.macBuf = make([]byte, 0, hc.macLen)
+	hc.macHdr = make([]byte, 11)
 	hc.pCipher = prof.Frame("wtls.Record/" + string(s.Cipher))
 	hc.pMAC = prof.Frame("wtls.Record/" + string(s.MAC))
 	hc.seq = 0
@@ -129,131 +146,234 @@ func (hc *halfConn) enable(s *suite.Suite, macKey, key, iv []byte) error {
 func (hc *halfConn) mac(recType uint8, payload []byte) []byte {
 	h := hc.hmac
 	h.Reset()
-	var hdr [11]byte
+	hdr := hc.macHdr
 	for i := 0; i < 8; i++ {
 		hdr[i] = byte(hc.seq >> uint(56-8*i))
 	}
 	hdr[8] = recType
 	hdr[9] = byte(len(payload) >> 8)
 	hdr[10] = byte(len(payload))
-	h.Write(hdr[:])
+	h.Write(hdr)
 	h.Write(payload)
 	return h.Sum(hc.macBuf[:0])
 }
 
-// grow resizes the work scratch to n bytes, reallocating only when the
-// record outgrows every previous one.
-func (hc *halfConn) grow(n int) []byte {
-	if cap(hc.workBuf) < n {
-		hc.workBuf = make([]byte, n)
-	}
-	return hc.workBuf[:n]
+// appendHeader appends a 5-byte record header framing a fragment of
+// fragLen bytes.
+func appendHeader(dst []byte, recType uint8, fragLen int) []byte {
+	return append(dst, recType, byte(protocolVersion>>8), byte(protocolVersion&0xff),
+		byte(fragLen>>8), byte(fragLen))
 }
 
-// protect seals a plaintext fragment. The returned slice aliases the half
-// connection's scratch buffer and is valid until the next protect or
-// unprotect call; callers write it to the wire (or copy it) immediately.
-func (hc *halfConn) protect(recType uint8, payload []byte) ([]byte, error) {
-	if !hc.enabled {
-		return append([]byte{}, payload...), nil
+// appendZeros extends dst by n writable bytes (contents unspecified —
+// every caller overwrites the whole extension). Allocation-free once the
+// buffer has warmed to its working size.
+func appendZeros(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
 	}
-	mRecordsSealed.Inc()
-	mSealBytes.Add(int64(len(payload)))
-	mRecordSizes.Observe(int64(len(payload)))
-	if prof.Enabled() {
-		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(len(payload))))
-		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(len(payload))))
+	return append(dst, make([]byte, n)...)
+}
+
+// appendRecord seals payload as one record — 5-byte header plus protected
+// fragment — appended to dst, returning the extended slice. Sequence
+// number, MAC and cipher state advance; metrics are the caller's so batch
+// callers can amortize them to one update per batch.
+func (hc *halfConn) appendRecord(dst []byte, recType uint8, payload []byte) ([]byte, error) {
+	if len(payload) > maxRecordPayload {
+		return dst, errors.New("wtls: oversized record")
+	}
+	if !hc.enabled {
+		dst = appendHeader(dst, recType, len(payload))
+		return append(dst, payload...), nil
 	}
 	mac := hc.mac(recType, payload)
 	hc.seq++
 	n := len(payload) + len(mac)
+	fragLen := n
+	if hc.suite.Kind == suite.BlockCipher {
+		bs := hc.suite.BlockSize
+		fragLen = n + bs - n%bs
+	}
+	dst = appendHeader(dst, recType, fragLen)
+	base := len(dst)
+	dst = appendZeros(dst, fragLen)
+	data := dst[base:]
+	copy(data, payload)
+	copy(data[len(payload):], mac)
 	switch hc.suite.Kind {
 	case suite.BlockCipher:
-		bs := hc.suite.BlockSize
-		padLen := bs - n%bs
-		data := hc.grow(n + padLen)
-		copy(data, payload)
-		copy(data[len(payload):], mac)
-		for i := n; i < len(data); i++ {
+		padLen := fragLen - n
+		for i := n; i < fragLen; i++ {
 			data[i] = byte(padLen)
 		}
-		if err := modes.EncryptCBCInto(hc.block, hc.cbcIV, data, data); err != nil {
-			return nil, err
+		if err := hc.cbc.EncryptInto(hc.cbcIV, data, data); err != nil {
+			return dst[:base-recordHeaderLen], err
 		}
-		copy(hc.cbcIV, data[len(data)-bs:])
-		return data, nil
+		copy(hc.cbcIV, data[fragLen-hc.suite.BlockSize:])
 	case suite.StreamCipher:
-		data := hc.grow(n)
-		copy(data, payload)
-		copy(data[len(payload):], mac)
 		hc.stream.XORKeyStream(data, data)
-		return data, nil
+	default:
+		return dst[:base-recordHeaderLen], errors.New("wtls: unreachable suite kind")
 	}
-	return nil, errors.New("wtls: unreachable suite kind")
+	return dst, nil
 }
 
-// unprotect opens a sealed fragment. The returned payload aliases the half
-// connection's scratch buffer and is valid until the next protect or
-// unprotect call; callers append it into their own buffers immediately.
-func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
-	if !hc.enabled {
-		return append([]byte{}, sealed...), nil
+// observeSealed accumulates the per-batch seal metrics and profile
+// weights. Only called while enabled (hc.suite set).
+func (hc *halfConn) observeSealed(records, payloadBytes int) {
+	mRecordsSealed.Add(int64(records))
+	mSealBytes.Add(int64(payloadBytes))
+	if prof.Enabled() {
+		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(payloadBytes)))
+		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(payloadBytes)))
 	}
-	var data []byte
+}
+
+// observeOpened accumulates the per-batch open metrics and profile
+// weights. Only called while enabled.
+func (hc *halfConn) observeOpened(records, payloadBytes int) {
+	mRecordsOpened.Add(int64(records))
+	mOpenBytes.Add(int64(payloadBytes))
+	if prof.Enabled() {
+		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(payloadBytes)))
+		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(payloadBytes)))
+	}
+}
+
+// sealOne seals one record into the wire scratch, returning the framed
+// wire bytes (header included). The result aliases the half connection's
+// scratch and is valid until the next seal; callers write it out (or copy
+// it) immediately.
+func (hc *halfConn) sealOne(recType uint8, payload []byte) ([]byte, error) {
+	out, err := hc.appendRecord(hc.wireBuf[:0], recType, payload)
+	hc.wireBuf = out[:0]
+	if err != nil {
+		return nil, err
+	}
+	if hc.enabled {
+		mRecordSizes.Observe(int64(len(payload)))
+		hc.observeSealed(1, len(payload))
+	}
+	return out, nil
+}
+
+// SealBatch seals payloads as consecutive records into one wire buffer,
+// amortizing HMAC state, CBC IV chaining and metric updates across the
+// batch. The returned slice holds the ready-to-write framed records and
+// aliases the half connection's scratch — valid until the next seal.
+func (hc *halfConn) SealBatch(recType uint8, payloads [][]byte) ([]byte, error) {
+	out := hc.wireBuf[:0]
+	total := 0
+	var err error
+	for _, p := range payloads {
+		if out, err = hc.appendRecord(out, recType, p); err != nil {
+			hc.wireBuf = out[:0]
+			return nil, err
+		}
+		total += len(p)
+		if hc.enabled {
+			mRecordSizes.Observe(int64(len(p)))
+		}
+	}
+	hc.wireBuf = out[:0]
+	if hc.enabled {
+		hc.observeSealed(len(payloads), total)
+	}
+	return out, nil
+}
+
+// openAppend opens one sealed fragment, appending the recovered plaintext
+// to dst. It returns the payload (aliasing the extension) and the
+// extended slice. Metrics are the caller's.
+func (hc *halfConn) openAppend(dst []byte, recType uint8, sealed []byte) ([]byte, []byte, error) {
+	base := len(dst)
+	if !hc.enabled {
+		dst = append(dst, sealed...)
+		return dst[base:], dst, nil
+	}
+	dst = appendZeros(dst, len(sealed))
+	data := dst[base:]
 	switch hc.suite.Kind {
 	case suite.BlockCipher:
-		pt := hc.grow(len(sealed))
-		if err := modes.DecryptCBCInto(hc.block, hc.cbcIV, sealed, pt); err != nil {
-			return nil, err
+		if err := hc.cbc.DecryptInto(hc.cbcIV, sealed, data); err != nil {
+			return nil, dst[:base], err
 		}
 		if len(sealed) >= hc.suite.BlockSize {
 			copy(hc.cbcIV, sealed[len(sealed)-hc.suite.BlockSize:])
 		}
 		var err error
-		data, err = modes.Unpad(pt, hc.suite.BlockSize)
+		data, err = modes.Unpad(data, hc.suite.BlockSize)
 		if err != nil {
-			return nil, err
+			return nil, dst[:base], err
 		}
 	case suite.StreamCipher:
-		data = hc.grow(len(sealed))
 		hc.stream.XORKeyStream(data, sealed)
 	default:
-		return nil, errors.New("wtls: unreachable suite kind")
+		return nil, dst[:base], errors.New("wtls: unreachable suite kind")
 	}
-	macLen := hc.suite.MACLen()
-	if len(data) < macLen {
-		return nil, errors.New("wtls: record shorter than MAC")
+	if len(data) < hc.macLen {
+		return nil, dst[:base], errors.New("wtls: record shorter than MAC")
 	}
-	payload, gotMAC := data[:len(data)-macLen], data[len(data)-macLen:]
+	payload, gotMAC := data[:len(data)-hc.macLen], data[len(data)-hc.macLen:]
 	want := hc.mac(recType, payload)
 	hc.seq++
 	if !hmac.Equal(gotMAC, want) {
 		mMACFailures.Inc()
-		return nil, errors.New("wtls: bad record MAC")
+		return nil, dst[:base], errors.New("wtls: bad record MAC")
 	}
-	mRecordsOpened.Inc()
-	mOpenBytes.Add(int64(len(payload)))
-	if prof.Enabled() {
-		hc.pCipher.AddCycles(int64(cost.InstrPerByte(hc.suite.Cipher) * float64(len(payload))))
-		hc.pMAC.AddCycles(int64(cost.InstrPerByte(hc.suite.MAC) * float64(len(payload))))
+	return payload, dst[:base+len(payload)], nil
+}
+
+// unprotect opens a sealed fragment. The returned payload aliases the half
+// connection's scratch buffer and is valid until the next open; callers
+// append it into their own buffers immediately.
+func (hc *halfConn) unprotect(recType uint8, sealed []byte) ([]byte, error) {
+	payload, out, err := hc.openAppend(hc.openBuf[:0], recType, sealed)
+	hc.openBuf = out[:0]
+	if err != nil {
+		return nil, err
+	}
+	if hc.enabled {
+		hc.observeOpened(1, len(payload))
 	}
 	return payload, nil
 }
 
-// writeRecord frames and writes one record. Both the header and the
-// fragment are written with writeFull: the in-memory pipes never
-// short-write, but real sockets (and deliberately chunking test
-// writers) can, and a torn record desynchronizes the peer forever.
+// OpenBatch opens sealed fragments as consecutive records, returning the
+// concatenated plaintext. The result aliases the half connection's
+// scratch — valid until the next open. Any failure poisons the whole
+// batch: record protection errors are fatal to the connection anyway.
+func (hc *halfConn) OpenBatch(recType uint8, frags [][]byte) ([]byte, error) {
+	out := hc.openBuf[:0]
+	total := 0
+	for _, f := range frags {
+		payload, next, err := hc.openAppend(out, recType, f)
+		if err != nil {
+			hc.openBuf = out[:0]
+			return nil, err
+		}
+		out = next
+		total += len(payload)
+	}
+	hc.openBuf = out[:0]
+	if hc.enabled {
+		hc.observeOpened(len(frags), total)
+	}
+	return out, nil
+}
+
+// writeRecord frames and writes one record in a single Write call. Real
+// sockets (and deliberately chunking test writers) can short-write, and a
+// torn record desynchronizes the peer forever, so the write loops via
+// writeFull.
 func writeRecord(w io.Writer, recType uint8, fragment []byte) error {
 	if len(fragment) > maxRecordFragment {
 		return errors.New("wtls: oversized record")
 	}
-	hdr := []byte{recType, byte(protocolVersion >> 8), byte(protocolVersion & 0xff),
-		byte(len(fragment) >> 8), byte(len(fragment))}
-	if err := writeFull(w, hdr); err != nil {
-		return err
-	}
-	return writeFull(w, fragment)
+	wire := appendHeader(make([]byte, 0, recordHeaderLen+len(fragment)), recType, len(fragment))
+	wire = append(wire, fragment...)
+	return writeFull(w, wire)
 }
 
 // writeFull writes all of p, looping on short writes. A writer that
@@ -274,8 +394,10 @@ func writeFull(w io.Writer, p []byte) error {
 }
 
 // readRecord reads one record, returning its type and raw fragment.
+// The buffered recordReader is the connection path; this free function
+// remains for tests and one-shot parsing.
 func readRecord(r io.Reader) (uint8, []byte, error) {
-	var hdr [5]byte
+	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -292,4 +414,115 @@ func readRecord(r io.Reader) (uint8, []byte, error) {
 		return 0, nil, err
 	}
 	return hdr[0], frag, nil
+}
+
+// minReadBuf is the initial record-reader buffer: large enough that a
+// burst of small records arrives in one transport read and can be opened
+// as one batch.
+const minReadBuf = 8 << 10
+
+// recordReader buffers the inbound byte stream and parses records out of
+// it without per-record allocation. Fragments returned by next alias the
+// internal buffer and stay valid until a call that refills it — peek
+// reports whether another complete record is already buffered, which is
+// the alias-stability guarantee batch readers rely on.
+type recordReader struct {
+	r        io.Reader
+	buf      []byte
+	pos, end int
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	return &recordReader{r: r}
+}
+
+// buffered reports the bytes already read from the transport but not yet
+// consumed as records.
+func (rr *recordReader) buffered() int { return rr.end - rr.pos }
+
+// require ensures at least n unconsumed bytes are buffered, compacting
+// and growing as needed (growth is capped by the record-size checks in
+// next: n never exceeds one framed maximum record). On a transport error
+// the buffered prefix is preserved, so a timed-out read can be retried.
+func (rr *recordReader) require(n int) error {
+	if rr.end-rr.pos >= n {
+		return nil
+	}
+	if rr.pos > 0 {
+		copy(rr.buf, rr.buf[rr.pos:rr.end])
+		rr.end -= rr.pos
+		rr.pos = 0
+	}
+	if cap(rr.buf) < n {
+		newCap := 2 * cap(rr.buf)
+		if newCap < minReadBuf {
+			newCap = minReadBuf
+		}
+		if newCap < n {
+			newCap = n
+		}
+		nb := make([]byte, newCap)
+		copy(nb, rr.buf[:rr.end])
+		rr.buf = nb
+	}
+	rr.buf = rr.buf[:cap(rr.buf)]
+	for rr.end-rr.pos < n {
+		m, err := rr.r.Read(rr.buf[rr.end:])
+		if m > 0 {
+			rr.end += m
+			continue
+		}
+		if err == nil {
+			return io.ErrNoProgress
+		}
+		if err == io.EOF && rr.end > rr.pos {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// next reads one record, returning its type and fragment. The fragment
+// aliases the internal buffer: it is valid until a next call that has to
+// refill (peek-guarded batch reads never do).
+func (rr *recordReader) next() (uint8, []byte, error) {
+	if err := rr.require(recordHeaderLen); err != nil {
+		return 0, nil, err
+	}
+	hdr := rr.buf[rr.pos : rr.pos+recordHeaderLen]
+	ver := uint16(hdr[1])<<8 | uint16(hdr[2])
+	if ver != protocolVersion {
+		return 0, nil, fmt.Errorf("wtls: record version %#04x", ver)
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > maxRecordFragment {
+		return 0, nil, errors.New("wtls: oversized record")
+	}
+	if err := rr.require(recordHeaderLen + n); err != nil {
+		return 0, nil, err
+	}
+	recType := rr.buf[rr.pos]
+	frag := rr.buf[rr.pos+recordHeaderLen : rr.pos+recordHeaderLen+n]
+	rr.pos += recordHeaderLen + n
+	return recType, frag, nil
+}
+
+// peek reports the type of the next record if one is completely buffered.
+// It never reads from the transport, so fragments handed out by next stay
+// valid across it. A buffered-but-malformed header reports false and is
+// left for next to surface as an error.
+func (rr *recordReader) peek() (uint8, bool) {
+	if rr.end-rr.pos < recordHeaderLen {
+		return 0, false
+	}
+	hdr := rr.buf[rr.pos : rr.pos+recordHeaderLen]
+	if ver := uint16(hdr[1])<<8 | uint16(hdr[2]); ver != protocolVersion {
+		return 0, false
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > maxRecordFragment || rr.end-rr.pos < recordHeaderLen+n {
+		return 0, false
+	}
+	return hdr[0], true
 }

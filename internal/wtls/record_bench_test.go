@@ -1,0 +1,94 @@
+package wtls
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// benchPair is one parallel worker's pre-keyed connection state.
+type benchPair struct {
+	seal, open *halfConn
+	frags      [][]byte
+}
+
+// BenchmarkAggregateThroughput measures the multi-core capacity of the
+// batched record path: every P runs its own fully-keyed seal/open pair
+// (as gateway connections do) and pushes maxRecordsPerBatch-record
+// batches through SealBatch, a wire parse, and OpenBatch. MB/s is the
+// plaintext rate across all cores; records/s counts sealed-and-opened
+// records. The path is alloc-free (pinned by TestSealOpenZeroAllocs), so
+// allocs/op here gates the whole steady-state loop at 0 in CI.
+func BenchmarkAggregateThroughput(b *testing.B) {
+	for _, tc := range allocSuites {
+		for _, size := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/%dB", tc.name, size), func(b *testing.B) {
+				payload := bytes.Repeat([]byte{0xA7}, size)
+				payloads := make([][]byte, maxRecordsPerBatch)
+				for i := range payloads {
+					payloads[i] = payload
+				}
+				// Key every worker's connection pair (and warm its scratch)
+				// outside the timed region, so the loop's allocs/op is the
+				// record path alone.
+				workers := make(chan *benchPair, runtime.GOMAXPROCS(0))
+				for i := 0; i < cap(workers); i++ {
+					seal, open := enabledPair(b, tc.id)
+					p := &benchPair{seal: seal, open: open,
+						frags: make([][]byte, 0, maxRecordsPerBatch)}
+					wire, err := seal.SealBatch(recordApplicationData, payloads)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for off := 0; off < len(wire); {
+						n := int(wire[off+3])<<8 | int(wire[off+4])
+						p.frags = append(p.frags, wire[off+recordHeaderLen:off+recordHeaderLen+n])
+						off += recordHeaderLen + n
+					}
+					if _, err := open.OpenBatch(recordApplicationData, p.frags); err != nil {
+						b.Fatal(err)
+					}
+					workers <- p
+				}
+				var records int64
+				b.SetBytes(int64(size * maxRecordsPerBatch))
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					w := <-workers
+					seal, open, frags := w.seal, w.open, w.frags
+					done := int64(0)
+					for pb.Next() {
+						wire, err := seal.SealBatch(recordApplicationData, payloads)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						frags = frags[:0]
+						for off := 0; off < len(wire); {
+							n := int(wire[off+3])<<8 | int(wire[off+4])
+							frags = append(frags, wire[off+recordHeaderLen:off+recordHeaderLen+n])
+							off += recordHeaderLen + n
+						}
+						out, err := open.OpenBatch(recordApplicationData, frags)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if len(out) != size*maxRecordsPerBatch {
+							b.Errorf("opened %d bytes, want %d", len(out), size*maxRecordsPerBatch)
+							return
+						}
+						done += int64(len(frags))
+					}
+					atomic.AddInt64(&records, done)
+				})
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(atomic.LoadInt64(&records))/secs, "records/s")
+				}
+			})
+		}
+	}
+}

@@ -476,23 +476,51 @@ func TestDHEServerKeyExchangeTamper(t *testing.T) {
 	<-srvErr
 }
 
-// skxCorruptor flips a bit inside the 4th record the client reads (the
-// ServerKeyExchange in the DHE flight).
+// skxCorruptor flips a bit inside the 3rd record the client reads (the
+// ServerKeyExchange in the DHE flight: hello, cert, skx). It parses the
+// record framing in the byte stream, so it is independent of how the
+// reader chunks its transport reads.
 type skxCorruptor struct {
-	rw    io.ReadWriter
-	reads int
+	rw     io.ReadWriter
+	rec    int // records whose header has been seen
+	hdr    int // header bytes of the current record consumed
+	remain int // body bytes of the current record remaining
+	hi, lo byte
+	done   bool
 }
 
 func (c *skxCorruptor) Write(p []byte) (int, error) { return c.rw.Write(p) }
 
 func (c *skxCorruptor) Read(p []byte) (int, error) {
 	n, err := c.rw.Read(p)
-	c.reads++
-	// Corrupt a mid-stream byte once the hello/cert records are past.
-	// Record reads are header-then-body; the ServerKeyExchange body is
-	// read number 6 (3 records in: hello, cert, skx).
-	if c.reads == 6 && n > 10 {
-		p[n/2] ^= 0x40
+	buf := p[:n]
+	for len(buf) > 0 {
+		if c.remain == 0 && c.hdr < 5 {
+			switch c.hdr {
+			case 3:
+				c.hi = buf[0]
+			case 4:
+				c.lo = buf[0]
+			}
+			c.hdr++
+			buf = buf[1:]
+			if c.hdr == 5 {
+				c.rec++
+				c.remain = int(c.hi)<<8 | int(c.lo)
+				c.hdr = 0
+			}
+			continue
+		}
+		span := c.remain
+		if span > len(buf) {
+			span = len(buf)
+		}
+		if c.rec == 3 && !c.done && span > 0 {
+			buf[span/2] ^= 0x40
+			c.done = true
+		}
+		c.remain -= span
+		buf = buf[span:]
 	}
 	return n, err
 }

@@ -75,6 +75,8 @@ type (
 	LossFigure = core.LossFigure
 	// LossPoint is one BER column of a LossFigure.
 	LossPoint = core.LossPoint
+	// LossSimOptions tunes the simulated loss figure's ARQ endpoints.
+	LossSimOptions = core.LossSimOptions
 	// ArchitectureGapRow is one rung of the accelerator ablation (B1).
 	ArchitectureGapRow = core.ArchitectureGapRow
 	// Revision is one protocol revision on the Figure 2 timeline.
@@ -245,8 +247,11 @@ var (
 
 	// NewCA creates a certificate authority.
 	NewCA = wtls.NewCA
-	// NewSessionCache creates a resumption cache.
+	// NewSessionCache creates an unbounded resumption cache.
 	NewSessionCache = wtls.NewSessionCache
+	// NewSessionCacheSized creates a resumption cache with an LRU entry
+	// cap and a TTL (either may be zero for unlimited).
+	NewSessionCacheSized = wtls.NewSessionCacheSized
 	// WTLSClient wraps a transport as a WTLS client.
 	WTLSClient = wtls.Client
 	// WTLSServer wraps a transport as a WTLS server.
@@ -357,3 +362,7 @@ const (
 	WEPIVSequential = wep.IVSequential
 	WEPIVConstant   = wep.IVConstant
 )
+
+// DefaultARQPipeline is the simulated loss figure's default transmit-
+// pipeline depth (crypto of frame k overlaps transmit of frame k-1).
+const DefaultARQPipeline = core.DefaultARQPipeline
