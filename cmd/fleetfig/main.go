@@ -1,0 +1,106 @@
+// Command fleetfig runs the fleet-scale discrete-event simulator and
+// emits the fleet battery-gap and congestion/epidemic figures: the
+// paper's single-device energy arguments replayed across populations of
+// 10^5–10^6 devices. Output is a pure function of the scenario —
+// byte-identical at any -shards and -workers setting — which CI
+// enforces by diffing runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+func main() {
+	preset := flag.String("preset", "sensor-field", "built-in scenario (see -list)")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides -preset)")
+	list := flag.Bool("list", false, "list built-in scenarios and exit")
+	devices := flag.Int("devices", 0, "override the scenario device count")
+	horizon := flag.Int64("horizon", 0, "override the scenario horizon (ticks)")
+	seed := flag.Int64("seed", 0, "override the scenario seed (0 = keep)")
+	arm := flag.String("arm", "gap", "gap (secure vs plain), secure, or plain")
+	shards := flag.Int("shards", 0, "device partitions (0 = default 16); never changes results")
+	workers := flag.Int("workers", 0, "parallelism within an epoch (0 = GOMAXPROCS); never changes results")
+	csv := flag.Bool("csv", false, "emit the figure as CSV and exit")
+	calibrate := flag.Bool("calibrate-fms", false, "measure the FMS frames-to-compromise bound and exit")
+	o := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "fleetfig: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, n := range fleet.Presets() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *calibrate {
+		n, err := fleet.CalibrateFMSFrames(5, 1, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("FMS recovers a 40-bit WEP key from %d useful (weak-IV) frames\n", n)
+		return
+	}
+
+	if err := o.Activate(); err != nil {
+		fail(err)
+	}
+	defer o.Close()
+
+	var sc *fleet.Scenario
+	var err error
+	if *scenarioPath != "" {
+		sc, err = fleet.LoadScenarioFile(*scenarioPath)
+	} else {
+		sc, err = fleet.Preset(*preset)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *devices != 0 {
+		sc.Devices = *devices
+	}
+	if *horizon != 0 {
+		sc.HorizonTicks = *horizon
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	cfg := fleet.Config{Shards: *shards, Workers: *workers}
+
+	switch *arm {
+	case "gap":
+		fig, err := fleet.RunGap(sc, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Print(fig.Render())
+		}
+	case "secure", "plain":
+		sc.Insecure = *arm == "plain"
+		cfg.Label = *arm
+		res, err := fleet.Run(sc, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(fleet.RenderSingle(res))
+		}
+	default:
+		fail(fmt.Errorf("unknown -arm %q (want gap, secure or plain)", *arm))
+	}
+	o.Finish("fleetfig")
+}

@@ -69,6 +69,18 @@ type Burst struct {
 	LossBad    float64 // frame loss probability in the bad state
 }
 
+// Step advances the Gilbert–Elliott state machine by one frame: bad is
+// the current channel state and u a uniform [0,1) draw consumed by the
+// transition. It is a pure function so that both FaultyTransport and
+// analytic channel models (internal/fleet simulates one independent
+// burst state per device) share the exact same semantics.
+func (b *Burst) Step(bad bool, u float64) bool {
+	if bad {
+		return u >= b.PBadToGood
+	}
+	return u < b.PGoodToBad
+}
+
 // Config parameterizes the injected faults. All probabilities are per
 // frame except BER, which is per bit. The zero value is a lossless
 // channel.
@@ -88,6 +100,33 @@ type Config struct {
 	Reorder float64
 	// Burst optionally enables Gilbert–Elliott burst losses.
 	Burst *Burst
+}
+
+// LossProb returns the per-frame loss probability of the channel given
+// the current burst state: the independent Drop probability composed
+// with the state-dependent Gilbert–Elliott loss.
+func (c *Config) LossProb(bad bool) float64 {
+	p := c.Drop
+	if b := c.Burst; b != nil {
+		stateLoss := b.LossGood
+		if bad {
+			stateLoss = b.LossBad
+		}
+		p = 1 - (1-p)*(1-stateLoss)
+	}
+	return p
+}
+
+// FrameCorruptProb returns the probability that a frame of frameBytes
+// carries at least one flipped bit at the configured BER — the analytic
+// counterpart of the per-byte corruption loop in Write, used by models
+// that price corruption (a corrupt frame dies at the MAC) without
+// materializing the bytes.
+func (c *Config) FrameCorruptProb(frameBytes int) float64 {
+	if c.BER <= 0 || frameBytes <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-c.BER, float64(8*frameBytes))
 }
 
 func (c *Config) validate() error {
@@ -177,25 +216,18 @@ func (t *FaultyTransport) Write(p []byte) (int, error) {
 	t.stats.Frames++
 	mFrames.Inc()
 
-	// Burst-state transition happens once per offered frame.
-	lossP := t.cfg.Drop
+	// Burst-state transition happens once per offered frame; the shared
+	// Step/LossProb helpers keep this transport and the analytic
+	// per-device channel model in internal/fleet on identical semantics
+	// (and an identical RNG draw schedule).
 	if b := t.cfg.Burst; b != nil {
-		if t.bad {
-			if t.rng.Float64() < b.PBadToGood {
-				t.bad = false
-			}
-		} else if t.rng.Float64() < b.PGoodToBad {
-			t.bad = true
-		}
-		stateLoss := b.LossGood
+		t.bad = b.Step(t.bad, t.rng.Float64())
 		if t.bad {
 			t.stats.BadState++
 			mBadState.Inc()
-			stateLoss = b.LossBad
 		}
-		// Independent drop and burst loss compose.
-		lossP = 1 - (1-lossP)*(1-stateLoss)
 	}
+	lossP := t.cfg.LossProb(t.bad)
 	if t.rng.Float64() < lossP {
 		t.stats.Dropped++
 		mDropped.Inc()

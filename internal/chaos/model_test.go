@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBurstStep: the pure Gilbert–Elliott transition shared with the
+// fleet simulator — exact threshold semantics on the uniform draw.
+func TestBurstStep(t *testing.T) {
+	b := &Burst{PGoodToBad: 0.3, PBadToGood: 0.4}
+	cases := []struct {
+		bad  bool
+		u    float64
+		want bool
+	}{
+		{false, 0.0, true}, // u < PGoodToBad: good degrades
+		{false, 0.29999, true},
+		{false, 0.3, false}, // at the threshold: stays good
+		{false, 0.9, false},
+		{true, 0.0, false}, // u < PBadToGood: bad recovers
+		{true, 0.39999, false},
+		{true, 0.4, true}, // at the threshold: stays bad
+		{true, 0.9, true},
+	}
+	for _, tc := range cases {
+		if got := b.Step(tc.bad, tc.u); got != tc.want {
+			t.Errorf("Step(bad=%t, u=%v) = %t, want %t", tc.bad, tc.u, got, tc.want)
+		}
+	}
+	// Degenerate machines: an always-recovering and a never-degrading
+	// channel.
+	sticky := &Burst{PGoodToBad: 0, PBadToGood: 1}
+	if sticky.Step(false, 0.0) || sticky.Step(true, 0.999) {
+		t.Error("PGoodToBad=0/PBadToGood=1 must always land in the good state")
+	}
+}
+
+// TestLossProb: independent drop composes with the state-dependent burst
+// loss as 1-(1-p)(1-q), never by addition.
+func TestLossProb(t *testing.T) {
+	c := &Config{Drop: 0.1}
+	if got := c.LossProb(true); got != 0.1 {
+		t.Errorf("no burst: LossProb = %v, want Drop", got)
+	}
+	c.Burst = &Burst{LossGood: 0.2, LossBad: 0.5}
+	if got, want := c.LossProb(false), 1-0.9*0.8; math.Abs(got-want) > 1e-15 {
+		t.Errorf("good state: LossProb = %v, want %v", got, want)
+	}
+	if got, want := c.LossProb(true), 1-0.9*0.5; math.Abs(got-want) > 1e-15 {
+		t.Errorf("bad state: LossProb = %v, want %v", got, want)
+	}
+	var zero Config
+	if zero.LossProb(false) != 0 || zero.LossProb(true) != 0 {
+		t.Error("zero config must be lossless")
+	}
+}
+
+// TestFrameCorruptProb: analytic 1-(1-BER)^(8n), with sane edges.
+func TestFrameCorruptProb(t *testing.T) {
+	c := &Config{BER: 1e-4}
+	got := c.FrameCorruptProb(128)
+	want := 1 - math.Pow(1-1e-4, 8*128)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("FrameCorruptProb(128) = %v, want %v", got, want)
+	}
+	if c.FrameCorruptProb(0) != 0 {
+		t.Error("zero-length frame cannot corrupt")
+	}
+	if (&Config{}).FrameCorruptProb(128) != 0 {
+		t.Error("BER 0 cannot corrupt")
+	}
+	if p := (&Config{BER: 1}).FrameCorruptProb(1); p != 1 {
+		t.Errorf("BER 1 must corrupt every frame, got %v", p)
+	}
+	// Monotone in frame size.
+	if c.FrameCorruptProb(256) <= c.FrameCorruptProb(128) {
+		t.Error("corruption probability must grow with frame size")
+	}
+}
+
+// TestTransportMatchesModel: the FaultyTransport's empirical loss rate
+// converges on the analytic LossProb composition it shares with the
+// fleet channel model.
+func TestTransportMatchesModel(t *testing.T) {
+	cfg := Config{
+		Seed: 7,
+		Drop: 0.05,
+		Burst: &Burst{
+			PGoodToBad: 0.5, PBadToGood: 0.5, // 50/50 stationary state mix
+			LossGood: 0.02, LossBad: 0.3,
+		},
+	}
+	ft, err := New(nopRW{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200_000
+	buf := make([]byte, 32)
+	for i := 0; i < frames; i++ {
+		if _, err := ft.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ft.Stats()
+	// Expected loss: average LossProb over the stationary state mix.
+	pi := cfg.Burst.PGoodToBad / (cfg.Burst.PGoodToBad + cfg.Burst.PBadToGood)
+	want := (1-pi)*cfg.LossProb(false) + pi*cfg.LossProb(true)
+	got := float64(st.Dropped) / frames
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical loss %v, analytic %v", got, want)
+	}
+}
+
+// nopRW is a sink transport for loss-statistics tests.
+type nopRW struct{}
+
+func (nopRW) Read(p []byte) (int, error)  { return 0, nil }
+func (nopRW) Write(p []byte) (int, error) { return len(p), nil }
+func (nopRW) Close() error                { return nil }

@@ -64,6 +64,14 @@ var instrPerByte = map[Algorithm]float64{
 // upstream).
 func InstrPerByte(a Algorithm) float64 { return instrPerByte[a] }
 
+// KnownAlgorithm reports whether a has a modeled per-byte cost (None is
+// known and free). Scenario loaders use it to reject typoed cipher/MAC
+// names before a run silently prices them at zero.
+func KnownAlgorithm(a Algorithm) bool {
+	_, ok := instrPerByte[a]
+	return ok
+}
+
 // BulkInstrPerByte is the per-byte cost of bulk protection with the given
 // cipher and MAC hash: every byte is both encrypted and authenticated.
 func BulkInstrPerByte(cipher, mac Algorithm) float64 {

@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestDrainBatchMatchesSequential: a batch must land exactly where the
+// equivalent sequence of Drain calls lands — total, per-category
+// ledger, remaining charge.
+func TestDrainBatchMatchesSequential(t *testing.T) {
+	drains := []CategoryJoules{
+		{Category: "radio_tx", Joules: 3.5},
+		{Category: "crypto_handshake", Joules: 1.25},
+		{Category: "radio_tx", Joules: 0.5}, // repeated category folds into the ledger
+	}
+	batched, _ := NewBattery(100)
+	if err := batched.DrainBatch(drains); err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := NewBattery(100)
+	for _, d := range drains {
+		if err := seq.Drain(d.Category, d.Joules); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.RemainingJ() != seq.RemainingJ() {
+		t.Errorf("remaining: batch %v, sequential %v", batched.RemainingJ(), seq.RemainingJ())
+	}
+	for _, cat := range []string{"radio_tx", "crypto_handshake"} {
+		if b, s := batched.Drained(cat), seq.Drained(cat); b != s {
+			t.Errorf("ledger %s: batch %v, sequential %v", cat, b, s)
+		}
+	}
+	if got := batched.Drained("radio_tx"); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("radio_tx drained %v, want 4.0", got)
+	}
+}
+
+// TestDrainBatchAllOrNothing: a batch that would overdraw leaves the
+// battery untouched — no partial ledger writes.
+func TestDrainBatchAllOrNothing(t *testing.T) {
+	b, _ := NewBattery(10)
+	if err := b.Drain("base", 8); err != nil {
+		t.Fatal(err)
+	}
+	err := b.DrainBatch([]CategoryJoules{
+		{Category: "a", Joules: 1},
+		{Category: "b", Joules: 5}, // pushes the total past capacity
+	})
+	if !errors.Is(err, ErrBatteryExhausted) {
+		t.Fatalf("overdraw returned %v, want ErrBatteryExhausted", err)
+	}
+	if b.Drained("a") != 0 || b.Drained("b") != 0 {
+		t.Errorf("failed batch wrote to the ledger: a=%v b=%v", b.Drained("a"), b.Drained("b"))
+	}
+	if got := b.RemainingJ(); got != 2 {
+		t.Errorf("remaining %v after refused batch, want 2", got)
+	}
+	// The exact remaining charge must still be drainable.
+	if err := b.DrainBatch([]CategoryJoules{{Category: "a", Joules: 2}}); err != nil {
+		t.Fatalf("draining exactly the remaining charge: %v", err)
+	}
+}
+
+// TestDrainBatchRejectsNegative: negative entries are refused before any
+// state changes.
+func TestDrainBatchRejectsNegative(t *testing.T) {
+	b, _ := NewBattery(10)
+	err := b.DrainBatch([]CategoryJoules{
+		{Category: "a", Joules: 1},
+		{Category: "b", Joules: -0.5},
+	})
+	if err == nil {
+		t.Fatal("negative drain accepted")
+	}
+	if b.Drained("a") != 0 {
+		t.Errorf("rejected batch drained %v from category a", b.Drained("a"))
+	}
+}
+
+// TestDrainBatchEmpty: an empty batch is a no-op, not an error.
+func TestDrainBatchEmpty(t *testing.T) {
+	b, _ := NewBattery(10)
+	if err := b.DrainBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.RemainingJ() != 10 {
+		t.Errorf("empty batch changed the battery: %v", b.RemainingJ())
+	}
+}

@@ -126,6 +126,73 @@ func (b *Battery) Drain(category string, joules float64) error {
 	return nil
 }
 
+// CategoryJoules is one entry of a batched drain.
+type CategoryJoules struct {
+	Category string
+	Joules   float64
+}
+
+// DrainBatch drains several categories under one lock acquisition — the
+// flush path of accumulator-style callers (internal/fleet folds millions
+// of per-device drains into one batch per shard per epoch). The batch is
+// all-or-nothing: if the summed drain exceeds the remaining charge the
+// battery is left untouched and ErrBatteryExhausted is returned.
+// Milestone journaling matches the equivalent sequence of Drain calls.
+func (b *Battery) DrainBatch(drains []CategoryJoules) error {
+	var total float64
+	for _, d := range drains {
+		if d.Joules < 0 {
+			return fmt.Errorf("energy: negative drain %v", d.Joules)
+		}
+		total += d.Joules
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.drainedJ+total > b.capacityJ {
+		mExhausted.Inc()
+		if b.milestone < 100 && journal.On(journal.LevelWarn) {
+			b.milestone = 100
+			journal.Emit(100, journal.LevelWarn, "energy", "battery_exhausted",
+				journal.F("capacity_j", b.capacityJ),
+				journal.F("refused_j", total))
+		}
+		return ErrBatteryExhausted
+	}
+	b.drainedJ += total
+	for _, d := range drains {
+		b.ledger[d.Category] += d.Joules
+	}
+	if journal.On(journal.LevelInfo) {
+		for _, pct := range [...]int{25, 50, 75, 100} {
+			if pct > b.milestone && b.drainedJ >= b.capacityJ*float64(pct)/100 {
+				b.milestone = pct
+				journal.Emit(int64(pct), journal.LevelInfo, "energy", "battery_milestone",
+					journal.I("pct", int64(pct)),
+					journal.F("drained_j", b.drainedJ),
+					journal.F("remaining_j", b.capacityJ-b.drainedJ))
+			}
+		}
+	}
+	if obs.Enabled() {
+		mDrains.Add(int64(len(drains)))
+		mDrainedUJ.Add(int64(total * 1e6))
+		for _, d := range drains {
+			drainCounter(d.Category).Add(int64(d.Joules * 1e6))
+		}
+	}
+	if b.profCats != nil && b.profSpan.Active() {
+		for _, d := range drains {
+			sp, ok := b.profCats[d.Category]
+			if !ok {
+				sp = b.profSpan.Enter(d.Category)
+				b.profCats[d.Category] = sp
+			}
+			sp.AddEnergyUJ(int64(d.Joules * 1e6))
+		}
+	}
+	return nil
+}
+
 // AttachProfile routes this battery's drains into the energy/cycle
 // profiler: every ledger category becomes a child frame of sp, weighted
 // by drained microjoules. Callers that want finer attribution than the

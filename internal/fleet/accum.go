@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/prof"
+)
+
+// Energy ledger categories. Per-device drains land in per-shard int64
+// accumulators and are flushed — one energy.Battery.DrainBatch and one
+// batch of obs counter adds per epoch — so accounting cost is O(epochs),
+// not O(events). Integer microjoules make the totals exactly
+// order-independent across shards and workers.
+const (
+	catRadioTx = iota
+	catRadioRx
+	catHandshake // public-key / PRF handshake crypto
+	catBulk      // bulk cipher + MAC
+	catRetransmit
+	catAttack // traffic injected by compromised devices
+	nCat
+)
+
+// catNames index the ledger categories; also the battery ledger and
+// metric name segments ("fleet.energy_uj.<name>").
+var catNames = [nCat]string{
+	"radio_tx", "radio_rx", "crypto_handshake", "crypto_bulk", "retransmit", "attack",
+}
+
+// Event/outcome counters, merged at epoch barriers like the energy
+// categories.
+const (
+	cEvents = iota
+	cHandshakes
+	cResumes
+	cHandshakeFails
+	cTransactions
+	cTxFailed
+	cFrames
+	cRetransmits
+	cFrameFails
+	cCongestionDrops
+	cDeaths
+	cEarlyDeaths
+	cWastedWakes // wakes whose handshake never completed
+	nCnt
+)
+
+var cntNames = [nCnt]string{
+	"events", "handshakes", "handshake_resumes", "handshake_fails",
+	"transactions", "transactions_failed", "frames", "retransmits",
+	"frame_fails", "congestion_drops", "deaths", "early_deaths", "wasted_wakes",
+}
+
+// Static metric handles (armed lazily, free when disarmed) and the
+// energy/cycle profiler frames the epoch flush feeds. The handshake
+// category is attributed to the modular-exponentiation kernel, matching
+// the attribution convention of the Figure 3/4 profiles.
+var (
+	mCnt [nCnt]*obs.Counter
+	mCat [nCat]*obs.Counter
+
+	pCat [nCat]prof.Span
+)
+
+func init() {
+	for i, n := range cntNames {
+		mCnt[i] = obs.C("fleet." + n)
+	}
+	for i, n := range catNames {
+		mCat[i] = obs.C("fleet.energy_uj." + n)
+	}
+	pCat[catRadioTx] = prof.Frame("fleet.Run/radio.tx")
+	pCat[catRadioRx] = prof.Frame("fleet.Run/radio.rx")
+	pCat[catHandshake] = prof.Frame("fleet.Run/mp.ModExpWindow")
+	pCat[catBulk] = prof.Frame("fleet.Run/crypto.bulk")
+	pCat[catRetransmit] = prof.Frame("fleet.Run/radio.retransmit")
+	pCat[catAttack] = prof.Frame("fleet.Run/attack.amplify")
+}
+
+// accum is one shard's epoch scratchpad. The coordinator drains it at
+// every barrier in shard-index order.
+type accum struct {
+	energyUJ   [nCat]int64
+	n          [nCnt]int64
+	newlyComp  []int32 // devices whose key fell this epoch
+	anyPending bool    // heap non-empty after the epoch
+}
+
+// reset clears the per-epoch fields, keeping slice capacity.
+func (a *accum) reset() {
+	a.energyUJ = [nCat]int64{}
+	a.n = [nCnt]int64{}
+	a.newlyComp = a.newlyComp[:0]
+	a.anyPending = false
+}
+
+// shard owns a contiguous device range [lo, hi), its event heap, and a
+// per-cell offered-load window covering exactly the cells its devices
+// can touch.
+type shard struct {
+	lo, hi         int32
+	cellLo, cellHi int32 // inclusive cell range this shard's devices occupy
+	heap           evHeap
+	offered        []int64 // offered bytes per cell this epoch, index cell-cellLo
+	acc            accum
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/chaos"
+	"repro/internal/cost"
+)
+
+// EnergyNJPerInstr is the modeled energy of one instruction on the
+// reference embedded core (a DragonBall/SA-1100-class part), used to
+// convert the calibrated instruction counts of internal/cost into the
+// microjoule ledger the fleet battery accounting runs on.
+const EnergyNJPerInstr = 1.5
+
+// Device lifecycle states.
+const (
+	stAsleep uint8 = iota // next event is a wake
+	stAwake               // handshake done, transact pending
+	stDead                // battery exhausted; no further events
+)
+
+// Event kinds. One device owns at most one pending event at a time, so
+// (t, dev) totally orders all events of a run.
+const (
+	evWake uint8 = iota
+	evTransact
+)
+
+// device is the per-device state: 40 bytes, the dominant term of the
+// simulator's O(devices) memory bound (asserted by TestMemoryPerDevice).
+type device struct {
+	rng      uint64 // splitmix64 stream state, seeded from (scenario seed, id)
+	battUJ   int64  // remaining battery, microjoules
+	captured uint32 // quarter-frames overheard by compromised listeners
+	wakes    uint32
+	tx       uint32 // completed transactions
+	class    uint8
+	state    uint8
+	gebad    bool // Gilbert–Elliott burst state of this device's channel
+}
+
+// rand64 advances the device's splitmix64 stream. Per-device streams
+// make every stochastic decision a pure function of (seed, device id,
+// draw index) — the root of shard- and worker-count independence.
+func (d *device) rand64() uint64 {
+	d.rng += 0x9e3779b97f4a7c15
+	z := d.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randF returns a uniform draw in [0, 1).
+func (d *device) randF() float64 { return float64(d.rand64()>>11) / (1 << 53) }
+
+// randN returns a uniform draw in [0, n). The modulo bias is far below
+// the model's fidelity and costs no divisions worth avoiding here.
+func (d *device) randN(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(d.rand64() % uint64(n))
+}
+
+// seedDevice initializes a device stream from the scenario seed and id
+// (one extra splitmix step decorrelates adjacent ids).
+func seedDevice(seed int64, id int32) uint64 {
+	d := device{rng: uint64(seed)*0x9e3779b97f4a7c15 + uint64(uint32(id))}
+	return d.rand64()
+}
+
+// classCost is a ClassSpec compiled into integer-microjoule prices so
+// the per-event hot path does no floating-point cost math.
+type classCost struct {
+	name string
+
+	hsFullUJ   int64 // crypto energy of one full handshake attempt
+	hsResumeUJ int64 // crypto energy of one abbreviated handshake
+	hsKind     cost.HandshakeKind
+	hsFrames   int // frames exchanged per handshake attempt (alternating tx/rx)
+
+	txFrames    int   // frames transmitted per transaction
+	rxFrames    int   // frames received per transaction
+	txUJPerFrm  int64 // radio transmit energy per frame
+	rxUJPerFrm  int64 // radio receive energy per frame
+	bulkUJPerTx int64 // bulk cipher+MAC energy per transaction
+
+	batteryUJ   int64
+	wakePeriod  int64
+	jitterTicks int64
+	txPerWake   int
+	resumeRatio float64
+	diurnal     float64
+}
+
+// compiled is a validated scenario lowered to the integer cost tables,
+// class boundaries and channel probabilities the simulator runs on.
+type compiled struct {
+	sc      *Scenario
+	classes []classCost
+	// bounds[i] is the first device id of class i+1: device d belongs to
+	// the first class with d < bounds[i]. Contiguous ranges keep class
+	// assignment independent of sharding.
+	bounds []int32
+
+	channel  chaos.Config
+	corruptP float64 // per-frame corruption probability at the scenario MTU
+	burst    *chaos.Burst
+
+	totalBatteryJ float64
+}
+
+// frames returns how many MTU-sized frames carry n bytes.
+func frames(n, mtu int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + mtu - 1) / mtu
+}
+
+// compile lowers a validated scenario. Insecure scenarios price all
+// security processing at zero and disable the epidemic (nothing to
+// compromise without keys).
+func compile(sc *Scenario) (*compiled, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiled{sc: sc, channel: sc.Channel.toChaos()}
+	c.corruptP = c.channel.FrameCorruptProb(sc.FrameBytes)
+	c.burst = c.channel.Burst
+
+	// Radio energy per frame from the paper's Section 3.3 constants.
+	txUJPerByte := cost.TxMilliJoulePerKB * 1000 / 1024
+	rxUJPerByte := cost.RxMilliJoulePerKB * 1000 / 1024
+
+	var cum float64
+	var total float64
+	for _, cl := range sc.Classes {
+		total += cl.Weight
+	}
+	for _, cl := range sc.Classes {
+		kind := cost.HandshakeKind(cl.Handshake)
+		hsInstr, err := cost.HandshakeInstr(kind)
+		if err != nil {
+			return nil, err
+		}
+		resumeInstr, _ := cost.HandshakeInstr(cost.HandshakeResume)
+		bulkInstr := cost.BulkInstrPerByte(cost.Algorithm(cl.Cipher), cost.Algorithm(cl.MAC))
+		cc := classCost{
+			name:        cl.Name,
+			hsKind:      kind,
+			hsFullUJ:    int64(hsInstr * EnergyNJPerInstr / 1e3),
+			hsResumeUJ:  int64(resumeInstr * EnergyNJPerInstr / 1e3),
+			hsFrames:    4,
+			txFrames:    frames(cl.TxBytes, sc.FrameBytes),
+			rxFrames:    frames(cl.RxBytes, sc.FrameBytes),
+			txUJPerFrm:  int64(float64(sc.FrameBytes) * txUJPerByte),
+			rxUJPerFrm:  int64(float64(sc.FrameBytes) * rxUJPerByte),
+			bulkUJPerTx: int64(float64(cl.TxBytes+cl.RxBytes) * bulkInstr * EnergyNJPerInstr / 1e3),
+			batteryUJ:   int64(cl.BatteryJ * 1e6),
+			wakePeriod:  cl.WakePeriodTicks,
+			jitterTicks: int64(cl.WakeJitter * float64(cl.WakePeriodTicks)),
+			txPerWake:   cl.TxPerWake,
+			resumeRatio: cl.ResumeRatio,
+			diurnal:     cl.DiurnalAmplitude,
+		}
+		if sc.Insecure {
+			cc.hsFullUJ, cc.hsResumeUJ, cc.bulkUJPerTx, cc.hsFrames = 0, 0, 0, 0
+		}
+		c.classes = append(c.classes, cc)
+		cum += cl.Weight
+		c.bounds = append(c.bounds, int32(math.Round(cum/total*float64(sc.Devices))))
+	}
+	// Rounding must land the last boundary exactly on Devices.
+	c.bounds[len(c.bounds)-1] = int32(sc.Devices)
+	for i, b := range c.bounds {
+		lo := int32(0)
+		if i > 0 {
+			lo = c.bounds[i-1]
+		}
+		c.totalBatteryJ += float64(b-lo) * float64(c.classes[i].batteryUJ) / 1e6
+	}
+	return c, nil
+}
+
+// classOf returns the class index of a device id.
+func (c *compiled) classOf(dev int32) uint8 {
+	for i, b := range c.bounds {
+		if dev < b {
+			return uint8(i)
+		}
+	}
+	return uint8(len(c.classes) - 1)
+}
+
+// period returns the class wake period at simulation time t, modulated
+// by the diurnal sinusoid: activity peaks mid-day (shortest period at
+// t = day/2).
+func (cc *classCost) period(t, day int64) int64 {
+	if cc.diurnal == 0 {
+		return cc.wakePeriod
+	}
+	phase := 2 * math.Pi * float64(t%day) / float64(day)
+	p := int64(float64(cc.wakePeriod) * (1 + cc.diurnal*math.Cos(phase)))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// GapFigure is the paper's Figure 4 battery gap recomputed at fleet
+// scale: the same scenario run twice — once with its security suite,
+// once stripped (Insecure) — and compared on completed transactions,
+// survivors and death timing across the whole population.
+type GapFigure struct {
+	Secure *Result
+	Plain  *Result
+
+	// GapTxRelative is secure transactions / plain transactions; the
+	// paper's battery-gap claim predicts < 0.5 for handshake-dominated
+	// fleets (the fleet-battery-gap SLO rule watches this gauge).
+	GapTxRelative float64
+	// GapAliveRelative is secure survivors / plain survivors at horizon.
+	GapAliveRelative float64
+	// HalfDeadT is the t_sim at which half of each fleet had died
+	// (0 = never reached).
+	HalfDeadSecureT int64
+	HalfDeadPlainT  int64
+}
+
+// RunGap executes the secure and plain arms of a scenario and publishes
+// the gap gauges the bench/slo_fleet.json rules evaluate. Arms run
+// sequentially (each is internally parallel) so their journal events
+// keep disjoint labels and metric flushes do not interleave.
+func RunGap(sc *Scenario, cfg Config) (*GapFigure, error) {
+	secureSC := sc.Clone()
+	secureSC.Insecure = false
+	secCfg := cfg
+	secCfg.Label = "secure"
+	secure, err := Run(secureSC, secCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	plainSC := sc.Clone()
+	plainSC.Insecure = true
+	plainCfg := cfg
+	plainCfg.Label = "plain"
+	plain, err := Run(plainSC, plainCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &GapFigure{
+		Secure:          secure,
+		Plain:           plain,
+		HalfDeadSecureT: halfDeadT(secure),
+		HalfDeadPlainT:  halfDeadT(plain),
+	}
+	if plain.Transactions > 0 {
+		fig.GapTxRelative = float64(secure.Transactions) / float64(plain.Transactions)
+	}
+	if plain.Alive() > 0 {
+		fig.GapAliveRelative = float64(secure.Alive()) / float64(plain.Alive())
+	}
+
+	if obs.Enabled() {
+		devs := float64(secure.Devices)
+		obs.G("fleet.devices").Set(devs)
+		obs.G("fleet.gap_tx_relative").Set(fig.GapTxRelative)
+		obs.G("fleet.gap_alive_relative").Set(fig.GapAliveRelative)
+		obs.G("fleet.death_rate_secure").Set(float64(secure.Deaths) / devs)
+		obs.G("fleet.death_rate_plain").Set(float64(plain.Deaths) / devs)
+		peak := secure.PeakUtil
+		if plain.PeakUtil > peak {
+			peak = plain.PeakUtil
+		}
+		obs.G("fleet.peak_util").Set(peak)
+		obs.G("fleet.compromised_frac").Set(float64(secure.Compromised) / devs)
+	}
+	return fig, nil
+}
+
+// halfDeadT scans the sampled series for the first epoch where half the
+// fleet was dead.
+func halfDeadT(r *Result) int64 {
+	for _, st := range r.Series {
+		if st.Dead*2 >= int64(r.Devices) {
+			return st.T
+		}
+	}
+	return 0
+}
+
+// Render lays the figure out as text, matching the style of the other
+// figure cmds.
+func (f *GapFigure) Render() string {
+	var b strings.Builder
+	sec, pl := f.Secure, f.Plain
+	fmt.Fprintf(&b, "fleet battery gap — scenario %q, %d devices, horizon %d ticks\n",
+		sec.Scenario, sec.Devices, sec.HorizonTicks)
+	fmt.Fprintf(&b, "%-26s %15s %15s\n", "", "secure", "plain")
+	row := func(name string, s, p int64) { fmt.Fprintf(&b, "%-26s %15d %15d\n", name, s, p) }
+	row("transactions", sec.Transactions, pl.Transactions)
+	row("transactions failed", sec.TransactionsFailed, pl.TransactionsFailed)
+	row("handshakes", sec.Handshakes, pl.Handshakes)
+	row("handshake failures", sec.HandshakeFails, pl.HandshakeFails)
+	row("frames", sec.Frames, pl.Frames)
+	row("retransmits", sec.Retransmits, pl.Retransmits)
+	row("deaths", sec.Deaths, pl.Deaths)
+	row("alive at horizon", sec.Alive(), pl.Alive())
+	row("half fleet dead at t", f.HalfDeadSecureT, f.HalfDeadPlainT)
+	fmt.Fprintf(&b, "%-26s %15.3f %15.3f\n", "peak cell utilization", sec.PeakUtil, pl.PeakUtil)
+	fmt.Fprintf(&b, "%-26s %15.1f %15.1f\n", "fleet energy (J)", sec.TotalEnergyJ(), pl.TotalEnergyJ())
+	if sec.Compromised > 0 {
+		fmt.Fprintf(&b, "%-26s %15d %15s\n", "compromised (epidemic)", sec.Compromised, "-")
+	}
+	fmt.Fprintf(&b, "\nsecure fleet completes %.2fx the plain fleet's transactions",
+		f.GapTxRelative)
+	if f.GapTxRelative < 0.5 {
+		b.WriteString(" — the paper's <0.5x battery gap, at fleet scale")
+	}
+	b.WriteString("\n")
+	fmt.Fprint(&b, f.energyTable())
+	return b.String()
+}
+
+// energyTable breaks the two arms' ledgers down by category.
+func (f *GapFigure) energyTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nenergy by category (J):\n")
+	for _, cat := range catNames {
+		s, sok := f.Secure.EnergyJ[cat]
+		p, pok := f.Plain.EnergyJ[cat]
+		if !sok && !pok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-24s %15.1f %15.1f\n", cat, s, p)
+	}
+	return b.String()
+}
+
+// csvHeader heads every fleet CSV emission.
+const csvHeader = "arm,t,alive,dead,compromised,util,energy_j\n"
+
+// CSV emits both arms' sampled time series in tidy form.
+func (f *GapFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvHeader)
+	for _, arm := range []*Result{f.Secure, f.Plain} {
+		arm.csvRows(&b)
+	}
+	return b.String()
+}
+
+// CSV emits a single run's sampled time series in the same tidy form.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvHeader)
+	r.csvRows(&b)
+	return b.String()
+}
+
+func (r *Result) csvRows(b *strings.Builder) {
+	for _, st := range r.Series {
+		fmt.Fprintf(b, "%s,%d,%d,%d,%d,%.6f,%.3f\n",
+			r.Label, st.T, st.Alive, st.Dead, st.Compromised, st.Util, st.EnergyJ)
+	}
+}
+
+// RenderSingle lays out a single-arm run (fleetfig -arm secure/plain),
+// including the epidemic trajectory when one was configured.
+func RenderSingle(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet run — scenario %q (%s), %d devices, horizon %d ticks, %d epochs\n",
+		r.Scenario, r.Label, r.Devices, r.HorizonTicks, r.Epochs)
+	fmt.Fprintf(&b, "  events %d, transactions %d (%d failed), handshakes %d (%d failed, %d resumed)\n",
+		r.Events, r.Transactions, r.TransactionsFailed, r.Handshakes, r.HandshakeFails, r.HandshakeResumes)
+	fmt.Fprintf(&b, "  frames %d (%d retransmits, %d lost), congestion drops %d, peak cell util %.3f\n",
+		r.Frames, r.Retransmits, r.FrameFails, r.CongestionDrops, r.PeakUtil)
+	fmt.Fprintf(&b, "  deaths %d (%d on first wake), alive %d, fleet energy %.1f J\n",
+		r.Deaths, r.EarlyDeaths, r.Alive(), r.TotalEnergyJ())
+	if r.Compromised > 0 {
+		fmt.Fprintf(&b, "  epidemic: %d devices compromised (%.1f%%)\n",
+			r.Compromised, 100*float64(r.Compromised)/float64(r.Devices))
+	}
+	fmt.Fprintf(&b, "\n%10s %12s %12s %12s %8s %12s\n", "t", "alive", "dead", "compromised", "util", "energy_j")
+	for _, st := range r.Series {
+		fmt.Fprintf(&b, "%10d %12d %12d %12d %8.3f %12.1f\n",
+			st.T, st.Alive, st.Dead, st.Compromised, st.Util, st.EnergyJ)
+	}
+	return b.String()
+}

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// tinyScenario is a fast, fully featured scenario for unit tests:
+// two classes, burst channel, epidemic, congestion-capable cells.
+func tinyScenario() *Scenario {
+	return &Scenario{
+		Name:         "tiny",
+		Devices:      1200,
+		Seed:         42,
+		HorizonTicks: 600_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 50,
+		CellCapacityBytesPerTick: 10,
+
+		Classes: []ClassSpec{
+			{
+				Name: "mote", Weight: 0.75,
+				Handshake: "rsa512", Cipher: "rc4", MAC: "md5", ResumeRatio: 0.6,
+				TxBytes: 96, RxBytes: 32, TxPerWake: 1,
+				WakePeriodTicks: 8_000, WakeJitter: 0.2, BatteryJ: 0.5,
+			},
+			{
+				Name: "hub", Weight: 0.25,
+				Handshake: "rsa1024", Cipher: "3des", MAC: "sha1",
+				TxBytes: 512, RxBytes: 256, TxPerWake: 2,
+				WakePeriodTicks: 12_000, DiurnalAmplitude: 0.5, BatteryJ: 4,
+			},
+		},
+		Channel: ChannelSpec{
+			BER: 2e-6, Drop: 0.005,
+			Burst: &BurstSpec{PGoodToBad: 0.05, PBadToGood: 0.3, LossGood: 0.001, LossBad: 0.1},
+		},
+		Epidemic: &EpidemicSpec{Seeds: 3, FramesToCompromise: 64, AmplifyBytes: 512},
+	}
+}
+
+// TestRunDeterminism: two identical runs produce deeply equal results —
+// counters, energy ledger and the float-bearing time series.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(tinyScenario(), Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyScenario(), Config{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestShardWorkerInvariance: the property the CI determinism lane
+// enforces end-to-end — shard count and worker count never change what
+// the simulation computes. With one worker the exact event execution
+// sequence must match event-for-event; with many workers the full
+// Result must still be deeply equal.
+func TestShardWorkerInvariance(t *testing.T) {
+	type rec struct {
+		t    int64
+		dev  int32
+		kind uint8
+	}
+	trace := func(shards int) ([]rec, *Result) {
+		var seq []rec
+		cfg := Config{Shards: shards, Workers: 1}
+		cfg.eventHook = func(tm int64, dev int32, kind uint8) {
+			seq = append(seq, rec{tm, dev, kind})
+		}
+		res, err := Run(tinyScenario(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq, res
+	}
+
+	seq1, res1 := trace(1)
+	if len(seq1) == 0 {
+		t.Fatal("no events executed")
+	}
+	for _, shards := range []int{2, 16} {
+		seqN, resN := trace(shards)
+		if len(seqN) != len(seq1) {
+			t.Fatalf("shards=%d executed %d events, shards=1 executed %d", shards, len(seqN), len(seq1))
+		}
+		// Shards run sequentially under one worker, so the global
+		// interleaving differs; the executed event set and every
+		// per-device subsequence must not. Sort by (t, dev) — strict,
+		// since a device owns at most one event per tick — and compare
+		// exactly.
+		sortRecs := func(s []rec) {
+			sort.Slice(s, func(i, j int) bool {
+				if s[i].t != s[j].t {
+					return s[i].t < s[j].t
+				}
+				return s[i].dev < s[j].dev
+			})
+		}
+		sortRecs(seq1)
+		sortRecs(seqN)
+		if !reflect.DeepEqual(seq1, seqN) {
+			t.Fatalf("shards=%d changed the executed event set", shards)
+		}
+		if !reflect.DeepEqual(res1, resN) {
+			t.Fatalf("shards=%d changed the result:\n%+v\nvs\n%+v", shards, res1, resN)
+		}
+	}
+
+	// Parallel execution: results (not hook order) must match.
+	for _, cfg := range []Config{{Shards: 16, Workers: 8}, {Shards: 5, Workers: 3}} {
+		res, err := Run(tinyScenario(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res1, res) {
+			t.Fatalf("shards=%d workers=%d changed the result", cfg.Shards, cfg.Workers)
+		}
+	}
+}
+
+// TestGapFigure: the paper's battery gap appears at fleet scale on the
+// sensor-field preset — the secure arm completes well under half the
+// plain arm's transactions, and nobody dies on their first wake.
+func TestGapFigure(t *testing.T) {
+	sc := SensorField()
+	sc.Devices = 500
+	sc.CellSize = 50
+	fig, err := RunGap(sc, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Plain.Transactions == 0 || fig.Secure.Transactions == 0 {
+		t.Fatalf("empty arms: secure %d plain %d tx", fig.Secure.Transactions, fig.Plain.Transactions)
+	}
+	if fig.GapTxRelative >= 0.5 {
+		t.Errorf("gap = %.3f, want < 0.5 (the paper's battery-gap claim)", fig.GapTxRelative)
+	}
+	if fig.GapTxRelative < 0.05 {
+		t.Errorf("gap = %.3f implausibly small — cost calibration off", fig.GapTxRelative)
+	}
+	if fig.Secure.Deaths == 0 || fig.Plain.Deaths == 0 {
+		t.Errorf("expected battery deaths in both arms, got secure %d plain %d",
+			fig.Secure.Deaths, fig.Plain.Deaths)
+	}
+	if fig.Secure.EarlyDeaths != 0 || fig.Plain.EarlyDeaths != 0 {
+		t.Errorf("devices died on their first wake: secure %d plain %d",
+			fig.Secure.EarlyDeaths, fig.Plain.EarlyDeaths)
+	}
+	if fig.Secure.Handshakes == 0 {
+		t.Error("secure arm performed no handshakes")
+	}
+	if fig.Plain.Handshakes != 0 || fig.Plain.EnergyJ["crypto_handshake"] != 0 {
+		t.Errorf("plain arm spent on security: %d handshakes, %v J crypto",
+			fig.Plain.Handshakes, fig.Plain.EnergyJ["crypto_handshake"])
+	}
+	if fig.HalfDeadSecureT == 0 || fig.HalfDeadPlainT == 0 ||
+		fig.HalfDeadSecureT >= fig.HalfDeadPlainT {
+		t.Errorf("half-dead ordering wrong: secure %d plain %d",
+			fig.HalfDeadSecureT, fig.HalfDeadPlainT)
+	}
+}
+
+// TestBatteryLedger: the batched epoch flush must account every
+// microjoule — the aggregate energy.Battery ledger equals the
+// simulator's own category totals.
+func TestBatteryLedger(t *testing.T) {
+	sim, err := NewSim(tinyScenario(), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !sim.StepEpoch() {
+	}
+	res := sim.Result()
+	b := sim.Battery()
+	for cat, j := range res.EnergyJ {
+		got := b.Drained(cat)
+		if math.Abs(got-j) > 1e-6 {
+			t.Errorf("ledger %s: battery drained %.9f J, simulator accounted %.9f J", cat, got, j)
+		}
+	}
+	total := res.TotalEnergyJ()
+	remaining := b.CapacityJ() - b.RemainingJ()
+	if math.Abs(total-remaining) > 1e-6 {
+		t.Errorf("battery drained %.9f J total, simulator accounted %.9f J", remaining, total)
+	}
+	if total <= 0 {
+		t.Fatal("run consumed no energy")
+	}
+}
+
+// TestEpidemicSpreads: compromise grows beyond the seeds, the sampled
+// trajectory is monotone, and disabling the epidemic (or running the
+// insecure arm) keeps the fleet clean.
+func TestEpidemicSpreads(t *testing.T) {
+	res, err := Run(tinyScenario(), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compromised <= int64(tinyScenario().Epidemic.Seeds) {
+		t.Errorf("epidemic did not spread: %d compromised", res.Compromised)
+	}
+	last := int64(-1)
+	for _, st := range res.Series {
+		if st.Compromised < last {
+			t.Fatalf("compromise count regressed at t=%d: %d -> %d", st.T, last, st.Compromised)
+		}
+		last = st.Compromised
+	}
+
+	clean := tinyScenario()
+	clean.Epidemic = nil
+	cres, err := Run(clean, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Compromised != 0 {
+		t.Errorf("no-epidemic run compromised %d devices", cres.Compromised)
+	}
+
+	plain := tinyScenario()
+	plain.Insecure = true
+	pres, err := Run(plain, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Compromised != 0 || pres.EnergyJ["attack"] != 0 {
+		t.Errorf("insecure arm ran the epidemic: %d compromised, %v J attack",
+			pres.Compromised, pres.EnergyJ["attack"])
+	}
+}
+
+// TestCongestionFeedback: overload a cell far beyond capacity and the
+// feedback loop must produce collision drops — but stay bounded (the
+// collision probability cap keeps retries from diverging).
+func TestCongestionFeedback(t *testing.T) {
+	sc := tinyScenario()
+	sc.CellCapacityBytesPerTick = 0.5
+	res, err := Run(sc, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakUtil <= 1 {
+		t.Errorf("peak util %.3f, expected overload > 1", res.PeakUtil)
+	}
+	if res.CongestionDrops == 0 {
+		t.Error("overloaded cells produced no congestion drops")
+	}
+}
+
+// TestMemoryPerDevice asserts the tentpole's O(devices) bound: resident
+// simulator memory stays within a fixed byte budget per device, so a
+// 10^6-device nightly run fits in ordinary CI memory.
+func TestMemoryPerDevice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 200k-device fleet")
+	}
+	const devices = 200_000
+	const budgetBytesPerDevice = 400
+
+	sc := SensorField()
+	sc.Devices = devices
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	sim, err := NewSim(sc, Config{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.StepEpoch() // warm the heaps with live events
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(sim)
+
+	perDevice := float64(after.HeapAlloc-before.HeapAlloc) / devices
+	if perDevice > budgetBytesPerDevice {
+		t.Errorf("simulator uses %.1f B/device, budget %d B/device", perDevice, budgetBytesPerDevice)
+	}
+	t.Logf("%d devices resident at %.1f B/device", devices, perDevice)
+}
+
+// BenchmarkFleetStep measures sustained event throughput on a fleet
+// that never drains within the measured window. Reported as events/s
+// (benchreg gates it against bench/BENCH_baseline.json) plus resident
+// devices; allocs/op must stay zero once the heaps are warm.
+func BenchmarkFleetStep(b *testing.B) {
+	sc := SensorField()
+	sc.Devices = 20_000
+	sc.CellSize = 100
+	sc.HorizonTicks = 1 << 40 // never ends within a benchmark run
+	newSim := func() *Sim {
+		sim, err := NewSim(sc, Config{Shards: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	sim := newSim()
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.StepEpoch() {
+			// Fleet fully drained (batteries die eventually): rebuild
+			// off the clock and keep stepping.
+			b.StopTimer()
+			events += sim.EventsProcessed()
+			sim = newSim()
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	events += sim.EventsProcessed()
+	if events > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.ReportMetric(float64(sc.Devices), "devices")
+}

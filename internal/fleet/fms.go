@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/attack/wepattack"
+	"repro/internal/wep"
+)
+
+// CalibrateFMSFrames measures — by actually mounting the FMS attack of
+// internal/attack/wepattack — how many useful captured frames an
+// eavesdropper needs before key recovery succeeds against a keyLen-byte
+// WEP key. "Useful" means weak-IV traffic, the (a+3, 255, x) captures an
+// attacker filters from overheard frames; the epidemic model's
+// FramesToCompromise budget counts exactly these, so this function
+// grounds that scenario knob in the real cryptanalysis instead of a
+// magic number. (Against an unfiltered sequential-IV victim, multiply
+// by the weak-IV density — classically ~1/65536 per key byte, which is
+// how the 10^5–10^6 raw-frame FMS folklore numbers arise; KoreK/PTW
+// extensions need far fewer, which the presets model with smaller
+// budgets.)
+//
+// The search doubles the capture size from 64 frames up to maxFrames
+// (default 1<<14) and returns the first size at which the recovered key
+// verifies. Deterministic for a fixed seed.
+func CalibrateFMSFrames(keyLen int, seed int64, maxFrames int) (int, error) {
+	if maxFrames <= 0 {
+		maxFrames = 1 << 14
+	}
+	key := make([]byte, keyLen)
+	rng := uint64(seed)
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range key {
+		key[i] = byte(next())
+	}
+
+	// Victim traffic: SNAP-headed payloads (known first byte 0xAA) under
+	// weak IVs, interleaved across key-byte positions so any prefix of
+	// the capture is balanced — the order an attacker's filter would see
+	// from cycling IV counters.
+	const payloadLen = 16
+	plain := make([]byte, payloadLen)
+	plain[0] = 0xAA
+	for i := 1; i < payloadLen; i++ {
+		plain[i] = byte(next())
+	}
+	verify := func(k []byte) bool { return bytes.Equal(k, key) }
+
+	frames := make([][]byte, 0, maxFrames)
+	x, b := 0, 0
+	for n := 64; n <= maxFrames; n *= 2 {
+		for len(frames) < n {
+			iv := [wep.IVLen]byte{byte(3 + b), 255, byte(x)}
+			if b++; b == keyLen {
+				b, x = 0, (x+1)%256
+			}
+			f, err := wep.SealWithIV(key, iv, plain)
+			if err != nil {
+				return 0, err
+			}
+			frames = append(frames, f)
+		}
+		if res, err := wepattack.FMSRecoverKey(frames, 0xAA, keyLen, verify); err == nil && res.Key != nil {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: FMS did not recover a %d-byte key within %d weak frames", keyLen, maxFrames)
+}

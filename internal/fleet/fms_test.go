@@ -1,0 +1,25 @@
+package fleet
+
+import "testing"
+
+// TestCalibrateFMSFrames: mounting the real FMS attack recovers a
+// 40-bit key within the search budget, deterministically, and the
+// measured bound justifies the scale of the presets'
+// frames_to_compromise budgets.
+func TestCalibrateFMSFrames(t *testing.T) {
+	n, err := CalibrateFMSFrames(5, 1, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 64 || n > 1<<14 {
+		t.Fatalf("calibration returned %d, outside search range", n)
+	}
+	n2, err := CalibrateFMSFrames(5, 1, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Fatalf("calibration not deterministic: %d vs %d", n, n2)
+	}
+	t.Logf("FMS needs %d useful frames for a 40-bit key", n)
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset scenarios. Each is calibrated against the internal/cost tables
+// (EnergyNJPerInstr = 1.5 nJ/instr, radio 21.5/14.3 mJ/KB) so the
+// interesting fleet phenomena — the security/battery gap, diurnal
+// congestion, epidemic key compromise — appear within the default
+// 20M-tick horizon. Device counts are defaults; fleetfig -devices
+// rescales a preset (class weights and cells adapt automatically).
+var presets = map[string]func() *Scenario{
+	"sensor-field":  SensorField,
+	"payment-burst": PaymentBurst,
+	"gsm-diurnal":   GSMDiurnal,
+	"mixed-suite":   MixedSuite,
+	"epidemic-wep":  EpidemicWEP,
+}
+
+// Presets lists the built-in scenario names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a fresh copy of a built-in scenario.
+func Preset(name string) (*Scenario, error) {
+	fn, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown preset %q (have %v)", name, Presets())
+	}
+	return fn(), nil
+}
+
+// SensorField models a dense field of battery-operated sensor motes:
+// short-key handshakes with heavy session reuse, tiny readings, long
+// sleep. The security arm spends ~3.7x the per-wake energy of the plain
+// arm (handshake crypto + handshake frames dominate the 128-byte
+// payload), so the fleet battery-gap figure shows secure motes dying
+// years — in ticks — before insecure ones.
+func SensorField() *Scenario {
+	return &Scenario{
+		Name:         "sensor-field",
+		Devices:      100_000,
+		Seed:         1,
+		HorizonTicks: 20_000_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 200,
+		CellCapacityBytesPerTick: 6,
+
+		Classes: []ClassSpec{{
+			Name:            "mote",
+			Weight:          1,
+			Handshake:       "rsa512",
+			Cipher:          "rc4",
+			MAC:             "md5",
+			ResumeRatio:     0.7,
+			TxBytes:         96,
+			RxBytes:         32,
+			TxPerWake:       1,
+			WakePeriodTicks: 50_000,
+			WakeJitter:      0.1,
+			BatteryJ:        1.5,
+		}},
+		Channel: ChannelSpec{BER: 1e-6},
+	}
+}
+
+// PaymentBurst models payment-card-class devices: every wake is a fresh
+// full RSA-1024 handshake (no session to resume across taps), 3DES+SHA1
+// bulk protection, and a strong diurnal usage peak that pushes shared
+// cells into congestion at mid-day. The most security-expensive preset:
+// ~87 mJ per secure wake against ~7 mJ plain.
+func PaymentBurst() *Scenario {
+	return &Scenario{
+		Name:         "payment-burst",
+		Devices:      200_000,
+		Seed:         2,
+		HorizonTicks: 20_000_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 500,
+		CellCapacityBytesPerTick: 4,
+
+		Classes: []ClassSpec{{
+			Name:             "card",
+			Weight:           1,
+			Handshake:        "rsa1024",
+			Cipher:           "3des",
+			MAC:              "sha1",
+			TxBytes:          256,
+			RxBytes:          128,
+			TxPerWake:        1,
+			WakePeriodTicks:  150_000,
+			WakeJitter:       0.2,
+			DiurnalAmplitude: 0.8,
+			BatteryJ:         5,
+		}},
+		Channel: ChannelSpec{BER: 1e-6, Drop: 0.002},
+	}
+}
+
+// GSMDiurnal models a metro area of GSM-class handsets: bursty
+// bearer-channel chatter with a strong day/night cycle, RSA-768
+// authentication with heavy session reuse, stream-cipher bulk
+// protection. Radio traffic dominates energy, so the security gap is
+// modest (~18%) — the realistic handset contrast to SensorField.
+func GSMDiurnal() *Scenario {
+	return &Scenario{
+		Name:         "gsm-diurnal",
+		Devices:      100_000,
+		Seed:         3,
+		HorizonTicks: 20_000_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 250,
+		CellCapacityBytesPerTick: 60,
+
+		Classes: []ClassSpec{{
+			Name:             "handset",
+			Weight:           1,
+			Handshake:        "rsa768",
+			Cipher:           "rc4",
+			MAC:              "md5",
+			ResumeRatio:      0.8,
+			TxBytes:          512,
+			RxBytes:          512,
+			TxPerWake:        4,
+			WakePeriodTicks:  20_000,
+			WakeJitter:       0.15,
+			DiurnalAmplitude: 0.7,
+			BatteryJ:         40,
+		}},
+		Channel: ChannelSpec{
+			BER: 2e-6,
+			Burst: &BurstSpec{
+				PGoodToBad: 0.02, PBadToGood: 0.25,
+				LossGood: 0.001, LossBad: 0.08,
+			},
+		},
+	}
+}
+
+// MixedSuite is a heterogeneous appliance population — motes, payment
+// cards, handsets and mains-adjacent gateways with distinct security
+// suites — exercising the per-class cost compilation and contiguous
+// class partitioning in one run.
+func MixedSuite() *Scenario {
+	return &Scenario{
+		Name:         "mixed-suite",
+		Devices:      100_000,
+		Seed:         4,
+		HorizonTicks: 20_000_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 250,
+		CellCapacityBytesPerTick: 30,
+
+		Classes: []ClassSpec{
+			{
+				Name: "mote", Weight: 0.5,
+				Handshake: "rsa512", Cipher: "rc4", MAC: "md5", ResumeRatio: 0.7,
+				TxBytes: 96, RxBytes: 32, TxPerWake: 1,
+				WakePeriodTicks: 50_000, WakeJitter: 0.1, BatteryJ: 1.5,
+			},
+			{
+				Name: "card", Weight: 0.2,
+				Handshake: "rsa1024", Cipher: "3des", MAC: "sha1",
+				TxBytes: 256, RxBytes: 128, TxPerWake: 1,
+				WakePeriodTicks: 150_000, WakeJitter: 0.2, DiurnalAmplitude: 0.8, BatteryJ: 5,
+			},
+			{
+				Name: "handset", Weight: 0.2,
+				Handshake: "rsa768", Cipher: "rc4", MAC: "md5", ResumeRatio: 0.8,
+				TxBytes: 512, RxBytes: 512, TxPerWake: 4,
+				WakePeriodTicks: 20_000, WakeJitter: 0.15, DiurnalAmplitude: 0.7, BatteryJ: 40,
+			},
+			{
+				Name: "gateway", Weight: 0.1,
+				Handshake: "dh1024", Cipher: "aes128", MAC: "sha1", ResumeRatio: 0.5,
+				TxBytes: 1024, RxBytes: 1024, TxPerWake: 8,
+				WakePeriodTicks: 10_000, WakeJitter: 0.05, BatteryJ: 400,
+			},
+		},
+		Channel: ChannelSpec{BER: 1e-6, Drop: 0.001},
+	}
+}
+
+// EpidemicWEP models a WEP-protected appliance fleet under epidemic key
+// compromise: ten patient-zero devices eavesdrop their cells, victims'
+// keys fall after leaking 128 useful frames (a KoreK/PTW-class budget;
+// CalibrateFMSFrames measures the classic-FMS figure for comparison),
+// and compromised devices inject 1 KiB of attack traffic per wake — the
+// paper's battery-drain attack — which also drags their cells into
+// congestion collapse as the epidemic front passes.
+func EpidemicWEP() *Scenario {
+	return &Scenario{
+		Name:         "epidemic-wep",
+		Devices:      100_000,
+		Seed:         5,
+		HorizonTicks: 20_000_000,
+		EpochTicks:   10_000,
+
+		CellSize:                 100,
+		CellCapacityBytesPerTick: 12,
+
+		Classes: []ClassSpec{{
+			Name:            "wepnode",
+			Weight:          1,
+			Handshake:       "resume", // re-keying only: WEP has no session handshake
+			Cipher:          "rc4",
+			MAC:             "crc32",
+			TxBytes:         128,
+			RxBytes:         64,
+			TxPerWake:       1,
+			WakePeriodTicks: 10_000,
+			WakeJitter:      0.1,
+			BatteryJ:        30,
+		}},
+		Channel: ChannelSpec{BER: 1e-6},
+		Epidemic: &EpidemicSpec{
+			Seeds:              10,
+			FramesToCompromise: 128,
+			AmplifyBytes:       1024,
+		},
+	}
+}

@@ -1,0 +1,334 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/cost"
+)
+
+// ClassSpec declares one device-population class of a scenario: its
+// security suite (handshake kind, bulk cipher and MAC from the
+// calibrated cost tables), traffic shape and energy budget. Weights are
+// relative; devices are partitioned across classes by contiguous id
+// ranges so class assignment never depends on shard or worker count.
+type ClassSpec struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+
+	// Security suite. Handshake is a cost.HandshakeKind ("rsa1024",
+	// "rsa768", "rsa512", "dh1024", "resume"); Cipher and MAC are
+	// cost.Algorithm names ("3des", "rc4", "crc32", "null", ...).
+	Handshake string `json:"handshake"`
+	Cipher    string `json:"cipher"`
+	MAC       string `json:"mac"`
+	// ResumeRatio is the fraction of wakes that reuse a cached session
+	// via an abbreviated handshake instead of the full public-key one.
+	ResumeRatio float64 `json:"resume_ratio,omitempty"`
+
+	// Traffic shape: each wake performs one handshake then TxPerWake
+	// transactions of TxBytes out / RxBytes in, then sleeps for
+	// WakePeriodTicks (+ uniform jitter of WakeJitter×period).
+	// DiurnalAmplitude modulates the period over the scenario day:
+	// period(t) = base × (1 + A·cos(2πt/day)), so activity peaks
+	// mid-day — the GSM handset traffic shape.
+	TxBytes          int     `json:"tx_bytes"`
+	RxBytes          int     `json:"rx_bytes"`
+	TxPerWake        int     `json:"tx_per_wake"`
+	WakePeriodTicks  int64   `json:"wake_period_ticks"`
+	WakeJitter       float64 `json:"wake_jitter,omitempty"`
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
+
+	// BatteryJ is the per-device battery capacity in joules.
+	BatteryJ float64 `json:"battery_j"`
+}
+
+// BurstSpec mirrors chaos.Burst with scenario-file field names.
+type BurstSpec struct {
+	PGoodToBad float64 `json:"p_good_to_bad"`
+	PBadToGood float64 `json:"p_bad_to_good"`
+	LossGood   float64 `json:"loss_good"`
+	LossBad    float64 `json:"loss_bad"`
+}
+
+// ChannelSpec is the per-device radio channel model. Its semantics (and
+// the Gilbert–Elliott state machine) are shared with internal/chaos:
+// the fleet evolves one independent chaos burst state per device and
+// prices loss/corruption with chaos.Config.LossProb/FrameCorruptProb.
+type ChannelSpec struct {
+	BER   float64    `json:"ber,omitempty"`
+	Drop  float64    `json:"drop,omitempty"`
+	Burst *BurstSpec `json:"burst,omitempty"`
+}
+
+// EpidemicSpec enables node-to-node WEP-key compromise: Seeds devices
+// start compromised; a compromised device overhears its radio cell (and,
+// at quarter rate, the adjacent cells), and once a victim has leaked
+// FramesToCompromise frames its key falls to the FMS/KoreK family of
+// attacks implemented in internal/attack/wepattack (CalibrateFMSFrames
+// measures the classic-FMS bound for this parameter). Compromised
+// devices then inject AmplifyBytes of attack traffic per wake — the
+// paper's battery-drain / sleep-deprivation threat — which both drains
+// their cell's airtime and accelerates their own battery death.
+type EpidemicSpec struct {
+	Seeds              int `json:"seeds"`
+	FramesToCompromise int `json:"frames_to_compromise"`
+	AmplifyBytes       int `json:"amplify_bytes,omitempty"`
+}
+
+// Scenario is the declarative input of a fleet run. Time is integer
+// simulation ticks (nominally 1 ms); all randomness derives from Seed
+// via per-device splitmix64 streams, so a scenario's outcome is a pure
+// function of this struct — independent of shard and worker counts.
+type Scenario struct {
+	Name    string `json:"name"`
+	Devices int    `json:"devices"`
+	Seed    int64  `json:"seed"`
+
+	HorizonTicks int64 `json:"horizon_ticks"`
+	// EpochTicks is the cross-shard synchronization quantum: congestion
+	// feedback and epidemic spread propagate at epoch barriers.
+	EpochTicks int64 `json:"epoch_ticks,omitempty"`
+	// DayTicks is the diurnal period (defaults to HorizonTicks/4).
+	DayTicks int64 `json:"day_ticks,omitempty"`
+
+	// CellSize devices share one radio cell of CellCapacityBytesPerTick;
+	// when an epoch's offered load exceeds capacity the overflow turns
+	// into collision losses in the next epoch.
+	CellSize                 int     `json:"cell_size"`
+	CellCapacityBytesPerTick float64 `json:"cell_capacity_bytes_per_tick"`
+
+	// FrameBytes is the link MTU (default 128); RetryCap bounds per-frame
+	// retransmissions (default 3) before the frame — and its transaction
+	// — is abandoned.
+	FrameBytes int `json:"frame_bytes,omitempty"`
+	RetryCap   int `json:"retry_cap,omitempty"`
+
+	// Insecure strips all security processing (no handshakes, free bulk
+	// crypto, epidemic disabled): the "plain" arm of the fleet battery-gap
+	// figure.
+	Insecure bool `json:"insecure,omitempty"`
+
+	Classes  []ClassSpec   `json:"classes"`
+	Channel  ChannelSpec   `json:"channel"`
+	Epidemic *EpidemicSpec `json:"epidemic,omitempty"`
+}
+
+// Scenario size and sanity bounds: generous enough for every real run,
+// tight enough that a fuzzer (or a typo) cannot demand petabyte fleets.
+const (
+	MaxDevices      = 16 << 20 // 16M devices
+	MaxClasses      = 64
+	maxHorizonTicks = int64(1) << 40
+)
+
+// ParseScenario decodes and validates a scenario JSON blob. Unknown
+// fields are rejected so a typoed knob cannot silently revert to its
+// default, and every limit is checked before any allocation scales with
+// the declared device count.
+func ParseScenario(blob []byte) (*Scenario, error) {
+	dec := json.NewDecoder(strings.NewReader(string(blob)))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("fleet: parsing scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenarioFile reads and parses a scenario file.
+func LoadScenarioFile(path string) (*Scenario, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return ParseScenario(blob)
+}
+
+// prob reports whether v is a probability.
+func prob(v float64) bool { return v >= 0 && v <= 1 && !math.IsNaN(v) }
+
+// Validate applies defaults and reports the first problem with the
+// scenario, or nil.
+func (sc *Scenario) Validate() error {
+	if strings.TrimSpace(sc.Name) == "" {
+		return fmt.Errorf("fleet: scenario has no name")
+	}
+	if sc.Devices < 1 || sc.Devices > MaxDevices {
+		return fmt.Errorf("fleet: scenario %q: devices %d outside [1, %d]", sc.Name, sc.Devices, MaxDevices)
+	}
+	if sc.HorizonTicks < 1 || sc.HorizonTicks > maxHorizonTicks {
+		return fmt.Errorf("fleet: scenario %q: horizon_ticks %d outside [1, %d]", sc.Name, sc.HorizonTicks, maxHorizonTicks)
+	}
+	if sc.EpochTicks == 0 {
+		sc.EpochTicks = 10_000
+	}
+	if sc.EpochTicks < 1 || sc.EpochTicks > sc.HorizonTicks {
+		return fmt.Errorf("fleet: scenario %q: epoch_ticks %d outside [1, horizon %d]", sc.Name, sc.EpochTicks, sc.HorizonTicks)
+	}
+	if sc.DayTicks == 0 {
+		sc.DayTicks = sc.HorizonTicks / 4
+		if sc.DayTicks < 1 {
+			sc.DayTicks = 1
+		}
+	}
+	if sc.DayTicks < 1 {
+		return fmt.Errorf("fleet: scenario %q: day_ticks %d must be positive", sc.Name, sc.DayTicks)
+	}
+	if sc.CellSize < 1 || sc.CellSize > sc.Devices {
+		return fmt.Errorf("fleet: scenario %q: cell_size %d outside [1, devices %d]", sc.Name, sc.CellSize, sc.Devices)
+	}
+	if sc.CellCapacityBytesPerTick <= 0 || math.IsNaN(sc.CellCapacityBytesPerTick) || math.IsInf(sc.CellCapacityBytesPerTick, 0) {
+		return fmt.Errorf("fleet: scenario %q: cell_capacity_bytes_per_tick %v must be positive and finite", sc.Name, sc.CellCapacityBytesPerTick)
+	}
+	if sc.FrameBytes == 0 {
+		sc.FrameBytes = 128
+	}
+	if sc.FrameBytes < 1 || sc.FrameBytes > chaos.MaxFrame {
+		return fmt.Errorf("fleet: scenario %q: frame_bytes %d outside [1, %d]", sc.Name, sc.FrameBytes, chaos.MaxFrame)
+	}
+	if sc.RetryCap == 0 {
+		sc.RetryCap = 3
+	}
+	if sc.RetryCap < 1 || sc.RetryCap > 16 {
+		return fmt.Errorf("fleet: scenario %q: retry_cap %d outside [1, 16]", sc.Name, sc.RetryCap)
+	}
+	if len(sc.Classes) == 0 {
+		return fmt.Errorf("fleet: scenario %q declares no device classes", sc.Name)
+	}
+	if len(sc.Classes) > MaxClasses {
+		return fmt.Errorf("fleet: scenario %q: %d classes exceed the limit %d", sc.Name, len(sc.Classes), MaxClasses)
+	}
+	seen := make(map[string]bool, len(sc.Classes))
+	for i := range sc.Classes {
+		if err := sc.Classes[i].validate(); err != nil {
+			return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+		}
+		if seen[sc.Classes[i].Name] {
+			return fmt.Errorf("fleet: scenario %q: duplicate class %q", sc.Name, sc.Classes[i].Name)
+		}
+		seen[sc.Classes[i].Name] = true
+	}
+	if err := sc.Channel.validate(); err != nil {
+		return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+	}
+	if e := sc.Epidemic; e != nil {
+		if e.Seeds < 1 || e.Seeds > sc.Devices {
+			return fmt.Errorf("fleet: scenario %q: epidemic seeds %d outside [1, devices %d]", sc.Name, e.Seeds, sc.Devices)
+		}
+		if e.FramesToCompromise < 1 {
+			return fmt.Errorf("fleet: scenario %q: frames_to_compromise %d must be positive", sc.Name, e.FramesToCompromise)
+		}
+		if e.AmplifyBytes < 0 || e.AmplifyBytes > chaos.MaxFrame {
+			return fmt.Errorf("fleet: scenario %q: amplify_bytes %d outside [0, %d]", sc.Name, e.AmplifyBytes, chaos.MaxFrame)
+		}
+	}
+	return nil
+}
+
+func (c *ClassSpec) validate() error {
+	if strings.TrimSpace(c.Name) == "" {
+		return fmt.Errorf("class has no name")
+	}
+	if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+		return fmt.Errorf("class %q: weight %v must be positive and finite", c.Name, c.Weight)
+	}
+	if _, err := cost.HandshakeInstr(cost.HandshakeKind(c.Handshake)); err != nil {
+		return fmt.Errorf("class %q: %w", c.Name, err)
+	}
+	if !cost.KnownAlgorithm(cost.Algorithm(c.Cipher)) {
+		return fmt.Errorf("class %q: unknown cipher %q", c.Name, c.Cipher)
+	}
+	if !cost.KnownAlgorithm(cost.Algorithm(c.MAC)) {
+		return fmt.Errorf("class %q: unknown mac %q", c.Name, c.MAC)
+	}
+	if !prob(c.ResumeRatio) {
+		return fmt.Errorf("class %q: resume_ratio %v outside [0,1]", c.Name, c.ResumeRatio)
+	}
+	if c.TxBytes < 0 || c.TxBytes > 1<<20 || c.RxBytes < 0 || c.RxBytes > 1<<20 {
+		return fmt.Errorf("class %q: tx/rx bytes outside [0, 1MiB]", c.Name)
+	}
+	if c.TxBytes+c.RxBytes == 0 {
+		return fmt.Errorf("class %q: tx_bytes and rx_bytes are both zero", c.Name)
+	}
+	if c.TxPerWake < 1 || c.TxPerWake > 1024 {
+		return fmt.Errorf("class %q: tx_per_wake %d outside [1, 1024]", c.Name, c.TxPerWake)
+	}
+	if c.WakePeriodTicks < 1 {
+		return fmt.Errorf("class %q: wake_period_ticks %d must be positive", c.Name, c.WakePeriodTicks)
+	}
+	if !prob(c.WakeJitter) {
+		return fmt.Errorf("class %q: wake_jitter %v outside [0,1]", c.Name, c.WakeJitter)
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude > 0.95 {
+		return fmt.Errorf("class %q: diurnal_amplitude %v outside [0, 0.95]", c.Name, c.DiurnalAmplitude)
+	}
+	if c.BatteryJ <= 0 || math.IsNaN(c.BatteryJ) || math.IsInf(c.BatteryJ, 0) {
+		return fmt.Errorf("class %q: battery_j %v must be positive and finite", c.Name, c.BatteryJ)
+	}
+	return nil
+}
+
+func (ch *ChannelSpec) validate() error {
+	cfg := ch.toChaos()
+	// chaos owns the probability-range rules; reuse them through New's
+	// validator by constructing the equivalent Config.
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"ber", cfg.BER}, {"drop", cfg.Drop}} {
+		if !prob(p.v) {
+			return fmt.Errorf("channel %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if b := cfg.Burst; b != nil {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"p_good_to_bad", b.PGoodToBad}, {"p_bad_to_good", b.PBadToGood},
+			{"loss_good", b.LossGood}, {"loss_bad", b.LossBad},
+		} {
+			if !prob(p.v) {
+				return fmt.Errorf("channel burst %s %v outside [0,1]", p.name, p.v)
+			}
+		}
+	}
+	return nil
+}
+
+// toChaos lowers the scenario channel to the chaos fault model whose
+// Step/LossProb/FrameCorruptProb the simulator prices frames with.
+func (ch *ChannelSpec) toChaos() chaos.Config {
+	cfg := chaos.Config{BER: ch.BER, Drop: ch.Drop}
+	if b := ch.Burst; b != nil {
+		cfg.Burst = &chaos.Burst{
+			PGoodToBad: b.PGoodToBad, PBadToGood: b.PBadToGood,
+			LossGood: b.LossGood, LossBad: b.LossBad,
+		}
+	}
+	return cfg
+}
+
+// Clone returns a deep copy, so figure harnesses can derive variants
+// (the Insecure arm, device-count overrides) without aliasing.
+func (sc *Scenario) Clone() *Scenario {
+	out := *sc
+	out.Classes = append([]ClassSpec(nil), sc.Classes...)
+	if sc.Channel.Burst != nil {
+		b := *sc.Channel.Burst
+		out.Channel.Burst = &b
+	}
+	if sc.Epidemic != nil {
+		e := *sc.Epidemic
+		out.Epidemic = &e
+	}
+	return &out
+}

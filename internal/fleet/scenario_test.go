@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validScenarioJSON() string {
+	blob, err := json.Marshal(tinyScenario())
+	if err != nil {
+		panic(err)
+	}
+	return string(blob)
+}
+
+func TestParseScenarioRoundTrip(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenarioJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" || sc.Devices != 1200 || len(sc.Classes) != 2 {
+		t.Fatalf("round trip mangled the scenario: %+v", sc)
+	}
+	// Defaults applied by validation.
+	if sc.FrameBytes != 128 || sc.RetryCap != 3 {
+		t.Fatalf("defaults not applied: frame=%d retry=%d", sc.FrameBytes, sc.RetryCap)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	base := validScenarioJSON()
+	cases := []struct {
+		name string
+		mod  func(m map[string]any)
+		want string
+	}{
+		{"unknown field", func(m map[string]any) { m["typo_knob"] = 1 }, "typo_knob"},
+		{"no devices", func(m map[string]any) { m["devices"] = 0 }, "devices"},
+		{"too many devices", func(m map[string]any) { m["devices"] = MaxDevices + 1 }, "devices"},
+		{"no horizon", func(m map[string]any) { delete(m, "horizon_ticks") }, "horizon"},
+		{"epoch past horizon", func(m map[string]any) { m["epoch_ticks"] = float64(1e9) }, "epoch_ticks"},
+		{"cell size zero", func(m map[string]any) { m["cell_size"] = 0 }, "cell_size"},
+		{"no capacity", func(m map[string]any) { m["cell_capacity_bytes_per_tick"] = 0 }, "capacity"},
+		{"no classes", func(m map[string]any) { m["classes"] = []any{} }, "classes"},
+		{"bad cipher", func(m map[string]any) {
+			m["classes"].([]any)[0].(map[string]any)["cipher"] = "rot13"
+		}, "cipher"},
+		{"bad handshake", func(m map[string]any) {
+			m["classes"].([]any)[0].(map[string]any)["handshake"] = "quantum"
+		}, "handshake"},
+		{"bad ber", func(m map[string]any) {
+			m["channel"].(map[string]any)["ber"] = 2.0
+		}, "ber"},
+		{"epidemic no budget", func(m map[string]any) {
+			m["epidemic"].(map[string]any)["frames_to_compromise"] = 0
+		}, "frames_to_compromise"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(base), &m); err != nil {
+				t.Fatal(err)
+			}
+			tc.mod(m)
+			blob, _ := json.Marshal(m)
+			_, err := ParseScenario(blob)
+			if err == nil {
+				t.Fatalf("accepted invalid scenario: %s", blob)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range Presets() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+		if _, err := compile(sc); err != nil {
+			t.Errorf("preset %s does not compile: %v", name, err)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sc := tinyScenario()
+	cl := sc.Clone()
+	cl.Classes[0].BatteryJ = 99
+	cl.Channel.Burst.LossBad = 0.99
+	cl.Epidemic.Seeds = 99
+	if sc.Classes[0].BatteryJ == 99 || sc.Channel.Burst.LossBad == 0.99 || sc.Epidemic.Seeds == 99 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// FuzzParseScenario: the parser must never panic, and anything it
+// accepts must satisfy its own invariants — Validate idempotent, limits
+// honored, and the scenario compilable.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(validScenarioJSON()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","devices":1,"horizon_ticks":1,"cell_size":1,` +
+		`"cell_capacity_bytes_per_tick":1,"classes":[{"name":"c","weight":1,` +
+		`"handshake":"resume","cipher":"null","mac":"null","tx_bytes":1,` +
+		`"tx_per_wake":1,"wake_period_ticks":1,"battery_j":1}],"channel":{}}`))
+	f.Add([]byte(`{"devices":-1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		sc, err := ParseScenario(blob)
+		if err != nil {
+			return
+		}
+		if sc.Devices < 1 || sc.Devices > MaxDevices {
+			t.Fatalf("accepted devices=%d outside limits", sc.Devices)
+		}
+		if len(sc.Classes) == 0 || len(sc.Classes) > MaxClasses {
+			t.Fatalf("accepted %d classes", len(sc.Classes))
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		if _, err := compile(sc); err != nil {
+			t.Fatalf("accepted scenario does not compile: %v", err)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package fleet
+
+// event is one scheduled device transition. Sixteen bytes; every shard
+// heap holds at most one event per resident device, which is what keeps
+// scheduler memory O(devices) rather than O(events processed).
+type event struct {
+	t    int64
+	dev  int32
+	kind uint8
+}
+
+// before is the total event order: ascending t_sim, ties broken by
+// device id — the same shape as the journal's (t_sim, seq) merge order.
+// A device owns at most one pending event, so the order is strict.
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.dev < o.dev
+}
+
+// evHeap is a binary min-heap of events on a plain slice: no interface
+// boxing, no per-push allocation once warm.
+type evHeap []event
+
+func (h *evHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event. Caller checks emptiness.
+func (h *evHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].before(s[m]) {
+			m = l
+		}
+		if r < n && s[r].before(s[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}

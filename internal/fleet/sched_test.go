@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestHeapOrder: random pushes pop in exact (t, dev) order, including
+// interleaved push/pop — the invariant event execution order rests on.
+func TestHeapOrder(t *testing.T) {
+	d := device{rng: 7}
+	var h evHeap
+	var want []event
+	for i := 0; i < 5000; i++ {
+		e := event{t: d.randN(1000), dev: int32(i), kind: uint8(d.randN(2))}
+		h.push(e)
+		want = append(want, e)
+		// Interleave some pops to exercise sift-down mid-stream.
+		if d.randN(4) == 0 && len(h) > 0 {
+			want = removeMin(want)
+			h.pop()
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].before(want[j]) })
+	for i, w := range want {
+		if len(h) == 0 {
+			t.Fatalf("heap empty after %d pops, want %d", i, len(want))
+		}
+		got := h.pop()
+		if got != w {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d events left after draining", len(h))
+	}
+}
+
+// removeMin drops the (t, dev)-minimum from the shadow slice.
+func removeMin(s []event) []event {
+	m := 0
+	for i := range s {
+		if s[i].before(s[m]) {
+			m = i
+		}
+	}
+	return append(s[:m], s[m+1:]...)
+}
+
+// TestHeapNoGrowthWhenWarm: steady-state push/pop reuses the slice —
+// the zero-alloc property BenchmarkFleetStep's allocs/op gate watches.
+func TestHeapNoGrowthWhenWarm(t *testing.T) {
+	var h evHeap
+	for i := 0; i < 1024; i++ {
+		h.push(event{t: int64(i), dev: int32(i)})
+	}
+	capBefore := cap(h)
+	d := device{rng: 3}
+	for i := 0; i < 10_000; i++ {
+		e := h.pop()
+		e.t += 1 + d.randN(100)
+		h.push(e)
+	}
+	if cap(h) != capBefore {
+		t.Fatalf("heap reallocated under steady state: cap %d -> %d", capBefore, cap(h))
+	}
+}
