@@ -10,6 +10,7 @@ import (
 
 	mobilesec "repro"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 )
 
 func main() {

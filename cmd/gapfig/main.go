@@ -13,6 +13,7 @@ import (
 	mobilesec "repro"
 	"repro/internal/cost"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 	"repro/internal/par"
 )
 

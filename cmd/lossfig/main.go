@@ -15,6 +15,7 @@ import (
 
 	mobilesec "repro"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 	"repro/internal/par"
 )
 

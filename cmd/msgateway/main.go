@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 	"repro/internal/wtls"
 )
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/loadgen"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 	"repro/internal/wtls"
 )
 

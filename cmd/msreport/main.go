@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
 	"repro/internal/obs/report"
+	"repro/internal/obs/ts"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -49,6 +50,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to include")
 	tracePath := flag.String("trace", "", "event trace JSON to include")
 	journalPath := flag.String("journal", "", "structured event journal JSONL to include (SLO alert table, per-layer counts)")
+	seriesPath := flag.String("series", "", "windowed metric time-series JSONL to render as a timeline panel")
 	historyPath := flag.String("history", "", "cross-run history JSONL to render trends from (e.g. bench/history.jsonl)")
 	htmlPath := flag.String("html", "", "write the self-contained HTML report here")
 	foldedPath := flag.String("folded", "", "write folded stacks (flamegraph.pl/speedscope input) here")
@@ -60,17 +62,18 @@ func main() {
 	commit := flag.String("commit", "", "commit recorded in the history entry (default: git HEAD)")
 	flag.Parse()
 
-	if err := run(profiles, *metricsPath, *tracePath, *journalPath, *historyPath, *htmlPath,
+	if err := run(profiles, *metricsPath, *tracePath, *journalPath, *seriesPath, *historyPath, *htmlPath,
 		*foldedPath, *weight, *topN, *title, *appendHistory, *seed, *commit); err != nil {
 		fmt.Fprintln(os.Stderr, "msreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profilePaths []string, metricsPath, tracePath, journalPath, historyPath, htmlPath,
+func run(profilePaths []string, metricsPath, tracePath, journalPath, seriesPath, historyPath, htmlPath,
 	foldedPath, weight string, topN int, title string, appendHistory bool, seed, commit string) error {
-	if len(profilePaths) == 0 && metricsPath == "" && tracePath == "" && journalPath == "" && historyPath == "" {
-		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -journal, -history")
+	if len(profilePaths) == 0 && metricsPath == "" && tracePath == "" && journalPath == "" &&
+		seriesPath == "" && historyPath == "" {
+		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -journal, -series, -history")
 	}
 
 	var merged *prof.Profile
@@ -125,6 +128,15 @@ func run(profilePaths []string, metricsPath, tracePath, journalPath, historyPath
 		}
 	}
 
+	var windows []ts.Window
+	if seriesPath != "" {
+		var err error
+		windows, err = ts.ReadFile(seriesPath)
+		if err != nil {
+			return err
+		}
+	}
+
 	if appendHistory {
 		if historyPath == "" {
 			return fmt.Errorf("-append-history needs -history")
@@ -175,6 +187,7 @@ func run(profilePaths []string, metricsPath, tracePath, journalPath, historyPath
 			TraceDropped:   dropped,
 			Journal:        jevents,
 			JournalSkipped: jskipped,
+			Series:         windows,
 			History:        records,
 			TopN:           topN,
 		})

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/obs/journal"
 )
 
@@ -34,7 +35,16 @@ func main() {
 	progEvery := flag.Duration("progress-interval", 500*time.Millisecond, "sweep progress poll period (0 disables)")
 	reconnect := flag.Int("reconnect", 10, "consecutive connection failures before giving up (0 = exit when the stream first ends)")
 	verbose := flag.Bool("v", false, "also print metric deltas and the connection handshake")
+	promOnce := flag.Bool("prom", false, "one-shot: fetch /metrics.prom, validate the exposition text, print a family summary, exit")
 	flag.Parse()
+
+	if *promOnce {
+		if err := checkProm("http://" + *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "mswatch: -prom: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	min, err := journal.ParseLevel(*level)
 	if err != nil {
@@ -62,6 +72,32 @@ func main() {
 		os.Exit(1)
 	}
 	// The watched tool went away for good — normal end.
+}
+
+// checkProm fetches the Prometheus exposition endpoint once, runs it
+// through the strict parser, and prints one line per metric family.
+// Any malformed line fails the whole check — CI uses this as the
+// format gate for /metrics.prom.
+func checkProm(base string) error {
+	resp, err := http.Get(base + "/metrics.prom")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/metrics.prom: %s", base, resp.Status)
+	}
+	families, err := obs.ParseProm(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	samples := 0
+	for _, f := range families {
+		fmt.Printf("%s %s: %d sample(s)\n", f.Type, f.Name, len(f.Samples))
+		samples += len(f.Samples)
+	}
+	fmt.Printf("ok: %d families, %d samples\n", len(families), samples)
+	return nil
 }
 
 // dialEvents opens the /events SSE stream.

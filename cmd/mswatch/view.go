@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -60,6 +62,7 @@ type view struct {
 	verbose bool
 
 	lastProgress string
+	intervalMS   float64 // metric push period from the hello frame
 }
 
 // handle dispatches one SSE frame.
@@ -78,11 +81,69 @@ func (v *view) handle(ev sseEvent) {
 		if v.verbose {
 			fmt.Fprintf(v.w, "metrics %s\n", ev.data)
 		}
+		if line := v.formatRates(ev.data); line != "" {
+			fmt.Fprintln(v.w, line)
+		}
 	case "hello":
+		if ms, ok := jsonNumber([]byte(ev.data), "metric_interval_ms"); ok {
+			v.intervalMS = ms
+		}
 		if v.verbose {
 			fmt.Fprintf(v.w, "connected %s\n", ev.data)
 		}
 	}
+}
+
+// maxRateEntries caps how many metrics one rates line shows; the rest
+// collapse into a "+N more" suffix so a busy gateway stays readable.
+const maxRateEntries = 6
+
+// formatRates turns one metrics delta frame into a live rates line:
+// counter deltas scaled to per-second by the push interval from the
+// hello frame, gauges at their current value. Entries render in sorted
+// name order, counters first.
+func (v *view) formatRates(data string) string {
+	var d struct {
+		Counters  map[string]int64   `json:"counters"`
+		Gauges    map[string]float64 `json:"gauges"`
+		Truncated int                `json:"truncated"`
+	}
+	if err := json.Unmarshal([]byte(data), &d); err != nil {
+		return ""
+	}
+	perSec := 1.0
+	if v.intervalMS > 0 {
+		perSec = 1000 / v.intervalMS
+	}
+	var entries []string
+	for _, name := range sortedKeys(d.Counters) {
+		entries = append(entries, fmt.Sprintf("%s %.3g/s", name, float64(d.Counters[name])*perSec))
+	}
+	for _, name := range sortedKeys(d.Gauges) {
+		entries = append(entries, fmt.Sprintf("%s=%g", name, d.Gauges[name]))
+	}
+	if len(entries) == 0 {
+		return ""
+	}
+	extra := d.Truncated
+	if len(entries) > maxRateEntries {
+		extra += len(entries) - maxRateEntries
+		entries = entries[:maxRateEntries]
+	}
+	line := "rates: " + strings.Join(entries, ", ")
+	if extra > 0 {
+		line += fmt.Sprintf(" (+%d more)", extra)
+	}
+	return line
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // formatJournal renders one journal event, or "" when it is below the

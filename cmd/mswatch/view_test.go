@@ -67,6 +67,40 @@ func TestViewJournalFormatting(t *testing.T) {
 	}
 }
 
+// TestViewMetricsRates pins the live Δ/s line: counter deltas scale by
+// the hello frame's push interval, entries are name-sorted with
+// counters first, and overflow collapses into "+N more".
+func TestViewMetricsRates(t *testing.T) {
+	var sb strings.Builder
+	v := &view{w: &sb, min: journal.LevelInfo}
+	v.handle(sseEvent{name: "hello", data: `{"metric_interval_ms":500}`})
+	v.handle(sseEvent{name: "metrics",
+		data: `{"counters":{"wtls.records":40,"arq.retx":3},"gauges":{"gw.active":5}}`})
+	out := sb.String()
+	if !strings.Contains(out, "rates: arq.retx 6/s, wtls.records 80/s, gw.active=5") {
+		t.Errorf("rates line missing or misordered:\n%s", out)
+	}
+
+	// Overflow: 7 counters at cap 6, plus 2 server-side truncations.
+	sb.Reset()
+	v.handle(sseEvent{name: "metrics",
+		data: `{"counters":{"a":1,"b":1,"c":1,"d":1,"e":1,"f":1,"g":1},"truncated":2}`})
+	out = sb.String()
+	if !strings.Contains(out, "(+3 more)") {
+		t.Errorf("overflow suffix missing (want +3: 1 local + 2 server):\n%s", out)
+	}
+	if strings.Contains(out, "g 2/s") {
+		t.Errorf("entry past the cap rendered:\n%s", out)
+	}
+
+	// Empty delta frame: no line.
+	sb.Reset()
+	v.handle(sseEvent{name: "metrics", data: `{"counters":{},"gauges":{}}`})
+	if sb.Len() != 0 {
+		t.Errorf("empty metrics frame produced output: %q", sb.String())
+	}
+}
+
 func TestFormatProgress(t *testing.T) {
 	line, err := formatProgress([]byte(`{"active":true,"sweep":2,"total":128,"done":37,"workers":4,"per_worker":[10,9,9,9],"elapsed_ms":120,"eta_ms":295,"tasks_per_sec":308.3}`))
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	mobilesec "repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	_ "repro/internal/obs/ts" // series recorder for -series
 )
 
 func main() {

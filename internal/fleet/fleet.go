@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/ts"
 )
 
 // capturedDone marks a device whose key has fallen (or is pending the
@@ -696,6 +697,12 @@ func (s *Sim) mergeEpoch(tStart, tEnd int64) (pending bool) {
 			journal.I("compromised", st.Compromised),
 			journal.F("util", st.Util),
 			journal.F("energy_j", st.EnergyJ))
+		// Cut a metric time-series window at the same deterministic
+		// t_sim: the barrier runs single-threaded after the counter
+		// flush above, so the window contents are independent of
+		// -workers/-shards and the -series file byte-diffs in CI.
+		// Disarmed cost is one atomic load.
+		ts.Tick(tEnd)
 	}
 
 	progEpoch(s.epoch+1, tEnd, alive, dead, s.compromised, s.totCnt[cEvents])

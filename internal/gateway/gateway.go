@@ -325,30 +325,64 @@ func (s *Server) drainingNow() bool {
 	return s.draining
 }
 
+// sessionRec accumulates the dimensions of one session for its wide
+// event: a single journal record per session carrying everything
+// msreport needs to slice sessions (suite, resume hit/miss, handshake
+// latency, traffic volume, how it ended) without joining aggregate
+// counters.
+type sessionRec struct {
+	peer        string
+	suite       string
+	resumed     bool
+	handshakeUS int64
+	records     int64
+	bytes       int64
+	closeReason string
+}
+
+// emit writes the wide event. t_sim is the connection id, matching
+// every other journal event of the session.
+func (rec *sessionRec) emit(id int64, start time.Time) {
+	journal.Emit(id, journal.LevelInfo, "gateway", "session",
+		journal.S("peer", rec.peer),
+		journal.S("suite", rec.suite),
+		journal.B("resumed", rec.resumed),
+		journal.I("handshake_us", rec.handshakeUS),
+		journal.I("records", rec.records),
+		journal.I("bytes", rec.bytes),
+		journal.I("duration_us", time.Since(start).Microseconds()),
+		journal.S("close_reason", rec.closeReason),
+	)
+}
+
 // serveConn runs one session: handshake under deadline, then an echo
 // loop until EOF, error, idle timeout or drain. A panicking session
 // must not take the worker (or the process) down with it.
 func (s *Server) serveConn(conn net.Conn) {
 	id := s.connSeq.Add(1)
+	start := time.Now()
+	rec := sessionRec{peer: conn.RemoteAddr().String(), closeReason: "unknown"}
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
 			mPanics.Inc()
+			rec.closeReason = "panic"
 			journal.Emit(id, journal.LevelCrit, "gateway", "session_panic",
 				journal.S("panic", fmt.Sprint(r)))
 		}
 		conn.Close()
+		rec.emit(id, start)
 	}()
 
 	wcfg := *s.cfg.WTLS
 	wcfg.Rand = prng.NewDRBG(append(append([]byte{}, s.cfg.RandSeed...), fmt.Sprintf("/conn/%d", id)...))
 	tc := wtls.Server(conn, &wcfg)
 
-	start := time.Now()
 	_ = tc.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 	if err := tc.Handshake(); err != nil {
 		s.hsFailures.Add(1)
 		mHSFailures.Inc()
+		rec.closeReason = "handshake_failed"
 		journal.Emit(id, journal.LevelWarn, "gateway", "conn_handshake_failed",
 			journal.S("err", err.Error()))
 		return
@@ -357,11 +391,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.handshakes.Add(1)
 	mHandshakes.Inc()
 	hHandshake.Observe(hsNS)
+	state := tc.State()
+	rec.handshakeUS = hsNS / 1000
+	rec.resumed = state.Resumed
+	if state.Suite != nil {
+		rec.suite = state.Suite.Name
+	}
 	if journal.On(journal.LevelDebug) {
 		journal.Emit(id, journal.LevelDebug, "gateway", "conn_established",
-			journal.S("peer", conn.RemoteAddr().String()),
-			journal.B("resumed", tc.State().Resumed),
-			journal.I("handshake_us", hsNS/1000))
+			journal.S("peer", rec.peer),
+			journal.B("resumed", rec.resumed),
+			journal.I("handshake_us", rec.handshakeUS))
 	}
 	if testHookSession != nil {
 		testHookSession(id)
@@ -374,6 +414,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = tc.SetReadDeadline(s.readDeadline())
 		n, err := tc.Read(buf)
 		if err != nil {
+			rec.closeReason = closeReason(err, s.drainingNow())
 			if err != io.EOF && journal.On(journal.LevelDebug) {
 				journal.Emit(id, journal.LevelDebug, "gateway", "conn_read_end",
 					journal.S("err", err.Error()))
@@ -382,16 +423,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		_ = tc.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		if _, err := tc.Write(buf[:n]); err != nil {
+			rec.closeReason = "write_error"
 			return
 		}
+		rec.records++
+		rec.bytes += int64(n)
 		s.echoBytes.Add(int64(n))
 		mEchoBytes.Add(int64(n))
 		if s.drainingNow() {
 			// Finish the in-flight request, then leave politely.
 			tc.Close()
+			rec.closeReason = "drain"
 			return
 		}
 	}
+}
+
+// closeReason classifies how the echo loop ended for the session's wide
+// event.
+func closeReason(err error, draining bool) string {
+	if err == io.EOF {
+		return "eof"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if draining {
+			return "drain_timeout"
+		}
+		return "idle_timeout"
+	}
+	return "read_error"
 }
 
 // Shutdown drains the server: stop accepting, give in-flight sessions

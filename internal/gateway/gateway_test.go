@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/crypto/prng"
+	"repro/internal/obs/journal"
 	"repro/internal/wtls"
 )
 
@@ -112,6 +113,59 @@ func TestGatewayEchoAndGracefulShutdown(t *testing.T) {
 	}
 	if st.EchoBytes == 0 {
 		t.Fatalf("no bytes echoed: %+v", st)
+	}
+}
+
+// TestGatewaySessionWideEvent checks the one-record-per-session journal
+// event: every dimension of the session rides a single "session" event
+// so reports can slice sessions without joining counters.
+func TestGatewaySessionWideEvent(t *testing.T) {
+	journal.Default.Reset()
+	journal.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		journal.Default.SetEnabled(false)
+		journal.Default.Reset()
+	})
+
+	env := startGateway(t, Config{Workers: 2, MaxConns: 4, DrainTimeout: 3 * time.Second})
+	tc, err := env.dial(t, "wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoOnce(t, tc, "one echoed record")
+	tc.Close()
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wide *journal.Event
+	for _, e := range journal.Default.Events() {
+		if e.Layer == "gateway" && e.Name == "session" {
+			ev := e
+			wide = &ev
+			break
+		}
+	}
+	if wide == nil {
+		t.Fatal("no gateway session wide event emitted")
+	}
+	if got := wide.Get("close_reason"); got != "eof" {
+		t.Errorf("close_reason = %q, want eof", got)
+	}
+	if got := wide.Get("suite"); got == "" {
+		t.Error("wide event missing suite")
+	}
+	if got := wide.Get("resumed"); got != "false" {
+		t.Errorf("resumed = %q, want false", got)
+	}
+	if v, ok := wide.GetFloat("records"); !ok || v < 1 {
+		t.Errorf("records = %v,%v, want >= 1", v, ok)
+	}
+	if v, ok := wide.GetFloat("bytes"); !ok || v != float64(len("one echoed record")) {
+		t.Errorf("bytes = %v,%v, want %d", v, ok, len("one echoed record"))
+	}
+	if v, ok := wide.GetFloat("handshake_us"); !ok || v <= 0 {
+		t.Errorf("handshake_us = %v,%v, want > 0", v, ok)
 	}
 }
 

@@ -256,18 +256,36 @@ func (r *Runner) LastErr() error {
 	return r.lastErr
 }
 
+// sessionStats accumulates one session's dimensions across its
+// attempts for the wide event: handshake/suite state from the last
+// attempt that got that far, traffic and chaos faults summed over every
+// attempt (retried attempts were real wire activity).
+type sessionStats struct {
+	attempts    int64
+	handshakeUS int64
+	resumed     bool
+	suite       string
+	records     int64
+	bytes       int64
+	chaos       chaos.ConnStats
+}
+
 // runSession completes one session, retrying connect/handshake with
 // backoff. Echo failures after establishment also count as attempt
-// failures: under chaos the stream can die at any record.
+// failures: under chaos the stream can die at any record. Every session
+// — success or failure — emits one wide "session" journal event
+// carrying all its dimensions.
 func (r *Runner) runSession(id int) {
 	pol := r.cfg.Backoff
 	pol.Seed = r.cfg.Seed ^ int64(id)*0x9e3779b9
+	var st sessionStats
 	err := backoff.Retry(r.cfg.Attempts, pol, nil, func(attempt int) error {
 		if attempt > 0 {
 			r.retries.Add(1)
 			mRetries.Inc()
 		}
-		return r.attempt(id, attempt)
+		st.attempts++
+		return r.attempt(id, attempt, &st)
 	})
 	if err != nil {
 		r.failed.Add(1)
@@ -277,13 +295,31 @@ func (r *Runner) runSession(id int) {
 		r.mu.Unlock()
 		journal.Emit(int64(id), journal.LevelWarn, "load", "session_failed",
 			journal.S("err", err.Error()))
-		return
+	} else {
+		r.done.Add(1)
+		mClientsOK.Inc()
 	}
-	r.done.Add(1)
-	mClientsOK.Inc()
+	fields := []journal.Field{
+		journal.B("ok", err == nil),
+		journal.I("attempts", st.attempts),
+		journal.I("retries", st.attempts-1),
+		journal.S("suite", st.suite),
+		journal.B("resumed", st.resumed),
+		journal.I("handshake_us", st.handshakeUS),
+		journal.I("records", st.records),
+		journal.I("bytes", st.bytes),
+		journal.I("chaos_chunks", int64(st.chaos.Chunks)),
+		journal.I("chaos_dropped", int64(st.chaos.Dropped)),
+		journal.I("chaos_corrupted", int64(st.chaos.Corrupted)),
+		journal.I("chaos_stalled", int64(st.chaos.Stalled)),
+	}
+	if err != nil {
+		fields = append(fields, journal.S("err", err.Error()))
+	}
+	journal.Emit(int64(id), journal.LevelInfo, "load", "session", fields...)
 }
 
-func (r *Runner) attempt(id, attempt int) error {
+func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 	raw, err := net.DialTimeout("tcp", r.cfg.Addr, r.cfg.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
@@ -300,6 +336,16 @@ func (r *Runner) attempt(id, attempt int) error {
 			return fmt.Errorf("chaos: %w", err)
 		}
 		conn = fc
+		defer func() {
+			// Sum the faults this attempt's socket saw into the session's
+			// wide event, whatever way the attempt ends.
+			cs := fc.Stats()
+			st.chaos.Chunks += cs.Chunks
+			st.chaos.Dropped += cs.Dropped
+			st.chaos.Corrupted += cs.Corrupted
+			st.chaos.Stalled += cs.Stalled
+			st.chaos.BadState += cs.BadState
+		}()
 	}
 
 	wcfg := *r.cfg.WTLS
@@ -314,6 +360,12 @@ func (r *Runner) attempt(id, attempt int) error {
 	}
 	hs := time.Since(start)
 	hHandshake.Observe(hs.Nanoseconds())
+	st.handshakeUS = hs.Microseconds()
+	state := tc.State()
+	st.resumed = state.Resumed
+	if state.Suite != nil {
+		st.suite = state.Suite.Name
+	}
 	r.mu.Lock()
 	r.hsLat = append(r.hsLat, hs)
 	r.mu.Unlock()
@@ -345,6 +397,8 @@ func (r *Runner) attempt(id, attempt int) error {
 		}
 		rtt := time.Since(t0)
 		hRecordRTT.Observe(rtt.Nanoseconds())
+		st.records += int64(burst)
+		st.bytes += int64(burst) * int64(r.cfg.Payload)
 		r.records.Add(int64(burst))
 		mRecords.Add(int64(burst))
 		r.mu.Lock()

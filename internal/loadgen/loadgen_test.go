@@ -10,6 +10,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/crypto/rsa"
 	"repro/internal/gateway"
+	"repro/internal/obs/journal"
 	"repro/internal/wtls"
 )
 
@@ -95,6 +96,69 @@ func TestRunRetriesThroughChaos(t *testing.T) {
 	}
 	if rep.Retries == 0 {
 		t.Fatalf("chaos channel produced zero retries: %s", rep)
+	}
+}
+
+// TestSessionWideEvents verifies every session emits exactly one wide
+// "session" journal record carrying its dimensions — including chaos
+// fault counts summed over retried attempts.
+func TestSessionWideEvents(t *testing.T) {
+	journal.Default.Reset()
+	journal.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		journal.Default.SetEnabled(false)
+		journal.Default.Reset()
+	})
+
+	srv, client := startGateway(t)
+	const conns = 8
+	r, err := New(Config{
+		Addr: srv.Addr().String(), WTLS: client,
+		Conns: conns, Concurrency: 2, Records: 3, Payload: 64,
+		Seed:      7,
+		Chaos:     &chaos.ConnConfig{Corrupt: 0.05},
+		Attempts:  10,
+		IOTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run()
+
+	var wides []journal.Event
+	for _, e := range journal.Default.Events() {
+		if e.Layer == "load" && e.Name == "session" {
+			wides = append(wides, e)
+		}
+	}
+	if len(wides) != conns {
+		t.Fatalf("got %d wide events, want one per session (%d)", len(wides), conns)
+	}
+	var okCount, chunks int64
+	for _, e := range wides {
+		if e.Get("ok") == "true" {
+			okCount++
+			if e.Get("suite") == "" {
+				t.Errorf("session %d: ok without suite", e.TSim)
+			}
+			if v, _ := e.GetFloat("records"); v < 3 {
+				t.Errorf("session %d: records = %v, want >= 3", e.TSim, v)
+			}
+			if v, _ := e.GetFloat("handshake_us"); v <= 0 {
+				t.Errorf("session %d: handshake_us = %v", e.TSim, v)
+			}
+		}
+		if v, ok := e.GetFloat("attempts"); !ok || v < 1 {
+			t.Errorf("session %d: attempts = %v,%v", e.TSim, v, ok)
+		}
+		c, _ := e.GetFloat("chaos_chunks")
+		chunks += int64(c)
+	}
+	if okCount != rep.OK {
+		t.Fatalf("wide events report %d ok, run reported %d", okCount, rep.OK)
+	}
+	if chunks == 0 {
+		t.Fatal("chaos conn saw zero chunks across all sessions")
 	}
 }
 

@@ -31,6 +31,10 @@ var ErrSLOStrict = errors.New("critical SLO rule fired (strict mode)")
 //	-slo <file>       load SLO rules and evaluate them at run end
 //	-slo-strict       exit nonzero when a crit-severity rule fires
 //	-slo-interval D   also evaluate rules on this wall-clock period
+//	-series <file>    record windowed metric time-series; write JSONL
+//	                  windows to <file> on Close
+//	-series-interval D  cut wall-clock windows on this period (0 = the
+//	                  cmd ticks model time itself, e.g. fleet epochs)
 //	-pprof <addr>     serve pprof/expvar/metrics/events/progress on addr
 //
 // Usage in a cmd:
@@ -53,12 +57,16 @@ type CLI struct {
 	sloPath      string
 	sloStrict    bool
 	sloInterval  time.Duration
+	seriesPath   string
+	seriesEvery  time.Duration
 	pprofAddr    string
 
-	engine   *slo.Engine
-	sloDone  bool
-	shutdown func() error
-	stopEval chan struct{}
+	engine     *slo.Engine
+	sloDone    bool
+	shutdown   func() error
+	stopEval   chan struct{}
+	stopSeries chan struct{}
+	sink       SeriesSink
 }
 
 // BindFlags registers the observability flags on fs.
@@ -72,6 +80,8 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.sloPath, "slo", "", "evaluate the SLO rules in this JSON file against the run's metrics")
 	fs.BoolVar(&c.sloStrict, "slo-strict", false, "exit nonzero when a crit-severity SLO rule fires")
 	fs.DurationVar(&c.sloInterval, "slo-interval", 0, "also evaluate SLO rules on this wall-clock period (0 = run end only)")
+	fs.StringVar(&c.seriesPath, "series", "", "record windowed metric time-series and write them (JSONL) to this file on exit")
+	fs.DurationVar(&c.seriesEvery, "series-interval", 0, "cut wall-clock series windows on this period (0 = model-time ticks from the cmd)")
 	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof/expvar/metrics/events/progress HTTP endpoints on this address (e.g. localhost:6060)")
 	return c
 }
@@ -82,7 +92,7 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 // path fails the run up front instead of silently losing the snapshot
 // at Close.
 func (c *CLI) Activate() error {
-	if c.metricsPath != "" || c.pprofAddr != "" || c.sloPath != "" {
+	if c.metricsPath != "" || c.pprofAddr != "" || c.sloPath != "" || c.seriesPath != "" {
 		if err := touch(c.metricsPath); err != nil {
 			return fmt.Errorf("-metrics: %w", err)
 		}
@@ -122,6 +132,34 @@ func (c *CLI) Activate() error {
 			go c.evalLoop()
 		}
 	}
+	if c.seriesEvery != 0 && c.seriesPath == "" {
+		return fmt.Errorf("-series-interval requires -series")
+	}
+	if c.seriesPath != "" {
+		if err := touch(c.seriesPath); err != nil {
+			return fmt.Errorf("-series: %w", err)
+		}
+		c.sink = GetSeriesSink()
+		if c.sink == nil {
+			return fmt.Errorf("-series: no series recorder linked into this binary (import repro/internal/obs/ts)")
+		}
+		// Burn-rate rules evaluate synchronously as each window is cut,
+		// so a trajectory violation reaches the journal mid-run with the
+		// window's own key, deterministic in model-tick mode.
+		var onWindow func(t int64)
+		if c.engine != nil && c.engine.HasBurnRules() {
+			eng, sink := c.engine, c.sink
+			onWindow = func(t int64) { emitFirings(eng.EvalBurn(t, sink.WindowLookup)) }
+		}
+		c.sink.Arm(Default, onWindow)
+		if c.seriesEvery > 0 {
+			c.stopSeries = make(chan struct{})
+			go c.seriesLoop()
+		}
+	}
+	if c.engine != nil && c.engine.HasBurnRules() && c.sink == nil {
+		fmt.Fprintf(os.Stderr, "obs: rules file has burn-rate rules but -series is not set; they will stay silent\n")
+	}
 	if c.pprofAddr != "" {
 		cfg := ServerConfig{
 			Registry: Default,
@@ -160,6 +198,22 @@ func (c *CLI) evalLoop() {
 	}
 }
 
+// seriesLoop cuts wall-clock windows on the -series-interval period for
+// tools with no model clock (gateway, loadgen). Burn-rate evaluation
+// rides the recorder's onWindow callback.
+func (c *CLI) seriesLoop() {
+	tick := time.NewTicker(c.seriesEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopSeries:
+			return
+		case <-tick.C:
+			c.sink.TickWall()
+		}
+	}
+}
+
 // emitFirings turns fired rules into journal events so they reach the
 // -journal file, /events subscribers, and the msreport alert table.
 func emitFirings(firings []slo.Firing) {
@@ -168,15 +222,23 @@ func emitFirings(firings []slo.Firing) {
 		if f.Rule.Severity == slo.Crit {
 			lv = journal.LevelCrit
 		}
-		journal.Emit(f.TSim, lv, "slo", "slo_fired",
+		fields := []journal.Field{
 			journal.S("rule", f.Rule.Name),
 			journal.S("severity", string(f.Rule.Severity)),
 			journal.S("metric", f.Rule.Metric),
 			journal.F("value", f.Value),
 			journal.S("op", f.Rule.Op),
 			journal.F("threshold", f.Rule.Threshold),
-			journal.S("reason", f.Rule.Reason),
-		)
+		}
+		if f.Rule.Burn != nil {
+			fields = append(fields,
+				journal.F("slow_value", f.SlowValue),
+				journal.I("burn_fast", int64(f.Rule.Burn.Fast)),
+				journal.I("burn_slow", int64(f.Rule.Burn.Slow)),
+			)
+		}
+		fields = append(fields, journal.S("reason", f.Rule.Reason))
+		journal.Emit(f.TSim, lv, "slo", "slo_fired", fields...)
 	}
 }
 
@@ -193,6 +255,11 @@ func (c *CLI) finishSLO() {
 	}
 	snap := Default.Snapshot()
 	emitFirings(c.engine.Eval(journal.TEnd, snap.Lookup))
+	if c.sink != nil {
+		// One last burn evaluation over whatever windows exist, so a
+		// violation in the final partial span is not lost.
+		emitFirings(c.engine.EvalBurn(journal.TEnd, c.sink.WindowLookup))
+	}
 	if all := c.engine.Firings(); len(all) > 0 {
 		fmt.Fprintf(os.Stderr, "slo: %d rule(s) fired:\n%s", len(all), slo.Summary(all))
 	}
@@ -205,7 +272,17 @@ func (c *CLI) finishSLO() {
 // (wrapped) if any crit-severity rule fired.
 func (c *CLI) Close() error {
 	var first error
+	if c.stopSeries != nil {
+		close(c.stopSeries)
+		c.stopSeries = nil
+	}
 	c.finishSLO()
+	if c.seriesPath != "" && c.sink != nil {
+		if err := c.sink.WriteFile(c.seriesPath); err != nil && first == nil {
+			first = err
+		}
+		c.seriesPath = ""
+	}
 	if c.metricsPath != "" {
 		s := Default.Snapshot()
 		if DefaultTracer.Enabled() {

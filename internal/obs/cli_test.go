@@ -33,6 +33,7 @@ func TestBindFlagsRegistersAll(t *testing.T) {
 	for _, name := range []string{
 		"metrics", "trace", "profile", "pprof",
 		"journal", "journal-level", "slo", "slo-strict", "slo-interval",
+		"series", "series-interval",
 	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)

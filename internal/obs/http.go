@@ -70,6 +70,11 @@ func ServeConfig(addr string, cfg ServerConfig) (string, func() error, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.Registry.WriteJSON(w)
 	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := cfg.Registry.Snapshot()
+		_ = WriteProm(w, &snap)
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.Tracer.WriteJSON(w)
@@ -171,9 +176,18 @@ func sseHandler(cfg ServerConfig, done <-chan struct{}) http.HandlerFunc {
 	}
 }
 
+// maxDeltaEntries bounds one SSE metrics payload: at most this many
+// changed metrics (counters first, then gauges, each in sorted-name
+// order) are rendered; the rest are summarized in a "truncated" count
+// so a huge registry cannot wedge slow subscribers with megabyte
+// events.
+const maxDeltaEntries = 256
+
 // metricDelta renders the counters that moved (as increments) and the
 // gauges that changed (as values) between two snapshots, in snapshot
-// (sorted-name) order; "" when nothing changed.
+// (sorted-name) order; "" when nothing changed. Output is capped at
+// maxDeltaEntries entries; when the cap bites, the payload carries a
+// "truncated" field with the number of changed metrics dropped.
 func metricDelta(prev, cur Snapshot) string {
 	pc := make(map[string]int64, len(prev.Counters))
 	for _, c := range prev.Counters {
@@ -184,18 +198,31 @@ func metricDelta(prev, cur Snapshot) string {
 		pg[g.Name] = g.Value
 	}
 	var cs, gs []string
+	truncated := 0
 	for _, c := range cur.Counters {
 		if d := c.Value - pc[c.Name]; d != 0 {
+			if len(cs) >= maxDeltaEntries {
+				truncated++
+				continue
+			}
 			cs = append(cs, strconv.Quote(c.Name)+":"+strconv.FormatInt(d, 10))
 		}
 	}
 	for _, g := range cur.Gauges {
 		if g.Value != pg[g.Name] {
+			if len(cs)+len(gs) >= maxDeltaEntries {
+				truncated++
+				continue
+			}
 			gs = append(gs, strconv.Quote(g.Name)+":"+strconv.FormatFloat(g.Value, 'g', -1, 64))
 		}
 	}
-	if len(cs) == 0 && len(gs) == 0 {
+	if len(cs) == 0 && len(gs) == 0 && truncated == 0 {
 		return ""
 	}
-	return `{"counters":{` + strings.Join(cs, ",") + `},"gauges":{` + strings.Join(gs, ",") + `}}`
+	out := `{"counters":{` + strings.Join(cs, ",") + `},"gauges":{` + strings.Join(gs, ",") + `}`
+	if truncated > 0 {
+		out += `,"truncated":` + strconv.Itoa(truncated)
+	}
+	return out + `}`
 }

@@ -24,6 +24,41 @@ func ProgressSource() func() []byte {
 	return fn
 }
 
+// SeriesSink is the windowed time-series recorder interface the CLI
+// drives when -series is set. internal/obs/ts registers its Default
+// recorder here at init (same cycle-avoidance shape as progressSource:
+// ts imports obs for Snapshot, so obs cannot import ts back).
+type SeriesSink interface {
+	// Arm starts recording against the registry. OnWindow (nil ok) is
+	// invoked synchronously after each window is cut, with the window's
+	// key (t_sim or wall ms).
+	Arm(reg *Registry, onWindow func(t int64))
+	// TickWall cuts a window keyed by wall-clock ms since Arm.
+	TickWall()
+	// WindowLookup resolves (metric, agg) over the trailing n windows;
+	// ok=false when fewer than n windows exist or the metric was never
+	// seen. Shaped for slo.WindowLookup.
+	WindowLookup(metric, agg string, n int) (float64, bool)
+	// WriteFile writes the recorded windows as JSONL.
+	WriteFile(path string) error
+}
+
+var seriesSink atomic.Value // of SeriesSink
+
+// SetSeriesSink registers the process-wide series recorder. Later
+// registrations win; nil is ignored.
+func SetSeriesSink(s SeriesSink) {
+	if s != nil {
+		seriesSink.Store(s)
+	}
+}
+
+// GetSeriesSink returns the registered series recorder, or nil.
+func GetSeriesSink() SeriesSink {
+	s, _ := seriesSink.Load().(SeriesSink)
+	return s
+}
+
 // Lookup resolves an SLO rule's (metric, aggregation) pair against the
 // snapshot: counters and gauges answer the default "value" aggregation,
 // histograms answer count/sum/mean. ok=false means the metric was not

@@ -234,12 +234,48 @@ type GaugeValue struct {
 
 // HistogramValue is one exported histogram. Bounds[i] is the inclusive
 // upper bound of Counts[i]; Counts has one extra overflow (+Inf) slot.
+// P50/P95/P99 are nearest-rank quantiles resolved to bucket upper
+// bounds (see BucketQuantile); 0 when the histogram is empty.
 type HistogramValue struct {
 	Name   string  `json:"name"`
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
+}
+
+// BucketQuantile returns the nearest-rank q-quantile of a fixed-bucket
+// histogram as the upper bound of the bucket the rank lands in. counts
+// must have one more slot than bounds (the overflow bucket); samples in
+// overflow report the largest finite bound, because the layout cannot
+// resolve beyond it. Returns 0 for an empty histogram or q outside
+// (0, 1].
+func BucketQuantile(bounds, counts []int64, q float64) int64 {
+	if q <= 0 || q > 1 || len(bounds) == 0 {
+		return 0
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
 }
 
 // TraceStats is the trace ring's health summary, embedded in metric
@@ -310,6 +346,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hv.Counts = append(hv.Counts, h.counts[i].Load())
 		}
+		hv.P50 = BucketQuantile(hv.Bounds, hv.Counts, 0.50)
+		hv.P95 = BucketQuantile(hv.Bounds, hv.Counts, 0.95)
+		hv.P99 = BucketQuantile(hv.Bounds, hv.Counts, 0.99)
 		s.Histograms = append(s.Histograms, hv)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

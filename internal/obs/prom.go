@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters, then gauges, then histograms, each class
+// in snapshot (sorted-name) order, with metric names sanitized to the
+// Prometheus charset. Histograms expose the standard cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`; the derived
+// quantiles stay in the JSON snapshot (Prometheus derives its own from
+// the buckets). Output is canonical: the same snapshot always
+// serializes byte-identically.
+func WriteProm(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		name := PromName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+		fmt.Fprintf(bw, "%s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(bw, "%s %s\n", name, formatPromFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := PromName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, b := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// PromName maps a registry metric name onto the Prometheus metric
+// charset [a-zA-Z0-9_:]: the dots this repo namespaces with become
+// underscores, anything else illegal does too, and a leading digit is
+// prefixed.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromFloat renders a float the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: a # TYPE header and the
+// sample lines that follow it.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm is a minimal exposition-format parser used by tests and the
+// mswatch -prom validator. It understands the subset WriteProm emits —
+// `# TYPE` headers, optional `{label="value"}` blocks, float values —
+// and is strict about it: samples before any TYPE header, names that
+// don't belong to the current family, or malformed lines are errors, so
+// a formatting regression in the endpoint fails loudly.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []PromFamily
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", line, fields[3])
+				}
+				fams = append(fams, PromFamily{Name: fields[2], Type: fields[3]})
+			}
+			continue // HELP and other comments are ignored
+		}
+		if len(fams) == 0 {
+			return nil, fmt.Errorf("prom: line %d: sample before any # TYPE header", line)
+		}
+		s, err := parsePromSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", line, err)
+		}
+		fam := &fams[len(fams)-1]
+		if !sampleBelongs(fam, s.Name) {
+			return nil, fmt.Errorf("prom: line %d: sample %q outside family %q", line, s.Name, fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prom: %w", err)
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is valid within fam:
+// exact match, or for histograms/summaries the standard suffixed series.
+func sampleBelongs(fam *PromFamily, name string) bool {
+	if name == fam.Name {
+		return true
+	}
+	if fam.Type == "histogram" || fam.Type == "summary" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if name == fam.Name+suf {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func parsePromSample(text string) (PromSample, error) {
+	var s PromSample
+	rest := text
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", text)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", text)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", text)
+		}
+		s.Labels = map[string]string{}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("bad label %q", pair)
+			}
+			val, err := strconv.Unquote(strings.TrimSpace(pair[eq+1:]))
+			if err != nil {
+				return s, fmt.Errorf("bad label value in %q: %v", pair, err)
+			}
+			s.Labels[strings.TrimSpace(pair[:eq])] = val
+		}
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", text, err)
+	}
+	s.Value = v
+	return s, nil
+}

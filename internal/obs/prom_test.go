@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition output byte-for-byte: the
+// endpoint is scraped by external tooling, so format drift is a
+// breaking change, not a cosmetic one.
+func TestWritePromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("load.retries").Add(7)
+	reg.Counter("gateway.sessions_done").Add(3)
+	reg.Gauge("gateway.active_conns").Set(2.5)
+	h := reg.Histogram("load.record_rtt_ns", []int64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(5000) // overflow bucket
+
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE gateway_sessions_done counter
+gateway_sessions_done 3
+# TYPE load_retries counter
+load_retries 7
+# TYPE gateway_active_conns gauge
+gateway_active_conns 2.5
+# TYPE load_record_rtt_ns histogram
+load_record_rtt_ns_bucket{le="10"} 1
+load_record_rtt_ns_bucket{le="100"} 3
+load_record_rtt_ns_bucket{le="1000"} 3
+load_record_rtt_ns_bucket{le="+Inf"} 4
+load_record_rtt_ns_sum 5105
+load_record_rtt_ns_count 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("a.count").Add(41)
+	reg.Gauge("b.gauge").Set(-1.25)
+	h := reg.Histogram("c.hist", []int64{1, 2})
+	h.Observe(1)
+	h.Observe(9)
+
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	if fams[0].Name != "a_count" || fams[0].Type != "counter" || fams[0].Samples[0].Value != 41 {
+		t.Fatalf("counter family = %+v", fams[0])
+	}
+	if fams[1].Name != "b_gauge" || fams[1].Samples[0].Value != -1.25 {
+		t.Fatalf("gauge family = %+v", fams[1])
+	}
+	hist := fams[2]
+	if hist.Type != "histogram" || len(hist.Samples) != 5 {
+		t.Fatalf("histogram family = %+v", hist)
+	}
+	inf := hist.Samples[2]
+	if inf.Labels["le"] != "+Inf" || inf.Value != 2 {
+		t.Fatalf("+Inf bucket = %+v", inf)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"load.retries":        "load_retries",
+		"fleet.energy_uj.tx":  "fleet_energy_uj_tx",
+		"9lives":              "_9lives",
+		"ok_name:with_colon":  "ok_name:with_colon",
+		"weird-chars+here μs": "weird_chars_here__s",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"orphan_sample 1\n",                         // sample before TYPE
+		"# TYPE a counter\nb 1\n",                   // name outside family
+		"# TYPE a counter\na notanumber\n",          // bad value
+		"# TYPE a counter\na{le=\"unterminated 1\n", // bad label block
+		"# TYPE a wat\na 1\n",                       // unknown type
+	}
+	for _, c := range cases {
+		if _, err := ParseProm(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseProm accepted malformed input %q", c)
+		}
+	}
+}

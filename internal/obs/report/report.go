@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs/history"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/ts"
 )
 
 // Data is everything a report can include; nil/empty sections are
@@ -32,8 +33,11 @@ type Data struct {
 	// JournalSkipped counts lines the loader could not parse.
 	Journal        []journal.Event
 	JournalSkipped int
-	History        []history.Record
-	TopN           int // rows per top table (default 15)
+	// Series holds the windowed metric time series (the -series JSONL);
+	// the timeline panel shades windows where an SLO rule fired.
+	Series  []ts.Window
+	History []history.Record
+	TopN    int // rows per top table (default 15)
 }
 
 // HTML writes the full report document.
@@ -59,6 +63,9 @@ func HTML(w io.Writer, d Data) error {
 	}
 	if d.TraceEvents != nil || d.TraceDropped > 0 {
 		writeTraceSection(&b, d.TraceEvents, d.TraceDropped)
+	}
+	if len(d.Series) > 0 {
+		writeSeriesSection(&b, d.Series, d.Journal)
 	}
 	if len(d.Journal) > 0 || d.JournalSkipped > 0 {
 		writeJournalSection(&b, d.Journal, d.JournalSkipped)
@@ -279,17 +286,156 @@ func writeMetricsSection(b *strings.Builder, s *obs.Snapshot) {
 		b.WriteString("</table>\n")
 	}
 	if len(s.Histograms) > 0 {
-		b.WriteString("<h3>Histograms</h3>\n<table><tr><th>histogram</th><th>count</th><th>sum</th><th>mean</th></tr>\n")
+		b.WriteString("<h3>Histograms</h3>\n<table><tr><th>histogram</th><th>count</th><th>sum</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>\n")
 		for _, h := range s.Histograms {
 			mean := 0.0
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td></tr>\n",
-				html.EscapeString(h.Name), h.Count, h.Sum, mean)
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+				html.EscapeString(h.Name), h.Count, h.Sum, mean, h.P50, h.P95, h.P99)
 		}
 		b.WriteString("</table>\n")
 	}
+}
+
+// ---- time series -------------------------------------------------------
+
+// writeSeriesSection renders the windowed metric timeline: one
+// sparkline row per metric across all windows, with the windows where
+// an SLO rule fired shaded red so a burn that self-healed before the
+// run ended is still visible at a glance.
+func writeSeriesSection(b *strings.Builder, windows []ts.Window, events []journal.Event) {
+	b.WriteString("<h2>Metric timeline</h2>\n")
+	fmt.Fprintf(b, "<p class=\"note\">%d windows (t=%d…%d). Counters plot per-window deltas, "+
+		"gauges their end-of-window value, histograms the per-window p95. "+
+		"Red bands mark windows where an SLO rule fired.</p>\n",
+		len(windows), windows[0].T, windows[len(windows)-1].T)
+
+	// Window index of every slo_fired event: during-run firings carry
+	// the t of the window that tripped them (end-of-run totals carry
+	// t=-1 and shade nothing).
+	shaded := make([]bool, len(windows))
+	tToIdx := map[int64]int{}
+	for i, w := range windows {
+		tToIdx[w.T] = i
+	}
+	anyShade := false
+	for _, e := range events {
+		if e.Layer != "slo" || e.Name != "slo_fired" {
+			continue
+		}
+		if i, ok := tToIdx[e.TSim]; ok {
+			shaded[i] = true
+			anyShade = true
+		}
+	}
+
+	// One value per window per metric; windows that never saw the
+	// metric contribute zero (counters/histograms) or carry the last
+	// value forward (gauges).
+	type row struct {
+		name string
+		vals []float64
+	}
+	idx := map[string]int{}
+	var rows []row
+	at := func(name string) []float64 {
+		i, ok := idx[name]
+		if !ok {
+			i = len(rows)
+			idx[name] = i
+			rows = append(rows, row{name: name, vals: make([]float64, len(windows))})
+		}
+		return rows[i].vals
+	}
+	for wi, w := range windows {
+		for _, c := range w.Counters {
+			at(c.Name + " Δ")[wi] = float64(c.Value)
+		}
+		for _, g := range w.Gauges {
+			at(g.Name)[wi] = g.Value
+		}
+		for _, h := range w.Histograms {
+			at(h.Name + " p95")[wi] = float64(h.P95)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	const maxRows = 60
+	shown := rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	b.WriteString("<table><tr><th>metric</th><th>timeline</th><th>min</th><th>max</th><th>last</th></tr>\n")
+	for _, r := range shown {
+		lo, hi := r.vals[0], r.vals[0]
+		for _, v := range r.vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%.4g</td><td>%.4g</td><td>%.4g</td></tr>\n",
+			html.EscapeString(r.name), sparklineShaded(r.vals, shaded),
+			lo, hi, r.vals[len(r.vals)-1])
+	}
+	b.WriteString("</table>\n")
+	if len(rows) > maxRows {
+		fmt.Fprintf(b, "<p class=\"note\">Timeline capped at %d of %d metrics.</p>\n", maxRows, len(rows))
+	}
+	if anyShade {
+		b.WriteString("<p class=\"note\">Shaded windows had at least one SLO firing; see the SLO alert table for the rules.</p>\n")
+	}
+}
+
+// sparklineShaded is sparkline plus per-window background bands for
+// the indices marked in shaded.
+func sparklineShaded(values []float64, shaded []bool) string {
+	const w, h = 220.0, 26.0
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" style=\"display:inline-block;vertical-align:middle\">", w, h, w, h)
+	band := w / float64(len(values))
+	for i, on := range shaded {
+		if !on || i >= len(values) {
+			continue
+		}
+		fmt.Fprintf(&b, "<rect x=\"%.1f\" y=\"0\" width=\"%.1f\" height=\"%.0f\" fill=\"#fbd5d5\"/>",
+			band*float64(i), band, h)
+	}
+	var pts []string
+	for i, v := range values {
+		x := w * float64(i) / float64(max(len(values)-1, 1))
+		y := h / 2
+		if span > 0 {
+			y = h - 3 - (v-lo)/span*(h-6)
+		}
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	if len(values) == 1 {
+		fmt.Fprintf(&b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"#2b6cb0\"/>", w/2, h/2)
+	} else {
+		fmt.Fprintf(&b, "<polyline points=\"%s\" fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"1.5\"/>", strings.Join(pts, " "))
+		last := strings.Split(pts[len(pts)-1], ",")
+		fmt.Fprintf(&b, "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" fill=\"#d9534f\"/>", last[0], last[1])
+	}
+	b.WriteString("</svg>")
+	return b.String()
 }
 
 // ---- trace ------------------------------------------------------------

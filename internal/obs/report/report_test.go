@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/history"
+	"repro/internal/obs/journal"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/ts"
 )
 
 func fullData() Data {
@@ -29,6 +31,20 @@ func fullData() Data {
 			{Seq: 3, Layer: "arq", Name: "retx"},
 		},
 		TraceDropped: 4,
+		Journal: []journal.Event{
+			{TSim: 20, Level: journal.LevelWarn, Layer: "slo", Name: "slo_fired",
+				Fields: []journal.Field{journal.S("rule", "retry-burn"), journal.S("severity", "warn")}},
+		},
+		Series: []ts.Window{
+			{I: 0, T: 10,
+				Counters: []obs.CounterValue{{Name: "load.retries", Value: 1}},
+				Gauges:   []obs.GaugeValue{{Name: "gw.active", Value: 3}},
+				Histograms: []ts.HistWindow{
+					{Name: "arq.frame_bytes", Count: 2, Sum: 3000, P50: 1000, P95: 2000, P99: 2000}}},
+			{I: 1, T: 20,
+				Counters: []obs.CounterValue{{Name: "load.retries", Value: 4}},
+				Gauges:   []obs.GaugeValue{{Name: "gw.active", Value: 5}}},
+		},
 		History: []history.Record{
 			{Date: "2026-08-01", Source: "msreport", Commit: "aaa", GoVersion: "go1.22",
 				Headline:      map[string]float64{"profile_energy_uj": 50e9},
@@ -61,6 +77,11 @@ func TestHTMLAllSections(t *testing.T) {
 		"Cross-run history",
 		"profile_energy_uj",
 		"<polyline",
+		"Metric timeline",
+		"load.retries Δ",
+		"arq.frame_bytes p95",
+		"SLO alerts",
+		"retry-burn",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("report missing %q", want)
@@ -122,6 +143,47 @@ func TestFlameWidthsProportional(t *testing.T) {
 	// a occupies 75% of 1180 = 885, b 25% = 295.
 	if !strings.Contains(svg, "width=\"885.00\"") || !strings.Contains(svg, "width=\"295.00\"") {
 		t.Fatalf("flame widths not proportional:\n%s", svg)
+	}
+}
+
+// TestSeriesShadingMarksFiringWindow pins the SLO shading contract:
+// the window whose t matches a firing's t_sim gets a red band, and
+// end-of-run firings (t=-1) shade nothing.
+func TestSeriesShadingMarksFiringWindow(t *testing.T) {
+	windows := []ts.Window{
+		{I: 0, T: 10, Counters: []obs.CounterValue{{Name: "c", Value: 1}}},
+		{I: 1, T: 20, Counters: []obs.CounterValue{{Name: "c", Value: 9}}},
+	}
+	render := func(events []journal.Event) string {
+		var b strings.Builder
+		writeSeriesSection(&b, windows, events)
+		return b.String()
+	}
+	fired := render([]journal.Event{
+		{TSim: 20, Layer: "slo", Name: "slo_fired", Fields: []journal.Field{journal.S("rule", "r")}},
+	})
+	if !strings.Contains(fired, "#fbd5d5") {
+		t.Fatal("firing at a window t did not shade the timeline")
+	}
+	if !strings.Contains(fired, "Shaded windows had at least one SLO firing") {
+		t.Fatal("shading legend missing")
+	}
+	endOnly := render([]journal.Event{
+		{TSim: -1, Layer: "slo", Name: "slo_fired", Fields: []journal.Field{journal.S("rule", "r")}},
+	})
+	if strings.Contains(endOnly, "#fbd5d5") {
+		t.Fatal("end-of-run firing (t=-1) shaded a window")
+	}
+	// p50/p95/p99 columns in the snapshot table.
+	var b strings.Builder
+	writeMetricsSection(&b, &obs.Snapshot{Histograms: []obs.HistogramValue{
+		{Name: "h", Count: 3, Sum: 30, P50: 8, P95: 16, P99: 32},
+	}})
+	doc := b.String()
+	for _, want := range []string{"<th>p50</th>", "<td>8</td>", "<td>16</td>", "<td>32</td>"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("histogram table missing %q:\n%s", want, doc)
+		}
 	}
 }
 

@@ -48,6 +48,15 @@ const (
 // default "value". A rule whose metric (or denom) is absent from the
 // snapshot — or whose denominator is zero — is skipped for that
 // evaluation: rules describe budgets for runs that exercise them.
+//
+// With "burn" set the rule is a multi-window burn-rate check (SRE
+// style): instead of the run totals, the expression is evaluated over
+// the trailing Fast windows AND over the trailing Slow windows of the
+// time-series recorder, and fires only when both trip the threshold —
+// the fast window catches the trajectory early, the slow window keeps
+// one noisy interval from paging. Burn rules are evaluated by EvalBurn
+// as windows are cut (they need -series history) and are skipped by
+// Eval.
 type Rule struct {
 	Name      string   `json:"name"`
 	Metric    string   `json:"metric"`
@@ -56,7 +65,16 @@ type Rule struct {
 	Op        string   `json:"op"`
 	Threshold float64  `json:"threshold"`
 	Severity  Severity `json:"severity"`
+	Burn      *Burn    `json:"burn,omitempty"`
 	Reason    string   `json:"reason,omitempty"`
+}
+
+// Burn is the fast/slow trailing-window pair of a burn-rate rule,
+// counted in recorder windows (window duration is the cmd's
+// -series-interval, or one fleet sample period in model time).
+type Burn struct {
+	Fast int `json:"fast"`
+	Slow int `json:"slow"`
 }
 
 var validOps = map[string]func(v, t float64) bool{
@@ -88,6 +106,14 @@ func (r *Rule) Validate() error {
 	case Warn, Crit:
 	default:
 		return fmt.Errorf("slo: rule %q: bad severity %q (want warn or crit)", r.Name, r.Severity)
+	}
+	if r.Burn != nil {
+		if r.Burn.Fast < 1 {
+			return fmt.Errorf("slo: rule %q: burn.fast must be >= 1", r.Name)
+		}
+		if r.Burn.Slow <= r.Burn.Fast {
+			return fmt.Errorf("slo: rule %q: burn.slow (%d) must exceed burn.fast (%d)", r.Name, r.Burn.Slow, r.Burn.Fast)
+		}
 	}
 	return nil
 }
@@ -127,16 +153,25 @@ func LoadFile(path string) ([]Rule, error) {
 	return Parse(blob)
 }
 
-// Firing records one rule violation.
+// Firing records one rule violation. For burn-rate rules Value is the
+// fast-window value and SlowValue the slow-window value that confirmed
+// it; for plain rules SlowValue is zero.
 type Firing struct {
-	Rule  Rule
-	Value float64 // the evaluated value (metric, or metric/denom)
-	TSim  int64   // model step of the evaluation that caught it
+	Rule      Rule
+	Value     float64 // the evaluated value (metric, or metric/denom)
+	SlowValue float64 // burn rules: the slow-window value
+	TSim      int64   // model step of the evaluation that caught it
 }
 
 // Lookup resolves a (metric, aggregation) pair to a value; ok=false
 // means the metric was not observed in this run.
 type Lookup func(metric, agg string) (float64, bool)
+
+// WindowLookup resolves a (metric, aggregation) pair over the trailing
+// n time-series windows; ok=false means the metric was never seen or
+// fewer than n windows exist yet (obs/ts.Recorder.WindowLookup is the
+// canonical implementation).
+type WindowLookup func(metric, agg string, n int) (float64, bool)
 
 // Engine evaluates a rule set against successive snapshots, firing each
 // rule at most once. Safe for concurrent use (the live HTTP server
@@ -157,8 +192,11 @@ func NewEngine(rules []Rule) *Engine {
 // Rules returns the engine's rule set.
 func (e *Engine) Rules() []Rule { return e.rules }
 
-// Eval checks every not-yet-fired rule against the lookup and returns
-// the rules that fired during this evaluation, in rule-file order.
+// Eval checks every not-yet-fired plain rule against the lookup and
+// returns the rules that fired during this evaluation, in rule-file
+// order. Burn-rate rules are skipped (they need window history — see
+// EvalBurn), so a run without -series leaves them silent rather than
+// firing them on totals they were not written for.
 func (e *Engine) Eval(tSim int64, lk Lookup) []Firing {
 	if e == nil {
 		return nil
@@ -167,7 +205,7 @@ func (e *Engine) Eval(tSim int64, lk Lookup) []Firing {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range e.rules {
-		if e.fired[r.Name] {
+		if e.fired[r.Name] || r.Burn != nil {
 			continue
 		}
 		v, ok := lk(r.Metric, r.Agg)
@@ -189,6 +227,71 @@ func (e *Engine) Eval(tSim int64, lk Lookup) []Firing {
 		}
 	}
 	return fresh
+}
+
+// HasBurnRules reports whether the rule set contains any burn-rate
+// rules (whether the CLI needs to hang EvalBurn off window cuts).
+func (e *Engine) HasBurnRules() bool {
+	if e == nil {
+		return false
+	}
+	for _, r := range e.rules {
+		if r.Burn != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalBurn checks every not-yet-fired burn-rate rule against the
+// trailing-window lookup: the rule's expression is computed over the
+// fast window span and the slow window span, and fires only when both
+// trip the threshold. A metric absent from either span — including the
+// warm-up phase before slow windows of history exist — skips the rule
+// for this evaluation. Fired rules dedupe with Eval through the same
+// per-name state.
+func (e *Engine) EvalBurn(tSim int64, wlk WindowLookup) []Firing {
+	if e == nil || wlk == nil {
+		return nil
+	}
+	var fresh []Firing
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		if r.Burn == nil || e.fired[r.Name] {
+			continue
+		}
+		fast, ok := e.windowValue(r, r.Burn.Fast, wlk)
+		if !ok || !validOps[r.Op](fast, r.Threshold) {
+			continue
+		}
+		slow, ok := e.windowValue(r, r.Burn.Slow, wlk)
+		if !ok || !validOps[r.Op](slow, r.Threshold) {
+			continue
+		}
+		f := Firing{Rule: r, Value: fast, SlowValue: slow, TSim: tSim}
+		e.fired[r.Name] = true
+		e.firings = append(e.firings, f)
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// windowValue computes a rule's expression (metric, or metric/denom)
+// over the trailing n windows. Caller holds e.mu.
+func (e *Engine) windowValue(r Rule, n int, wlk WindowLookup) (float64, bool) {
+	v, ok := wlk(r.Metric, r.Agg, n)
+	if !ok {
+		return 0, false
+	}
+	if r.Denom != "" {
+		d, ok := wlk(r.Denom, r.Agg, n)
+		if !ok || d == 0 {
+			return 0, false
+		}
+		v /= d
+	}
+	return v, true
 }
 
 // Firings returns every firing so far, in firing order.
@@ -236,8 +339,14 @@ func Summary(firings []Firing) string {
 		if f.Rule.Denom != "" {
 			expr += " / " + f.Rule.Denom
 		}
-		fmt.Fprintf(&b, "%s %s: %s = %.4g %s %.4g", strings.ToUpper(string(f.Rule.Severity)),
-			f.Rule.Name, expr, f.Value, f.Rule.Op, f.Rule.Threshold)
+		if f.Rule.Burn != nil {
+			expr = fmt.Sprintf("%s over %dw/%dw", expr, f.Rule.Burn.Fast, f.Rule.Burn.Slow)
+			fmt.Fprintf(&b, "%s %s: %s = %.4g/%.4g %s %.4g", strings.ToUpper(string(f.Rule.Severity)),
+				f.Rule.Name, expr, f.Value, f.SlowValue, f.Rule.Op, f.Rule.Threshold)
+		} else {
+			fmt.Fprintf(&b, "%s %s: %s = %.4g %s %.4g", strings.ToUpper(string(f.Rule.Severity)),
+				f.Rule.Name, expr, f.Value, f.Rule.Op, f.Rule.Threshold)
+		}
 		if f.Rule.Reason != "" {
 			fmt.Fprintf(&b, " (%s)", f.Rule.Reason)
 		}
@@ -257,6 +366,8 @@ func MarshalFirings(firings []Firing) []byte {
 		Op        string   `json:"op"`
 		Threshold float64  `json:"threshold"`
 		Value     float64  `json:"value"`
+		SlowValue float64  `json:"slow_value,omitempty"`
+		Burn      *Burn    `json:"burn,omitempty"`
 		TSim      int64    `json:"t_sim"`
 		Reason    string   `json:"reason,omitempty"`
 	}
@@ -265,7 +376,8 @@ func MarshalFirings(firings []Firing) []byte {
 		out = append(out, wire{
 			Rule: f.Rule.Name, Severity: f.Rule.Severity, Metric: f.Rule.Metric,
 			Denom: f.Rule.Denom, Op: f.Rule.Op, Threshold: f.Rule.Threshold,
-			Value: f.Value, TSim: f.TSim, Reason: f.Rule.Reason,
+			Value: f.Value, SlowValue: f.SlowValue, Burn: f.Rule.Burn,
+			TSim: f.TSim, Reason: f.Rule.Reason,
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })

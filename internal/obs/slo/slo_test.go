@@ -150,3 +150,172 @@ func TestSummaryAndMarshal(t *testing.T) {
 		t.Errorf("MarshalFirings(nil) = %s", MarshalFirings(nil))
 	}
 }
+
+// TestEvalIdempotentAcrossTicks pins the interval-evaluation contract:
+// a rule whose metric oscillates around the threshold across many
+// periodic ticks fires exactly once, at the first violating tick, and
+// repeated evaluation after the run is settled adds nothing.
+func TestEvalIdempotentAcrossTicks(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"flappy","metric":"v","op":">","threshold":10,"severity":"warn"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	values := []float64{5, 9, 11, 3, 50, 2, 99}
+	var firedAt []int64
+	for i, v := range values {
+		for _, f := range e.Eval(int64(i), mapLookup(map[string]float64{"v": v})) {
+			firedAt = append(firedAt, f.TSim)
+		}
+	}
+	if len(firedAt) != 1 || firedAt[0] != 2 {
+		t.Fatalf("fired at ticks %v, want exactly [2]", firedAt)
+	}
+	// Tail evaluations (run end, strict-mode re-check) stay silent and
+	// leave recorded state untouched.
+	before := len(e.Firings())
+	for i := 0; i < 5; i++ {
+		if again := e.Eval(-1, mapLookup(map[string]float64{"v": 1000})); len(again) != 0 {
+			t.Fatalf("re-fired on settled engine: %+v", again)
+		}
+	}
+	if len(e.Firings()) != before || e.CritCount() != 0 {
+		t.Fatalf("settled engine mutated: %d firings", len(e.Firings()))
+	}
+}
+
+func TestParseBurnValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		blob    string
+		wantErr string
+	}{
+		{"valid burn", `[{"name":"b","metric":"m","op":">","threshold":1,"severity":"warn","burn":{"fast":2,"slow":5}}]`, ""},
+		{"fast zero", `[{"name":"b","metric":"m","op":">","threshold":1,"severity":"warn","burn":{"fast":0,"slow":5}}]`, "burn.fast"},
+		{"slow not greater", `[{"name":"b","metric":"m","op":">","threshold":1,"severity":"warn","burn":{"fast":3,"slow":3}}]`, "burn.slow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.blob))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Parse: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// windowLookup builds a WindowLookup over a per-metric series of window
+// deltas: the trailing-n value is the sum of the last n entries, and a
+// request for more windows than exist answers ok=false (the ts
+// recorder's warm-up gate).
+func windowLookup(series map[string][]float64, have int) WindowLookup {
+	return func(metric, agg string, n int) (float64, bool) {
+		if n > have {
+			return 0, false
+		}
+		s, ok := series[metric]
+		if !ok {
+			return 0, false
+		}
+		var sum float64
+		for _, v := range s[len(s)-n:] {
+			sum += v
+		}
+		return sum, true
+	}
+}
+
+func TestEvalBurn(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"retry-burn","metric":"retries","denom":"ok","op":">","threshold":0.1,"severity":"warn","burn":{"fast":2,"slow":4}},
+	  {"name":"plain","metric":"retries","op":">","threshold":0,"severity":"warn"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	if !e.HasBurnRules() {
+		t.Fatal("HasBurnRules = false")
+	}
+
+	// Warm-up: only 3 windows exist, slow=4 cannot be answered.
+	warm := map[string][]float64{
+		"retries": {9, 9, 9, 9},
+		"ok":      {10, 10, 10, 10},
+	}
+	if fired := e.EvalBurn(3, windowLookup(warm, 3)); len(fired) != 0 {
+		t.Fatalf("burn fired during warm-up: %+v", fired)
+	}
+
+	// Fast window hot but slow window still healthy: no fire (one noisy
+	// interval must not page).
+	spiky := map[string][]float64{
+		"retries": {0, 0, 2, 2}, // fast(2)=4/20=0.2 > 0.1; slow(4)=4/40=0.1 not > 0.1
+		"ok":      {10, 10, 10, 10},
+	}
+	if fired := e.EvalBurn(4, windowLookup(spiky, 4)); len(fired) != 0 {
+		t.Fatalf("burn fired on fast-only violation: %+v", fired)
+	}
+
+	// Both windows hot: fires once, with both values recorded.
+	hot := map[string][]float64{
+		"retries": {2, 2, 3, 3},
+		"ok":      {10, 10, 10, 10},
+	}
+	fired := e.EvalBurn(5, windowLookup(hot, 4))
+	if len(fired) != 1 {
+		t.Fatalf("got %d firings, want 1: %+v", len(fired), fired)
+	}
+	f := fired[0]
+	if f.Rule.Name != "retry-burn" || f.Value != 6.0/20 || f.SlowValue != 0.25 || f.TSim != 5 {
+		t.Fatalf("firing = %+v, want fast=0.3 slow=0.25 t=5", f)
+	}
+
+	// Dedupe across further window cuts.
+	if again := e.EvalBurn(6, windowLookup(hot, 4)); len(again) != 0 {
+		t.Fatalf("burn rule fired twice: %+v", again)
+	}
+
+	// EvalBurn never touches plain rules; Eval never touches burn rules.
+	if fired := e.Eval(7, mapLookup(map[string]float64{"retries": 100, "ok": 1})); len(fired) != 1 || fired[0].Rule.Name != "plain" {
+		t.Fatalf("Eval result = %+v, want only the plain rule", fired)
+	}
+	sum := Summary(e.Firings())
+	if !strings.Contains(sum, "over 2w/4w") {
+		t.Fatalf("summary %q missing burn window annotation", sum)
+	}
+	blob := string(MarshalFirings(e.Firings()))
+	for _, frag := range []string{`"slow_value": 0.25`, `"fast": 2`, `"slow": 4`} {
+		if !strings.Contains(blob, frag) {
+			t.Errorf("marshal %s missing %q", blob, frag)
+		}
+	}
+}
+
+func TestEvalBurnSkipsZeroDenomAndNilLookup(t *testing.T) {
+	rules, err := Parse([]byte(`[
+	  {"name":"b","metric":"m","denom":"d","op":">","threshold":0,"severity":"crit","burn":{"fast":1,"slow":2}}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(rules)
+	if fired := e.EvalBurn(0, nil); fired != nil {
+		t.Fatalf("nil lookup fired: %+v", fired)
+	}
+	zero := map[string][]float64{"m": {5, 5}, "d": {0, 0}}
+	if fired := e.EvalBurn(1, windowLookup(zero, 2)); len(fired) != 0 {
+		t.Fatalf("zero denom fired: %+v", fired)
+	}
+	if e.CritCount() != 0 {
+		t.Fatal("crit recorded for skipped rule")
+	}
+}
