@@ -9,6 +9,14 @@
 // the whole run — client randoms, fault schedules, retry delays — is a
 // pure function of -seed. Exit status: 0 on full success, 1 if any
 // session exhausted its retry budget, 3 if -slo-strict tripped.
+//
+// With -dtrace each sampled session (-trace-sample) records a span
+// tree — attempts, dials, backoff waits, handshake phases, record
+// batches — and hands its trace context to the gateway in the first
+// application record, so the msload and msgateway halves merge into one
+// end-to-end trace in msreport. Trace IDs derive from -seed, so the
+// exported structure is identical at any -concurrency (-dtrace-canon
+// strips timings for byte-diffing).
 package main
 
 import (

@@ -1,10 +1,13 @@
 // msreport turns the run artifacts the other cmds write — energy/cycle
 // profiles (-profile), metric snapshots (-metrics), event traces
-// (-trace) and the cross-run history book — into human-facing views: a
-// self-contained HTML report (inline SVG flame graphs, layer-cost
-// tables, metric and trace summaries, history trend sparklines; no
-// external assets, no scripts), a folded-stack text file for standard
-// flamegraph tooling, and a pprof-style top table on stdout.
+// (-trace), distributed span traces (-dtrace, repeatable: the msload
+// and msgateway halves of a soak merge into end-to-end traces) and the
+// cross-run history book — into human-facing views: a self-contained
+// HTML report (inline SVG flame graphs, per-session span waterfalls
+// with critical-path attribution, layer-cost tables, metric and trace
+// summaries, history trend sparklines; no external assets, no scripts),
+// a folded-stack text file for standard flamegraph tooling, and a
+// pprof-style top table on stdout.
 //
 // Typical flow:
 //
@@ -49,6 +52,8 @@ func main() {
 	flag.Var(&profiles, "profile", "energy/cycle profile JSON to include (repeatable; multiple merge)")
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to include")
 	tracePath := flag.String("trace", "", "event trace JSON to include")
+	var dtraces multiFlag
+	flag.Var(&dtraces, "dtrace", "distributed span trace JSONL to include (repeatable; client and server files merge into end-to-end traces)")
 	journalPath := flag.String("journal", "", "structured event journal JSONL to include (SLO alert table, per-layer counts)")
 	seriesPath := flag.String("series", "", "windowed metric time-series JSONL to render as a timeline panel")
 	historyPath := flag.String("history", "", "cross-run history JSONL to render trends from (e.g. bench/history.jsonl)")
@@ -62,18 +67,18 @@ func main() {
 	commit := flag.String("commit", "", "commit recorded in the history entry (default: git HEAD)")
 	flag.Parse()
 
-	if err := run(profiles, *metricsPath, *tracePath, *journalPath, *seriesPath, *historyPath, *htmlPath,
+	if err := run(profiles, dtraces, *metricsPath, *tracePath, *journalPath, *seriesPath, *historyPath, *htmlPath,
 		*foldedPath, *weight, *topN, *title, *appendHistory, *seed, *commit); err != nil {
 		fmt.Fprintln(os.Stderr, "msreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profilePaths []string, metricsPath, tracePath, journalPath, seriesPath, historyPath, htmlPath,
+func run(profilePaths, dtracePaths []string, metricsPath, tracePath, journalPath, seriesPath, historyPath, htmlPath,
 	foldedPath, weight string, topN int, title string, appendHistory bool, seed, commit string) error {
-	if len(profilePaths) == 0 && metricsPath == "" && tracePath == "" && journalPath == "" &&
+	if len(profilePaths) == 0 && len(dtracePaths) == 0 && metricsPath == "" && tracePath == "" && journalPath == "" &&
 		seriesPath == "" && historyPath == "" {
-		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -journal, -series, -history")
+		return fmt.Errorf("nothing to report: give at least one of -profile, -metrics, -trace, -dtrace, -journal, -series, -history")
 	}
 
 	var merged *prof.Profile
@@ -113,6 +118,22 @@ func run(profilePaths []string, metricsPath, tracePath, journalPath, seriesPath,
 			return fmt.Errorf("%s: %w", tracePath, err)
 		}
 		events, dropped = td.Events, td.Dropped
+	}
+
+	// Merge every -dtrace file: the usual pair is the msload and
+	// msgateway halves of one soak, which join into end-to-end traces.
+	var spans []obs.SpanRec
+	spansSkipped := 0
+	for _, path := range dtracePaths {
+		ss, skipped, err := obs.ReadSpansFile(path)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, ss...)
+		spansSkipped += skipped
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "msreport: %s: skipped %d malformed span line(s)\n", path, skipped)
+		}
 	}
 
 	var jevents []journal.Event
@@ -185,6 +206,8 @@ func run(profilePaths []string, metricsPath, tracePath, journalPath, seriesPath,
 			Metrics:        snap,
 			TraceEvents:    events,
 			TraceDropped:   dropped,
+			Spans:          spans,
+			SpansSkipped:   spansSkipped,
 			Journal:        jevents,
 			JournalSkipped: jskipped,
 			Series:         windows,
@@ -222,6 +245,32 @@ func run(profilePaths []string, metricsPath, tracePath, journalPath, seriesPath,
 			len(merged.Frames), cycles, uj, by)
 		if err := merged.WriteTop(os.Stdout, by, topN); err != nil {
 			return err
+		}
+	}
+
+	if len(spans) > 0 {
+		trees := obs.BuildTraces(spans)
+		nMerged, covered := 0, 0
+		minCov := 1.0
+		for i := range trees {
+			if trees[i].Merged {
+				nMerged++
+			}
+			if trees[i].Coverage >= 0.95 {
+				covered++
+			}
+			if trees[i].Coverage < minCov {
+				minCov = trees[i].Coverage
+			}
+		}
+		// One greppable line for CI: traces reassembled, cross-process
+		// merges, and how much of each session's duration the named spans
+		// explain.
+		fmt.Printf("dtrace: traces=%d spans=%d merged=%d coverage_ge95=%d min_coverage=%.3f\n",
+			len(trees), len(spans), nMerged, covered, minCov)
+		fmt.Println("critical path (self-time by span kind):")
+		for _, e := range obs.CritTop(trees, topN) {
+			fmt.Printf("  %10d µs  %6d×  %s\n", e.SelfUS, e.Count, e.Key)
 		}
 	}
 	return nil

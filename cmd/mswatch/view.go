@@ -63,6 +63,9 @@ type view struct {
 
 	lastProgress string
 	intervalMS   float64 // metric push period from the hello frame
+
+	slow     []slowSession // slowest traced sessions seen, descending
+	lastSlow string
 }
 
 // handle dispatches one SSE frame.
@@ -77,6 +80,7 @@ func (v *view) handle(ev sseEvent) {
 		if line := v.formatJournal(e); line != "" {
 			fmt.Fprintln(v.w, line)
 		}
+		v.trackSlow(e)
 	case "metrics":
 		if v.verbose {
 			fmt.Fprintf(v.w, "metrics %s\n", ev.data)
@@ -164,6 +168,53 @@ func (v *view) formatJournal(e journal.Event) string {
 		b.WriteString(e.Get(f.K))
 	}
 	return b.String()
+}
+
+// slowSession is one traced session in the live slowest table: its
+// distributed-trace ID (the handle to pull the full waterfall up with
+// msreport -dtrace) and its duration.
+type slowSession struct {
+	trace string
+	durUS int64
+}
+
+// maxSlow caps the live slowest-sessions table.
+const maxSlow = 5
+
+// trackSlow watches wide per-session events that carry a trace_id and
+// keeps the slowest ones, reprinting the table whenever the set
+// changes — so the trace IDs worth investigating surface while the run
+// is still going.
+func (v *view) trackSlow(e journal.Event) {
+	if e.Name != "session" {
+		return
+	}
+	trace := e.Get("trace_id")
+	if trace == "" {
+		return
+	}
+	dur := e.Get("duration_us")
+	if dur == "" {
+		dur = e.Get("handshake_us")
+	}
+	us, err := strconv.ParseInt(dur, 10, 64)
+	if err != nil {
+		return
+	}
+	v.slow = append(v.slow, slowSession{trace: trace, durUS: us})
+	sort.SliceStable(v.slow, func(i, j int) bool { return v.slow[i].durUS > v.slow[j].durUS })
+	if len(v.slow) > maxSlow {
+		v.slow = v.slow[:maxSlow]
+	}
+	var parts []string
+	for _, s := range v.slow {
+		parts = append(parts, fmt.Sprintf("%s %dµs", s.trace, s.durUS))
+	}
+	line := "slowest traced sessions: " + strings.Join(parts, ", ")
+	if line != v.lastSlow {
+		v.lastSlow = line
+		fmt.Fprintln(v.w, line)
+	}
 }
 
 // formatAlert renders a fired SLO rule.

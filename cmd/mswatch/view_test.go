@@ -137,3 +137,53 @@ func TestViewProgressDedup(t *testing.T) {
 		t.Errorf("identical progress printed %d times, want 1:\n%s", n, sb.String())
 	}
 }
+
+// TestViewSlowestTracedSessions pins the live slowest-sessions table:
+// wide session events carrying a trace_id rank by duration (falling
+// back to handshake time for client events), cap at maxSlow, and the
+// line reprints only when the ranking changes.
+func TestViewSlowestTracedSessions(t *testing.T) {
+	var sb strings.Builder
+	v := &view{w: &sb, min: journal.LevelCrit} // suppress the event lines themselves
+
+	// No trace_id: ignored.
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":1,"level":"info","layer":"gateway","event":"session","kv":{"duration_us":9999}}`})
+	if strings.Contains(sb.String(), "slowest") {
+		t.Fatalf("untraced session entered the table:\n%s", sb.String())
+	}
+
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":2,"level":"info","layer":"gateway","event":"session","kv":{"trace_id":"00000000000000aa","duration_us":500}}`})
+	if !strings.Contains(sb.String(), "slowest traced sessions: 00000000000000aa 500µs") {
+		t.Fatalf("first traced session missing:\n%s", sb.String())
+	}
+
+	// A slower one takes the head; a client event ranks by handshake_us.
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":3,"level":"info","layer":"gateway","event":"session","kv":{"trace_id":"00000000000000bb","duration_us":2000}}`})
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":4,"level":"info","layer":"load","event":"session","kv":{"trace_id":"00000000000000cc","handshake_us":1000}}`})
+	out := sb.String()
+	if !strings.Contains(out, "00000000000000bb 2000µs, 00000000000000cc 1000µs, 00000000000000aa 500µs") {
+		t.Fatalf("ranking wrong:\n%s", out)
+	}
+
+	// Fill past the cap: the slowest five survive, the 500µs one falls off.
+	for i := 0; i < maxSlow; i++ {
+		v.handle(sseEvent{name: "journal",
+			data: `{"t_sim":5,"level":"info","layer":"gateway","event":"session","kv":{"trace_id":"00000000000000dd","duration_us":3000}}`})
+	}
+	last := sb.String()[strings.LastIndex(sb.String(), "slowest"):]
+	if strings.Contains(last, "00000000000000aa") {
+		t.Fatalf("table did not cap at %d:\n%s", maxSlow, last)
+	}
+
+	// An identical update must not reprint.
+	lines := strings.Count(sb.String(), "slowest traced sessions:")
+	v.handle(sseEvent{name: "journal",
+		data: `{"t_sim":6,"level":"info","layer":"gateway","event":"session","kv":{"trace_id":"00000000000000ee","duration_us":1}}`})
+	if got := strings.Count(sb.String(), "slowest traced sessions:"); got != lines {
+		t.Fatalf("unchanged table reprinted: %d -> %d lines", lines, got)
+	}
+}

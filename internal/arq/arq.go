@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
@@ -174,7 +175,17 @@ type Endpoint struct {
 	txq    chan []byte
 	txQuit chan struct{}
 	txOnce sync.Once
+
+	// tparent, when set, is the distributed-trace span under which this
+	// endpoint records its repair work (retransmit frames, backoff
+	// waits). Nil — the default — costs one atomic load per site.
+	tparent atomic.Pointer[obs.DSpan]
 }
+
+// SetTraceParent attaches sp as the distributed-trace parent for the
+// endpoint's retransmit and backoff-wait spans (nil detaches), so link
+// repair shows up on the critical path of whatever session drives it.
+func (e *Endpoint) SetTraceParent(sp *obs.DSpan) { e.tparent.Store(sp) }
 
 // New starts a reliability endpoint over lower and launches its receive
 // loop. Close the endpoint to stop the loop (lower is closed too when it
@@ -321,6 +332,13 @@ func (e *Endpoint) fail(err error) {
 
 // transmit puts one encoded frame on the wire and accounts it.
 func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
+	var tsp *obs.DSpan
+	var t0 int64
+	if retransmit {
+		if tsp = e.tparent.Load(); tsp != nil {
+			t0 = obs.DTraceNowUS()
+		}
+	}
 	e.wmu.Lock()
 	_, err := e.lower.Write(frame)
 	e.wmu.Unlock()
@@ -342,6 +360,9 @@ func (e *Endpoint) transmit(frame []byte, retransmit bool) error {
 		mRetransmits.Inc()
 		mRetxBytes.Add(int64(len(frame)))
 		obs.Emit("arq", "retransmit", int64(len(frame)))
+		if tsp != nil {
+			tsp.Event("arq", "retransmit", t0, obs.DTraceNowUS()-t0, int64(len(frame)))
+		}
 		journal.Emit(int64(retxNo), journal.LevelDebug, "arq", "retransmit",
 			journal.I("frame_bytes", int64(len(frame))))
 	}
@@ -407,12 +428,22 @@ func (e *Endpoint) awaitAck(ok func() bool) error {
 		seq := e.sendBase
 		e.mu.Unlock()
 
+		var tsp *obs.DSpan
+		var w0 int64
+		if tsp = e.tparent.Load(); tsp != nil {
+			w0 = obs.DTraceNowUS()
+		}
 		select {
 		case <-e.ackCh:
 			// Progress (or failure) — reset the backoff clock.
 			retries = 0
 			timeout = e.cfg.RetransmitTimeout
 		case <-time.After(timeout):
+			if tsp != nil {
+				// Only timed-out waits become spans: an ack that arrives
+				// in time is progress, not backoff.
+				tsp.Event("arq", "backoff_wait", w0, obs.DTraceNowUS()-w0, timeout.Microseconds())
+			}
 			retries++
 			if retries > e.cfg.MaxRetries {
 				err := fmt.Errorf("%w: seq %d unacknowledged after %d attempts",

@@ -34,15 +34,16 @@ import (
 
 // Static metric handles; disarmed until a cmd arms the registry.
 var (
-	mAccepted   = obs.C("gateway.accepted")
-	mHandshakes = obs.C("gateway.handshakes")
-	mHSFailures = obs.C("gateway.handshake_failures")
-	mSessions   = obs.C("gateway.sessions_done")
-	mEchoBytes  = obs.C("gateway.echo_bytes")
-	mPanics     = obs.C("gateway.panics_recovered")
-	mForced     = obs.C("gateway.forced_closes")
-	gActive     = obs.G("gateway.active_conns")
-	hHandshake  = obs.H("gateway.handshake_ns", obs.DurationBuckets)
+	mAccepted    = obs.C("gateway.accepted")
+	mHandshakes  = obs.C("gateway.handshakes")
+	mHSFailures  = obs.C("gateway.handshake_failures")
+	mSessions    = obs.C("gateway.sessions_done")
+	mEchoBytes   = obs.C("gateway.echo_bytes")
+	mPanics      = obs.C("gateway.panics_recovered")
+	mForced      = obs.C("gateway.forced_closes")
+	mBadTraceHdr = obs.C("gateway.bad_trace_header")
+	gActive      = obs.G("gateway.active_conns")
+	hHandshake   = obs.H("gateway.handshake_ns", obs.DurationBuckets)
 )
 
 // Config parameterizes a Server. WTLS is a template: the server copies
@@ -124,9 +125,9 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	sem    chan struct{} // connection-cap semaphore
-	connCh chan net.Conn // accept loop -> worker pool
-	stop   chan struct{} // closed once by Shutdown
+	sem    chan struct{}     // connection-cap semaphore
+	connCh chan acceptedConn // accept loop -> worker pool
+	stop   chan struct{}     // closed once by Shutdown
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
@@ -168,7 +169,7 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 		cfg:     c,
 		ln:      ln,
 		sem:     make(chan struct{}, c.MaxConns),
-		connCh:  make(chan net.Conn),
+		connCh:  make(chan acceptedConn),
 		stop:    make(chan struct{}),
 		active:  make(map[net.Conn]struct{}, c.MaxConns),
 		started: time.Now(),
@@ -259,9 +260,13 @@ func (s *Server) acceptLoop() {
 		backoff = 5 * time.Millisecond
 		s.accepted.Add(1)
 		mAccepted.Inc()
+		var acceptUS int64
+		if obs.DTraceEnabled() {
+			acceptUS = obs.DTraceNowUS()
+		}
 		s.track(conn)
 		select {
-		case s.connCh <- conn:
+		case s.connCh <- acceptedConn{conn: conn, acceptUS: acceptUS}:
 		case <-s.stop:
 			s.untrack(conn)
 			conn.Close()
@@ -296,11 +301,19 @@ func (s *Server) untrack(conn net.Conn) {
 	gActive.Set(float64(s.nActive.Add(-1)))
 }
 
+// acceptedConn pairs a connection with the tracer-clock reading at
+// accept, so the worker that eventually serves it can attribute the
+// queue wait (accept → serve) to the session's server_queue span.
+type acceptedConn struct {
+	conn     net.Conn
+	acceptUS int64
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for conn := range s.connCh {
-		s.serveConn(conn)
-		s.untrack(conn)
+	for ac := range s.connCh {
+		s.serveConn(ac.conn, ac.acceptUS)
+		s.untrack(ac.conn)
 		s.sessions.Add(1)
 		mSessions.Inc()
 		<-s.sem
@@ -338,12 +351,13 @@ type sessionRec struct {
 	records     int64
 	bytes       int64
 	closeReason string
+	trace       uint64
 }
 
 // emit writes the wide event. t_sim is the connection id, matching
 // every other journal event of the session.
 func (rec *sessionRec) emit(id int64, start time.Time) {
-	journal.Emit(id, journal.LevelInfo, "gateway", "session",
+	fields := []journal.Field{
 		journal.S("peer", rec.peer),
 		journal.S("suite", rec.suite),
 		journal.B("resumed", rec.resumed),
@@ -352,16 +366,27 @@ func (rec *sessionRec) emit(id int64, start time.Time) {
 		journal.I("bytes", rec.bytes),
 		journal.I("duration_us", time.Since(start).Microseconds()),
 		journal.S("close_reason", rec.closeReason),
-	)
+	}
+	if rec.trace != 0 {
+		// Same 16-hex-digit spelling as the trace JSONL and the report
+		// waterfall, so wide events and spans cross-link by exact match.
+		fields = append(fields, journal.S("trace_id", obs.TraceHex(rec.trace)))
+	}
+	journal.Emit(id, journal.LevelInfo, "gateway", "session", fields...)
 }
 
 // serveConn runs one session: handshake under deadline, then an echo
 // loop until EOF, error, idle timeout or drain. A panicking session
 // must not take the worker (or the process) down with it.
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, acceptUS int64) {
 	id := s.connSeq.Add(1)
 	start := time.Now()
+	var serveUS int64
+	if obs.DTraceEnabled() {
+		serveUS = obs.DTraceNowUS()
+	}
 	rec := sessionRec{peer: conn.RemoteAddr().String(), closeReason: "unknown"}
+	var root *obs.DSpan
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -372,6 +397,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		conn.Close()
 		rec.emit(id, start)
+		root.SetN(rec.bytes)
+		root.End()
 	}()
 
 	wcfg := *s.cfg.WTLS
@@ -410,6 +437,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	buf := s.bufPool.Get().([]byte)
 	defer s.bufPool.Put(buf) //nolint:staticcheck // fixed-size []byte reuse
 
+	first := true
 	for {
 		_ = tc.SetReadDeadline(s.readDeadline())
 		n, err := tc.Read(buf)
@@ -421,21 +449,60 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		data := buf[:n]
+		if first {
+			first = false
+			data, root = s.adoptTrace(tc, &rec, data, acceptUS, serveUS)
+			if len(data) == 0 {
+				continue // the record carried only the trace header
+			}
+		}
 		_ = tc.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		if _, err := tc.Write(buf[:n]); err != nil {
+		if _, err := tc.Write(data); err != nil {
 			rec.closeReason = "write_error"
 			return
 		}
 		rec.records++
-		rec.bytes += int64(n)
-		s.echoBytes.Add(int64(n))
-		mEchoBytes.Add(int64(n))
+		rec.bytes += int64(len(data))
+		s.echoBytes.Add(int64(len(data)))
+		mEchoBytes.Add(int64(len(data)))
 		if s.drainingNow() {
 			// Finish the in-flight request, then leave politely.
 			tc.Close()
 			rec.closeReason = "drain"
 			return
 		}
+	}
+}
+
+// adoptTrace inspects the session's first application record for the
+// client's trace context (obs/tracewire.go). A valid header is consumed
+// — never echoed — and the remainder returned for echoing; the session
+// root span hangs under the client's attempt span, backdated to the
+// accept instant, with the queue wait (accept → serve) attributed to a
+// server_queue child. A record whose first bytes match the magic but
+// whose header is malformed fails closed: counted, forwarded as plain
+// data, no trace adopted. This runs regardless of the local tracer
+// state — the wire protocol must not change shape with whether this
+// particular process happens to be tracing.
+func (s *Server) adoptTrace(tc *wtls.Conn, rec *sessionRec, data []byte, acceptUS, serveUS int64) ([]byte, *obs.DSpan) {
+	trace, parent, rest, err := obs.ParseTraceHeader(data)
+	switch {
+	case err == nil:
+		rec.trace = trace
+		root := obs.DefaultDTracer.RootAt(trace, parent, "gateway", "session", acceptUS)
+		if root != nil {
+			root.Event("gateway", "server_queue", acceptUS, serveUS-acceptUS, 0)
+			// Attaching after the handshake replays the buffered phase
+			// spans (hello, key_exchange, finished) under this root.
+			tc.SetTraceParent(root)
+		}
+		return rest, root
+	case errors.Is(err, obs.ErrBadTraceHeader):
+		mBadTraceHdr.Inc()
+		return data, nil
+	default: // ErrNoTraceHeader: ordinary application data
+		return data, nil
 	}
 }
 

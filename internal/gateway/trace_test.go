@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
+
+// armTracing arms the process-wide distributed tracer and journal for
+// one test, restoring the disarmed defaults afterwards.
+func armTracing(t *testing.T) {
+	t.Helper()
+	obs.DefaultDTracer.SetEnabled(true)
+	obs.DefaultDTracer.SetProc("gw-test")
+	obs.DefaultDTracer.SetSampleN(1)
+	journal.Default.Reset()
+	journal.Default.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.DefaultDTracer.SetEnabled(false)
+		journal.Default.SetEnabled(false)
+		journal.Default.Reset()
+	})
+}
+
+// TestGatewayAdoptsClientTrace drives the full cross-process handoff:
+// the client sends its trace context as the first application record,
+// the gateway consumes it (never echoing the header), roots its half of
+// the session under the client's span, replays the buffered handshake
+// phases, and stamps the trace ID onto the session wide event.
+func TestGatewayAdoptsClientTrace(t *testing.T) {
+	armTracing(t)
+	env := startGateway(t, Config{Workers: 2, MaxConns: 4, DrainTimeout: 3 * time.Second})
+	tc, err := env.dial(t, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := obs.TraceID(99, 1)
+	parentSpan := obs.DeriveSpanID(trace, "load", "attempt", 0)
+	if _, err := tc.Write(obs.EncodeTraceHeader(trace, parentSpan)); err != nil {
+		t.Fatalf("write trace header: %v", err)
+	}
+	// The header record must be consumed, not echoed: the very next read
+	// must return this message, byte-for-byte.
+	echoOnce(t, tc, "traced echo payload")
+	tc.Close()
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var session, handshake *obs.SpanRec
+	names := map[string]bool{}
+	for _, r := range obs.DefaultDTracer.Spans() {
+		if r.Trace != trace {
+			continue
+		}
+		names[r.Name] = true
+		rr := r
+		switch r.Name {
+		case "session":
+			session = &rr
+		case "handshake_server":
+			handshake = &rr
+		}
+	}
+	if session == nil {
+		t.Fatalf("gateway recorded no session span for trace %x (got %v)", trace, names)
+	}
+	if session.Parent != parentSpan {
+		t.Fatalf("session span parent %x, want client attempt %x", session.Parent, parentSpan)
+	}
+	if handshake == nil {
+		t.Fatal("buffered handshake phases did not replay on trace adoption")
+	}
+	for _, want := range []string{"server_queue", "hello", "key_exchange", "finished"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+
+	var wide *journal.Event
+	for _, e := range journal.Default.Events() {
+		if e.Layer == "gateway" && e.Name == "session" {
+			ev := e
+			wide = &ev
+		}
+	}
+	if wide == nil {
+		t.Fatal("no session wide event")
+	}
+	if got := wide.Get("trace_id"); got != obs.TraceHex(trace) {
+		t.Fatalf("wide event trace_id = %q, want %q", got, obs.TraceHex(trace))
+	}
+}
+
+// TestGatewayBadTraceHeaderFailsClosed: a first record that looks like a
+// trace header but is malformed must be treated as application data —
+// echoed verbatim, counted, and never adopted as a trace.
+func TestGatewayBadTraceHeaderFailsClosed(t *testing.T) {
+	armTracing(t)
+	obs.Default.SetEnabled(true) // the bad-header counter is registry-gated
+	t.Cleanup(func() { obs.Default.SetEnabled(false) })
+
+	env := startGateway(t, Config{Workers: 2, MaxConns: 4, DrainTimeout: 3 * time.Second})
+	tc, err := env.dial(t, "badhdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mBadTraceHdr.Value()
+	// Magic plus a bogus version byte: fails closed, passes through.
+	echoOnce(t, tc, "MSTC\x09garbage that is not a trace header")
+	tc.Close()
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := mBadTraceHdr.Value() - before; got != 1 {
+		t.Fatalf("gateway.bad_trace_header advanced by %d, want 1", got)
+	}
+	for _, e := range journal.Default.Events() {
+		if e.Layer == "gateway" && e.Name == "session" && e.Get("trace_id") != "" {
+			t.Fatalf("malformed header still adopted a trace: %+v", e)
+		}
+	}
+}
+
+// TestGatewayConsumesHeaderWhenDisarmed: the wire protocol must not
+// depend on the server's tracer state. A disarmed gateway still
+// swallows a valid header (echoing it would desync the client's reads)
+// while recording nothing.
+func TestGatewayConsumesHeaderWhenDisarmed(t *testing.T) {
+	env := startGateway(t, Config{Workers: 2, MaxConns: 4, DrainTimeout: 3 * time.Second})
+	tc, err := env.dial(t, "disarmed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(obs.DefaultDTracer.Spans())
+	trace := obs.TraceID(99, 2)
+	if _, err := tc.Write(obs.EncodeTraceHeader(trace, 0x1)); err != nil {
+		t.Fatalf("write trace header: %v", err)
+	}
+	echoOnce(t, tc, "still in sync after the header")
+	tc.Close()
+	if err := env.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(obs.DefaultDTracer.Spans()); got != before {
+		t.Fatalf("disarmed gateway recorded spans: %d -> %d", before, got)
+	}
+}

@@ -278,14 +278,35 @@ type sessionStats struct {
 func (r *Runner) runSession(id int) {
 	pol := r.cfg.Backoff
 	pol.Seed = r.cfg.Seed ^ int64(id)*0x9e3779b9
+	var root *obs.DSpan
+	var sleep func(time.Duration)
+	if obs.DTraceEnabled() {
+		// The trace ID comes from the session's own seeded DRBG stream,
+		// so it is a pure function of (seed, session): the sampling
+		// decision and the exported ID structure repeat run over run,
+		// at any concurrency.
+		var tb [8]byte
+		prng.NewDRBG([]byte(fmt.Sprintf("load/trace/%d/%d", r.cfg.Seed, id))).Read(tb[:])
+		root = obs.DefaultDTracer.Root(obs.TraceIDFromBytes(tb[:]), "load", "session")
+		if root != nil {
+			// Backoff sleeps become spans: time the session spent parked
+			// between attempts, attributed so the critical-path analyzer
+			// can weigh waiting against crypto and wire time.
+			sleep = func(d time.Duration) {
+				t0 := obs.DTraceNowUS()
+				time.Sleep(d)
+				root.Event("load", "backoff_wait", t0, obs.DTraceNowUS()-t0, d.Microseconds())
+			}
+		}
+	}
 	var st sessionStats
-	err := backoff.Retry(r.cfg.Attempts, pol, nil, func(attempt int) error {
+	err := backoff.Retry(r.cfg.Attempts, pol, sleep, func(attempt int) error {
 		if attempt > 0 {
 			r.retries.Add(1)
 			mRetries.Inc()
 		}
 		st.attempts++
-		return r.attempt(id, attempt, &st)
+		return r.attempt(id, attempt, &st, root)
 	})
 	if err != nil {
 		r.failed.Add(1)
@@ -316,11 +337,28 @@ func (r *Runner) runSession(id int) {
 	if err != nil {
 		fields = append(fields, journal.S("err", err.Error()))
 	}
+	if root != nil {
+		// Cross-link: the wide event carries the same 16-hex-digit ID the
+		// span waterfall and the trace JSONL spell, so artifacts join by
+		// exact string match.
+		fields = append(fields, journal.S("trace_id", obs.TraceHex(root.TraceID())))
+	}
 	journal.Emit(int64(id), journal.LevelInfo, "load", "session", fields...)
+	root.SetN(st.bytes)
+	root.End()
 }
 
-func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
+func (r *Runner) attempt(id, attempt int, st *sessionStats, root *obs.DSpan) error {
+	asp := root.Child("load", "attempt")
+	defer asp.End()
+	var d0 int64
+	if asp != nil {
+		d0 = obs.DTraceNowUS()
+	}
 	raw, err := net.DialTimeout("tcp", r.cfg.Addr, r.cfg.DialTimeout)
+	if asp != nil {
+		asp.Event("load", "dial", d0, obs.DTraceNowUS()-d0, 0)
+	}
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}
@@ -352,6 +390,9 @@ func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 	wcfg.Rand = prng.NewDRBG([]byte(fmt.Sprintf("load/%d/%d/%d", r.cfg.Seed, id, attempt)))
 	tc := wtls.Client(conn, &wcfg)
 	defer tc.Close()
+	// Attach before the handshake: the connection's phase spans (hello,
+	// key_exchange, finished) and record batches nest under this attempt.
+	tc.SetTraceParent(asp)
 
 	start := time.Now()
 	_ = tc.SetDeadline(time.Now().Add(r.cfg.IOTimeout))
@@ -359,7 +400,7 @@ func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 		return fmt.Errorf("handshake: %w", err)
 	}
 	hs := time.Since(start)
-	hHandshake.Observe(hs.Nanoseconds())
+	hHandshake.ObserveEx(hs.Nanoseconds(), asp.TraceID())
 	st.handshakeUS = hs.Microseconds()
 	state := tc.State()
 	st.resumed = state.Resumed
@@ -370,6 +411,15 @@ func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 	r.hsLat = append(r.hsLat, hs)
 	r.mu.Unlock()
 
+	if asp != nil {
+		// First application record: hand the (trace, span) pair to the
+		// server so its half of the session hangs under this attempt and
+		// msreport can merge the two processes into one trace.
+		if _, err := tc.Write(obs.EncodeTraceHeader(asp.TraceID(), asp.ID())); err != nil {
+			return fmt.Errorf("trace header: %w", err)
+		}
+	}
+
 	payload := make([]byte, r.cfg.Payload)
 	wcfg.Rand.Read(payload)
 	buf := make([]byte, r.cfg.Payload)
@@ -378,10 +428,17 @@ func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 		if left := r.cfg.Records - rec; burst > left {
 			burst = left
 		}
+		esp := asp.Child("load", "echo")
+		if esp != nil {
+			// Record batches written during this round nest under the
+			// round's span, not as siblings of it.
+			tc.SetTraceParent(esp)
+		}
 		t0 := time.Now()
 		_ = tc.SetDeadline(time.Now().Add(r.cfg.IOTimeout))
 		for i := 0; i < burst; i++ {
 			if _, err := tc.Write(payload); err != nil {
+				esp.End()
 				return fmt.Errorf("record %d write: %w", rec+i, err)
 			}
 		}
@@ -390,13 +447,16 @@ func (r *Runner) attempt(id, attempt int, st *sessionStats) error {
 			for got < len(buf) {
 				n, err := tc.Read(buf[got:])
 				if err != nil {
+					esp.End()
 					return fmt.Errorf("record %d read: %w", rec+i, err)
 				}
 				got += n
 			}
 		}
 		rtt := time.Since(t0)
-		hRecordRTT.Observe(rtt.Nanoseconds())
+		esp.SetN(int64(burst) * int64(r.cfg.Payload))
+		esp.End()
+		hRecordRTT.ObserveEx(rtt.Nanoseconds(), esp.TraceID())
 		st.records += int64(burst)
 		st.bytes += int64(burst) * int64(r.cfg.Payload)
 		r.records.Add(int64(burst))

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/obs/journal"
@@ -23,6 +24,13 @@ var ErrSLOStrict = errors.New("critical SLO rule fired (strict mode)")
 //	                  to <file> on Close
 //	-trace <file>     arm the default tracer; write its events to <file>
 //	                  (.csv selects CSV, anything else JSON) on Close
+//	-dtrace <file>    arm the default distributed tracer; write its
+//	                  span JSONL (sorted, cross-process mergeable) to
+//	                  <file> on Close
+//	-trace-sample N   head-based sampling for -dtrace: keep 1 in N
+//	                  traces, decided deterministically by trace ID
+//	-dtrace-canon     zero span timestamps so the -dtrace export is
+//	                  byte-identical across worker counts
 //	-profile <file>   arm the default energy/cycle profiler; write its
 //	                  JSON call tree to <file> on Close
 //	-journal <file>   arm the default event journal; write its merged
@@ -51,6 +59,9 @@ var ErrSLOStrict = errors.New("critical SLO rule fired (strict mode)")
 type CLI struct {
 	metricsPath  string
 	tracePath    string
+	dtracePath   string
+	traceSample  int
+	dtraceCanon  bool
 	profilePath  string
 	journalPath  string
 	journalLevel string
@@ -74,6 +85,9 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
 	fs.StringVar(&c.tracePath, "trace", "", "write the event trace to this file on exit (.csv for CSV)")
+	fs.StringVar(&c.dtracePath, "dtrace", "", "write the distributed span trace (JSONL) to this file on exit")
+	fs.IntVar(&c.traceSample, "trace-sample", 1, "keep 1 in N distributed traces (head-based, deterministic by trace ID)")
+	fs.BoolVar(&c.dtraceCanon, "dtrace-canon", false, "zero span timestamps in the distributed trace for byte-diffable exports")
 	fs.StringVar(&c.profilePath, "profile", "", "write the energy/cycle profile (JSON call tree) to this file on exit")
 	fs.StringVar(&c.journalPath, "journal", "", "write the structured event journal (JSONL) to this file on exit")
 	fs.StringVar(&c.journalLevel, "journal-level", "info", "minimum journal level: debug, info, warn or crit")
@@ -103,6 +117,18 @@ func (c *CLI) Activate() error {
 			return fmt.Errorf("-trace: %w", err)
 		}
 		DefaultTracer.SetEnabled(true)
+	}
+	if c.traceSample < 1 {
+		return fmt.Errorf("-trace-sample: must be >= 1 (got %d)", c.traceSample)
+	}
+	if c.dtracePath != "" {
+		if err := touch(c.dtracePath); err != nil {
+			return fmt.Errorf("-dtrace: %w", err)
+		}
+		DefaultDTracer.SetProc(procName())
+		DefaultDTracer.SetSampleN(c.traceSample)
+		DefaultDTracer.SetCanonical(c.dtraceCanon)
+		DefaultDTracer.SetEnabled(true)
 	}
 	if c.profilePath != "" {
 		if err := touch(c.profilePath); err != nil {
@@ -289,6 +315,10 @@ func (c *CLI) Close() error {
 			st := DefaultTracer.Stats()
 			s.Trace = &st
 		}
+		if DefaultDTracer.Enabled() {
+			st := DefaultDTracer.Stats()
+			s.DTrace = &st
+		}
 		if err := s.WriteFile(c.metricsPath); err != nil && first == nil {
 			first = err
 		}
@@ -299,6 +329,15 @@ func (c *CLI) Close() error {
 			first = err
 		}
 		c.tracePath = ""
+	}
+	if c.dtracePath != "" {
+		if st := DefaultDTracer.Stats(); st.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "obs: span ring capacity reached, %d span(s) dropped\n", st.Dropped)
+		}
+		if err := DefaultDTracer.WriteFile(c.dtracePath); err != nil && first == nil {
+			first = err
+		}
+		c.dtracePath = ""
 	}
 	if c.profilePath != "" {
 		if err := prof.Default.WriteFile(c.profilePath); err != nil && first == nil {
@@ -344,6 +383,15 @@ func (c *CLI) Finish(tool string) {
 		}
 		os.Exit(1)
 	}
+}
+
+// procName is the process name stamped on exported spans so merged
+// multi-process traces keep their halves apart ("msload", "msgateway").
+func procName() string {
+	if len(os.Args) == 0 || os.Args[0] == "" {
+		return "proc"
+	}
+	return filepath.Base(os.Args[0])
 }
 
 // touch creates (or truncates) path so permission/path errors surface at

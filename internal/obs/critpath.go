@@ -1,0 +1,267 @@
+package obs
+
+import "sort"
+
+// Critical-path analysis over recorded span forests. The questions a
+// slow session raises — was it the RSA modexp, the radio (retransmits),
+// backoff waits between attempts, or queueing at the gateway? — are all
+// "where did the root span's duration go", which this file answers by
+// rebuilding each trace's tree and attributing every span's duration to
+// self-time (duration not covered by its own children). Cross-process
+// children recorded on a different tracer clock are kept out of the
+// parent's self-time math (the timebases are unrelated) but are aligned
+// for rendering by snapping a remote subtree's start to its parent's.
+
+// SpanNode is one span in a rebuilt trace tree.
+type SpanNode struct {
+	Rec      SpanRec
+	Children []*SpanNode // sorted by (Ord, Span)
+	Depth    int
+	// SelfUS is the span's duration minus the union of its same-process
+	// children's intervals: the time this span spent "being itself".
+	SelfUS int64
+	// AlignUS shifts the node onto the primary root's timebase for
+	// rendering; nonzero only inside remote (cross-process) subtrees.
+	AlignUS int64
+}
+
+// CritEntry is one row of a critical-path table: total self-time
+// attributed to a span kind.
+type CritEntry struct {
+	Key    string // "proc/layer.name", or "layer.name" when unstamped
+	SelfUS int64
+	Count  int
+}
+
+// TraceTree is one reassembled trace with its attribution summary.
+type TraceTree struct {
+	Trace uint64
+	// Roots holds the tree tops: the primary root first (parent 0, or
+	// the longest span whose parent is absent), then any orphaned
+	// subtrees (e.g. a server half whose client file was not loaded).
+	Roots  []*SpanNode
+	Spans  int
+	Procs  []string // distinct recording processes, sorted
+	Merged bool     // spans from more than one process
+	DurUS  int64    // primary root duration
+	// CoverUS is the union of the primary root's same-process child
+	// intervals; Coverage is CoverUS/DurUS — the fraction of the
+	// session's duration explained by named child spans (0 when the
+	// trace is canonical, i.e. carries no timings).
+	CoverUS  int64
+	Coverage float64
+	Self     []CritEntry // per-kind self-time within this trace, descending
+}
+
+// critKey names a span kind for attribution tables.
+func critKey(r SpanRec) string {
+	k := r.Layer + "." + r.Name
+	if r.Proc != "" {
+		k = r.Proc + "/" + k
+	}
+	return k
+}
+
+// BuildTraces reassembles span records into per-trace trees, computes
+// self-time attribution, and returns the traces sorted by primary-root
+// duration (longest first; ties by trace ID, so canonical inputs order
+// deterministically too).
+func BuildTraces(spans []SpanRec) []TraceTree {
+	byTrace := map[uint64][]SpanRec{}
+	var ids []uint64
+	for _, r := range spans {
+		if _, ok := byTrace[r.Trace]; !ok {
+			ids = append(ids, r.Trace)
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]TraceTree, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, buildTrace(id, byTrace[id]))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DurUS != out[j].DurUS {
+			return out[i].DurUS > out[j].DurUS
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+func buildTrace(id uint64, recs []SpanRec) TraceTree {
+	// Duplicate span IDs (a re-run appended to the same file) keep the
+	// first record; the map is the node index for parent lookup.
+	nodes := map[uint64]*SpanNode{}
+	var order []*SpanNode
+	for _, r := range recs {
+		if _, ok := nodes[r.Span]; ok {
+			continue
+		}
+		n := &SpanNode{Rec: r}
+		nodes[r.Span] = n
+		order = append(order, n)
+	}
+	procs := map[string]bool{}
+	var roots []*SpanNode
+	for _, n := range order {
+		procs[n.Rec.Proc] = true
+		if p, ok := nodes[n.Rec.Parent]; ok && n.Rec.Parent != n.Rec.Span {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range order {
+		sort.Slice(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			if a.Rec.Ord != b.Rec.Ord {
+				return a.Rec.Ord < b.Rec.Ord
+			}
+			return a.Rec.Span < b.Rec.Span
+		})
+	}
+	// Primary root: parent==0 beats orphaned parents; then longest, then
+	// smallest span ID.
+	sort.SliceStable(roots, func(i, j int) bool {
+		a, b := roots[i], roots[j]
+		ar, br := a.Rec.Parent == 0, b.Rec.Parent == 0
+		if ar != br {
+			return ar
+		}
+		if a.Rec.DurUS != b.Rec.DurUS {
+			return a.Rec.DurUS > b.Rec.DurUS
+		}
+		return a.Rec.Span < b.Rec.Span
+	})
+
+	tree := TraceTree{Trace: id, Roots: roots, Spans: len(order)}
+	for p := range procs {
+		tree.Procs = append(tree.Procs, p)
+	}
+	sort.Strings(tree.Procs)
+	tree.Merged = len(tree.Procs) > 1
+
+	selfAgg := map[string]*CritEntry{}
+	var walk func(n *SpanNode, depth int, align int64)
+	walk = func(n *SpanNode, depth int, align int64) {
+		n.Depth = depth
+		n.AlignUS = align
+		n.SelfUS = n.Rec.DurUS - childUnionUS(n)
+		if n.SelfUS < 0 {
+			n.SelfUS = 0
+		}
+		key := critKey(n.Rec)
+		e, ok := selfAgg[key]
+		if !ok {
+			e = &CritEntry{Key: key}
+			selfAgg[key] = e
+		}
+		e.SelfUS += n.SelfUS
+		e.Count++
+		for _, c := range n.Children {
+			ca := align
+			if c.Rec.Proc != n.Rec.Proc {
+				// Remote subtree: unrelated clock; snap its start onto
+				// the parent's (aligned) start for rendering.
+				ca = n.Rec.StartUS + align - c.Rec.StartUS
+			}
+			walk(c, depth+1, ca)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0, 0)
+	}
+	for _, e := range selfAgg {
+		tree.Self = append(tree.Self, *e)
+	}
+	sort.Slice(tree.Self, func(i, j int) bool {
+		if tree.Self[i].SelfUS != tree.Self[j].SelfUS {
+			return tree.Self[i].SelfUS > tree.Self[j].SelfUS
+		}
+		return tree.Self[i].Key < tree.Self[j].Key
+	})
+
+	if len(roots) > 0 {
+		p := roots[0]
+		tree.DurUS = p.Rec.DurUS
+		tree.CoverUS = childUnionUS(p)
+		if tree.DurUS > 0 {
+			tree.Coverage = float64(tree.CoverUS) / float64(tree.DurUS)
+		}
+	}
+	return tree
+}
+
+// childUnionUS returns the length of the union of n's same-process
+// children's intervals, clipped to n's own interval. Remote children
+// are skipped: their clock is not n's clock.
+func childUnionUS(n *SpanNode) int64 {
+	lo, hi := n.Rec.StartUS, n.Rec.StartUS+n.Rec.DurUS
+	type iv struct{ a, b int64 }
+	var ivs []iv
+	for _, c := range n.Children {
+		if c.Rec.Proc != n.Rec.Proc {
+			continue
+		}
+		a, b := c.Rec.StartUS, c.Rec.StartUS+c.Rec.DurUS
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if b > a {
+			ivs = append(ivs, iv{a, b})
+		}
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var total int64
+	cur := ivs[0]
+	for _, v := range ivs[1:] {
+		if v.a <= cur.b {
+			if v.b > cur.b {
+				cur.b = v.b
+			}
+			continue
+		}
+		total += cur.b - cur.a
+		cur = v
+	}
+	total += cur.b - cur.a
+	return total
+}
+
+// CritTop aggregates self-time across traces into one critical-path
+// table, descending; topN caps the rows (0 = all).
+func CritTop(trees []TraceTree, topN int) []CritEntry {
+	agg := map[string]*CritEntry{}
+	for i := range trees {
+		for _, e := range trees[i].Self {
+			a, ok := agg[e.Key]
+			if !ok {
+				a = &CritEntry{Key: e.Key}
+				agg[e.Key] = a
+			}
+			a.SelfUS += e.SelfUS
+			a.Count += e.Count
+		}
+	}
+	out := make([]CritEntry, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfUS != out[j].SelfUS {
+			return out[i].SelfUS > out[j].SelfUS
+		}
+		return out[i].Key < out[j].Key
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}

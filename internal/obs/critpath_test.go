@@ -1,0 +1,134 @@
+package obs
+
+import "testing"
+
+// synthTrace builds the canonical two-process session shape: a client
+// root (0..100µs) with a handshake child (10..40), an echo child
+// (50..90), and a server half recorded on its own clock (start 1000)
+// hanging under the handshake span.
+func synthTrace(trace uint64) []SpanRec {
+	root := DeriveSpanID(trace, "load", "session", 0)
+	hs := DeriveSpanID(root, "wtls", "handshake_client", 0)
+	echo := DeriveSpanID(root, "load", "echo", 1)
+	srv := DeriveSpanID(hs, "gateway", "session", 0)
+	srvQ := DeriveSpanID(srv, "gateway", "server_queue", 0)
+	return []SpanRec{
+		{Trace: trace, Span: root, Parent: 0, Ord: 0, Proc: "msload", Layer: "load", Name: "session", StartUS: 0, DurUS: 100},
+		{Trace: trace, Span: hs, Parent: root, Ord: 0, Proc: "msload", Layer: "wtls", Name: "handshake_client", StartUS: 10, DurUS: 30},
+		{Trace: trace, Span: echo, Parent: root, Ord: 1, Proc: "msload", Layer: "load", Name: "echo", StartUS: 50, DurUS: 40},
+		{Trace: trace, Span: srv, Parent: hs, Ord: 0, Proc: "msgateway", Layer: "gateway", Name: "session", StartUS: 1000, DurUS: 25},
+		{Trace: trace, Span: srvQ, Parent: srv, Ord: 0, Proc: "msgateway", Layer: "gateway", Name: "server_queue", StartUS: 1000, DurUS: 5},
+	}
+}
+
+func TestBuildTracesTreeAndSelfTime(t *testing.T) {
+	trace := TraceID(1, 1)
+	trees := BuildTraces(synthTrace(trace))
+	if len(trees) != 1 {
+		t.Fatalf("want 1 tree, got %d", len(trees))
+	}
+	tr := trees[0]
+	if !tr.Merged {
+		t.Fatal("two procs must mark the trace merged")
+	}
+	if tr.Spans != 5 || len(tr.Roots) != 1 {
+		t.Fatalf("spans=%d roots=%d", tr.Spans, len(tr.Roots))
+	}
+	if tr.DurUS != 100 {
+		t.Fatalf("root dur %d", tr.DurUS)
+	}
+	// Children 10..40 and 50..90 cover 70 of the root's 100µs.
+	if tr.CoverUS != 70 {
+		t.Fatalf("coverage union %d, want 70", tr.CoverUS)
+	}
+	if tr.Coverage < 0.69 || tr.Coverage > 0.71 {
+		t.Fatalf("coverage %.3f, want 0.70", tr.Coverage)
+	}
+	root := tr.Roots[0]
+	if root.SelfUS != 30 {
+		t.Fatalf("root self %d, want 30", root.SelfUS)
+	}
+	// The handshake's only child is remote: excluded from self-time.
+	hs := root.Children[0]
+	if hs.Rec.Name != "handshake_client" || hs.SelfUS != 30 {
+		t.Fatalf("handshake self %d (%s), want 30", hs.SelfUS, hs.Rec.Name)
+	}
+	// The remote subtree is aligned: its start snaps to the parent's, so
+	// rendered start = 10 despite recorded 1000.
+	srv := hs.Children[0]
+	if srv.Rec.Proc != "msgateway" {
+		t.Fatalf("expected remote child, got %+v", srv.Rec)
+	}
+	if got := srv.Rec.StartUS + srv.AlignUS; got != 10 {
+		t.Fatalf("aligned server start %d, want 10", got)
+	}
+	// And its own child inherits the shift.
+	q := srv.Children[0]
+	if got := q.Rec.StartUS + q.AlignUS; got != 10 {
+		t.Fatalf("aligned queue start %d, want 10", got)
+	}
+	// Server self-time computes on its own clock: 25 - 5 = 20.
+	if srv.SelfUS != 20 {
+		t.Fatalf("server self %d, want 20", srv.SelfUS)
+	}
+}
+
+func TestBuildTracesOrdersAndOrphans(t *testing.T) {
+	a, b := TraceID(2, 1), TraceID(2, 2)
+	spans := append(synthTrace(a), synthTrace(b)...)
+	// Make trace b shorter so ordering by duration is observable.
+	for i := range spans {
+		if spans[i].Trace == b && spans[i].Parent == 0 {
+			spans[i].DurUS = 50
+		}
+	}
+	// An orphan: parent never recorded — must surface as an extra root,
+	// not vanish.
+	orphan := SpanRec{Trace: a, Span: 0x999, Parent: 0x12345, Ord: 0, Proc: "msload", Layer: "load", Name: "stray", DurUS: 1}
+	trees := BuildTraces(append(spans, orphan))
+	if len(trees) != 2 {
+		t.Fatalf("want 2 trees, got %d", len(trees))
+	}
+	if trees[0].DurUS < trees[1].DurUS {
+		t.Fatal("trees not sorted by duration desc")
+	}
+	var ta *TraceTree
+	for i := range trees {
+		if trees[i].Trace == a {
+			ta = &trees[i]
+		}
+	}
+	if ta == nil || len(ta.Roots) != 2 {
+		t.Fatalf("orphan did not become a secondary root: %+v", ta)
+	}
+	// The primary root must still be the parentless session span.
+	if ta.Roots[0].Rec.Parent != 0 {
+		t.Fatal("primary root selection broken")
+	}
+}
+
+func TestCritTop(t *testing.T) {
+	trace := TraceID(3, 1)
+	top := CritTop(BuildTraces(synthTrace(trace)), 0)
+	if len(top) == 0 {
+		t.Fatal("empty critical path")
+	}
+	sum := map[string]int64{}
+	for _, e := range top {
+		sum[e.Key] = e.SelfUS
+	}
+	if sum["msload/load.session"] != 30 || sum["msload/wtls.handshake_client"] != 30 {
+		t.Fatalf("unexpected attribution: %+v", sum)
+	}
+	if sum["msgateway/gateway.session"] != 20 || sum["msgateway/gateway.server_queue"] != 5 {
+		t.Fatalf("server attribution wrong: %+v", sum)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].SelfUS < top[i].SelfUS {
+			t.Fatal("critical path not descending")
+		}
+	}
+	if capped := CritTop(BuildTraces(synthTrace(trace)), 2); len(capped) != 2 {
+		t.Fatalf("topN cap ignored: %d rows", len(capped))
+	}
+}

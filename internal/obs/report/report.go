@@ -29,6 +29,11 @@ type Data struct {
 	Metrics      *obs.Snapshot
 	TraceEvents  []obs.Event
 	TraceDropped uint64
+	// Spans holds distributed-trace span records (the -dtrace JSONL,
+	// possibly merged from several processes); SpansSkipped counts
+	// malformed lines the loader dropped.
+	Spans        []obs.SpanRec
+	SpansSkipped int
 	// Journal is a run's structured event journal (the -journal JSONL);
 	// JournalSkipped counts lines the loader could not parse.
 	Journal        []journal.Event
@@ -63,6 +68,9 @@ func HTML(w io.Writer, d Data) error {
 	}
 	if d.TraceEvents != nil || d.TraceDropped > 0 {
 		writeTraceSection(&b, d.TraceEvents, d.TraceDropped)
+	}
+	if len(d.Spans) > 0 || d.SpansSkipped > 0 {
+		writeSpanSection(&b, d.Spans, d.SpansSkipped, d.TopN)
 	}
 	if len(d.Series) > 0 {
 		writeSeriesSection(&b, d.Series, d.Journal)
@@ -271,6 +279,10 @@ func writeMetricsSection(b *strings.Builder, s *obs.Snapshot) {
 		fmt.Fprintf(b, "<p class=\"note\">trace ring: %d recorded, %d dropped (capacity %d)</p>\n",
 			s.Trace.Recorded, s.Trace.Dropped, s.Trace.Capacity)
 	}
+	if s.DTrace != nil {
+		fmt.Fprintf(b, "<p class=\"note\">distributed-span ring: %d recorded, %d dropped (capacity %d)</p>\n",
+			s.DTrace.Recorded, s.DTrace.Dropped, s.DTrace.Capacity)
+	}
 	if len(s.Counters) > 0 {
 		b.WriteString("<h3>Counters</h3>\n<table><tr><th>counter</th><th>value</th></tr>\n")
 		for _, c := range s.Counters {
@@ -286,14 +298,38 @@ func writeMetricsSection(b *strings.Builder, s *obs.Snapshot) {
 		b.WriteString("</table>\n")
 	}
 	if len(s.Histograms) > 0 {
-		b.WriteString("<h3>Histograms</h3>\n<table><tr><th>histogram</th><th>count</th><th>sum</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>\n")
+		anyEx := false
+		for _, h := range s.Histograms {
+			if len(h.Exemplars) > 0 {
+				anyEx = true
+				break
+			}
+		}
+		b.WriteString("<h3>Histograms</h3>\n<table><tr><th>histogram</th><th>count</th><th>sum</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th>")
+		if anyEx {
+			b.WriteString("<th>exemplar (slowest bucket)</th>")
+		}
+		b.WriteString("</tr>\n")
 		for _, h := range s.Histograms {
 			mean := 0.0
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td></tr>\n",
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%.1f</td><td>%d</td><td>%d</td><td>%d</td>",
 				html.EscapeString(h.Name), h.Count, h.Sum, mean, h.P50, h.P95, h.P99)
+			if anyEx {
+				// The exemplar from the highest populated bucket is a trace
+				// ID to pull up in the waterfall: a worst-case session by
+				// construction.
+				ex := ""
+				for _, e := range h.Exemplars {
+					if e != "" {
+						ex = e
+					}
+				}
+				fmt.Fprintf(b, "<td><code>%s</code></td>", html.EscapeString(ex))
+			}
+			b.WriteString("</tr>\n")
 		}
 		b.WriteString("</table>\n")
 	}

@@ -64,6 +64,15 @@ func (t *Tracer) SetEnabled(on bool) {
 // Enabled reports whether the tracer is armed.
 func (t *Tracer) Enabled() bool { return t != nil && t.armed.Load() }
 
+// mTraceSpans / mTraceDropped export ring health through the metrics
+// registry (and so the Prometheus exposition): total records across
+// both tracer rings and how many the rings overwrote. Before these,
+// drop counts were visible only in TraceStats inside snapshot files.
+var (
+	mTraceSpans   = C("obs.trace_spans")
+	mTraceDropped = C("obs.trace_dropped")
+)
+
 // record appends one event to the ring.
 func (t *Tracer) record(e Event) {
 	t.mu.Lock()
@@ -75,8 +84,10 @@ func (t *Tracer) record(e Event) {
 		t.buf[int(e.Seq)%cap(t.buf)] = e
 		t.dropped++
 		t.filled = true
+		mTraceDropped.Inc()
 	}
 	t.mu.Unlock()
+	mTraceSpans.Inc()
 }
 
 // Emit records a point event when the tracer is armed.

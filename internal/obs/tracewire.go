@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Wire propagation of trace context. The client half of a session
+// prepends this header to its first application record after the
+// handshake, and the server strips it before echoing:
+//
+//	offset  size  field
+//	0       4     magic "MSTC"
+//	4       1     version (1)
+//	5       2     body length, big-endian (16 for version 1)
+//	7       8     trace ID, big-endian, nonzero
+//	15      8     parent span ID, big-endian (the client span the
+//	              server session should hang under; may be 0)
+//
+// The header rides inside the encrypted WTLS stream, so it is
+// integrity-protected like any application byte; the parser is still
+// strict — fixed length, version-checked, fail-closed, allocation-free
+// — because the first record of a session is attacker-timed input and
+// a non-traced peer's payload must never be mistaken for a header
+// (ErrNoTraceHeader) nor a malformed header half-consumed
+// (ErrBadTraceHeader).
+
+const (
+	traceHdrVersion = 1
+	traceHdrBodyLen = 16
+	// TraceHeaderLen is the exact encoded size of a trace-context
+	// header: magic + version + body length + body.
+	TraceHeaderLen = 4 + 1 + 2 + traceHdrBodyLen
+)
+
+// traceHdrMagic spells "MSTC" (mobile-sec trace context).
+var traceHdrMagic = [4]byte{'M', 'S', 'T', 'C'}
+
+// ErrNoTraceHeader reports that the bytes do not begin with the header
+// magic: ordinary application data from an untraced peer. Callers
+// forward the bytes untouched.
+var ErrNoTraceHeader = errors.New("obs: no trace header")
+
+// ErrBadTraceHeader reports bytes that begin with the header magic but
+// are truncated, version-unknown, length-mismatched or carry a zero
+// trace ID. Callers must fail closed: treat the record as opaque data
+// and attach no trace context.
+var ErrBadTraceHeader = errors.New("obs: malformed trace header")
+
+// EncodeTraceHeader renders the trace-context header for (trace,
+// parent). trace must be nonzero (the zero ID means "no trace" on the
+// wire and the strict parser rejects it).
+func EncodeTraceHeader(trace, parent uint64) []byte {
+	b := make([]byte, TraceHeaderLen)
+	copy(b, traceHdrMagic[:])
+	b[4] = traceHdrVersion
+	binary.BigEndian.PutUint16(b[5:7], traceHdrBodyLen)
+	binary.BigEndian.PutUint64(b[7:15], trace)
+	binary.BigEndian.PutUint64(b[15:23], parent)
+	return b
+}
+
+// ParseTraceHeader strictly parses a trace-context header at the start
+// of b, returning the IDs and the remaining application bytes. It
+// allocates nothing and reads at most TraceHeaderLen bytes: oversized
+// length fields are rejected, never trusted as a read size.
+func ParseTraceHeader(b []byte) (trace, parent uint64, rest []byte, err error) {
+	if len(b) < len(traceHdrMagic) || [4]byte(b[:4]) != traceHdrMagic {
+		return 0, 0, b, ErrNoTraceHeader
+	}
+	if len(b) < TraceHeaderLen {
+		return 0, 0, b, ErrBadTraceHeader
+	}
+	if b[4] != traceHdrVersion {
+		return 0, 0, b, ErrBadTraceHeader
+	}
+	if binary.BigEndian.Uint16(b[5:7]) != traceHdrBodyLen {
+		return 0, 0, b, ErrBadTraceHeader
+	}
+	trace = binary.BigEndian.Uint64(b[7:15])
+	parent = binary.BigEndian.Uint64(b[15:23])
+	if trace == 0 {
+		return 0, 0, b, ErrBadTraceHeader
+	}
+	return trace, parent, b[TraceHeaderLen:], nil
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	hdr := EncodeTraceHeader(0xdeadbeefcafe0001, 0x1122334455667788)
+	if len(hdr) != TraceHeaderLen {
+		t.Fatalf("header length %d, want %d", len(hdr), TraceHeaderLen)
+	}
+	payload := append(append([]byte{}, hdr...), []byte("hello")...)
+	trace, parent, rest, err := ParseTraceHeader(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != 0xdeadbeefcafe0001 || parent != 0x1122334455667788 {
+		t.Fatalf("round trip lost IDs: %x %x", trace, parent)
+	}
+	if !bytes.Equal(rest, []byte("hello")) {
+		t.Fatalf("rest = %q", rest)
+	}
+}
+
+func TestTraceHeaderNoMagicIsData(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello world, just application bytes"),
+		[]byte("MST"), // shorter than the magic itself
+	} {
+		_, _, _, err := ParseTraceHeader(in)
+		if !errors.Is(err, ErrNoTraceHeader) {
+			t.Fatalf("%q: err = %v, want ErrNoTraceHeader", in, err)
+		}
+	}
+}
+
+func TestTraceHeaderMalformedFailsClosed(t *testing.T) {
+	good := EncodeTraceHeader(1, 2)
+	cases := map[string][]byte{
+		"truncated":     good[:TraceHeaderLen-1],
+		"magic only":    good[:4],
+		"bad version":   func() []byte { b := append([]byte{}, good...); b[4] = 9; return b }(),
+		"oversized len": func() []byte { b := append([]byte{}, good...); b[5], b[6] = 0xff, 0xff; return b }(),
+		"zero trace":    EncodeTraceHeader(0, 2),
+	}
+	for name, in := range cases {
+		trace, parent, rest, err := ParseTraceHeader(in)
+		if !errors.Is(err, ErrBadTraceHeader) {
+			t.Fatalf("%s: err = %v, want ErrBadTraceHeader", name, err)
+		}
+		if trace != 0 || parent != 0 {
+			t.Fatalf("%s: malformed header leaked IDs: %x %x", name, trace, parent)
+		}
+		// Fail closed means the input passes through untouched.
+		if !bytes.Equal(rest, in) {
+			t.Fatalf("%s: rest = %q, want input unchanged", name, rest)
+		}
+	}
+}
+
+func TestParseTraceHeaderZeroAllocs(t *testing.T) {
+	hdr := EncodeTraceHeader(3, 4)
+	data := []byte("no header here")
+	allocs := testing.AllocsPerRun(1000, func() {
+		ParseTraceHeader(hdr)
+		ParseTraceHeader(data)
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseTraceHeader allocates %v/op, want 0", allocs)
+	}
+}
+
+// FuzzParseTraceHeader: any input — oversized, truncated, garbage —
+// must fail closed (typed error, zero values) or parse consistently;
+// never panic, never allocate unboundedly.
+func FuzzParseTraceHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MSTC"))
+	f.Add(EncodeTraceHeader(1, 2))
+	f.Add(append(EncodeTraceHeader(0xffffffffffffffff, 0), make([]byte, 1024)...))
+	f.Add([]byte("MSTC\x01\x00\x10garbage-not-16-bytes"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		trace, parent, rest, err := ParseTraceHeader(in)
+		if err != nil {
+			if !errors.Is(err, ErrNoTraceHeader) && !errors.Is(err, ErrBadTraceHeader) {
+				t.Fatalf("untyped error %v", err)
+			}
+			if trace != 0 || parent != 0 {
+				t.Fatalf("error path leaked IDs: %x %x", trace, parent)
+			}
+			if !bytes.Equal(rest, in) {
+				t.Fatalf("error path consumed bytes: rest %q of input %q", rest, in)
+			}
+			return
+		}
+		if trace == 0 {
+			t.Fatal("accepted header with reserved zero trace")
+		}
+		if len(rest) != len(in)-TraceHeaderLen {
+			t.Fatalf("rest length %d for input %d", len(rest), len(in))
+		}
+		// A successful parse must re-encode to the same header bytes.
+		if !bytes.Equal(EncodeTraceHeader(trace, parent), in[:TraceHeaderLen]) {
+			t.Fatal("parse/encode mismatch")
+		}
+	})
+}

@@ -163,6 +163,15 @@ type Conn struct {
 	// jphase numbers this connection's journaled handshake phases so the
 	// event stream orders by protocol progress, not wall clock.
 	jphase int64
+
+	// tparent is the distributed-trace span this connection's record
+	// batches and handshake phases attach under (nil = untraced); trMu
+	// guards the buffered phase log replayed once a parent is known
+	// (see trace.go).
+	tparent   atomic.Pointer[obs.DSpan]
+	trMu      sync.Mutex
+	hsPhases  []hsPhase
+	trFlushed bool
 }
 
 // Conn must satisfy net.Conn so gateways can treat a secured session
@@ -458,6 +467,14 @@ func (c *Conn) Handshake() error {
 		err = c.serverHandshake()
 	}
 	sp.End()
+	c.phaseMark("")
+	if p := c.tparent.Load(); p != nil {
+		// Client role: the driver attached the parent before Handshake,
+		// so the phase log replays here (failures included — a retried
+		// attempt's partial handshake is critical-path evidence). The
+		// server learns its parent later, from the wire.
+		c.flushHandshakeTrace(p)
+	}
 	if err != nil {
 		mHandshakeFailures.Inc()
 		journal.Emit(c.jphase, journal.LevelWarn, "wtls", "handshake_failed",
@@ -499,6 +516,7 @@ func (c *Conn) Handshake() error {
 func (c *Conn) transcriptHash() []byte { return c.transcript.Sum(nil) }
 
 func (c *Conn) clientHandshake() error {
+	c.phaseMark("hello")
 	clientRandom := c.cfg.Rand.Bytes(randomLen)
 	var cached *session
 	var offerID []byte
@@ -542,6 +560,7 @@ func (c *Conn) clientHandshake() error {
 
 	if sh.resumed {
 		c.jhs("resume")
+		c.phaseMark("finished")
 		if cached == nil || cached.suiteID != sh.suite || string(cached.id) != string(sh.sessionID) {
 			return c.fail(AlertHandshakeFailed, errors.New("wtls: bogus resumption"))
 		}
@@ -568,6 +587,7 @@ func (c *Conn) clientHandshake() error {
 	}
 
 	// Full handshake: certificate (+ server key exchange for DHE).
+	c.phaseMark("key_exchange")
 	certBody, err := c.expectHandshake(typeCertificate)
 	if err != nil {
 		return err
@@ -647,6 +667,7 @@ func (c *Conn) clientHandshake() error {
 		return err
 	}
 	c.jhs("key_exchange_sent")
+	c.phaseMark("finished")
 	c.master = deriveMaster(premaster, clientRandom, sh.random)
 	km := deriveKeys(c.master, clientRandom, sh.random, st.MACKeyLen, st.KeyLen, st.IVLen)
 
@@ -678,6 +699,7 @@ func (c *Conn) clientHandshake() error {
 }
 
 func (c *Conn) serverHandshake() error {
+	c.phaseMark("hello")
 	body, err := c.expectHandshake(typeClientHello)
 	if err != nil {
 		return err
@@ -732,6 +754,7 @@ func (c *Conn) serverHandshake() error {
 		return err
 	}
 	c.jhs("server_hello_sent")
+	c.phaseMark("key_exchange")
 	if err := c.writeHandshake((&certificateMsg{cert: c.cfg.Certificate.Marshal()}).marshal()); err != nil {
 		return err
 	}
@@ -787,6 +810,7 @@ func (c *Conn) serverHandshake() error {
 	c.master = deriveMaster(premaster, ch.random, serverRandom)
 	km := deriveKeys(c.master, ch.random, serverRandom, st.MACKeyLen, st.KeyLen, st.IVLen)
 
+	c.phaseMark("finished")
 	if err := c.recvChangeCipherSpec(&km); err != nil {
 		return err
 	}
@@ -816,6 +840,7 @@ func (c *Conn) serverHandshake() error {
 
 func (c *Conn) serverResume(ch *clientHello, s *session, serverRandom []byte) error {
 	c.jhs("resume")
+	c.phaseMark("finished")
 	st, err := suite.ByID(s.suiteID)
 	if err != nil {
 		return c.fail(AlertHandshakeFailed, err)
@@ -881,6 +906,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	total := 0
 	for len(p) > 0 {
+		tsp := c.tparent.Load()
+		var t0 int64
+		if tsp != nil {
+			t0 = obs.DTraceNowUS()
+		}
 		c.writeMu.Lock()
 		frags := c.wfrags[:0]
 		batchBytes := 0
@@ -903,6 +933,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.writeMu.Unlock()
 		if err != nil {
 			return total, err
+		}
+		if tsp != nil {
+			tsp.Event("wtls", "record_batch", t0, obs.DTraceNowUS()-t0, int64(batchBytes))
 		}
 		c.mmu.Lock()
 		c.metrics.RecordsSent += len(frags)
